@@ -1,0 +1,330 @@
+//! Reimplementations of the systolic-only baseline generators the paper
+//! compares against in Table III: PolySA (ICCAD'18) and Susy (ICCAD'20).
+//!
+//! Both tools compile affine kernels to **pure systolic arrays**: every
+//! tensor must end up systolic or stationary. That restriction is the point
+//! of the comparison — it shrinks both the set of reachable dataflows and
+//! the set of supported kernels (no reduction trees ⇒ no Depthwise-Conv,
+//! no unicast ⇒ no Batched-GEMV), and their generated RTL closes timing
+//! lower than TensorLib's templates.
+//!
+//! The baselines reuse this workspace's analysis and hardware generation —
+//! the *restriction* and the *efficiency derates* are what differ, exactly
+//! as in the paper, where all three tools target the same device.
+//!
+//! # Examples
+//!
+//! ```
+//! use tensorlib_baselines::{BaselineGenerator, BaselineKind};
+//! use tensorlib_ir::workloads;
+//!
+//! let polysa = BaselineGenerator::new(BaselineKind::PolySa);
+//! // GEMM has systolic dataflows: PolySA handles it.
+//! assert!(polysa.generate(&workloads::gemm(64, 64, 64)).is_ok());
+//! // Depthwise-Conv has no pure-systolic dataflow: PolySA fails, as §VI-C
+//! // reports.
+//! assert!(polysa
+//!     .generate(&workloads::depthwise_conv(64, 56, 56, 3, 3))
+//!     .is_err());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use tensorlib_cost::{fpga_cost, FpgaDevice, FpgaReport};
+use tensorlib_dataflow::dse::{design_space, DseConfig};
+use tensorlib_dataflow::{Dataflow, FlowClass};
+use tensorlib_hw::design::{generate, AcceleratorDesign, HwConfig};
+use tensorlib_hw::ArrayConfig;
+use tensorlib_ir::{DataType, Kernel};
+
+/// Which baseline tool to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BaselineKind {
+    /// PolySA (Cong & Wang, ICCAD 2018): polyhedral systolic-array
+    /// auto-compilation targeting the same VU9P.
+    PolySa,
+    /// Susy (Lai et al., ICCAD 2020): STT-based systolic generation on an
+    /// Intel Arria-10.
+    Susy,
+}
+
+impl fmt::Display for BaselineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineKind::PolySa => write!(f, "PolySA"),
+            BaselineKind::Susy => write!(f, "Susy"),
+        }
+    }
+}
+
+/// Why a baseline could not handle a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The kernel admits no dataflow in which every tensor is systolic or
+    /// stationary.
+    NoSystolicDataflow {
+        /// The kernel's name.
+        kernel: String,
+        /// The tool that failed.
+        tool: BaselineKind,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::NoSystolicDataflow { kernel, tool } => write!(
+                f,
+                "{tool} only generates pure systolic arrays; {kernel:?} has no such dataflow"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// Modeled characteristics of each baseline's generated RTL, from the numbers
+/// their papers (and Table III) report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct BaselineProfile {
+    /// The device the tool targets in Table III.
+    pub device: FpgaDevice,
+    /// Array rows × cols the tool's DSE settles on for the MM workload
+    /// (sized to match the MAC-lane counts implied by the published Gop/s).
+    pub array: ArrayConfig,
+    /// SIMD lanes per PE.
+    pub vectorize: u32,
+    /// DSP slices per FP32 MAC lane (PolySA's HLS maps less efficiently at
+    /// 5/lane; Susy's Arria-10 has hard floating-point DSPs at 1/lane).
+    pub dsp_per_mac: u64,
+    /// Frequency derate of the tool's generated RTL relative to this
+    /// workspace's templates (PolySA's HLS output closes at 229 MHz where
+    /// TensorLib's Chisel closes at 263 MHz on the same device; Susy's
+    /// Arria-10 build closes at 202 MHz).
+    pub freq_factor: f64,
+    /// Extra BRAM its buffering scheme spends relative to ours (PolySA
+    /// reports 89% BRAM vs TensorLib's 51%).
+    pub bram_factor: f64,
+    /// Extra LUTs relative to ours (Susy reports 40% on a smaller device).
+    pub lut_factor: f64,
+}
+
+/// A systolic-only accelerator generator in the style of PolySA or Susy.
+#[derive(Debug, Clone)]
+pub struct BaselineGenerator {
+    kind: BaselineKind,
+    profile: BaselineProfile,
+}
+
+impl BaselineGenerator {
+    /// Creates a generator with the tool's published profile.
+    pub fn new(kind: BaselineKind) -> BaselineGenerator {
+        let profile = match kind {
+            // 19x8 PEs x 8 lanes = 1216 MAC lanes: 555 Gop/s at 229 MHz.
+            BaselineKind::PolySa => BaselineProfile {
+                device: FpgaDevice::vu9p(),
+                array: ArrayConfig { rows: 19, cols: 8 },
+                vectorize: 8,
+                dsp_per_mac: 5,
+                freq_factor: 229.0 / 263.0,
+                bram_factor: 1.85,
+                lut_factor: 0.90,
+            },
+            // 13x13 PEs x 8 lanes = 1352 MAC lanes: 547 Gop/s at 202 MHz.
+            BaselineKind::Susy => BaselineProfile {
+                device: FpgaDevice::arria10(),
+                array: ArrayConfig { rows: 13, cols: 13 },
+                vectorize: 8,
+                dsp_per_mac: 1,
+                freq_factor: 202.0 / 263.0,
+                bram_factor: 0.70,
+                // Arria-10 ALMs pack ~2.5 LUT-equivalents; Susy reports 40%.
+                lut_factor: 0.25,
+            },
+        };
+        BaselineGenerator { kind, profile }
+    }
+
+    /// The tool being modeled.
+    pub fn kind(&self) -> BaselineKind {
+        self.kind
+    }
+
+    /// The tool's modeled profile.
+    pub fn profile(&self) -> &BaselineProfile {
+        &self.profile
+    }
+
+    /// Finds the best pure-systolic dataflow for `kernel`, mirroring the
+    /// restricted search both tools perform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::NoSystolicDataflow`] when no dataflow with
+    /// every tensor systolic/stationary exists — Depthwise-Conv and
+    /// Batched-GEMV land here, reproducing the capability gap of §VI-C.
+    pub fn find_dataflow(&self, kernel: &Kernel) -> Result<Dataflow, BaselineError> {
+        let space = design_space(kernel, &DseConfig::default());
+        space
+            .into_iter()
+            .filter(|d| d.is_pure_systolic() && uses_classic_projection(d))
+            // Prefer weight/output-stationary classics: stationary tensor
+            // count then name for determinism.
+            .min_by_key(|d| {
+                let stationaries = d
+                    .flows()
+                    .iter()
+                    .filter(|f| f.class.is_stationary_like())
+                    .count();
+                (usize::MAX - stationaries, d.name())
+            })
+            .ok_or_else(|| BaselineError::NoSystolicDataflow {
+                kernel: kernel.name().to_string(),
+                tool: self.kind,
+            })
+    }
+
+    /// Generates the baseline's accelerator for `kernel` at FP32 (both tools
+    /// evaluate floating point on FPGA).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError`] when the kernel is out of the tool's reach.
+    pub fn generate(&self, kernel: &Kernel) -> Result<AcceleratorDesign, BaselineError> {
+        let df = self.find_dataflow(kernel)?;
+        let cfg = HwConfig {
+            array: self.profile.array,
+            datatype: DataType::Fp32,
+            vectorize: self.profile.vectorize,
+        };
+        Ok(generate(&df, &cfg).expect("systolic dataflows are always wireable"))
+    }
+
+    /// FPGA estimate for the baseline's design on its own target device,
+    /// with the tool's derates applied.
+    pub fn fpga_report(&self, design: &AcceleratorDesign) -> FpgaReport {
+        let device = &self.profile.device;
+        let base = fpga_cost(design, device, false);
+        let freq = base.freq_mhz * self.profile.freq_factor;
+        let luts = (base.luts as f64 * self.profile.lut_factor) as u64;
+        let brams = (base.brams as f64 * self.profile.bram_factor) as u64;
+        let mac_lanes = design.summary().multipliers;
+        let dsps = mac_lanes * self.profile.dsp_per_mac;
+        FpgaReport {
+            luts,
+            dsps,
+            brams,
+            lut_util: luts as f64 / device.luts as f64,
+            dsp_util: dsps as f64 / device.dsps as f64,
+            bram_util: brams as f64 / device.brams as f64,
+            freq_mhz: freq,
+            peak_gops: 2.0 * mac_lanes as f64 * freq * 1e6 / 1e9,
+        }
+    }
+}
+
+/// `true` if every flow uses the classic projection shapes both tools are
+/// limited to: systolic hops of exactly one cycle along an array axis, and
+/// stationary residence with unit time stride. TensorLib's larger space
+/// (diagonal hops, multi-cycle delays, multicast, reduction trees) is
+/// precisely what the baselines cannot express.
+fn uses_classic_projection(d: &Dataflow) -> bool {
+    d.flows().iter().all(|f| match &f.class {
+        FlowClass::Systolic { dp, dt } => {
+            *dt == 1 && (*dp == [0, 1] || *dp == [1, 0])
+        }
+        FlowClass::Stationary { dt } => *dt == 1,
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensorlib_ir::workloads;
+
+    #[test]
+    fn baselines_handle_gemm_and_conv() {
+        for kind in [BaselineKind::PolySa, BaselineKind::Susy] {
+            let gen = BaselineGenerator::new(kind);
+            let gemm = gen.generate(&workloads::gemm(64, 64, 64)).unwrap();
+            gemm.validate().unwrap();
+            assert!(gemm.dataflow().is_pure_systolic());
+            let conv = gen.generate(&workloads::conv2d(16, 16, 14, 14, 3, 3)).unwrap();
+            assert!(conv.dataflow().is_pure_systolic());
+        }
+    }
+
+    #[test]
+    fn baselines_reject_depthwise_conv() {
+        // §VI-C: "they fail to generate hardware for algorithms that don't
+        // fit well in systolic architecture, such as Depthwise convolution".
+        let gen = BaselineGenerator::new(BaselineKind::PolySa);
+        let err = gen
+            .find_dataflow(&workloads::depthwise_conv(16, 14, 14, 3, 3))
+            .unwrap_err();
+        assert!(matches!(err, BaselineError::NoSystolicDataflow { .. }));
+        assert!(err.to_string().contains("systolic"));
+    }
+
+    #[test]
+    fn baselines_reject_batched_gemv() {
+        // Tensor A of Batched-GEMV is always unicast, so no pure-systolic
+        // dataflow exists.
+        let gen = BaselineGenerator::new(BaselineKind::Susy);
+        assert!(gen
+            .find_dataflow(&workloads::batched_gemv(16, 16, 16))
+            .is_err());
+    }
+
+    #[test]
+    fn baseline_throughput_trails_tensorlib() {
+        // Table III: TensorLib 673 Gop/s vs PolySA 555 and Susy 547 — about
+        // a 21% gap.
+        let device = FpgaDevice::vu9p();
+        let gemm = workloads::gemm(640, 640, 640);
+
+        // TensorLib's own build: 10x16, vec 8, FP32, systolic.
+        let tl_design = {
+            let gen = BaselineGenerator::new(BaselineKind::PolySa);
+            let df = gen.find_dataflow(&gemm).unwrap();
+            generate(
+                &df,
+                &HwConfig {
+                    array: ArrayConfig { rows: 10, cols: 16 },
+                    datatype: DataType::Fp32,
+                    vectorize: 8,
+                },
+            )
+            .unwrap()
+        };
+        let tl = fpga_cost(&tl_design, &device, false);
+
+        for kind in [BaselineKind::PolySa, BaselineKind::Susy] {
+            let gen = BaselineGenerator::new(kind);
+            let design = gen.generate(&gemm).unwrap();
+            let report = gen.fpga_report(&design);
+            let gain = tl.peak_gops / report.peak_gops;
+            assert!(
+                gain > 1.05 && gain < 1.45,
+                "{kind}: TensorLib {:.0} vs {:.0} Gop/s (gain {gain:.2})",
+                tl.peak_gops,
+                report.peak_gops
+            );
+            assert!(report.freq_mhz < tl.freq_mhz);
+        }
+    }
+
+    #[test]
+    fn profiles_and_display() {
+        assert_eq!(BaselineKind::PolySa.to_string(), "PolySA");
+        assert_eq!(BaselineKind::Susy.to_string(), "Susy");
+        let p = BaselineGenerator::new(BaselineKind::PolySa);
+        assert!(p.profile().freq_factor < 1.0);
+        assert_eq!(p.kind(), BaselineKind::PolySa);
+    }
+}

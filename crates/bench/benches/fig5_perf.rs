@@ -1,0 +1,39 @@
+//! Criterion bench for the Figure 5 pipeline: dataflow resolution, hardware
+//! generation, and the cycle model, per workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tensorlib::dataflow::dse::{find_named, DseConfig};
+use tensorlib::hw::design::{generate, HwConfig};
+use tensorlib::ir::workloads;
+use tensorlib::sim::perf;
+use tensorlib::SimConfig;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    let cases = [
+        ("gemm_sst", workloads::gemm(256, 256, 256), "MNK-SST"),
+        ("gemm_mtm", workloads::gemm(256, 256, 256), "MNK-MTM"),
+        ("conv_l2_kcx", workloads::resnet_layer2(), "KCX-SST"),
+        ("mttkrp_unicast", workloads::mttkrp(64, 64, 64, 64), "IKL-UBBB"),
+    ];
+    let hw = HwConfig::default();
+    let sim = SimConfig::paper_default();
+    for (label, kernel, name) in cases {
+        let df = find_named(&kernel, name, &DseConfig::default()).expect("dataflow exists");
+        // Generation alone.
+        group.bench_with_input(BenchmarkId::new("generate", label), &df, |b, df| {
+            b.iter(|| generate(std::hint::black_box(df), &hw).expect("wireable"))
+        });
+        // Cycle model alone.
+        let design = generate(&df, &hw).expect("wireable");
+        group.bench_with_input(
+            BenchmarkId::new("estimate", label),
+            &design,
+            |b, design| b.iter(|| perf::estimate(std::hint::black_box(design), &kernel, &sim)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for the Figure 6 pipeline: design-space enumeration and
+//! ASIC costing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tensorlib::cost::{asic_cost, Activity};
+use tensorlib::dataflow::dse::{design_space, enumerate_stt, DseConfig};
+use tensorlib::hw::design::{generate, HwConfig};
+use tensorlib::ir::workloads;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+
+    group.bench_function("enumerate_stt_unimodular", |b| {
+        b.iter(|| enumerate_stt(std::hint::black_box(&DseConfig::default())))
+    });
+
+    let gemm = workloads::gemm(64, 64, 64);
+    group.bench_function("design_space_gemm", |b| {
+        b.iter(|| design_space(std::hint::black_box(&gemm), &DseConfig::default()))
+    });
+
+    let dw = workloads::depthwise_conv(64, 56, 56, 3, 3);
+    group.bench_function("design_space_depthwise", |b| {
+        b.iter(|| design_space(std::hint::black_box(&dw), &DseConfig::default()))
+    });
+
+    // Costing one design (generation + ASIC model), the per-point cost of the
+    // Figure 6 scatter.
+    let designs = design_space(&gemm, &DseConfig::default());
+    let df = designs.first().expect("space is nonempty").clone();
+    group.bench_function("cost_one_design", |b| {
+        b.iter(|| {
+            let d = generate(std::hint::black_box(&df), &HwConfig::default()).expect("wireable");
+            asic_cost(&d, &Activity::default())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion bench for the generator's own building blocks: classification,
+//! analysis, netlist assembly, Verilog emission, and functional simulation.
+//! These are the ablation counterparts of the end-to-end table benches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tensorlib::dataflow::{classify_tensor, Dataflow, LoopSelection, Stt};
+use tensorlib::hw::design::{generate, HwConfig};
+use tensorlib::hw::verilog::emit_design;
+use tensorlib::hw::ArrayConfig;
+use tensorlib::ir::{workloads, TensorRole};
+use tensorlib::linalg::Mat;
+use tensorlib::sim::functional;
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator");
+
+    // Table I classification of one tensor.
+    let a_sel = Mat::from_i64(&[&[1, 0, 0], &[0, 0, 1]]);
+    let t = Stt::output_stationary();
+    group.bench_function("classify_tensor", |b| {
+        b.iter(|| classify_tensor(std::hint::black_box(&a_sel), &t, TensorRole::Input))
+    });
+
+    // Full kernel analysis.
+    let gemm = workloads::gemm(64, 64, 64);
+    let sel = LoopSelection::by_names(&gemm, ["m", "n", "k"]).expect("valid");
+    group.bench_function("analyze_gemm", |b| {
+        b.iter(|| {
+            Dataflow::analyze(
+                std::hint::black_box(&gemm),
+                sel.clone(),
+                Stt::output_stationary(),
+            )
+            .expect("analyzes")
+        })
+    });
+
+    // Netlist assembly at several array sizes.
+    let df = Dataflow::analyze(&gemm, sel, Stt::output_stationary()).expect("analyzes");
+    for n in [4usize, 8, 16] {
+        let cfg = HwConfig {
+            array: ArrayConfig::square(n),
+            ..HwConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("generate_array", n), &cfg, |b, cfg| {
+            b.iter(|| generate(std::hint::black_box(&df), cfg).expect("wireable"))
+        });
+    }
+
+    // Verilog emission for the 16x16 design.
+    let design = generate(
+        &df,
+        &HwConfig {
+            array: ArrayConfig::square(16),
+            ..HwConfig::default()
+        },
+    )
+    .expect("wireable");
+    group.bench_function("emit_verilog_16x16", |b| {
+        b.iter(|| emit_design(std::hint::black_box(&design)))
+    });
+
+    // Bit-exact functional simulation of a small instance.
+    let small = workloads::gemm(16, 16, 16);
+    let sel = LoopSelection::by_names(&small, ["m", "n", "k"]).expect("valid");
+    let df = Dataflow::analyze(&small, sel, Stt::output_stationary()).expect("analyzes");
+    let design = generate(
+        &df,
+        &HwConfig {
+            array: ArrayConfig::square(8),
+            ..HwConfig::default()
+        },
+    )
+    .expect("wireable");
+    group.bench_function("functional_sim_gemm16", |b| {
+        b.iter(|| functional::simulate(std::hint::black_box(&design), &small, 7).expect("matches"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generator);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for the Table III pipeline: baseline dataflow search,
+//! FPGA costing, and the full TensorLib FP32 build.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tensorlib::cost::{fpga_cost, FpgaDevice};
+use tensorlib::dataflow::dse::{find_named, DseConfig};
+use tensorlib::hw::design::{generate, HwConfig};
+use tensorlib::hw::ArrayConfig;
+use tensorlib::ir::{workloads, DataType};
+use tensorlib_baselines::{BaselineGenerator, BaselineKind};
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    let gemm = workloads::gemm(640, 640, 640);
+
+    group.bench_function("polysa_find_dataflow", |b| {
+        let gen = BaselineGenerator::new(BaselineKind::PolySa);
+        b.iter(|| gen.find_dataflow(std::hint::black_box(&gemm)).expect("systolic exists"))
+    });
+
+    let df = find_named(&gemm, "MNK-STS", &DseConfig::default()).expect("exists");
+    let cfg = HwConfig {
+        array: ArrayConfig { rows: 10, cols: 16 },
+        datatype: DataType::Fp32,
+        vectorize: 8,
+    };
+    group.bench_function("tensorlib_fp32_build", |b| {
+        b.iter(|| generate(std::hint::black_box(&df), &cfg).expect("wireable"))
+    });
+
+    let design = generate(&df, &cfg).expect("wireable");
+    let device = FpgaDevice::vu9p();
+    group.bench_function("fpga_cost", |b| {
+        b.iter(|| fpga_cost(std::hint::black_box(&design), &device, false))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

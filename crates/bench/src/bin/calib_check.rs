@@ -1,0 +1,39 @@
+//! Calibration scratchpad: prints the GEMM design-space power/area envelope.
+
+use tensorlib_cost::{asic_cost, Activity};
+use tensorlib_dataflow::dse::{design_space, DseConfig};
+use tensorlib_hw::design::{generate, HwConfig};
+use tensorlib_sim::{perf, SimConfig};
+
+fn main() {
+    let gemm = tensorlib_ir::workloads::gemm(64, 64, 64);
+    let designs = design_space(&gemm, &DseConfig::default());
+    let cfg = HwConfig::default();
+    let sim = SimConfig::default();
+    let mut pts = Vec::new();
+    for df in &designs {
+        let Ok(d) = generate(df, &cfg) else { continue };
+        let _ = perf::estimate(&d, &gemm, &sim);
+        // Figure 6 reports synthesis-time power (vectorless activity), so use
+        // the default full-activity estimate, like DC would.
+        let a = asic_cost(&d, &Activity::default());
+        pts.push((df.name(), a.power_mw, a.area_mm2, df.letters()));
+    }
+    pts.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    println!("implementable designs: {}", pts.len());
+    for (n, p, ar, l) in pts.iter().take(5) {
+        println!("LOW  {n} {l}: {p:.1} mW, {ar:.3} mm2");
+    }
+    for (n, p, ar, l) in pts.iter().rev().take(5) {
+        println!("HIGH {n} {l}: {p:.1} mW, {ar:.3} mm2");
+    }
+    let pmin = pts.first().unwrap().1;
+    let pmax = pts.last().unwrap().1;
+    let amin = pts.iter().map(|p| p.2).fold(f64::MAX, f64::min);
+    let amax = pts.iter().map(|p| p.2).fold(0.0f64, f64::max);
+    println!(
+        "power {pmin:.1}..{pmax:.1} mW ({:.2}x), area {amin:.3}..{amax:.3} mm2 ({:.2}x)",
+        pmax / pmin,
+        amax / amin
+    );
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Table II**: the six evaluated tensor algebras, with their
+//! formulas, shapes, and a reference-executor sanity run.
+
+use tensorlib::ir::workloads;
+use tensorlib_bench::TextTable;
+
+fn main() {
+    println!("Table II — evaluated tensor algebras\n");
+    let mut table = TextTable::new(vec!["name", "formula", "loops", "MACs", "checksum"]);
+    for kernel in workloads::table2_catalog() {
+        // Small-size twin for the checksum run (the catalog sizes are the
+        // evaluation sizes; reference execution there would be slow for the
+        // conv layers).
+        let small = match kernel.name() {
+            "GEMM" => workloads::gemm(8, 8, 8),
+            "Batched-GEMV" => workloads::batched_gemv(8, 8, 8),
+            "Conv2D" => workloads::conv2d(4, 4, 6, 6, 3, 3),
+            "Depthwise-Conv" => workloads::depthwise_conv(4, 6, 6, 3, 3),
+            "MTTKRP" => workloads::mttkrp(6, 6, 6, 6),
+            "TTMc" => workloads::ttmc(4, 4, 4, 4, 4),
+            other => panic!("unknown workload {other}"),
+        };
+        let inputs = small.random_inputs(2024);
+        let out = small
+            .execute_reference(&inputs)
+            .expect("catalog kernels execute");
+        let checksum: i64 = out.as_slice().iter().sum();
+        table.row(vec![
+            kernel.name().to_string(),
+            kernel.to_string().split(": ").nth(1).unwrap_or("").to_string(),
+            kernel
+                .loop_nest()
+                .names()
+                .join(",")
+                .to_string(),
+            kernel.macs().to_string(),
+            checksum.to_string(),
+        ]);
+    }
+    println!("{table}");
+}

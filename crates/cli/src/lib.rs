@@ -1,0 +1,464 @@
+//! Command-line front end for the TensorLib accelerator generator.
+//!
+//! The binary is `tensorlib`; the library half holds the argument parsing
+//! and command execution so they are unit-testable.
+//!
+//! ```text
+//! tensorlib workloads
+//! tensorlib analyze  <workload> <dataflow>          # e.g. gemm MNK-SST
+//! tensorlib generate <workload> <dataflow> [-o f.v] [--rows N] [--cols N]
+//! tensorlib simulate <workload> <dataflow> [--rows N] [--cols N]
+//! tensorlib explore  <workload> [--top N]
+//! ```
+//!
+//! Workloads take optional sizes after a colon: `gemm:64,64,64`,
+//! `conv2d:64,64,56,56,3,3`, `mttkrp:32,32,32,32`, …
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use tensorlib::dataflow::dse::{find_named, DseConfig};
+use tensorlib::explore::{explore, ExploreOptions};
+use tensorlib::hw::design::generate;
+use tensorlib::ir::workloads;
+use tensorlib::{Accelerator, ArrayConfig, HwConfig, Kernel, SimConfig};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List the built-in Table II workloads.
+    Workloads,
+    /// Print the dataflow analysis for `workload` under `dataflow`.
+    Analyze {
+        /// Workload spec (`gemm:64,64,64`).
+        workload: String,
+        /// Paper-style dataflow name (`MNK-SST`).
+        dataflow: String,
+    },
+    /// Generate Verilog.
+    Generate {
+        /// Workload spec.
+        workload: String,
+        /// Dataflow name.
+        dataflow: String,
+        /// Output path (`-` for stdout).
+        out: String,
+        /// PE array rows.
+        rows: usize,
+        /// PE array columns.
+        cols: usize,
+    },
+    /// Verify bit-exactly and report performance.
+    Simulate {
+        /// Workload spec.
+        workload: String,
+        /// Dataflow name.
+        dataflow: String,
+        /// PE array rows.
+        rows: usize,
+        /// PE array columns.
+        cols: usize,
+    },
+    /// Sweep the design space and print the best designs.
+    Explore {
+        /// Workload spec.
+        workload: String,
+        /// How many designs to print.
+        top: usize,
+    },
+}
+
+/// Command-line failure: bad usage or a pipeline error, with a message
+/// suitable for stderr.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage:
+  tensorlib workloads
+  tensorlib analyze  <workload> <dataflow>
+  tensorlib generate <workload> <dataflow> [-o out.v] [--rows N] [--cols N]
+  tensorlib simulate <workload> <dataflow> [--rows N] [--cols N]
+  tensorlib explore  <workload> [--top N]
+
+workloads: gemm[:m,n,k]  batched-gemv[:m,n,k]  conv2d[:k,c,y,x,p,q]
+           depthwise[:k,y,x,p,q]  mttkrp[:i,j,k,l]  ttmc[:i,j,k,l,m]
+dataflow:  paper-style name, e.g. MNK-SST or KCX-STS";
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a usage message on malformed input.
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let usage = || CliError(USAGE.to_string());
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(usage)?;
+    let mut positional: Vec<String> = Vec::new();
+    let mut out = "-".to_string();
+    let mut rows = 16usize;
+    let mut cols = 16usize;
+    let mut top = 10usize;
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let a = rest[i].as_str();
+        let take_value = |i: &mut usize| -> Result<String, CliError> {
+            *i += 1;
+            rest.get(*i)
+                .map(|s| s.to_string())
+                .ok_or_else(|| CliError(format!("flag {a} needs a value")))
+        };
+        match a {
+            "-o" | "--out" => out = take_value(&mut i)?,
+            "--rows" => {
+                rows = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| CliError("--rows expects an integer".into()))?
+            }
+            "--cols" => {
+                cols = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| CliError("--cols expects an integer".into()))?
+            }
+            "--top" => {
+                top = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| CliError("--top expects an integer".into()))?
+            }
+            _ if a.starts_with('-') => {
+                return Err(CliError(format!("unknown flag {a}\n\n{USAGE}")))
+            }
+            _ => positional.push(a.to_string()),
+        }
+        i += 1;
+    }
+    match (cmd.as_str(), positional.len()) {
+        ("workloads", 0) => Ok(Command::Workloads),
+        ("analyze", 2) => Ok(Command::Analyze {
+            workload: positional[0].clone(),
+            dataflow: positional[1].clone(),
+        }),
+        ("generate", 2) => Ok(Command::Generate {
+            workload: positional[0].clone(),
+            dataflow: positional[1].clone(),
+            out,
+            rows,
+            cols,
+        }),
+        ("simulate", 2) => Ok(Command::Simulate {
+            workload: positional[0].clone(),
+            dataflow: positional[1].clone(),
+            rows,
+            cols,
+        }),
+        ("explore", 1) => Ok(Command::Explore {
+            workload: positional[0].clone(),
+            top,
+        }),
+        _ => Err(usage()),
+    }
+}
+
+/// Resolves a workload spec like `gemm:64,64,64` to a kernel.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown names or wrong size arity.
+pub fn resolve_workload(spec: &str) -> Result<Kernel, CliError> {
+    let (name, sizes) = match spec.split_once(':') {
+        Some((n, s)) => {
+            let sizes: Result<Vec<u64>, _> = s.split(',').map(str::parse).collect();
+            (
+                n,
+                Some(sizes.map_err(|_| CliError(format!("bad sizes in {spec:?}")))?),
+            )
+        }
+        None => (spec, None),
+    };
+    let need = |n: usize, sizes: &Option<Vec<u64>>| -> Result<Vec<u64>, CliError> {
+        match sizes {
+            None => Ok(Vec::new()),
+            Some(v) if v.len() == n => Ok(v.clone()),
+            Some(v) => Err(CliError(format!(
+                "{name} takes {n} sizes, got {}",
+                v.len()
+            ))),
+        }
+    };
+    Ok(match name {
+        "gemm" => {
+            let s = need(3, &sizes)?;
+            if s.is_empty() {
+                workloads::gemm(64, 64, 64)
+            } else {
+                workloads::gemm(s[0], s[1], s[2])
+            }
+        }
+        "batched-gemv" => {
+            let s = need(3, &sizes)?;
+            if s.is_empty() {
+                workloads::batched_gemv(64, 64, 64)
+            } else {
+                workloads::batched_gemv(s[0], s[1], s[2])
+            }
+        }
+        "conv2d" => {
+            let s = need(6, &sizes)?;
+            if s.is_empty() {
+                workloads::resnet_layer2()
+            } else {
+                workloads::conv2d(s[0], s[1], s[2], s[3], s[4], s[5])
+            }
+        }
+        "depthwise" => {
+            let s = need(5, &sizes)?;
+            if s.is_empty() {
+                workloads::depthwise_conv(64, 56, 56, 3, 3)
+            } else {
+                workloads::depthwise_conv(s[0], s[1], s[2], s[3], s[4])
+            }
+        }
+        "mttkrp" => {
+            let s = need(4, &sizes)?;
+            if s.is_empty() {
+                workloads::mttkrp(32, 32, 32, 32)
+            } else {
+                workloads::mttkrp(s[0], s[1], s[2], s[3])
+            }
+        }
+        "ttmc" => {
+            let s = need(5, &sizes)?;
+            if s.is_empty() {
+                workloads::ttmc(16, 16, 16, 16, 16)
+            } else {
+                workloads::ttmc(s[0], s[1], s[2], s[3], s[4])
+            }
+        }
+        other => return Err(CliError(format!("unknown workload {other:?}\n\n{USAGE}"))),
+    })
+}
+
+/// Executes a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns [`CliError`] when the pipeline fails (unknown dataflow,
+/// unwireable design, simulation mismatch).
+pub fn run(cmd: Command) -> Result<String, CliError> {
+    let e = |err: &dyn fmt::Display| CliError(err.to_string());
+    match cmd {
+        Command::Workloads => {
+            let mut s = String::new();
+            for k in workloads::table2_catalog() {
+                s.push_str(&format!("{k}\n"));
+            }
+            Ok(s)
+        }
+        Command::Analyze { workload, dataflow } => {
+            let kernel = resolve_workload(&workload)?;
+            let df = find_named(&kernel, &dataflow, &DseConfig::default())
+                .map_err(|err| e(&err))?;
+            Ok(format!("{df}\n"))
+        }
+        Command::Generate {
+            workload,
+            dataflow,
+            out,
+            rows,
+            cols,
+        } => {
+            let kernel = resolve_workload(&workload)?;
+            let df = find_named(&kernel, &dataflow, &DseConfig::default())
+                .map_err(|err| e(&err))?;
+            let cfg = HwConfig {
+                array: ArrayConfig { rows, cols },
+                ..HwConfig::default()
+            };
+            let design = generate(&df, &cfg).map_err(|err| e(&err))?;
+            design.validate().map_err(|err| e(&err))?;
+            let verilog = tensorlib::hw::verilog::emit_design(&design);
+            if out == "-" {
+                Ok(verilog)
+            } else {
+                std::fs::write(&out, &verilog)
+                    .map_err(|err| CliError(format!("writing {out}: {err}")))?;
+                Ok(format!(
+                    "wrote {out}: {} lines, top module {}\n",
+                    verilog.lines().count(),
+                    design.top()
+                ))
+            }
+        }
+        Command::Simulate {
+            workload,
+            dataflow,
+            rows,
+            cols,
+        } => {
+            let kernel = resolve_workload(&workload)?;
+            let acc = Accelerator::builder(kernel)
+                .dataflow_name(&dataflow)
+                .array(rows, cols)
+                .build()
+                .map_err(|err| e(&err))?;
+            let run = acc.verify(42).map_err(|err| e(&err))?;
+            let perf = acc.performance(&SimConfig::paper_default());
+            Ok(format!(
+                "verified: bit-exact over {} MACs\n\
+                 cycles: {} total ({} stall), {:.1}% of peak, {:.1} Gop/s\n",
+                run.macs_executed,
+                perf.total_cycles,
+                perf.stall_cycles,
+                100.0 * perf.normalized_perf,
+                perf.gops
+            ))
+        }
+        Command::Explore { workload, top } => {
+            let kernel = resolve_workload(&workload)?;
+            let points = explore(&kernel, &ExploreOptions::default());
+            let mut s = format!(
+                "{}: {} implementable designs (fastest {top}):\n",
+                kernel.name(),
+                points.len()
+            );
+            let mut seen = std::collections::HashSet::new();
+            for p in points
+                .iter()
+                .filter(|p| seen.insert(p.name.clone()))
+                .take(top)
+            {
+                s.push_str(&format!(
+                    "  {:14} {:>12} cycles  {:6.1} mW  {:.3} mm2\n",
+                    p.name, p.performance.total_cycles, p.asic.power_mw, p.asic.area_mm2
+                ));
+            }
+            Ok(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_all_commands() {
+        assert_eq!(parse_args(&sv(&["workloads"])).unwrap(), Command::Workloads);
+        assert_eq!(
+            parse_args(&sv(&["analyze", "gemm", "MNK-SST"])).unwrap(),
+            Command::Analyze {
+                workload: "gemm".into(),
+                dataflow: "MNK-SST".into()
+            }
+        );
+        assert_eq!(
+            parse_args(&sv(&[
+                "generate", "gemm", "MNK-SST", "-o", "x.v", "--rows", "4", "--cols", "8"
+            ]))
+            .unwrap(),
+            Command::Generate {
+                workload: "gemm".into(),
+                dataflow: "MNK-SST".into(),
+                out: "x.v".into(),
+                rows: 4,
+                cols: 8
+            }
+        );
+        assert_eq!(
+            parse_args(&sv(&["explore", "gemm", "--top", "3"])).unwrap(),
+            Command::Explore {
+                workload: "gemm".into(),
+                top: 3
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&sv(&[])).is_err());
+        assert!(parse_args(&sv(&["analyze", "gemm"])).is_err());
+        assert!(parse_args(&sv(&["generate", "gemm", "MNK-SST", "--rows"])).is_err());
+        assert!(parse_args(&sv(&["simulate", "gemm", "X", "--bogus", "1"])).is_err());
+        assert!(parse_args(&sv(&["explore", "gemm", "--top", "zz"])).is_err());
+    }
+
+    #[test]
+    fn workload_resolution() {
+        assert_eq!(resolve_workload("gemm").unwrap().name(), "GEMM");
+        let k = resolve_workload("gemm:4,5,6").unwrap();
+        assert_eq!(k.loop_nest().extents(), vec![4, 5, 6]);
+        assert_eq!(
+            resolve_workload("mttkrp:2,3,4,5").unwrap().name(),
+            "MTTKRP"
+        );
+        assert!(resolve_workload("nonsense").is_err());
+        assert!(resolve_workload("gemm:1,2").is_err());
+        assert!(resolve_workload("gemm:a,b,c").is_err());
+    }
+
+    #[test]
+    fn run_workloads_and_analyze() {
+        let out = run(Command::Workloads).unwrap();
+        assert!(out.contains("GEMM"));
+        assert!(out.contains("MTTKRP"));
+        let out = run(Command::Analyze {
+            workload: "gemm:16,16,16".into(),
+            dataflow: "MNK-SST".into(),
+        })
+        .unwrap();
+        assert!(out.contains("systolic"));
+        assert!(out.contains("stationary"));
+    }
+
+    #[test]
+    fn run_simulate_small() {
+        let out = run(Command::Simulate {
+            workload: "gemm:8,8,8".into(),
+            dataflow: "MNK-SST".into(),
+            rows: 4,
+            cols: 4,
+        })
+        .unwrap();
+        assert!(out.contains("bit-exact"));
+        assert!(out.contains("Gop/s"));
+    }
+
+    #[test]
+    fn run_generate_to_stdout() {
+        let out = run(Command::Generate {
+            workload: "gemm:8,8,8".into(),
+            dataflow: "MNK-SST".into(),
+            out: "-".into(),
+            rows: 2,
+            cols: 2,
+        })
+        .unwrap();
+        assert!(out.contains("endmodule"));
+    }
+
+    #[test]
+    fn run_bad_dataflow_is_error() {
+        let err = run(Command::Analyze {
+            workload: "gemm".into(),
+            dataflow: "ZZZ-XXX".into(),
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("ZZZ-XXX"));
+    }
+}

@@ -1,0 +1,24 @@
+//! The `tensorlib` command-line tool. See [`tensorlib_cli`] for the
+//! commands; `tensorlib --help` (or any bad usage) prints the usage text.
+
+use std::process::ExitCode;
+
+use tensorlib_cli::{parse_args, run};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "--help" || a == "-h") {
+        println!("{}", tensorlib_cli::USAGE);
+        return ExitCode::SUCCESS;
+    }
+    match parse_args(&args).and_then(run) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! The high-level entry point: build, simulate, and cost an accelerator in a
+//! few lines.
+
+use tensorlib_cost::{asic_cost, fpga_cost, Activity, AsicReport, FpgaDevice, FpgaReport};
+use tensorlib_dataflow::dse::{find_named, DseConfig};
+use tensorlib_dataflow::{Dataflow, LoopSelection, Stt};
+use tensorlib_hw::design::{generate, AcceleratorDesign, HwConfig};
+use tensorlib_hw::{verilog, ArrayConfig};
+use tensorlib_ir::{DataType, Kernel};
+use tensorlib_sim::{functional, perf, FunctionalRun, SimConfig, SimReport};
+
+use crate::Error;
+
+/// A generated accelerator bound to its kernel: one object that can
+/// simulate, cost, and emit itself.
+///
+/// # Examples
+///
+/// ```
+/// use tensorlib::Accelerator;
+/// use tensorlib_ir::workloads;
+///
+/// let gemm = workloads::gemm(32, 32, 32);
+/// let acc = Accelerator::builder(gemm)
+///     .dataflow_name("MNK-SST")
+///     .array(8, 8)
+///     .build()?;
+/// let run = acc.verify(7)?;
+/// assert!(run.matches_reference);
+/// let report = acc.performance(&Default::default());
+/// assert!(report.normalized_perf > 0.0);
+/// # Ok::<(), tensorlib::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    kernel: Kernel,
+    design: AcceleratorDesign,
+}
+
+impl Accelerator {
+    /// Starts configuring an accelerator for `kernel`.
+    pub fn builder(kernel: Kernel) -> AcceleratorBuilder {
+        AcceleratorBuilder {
+            kernel,
+            dataflow: DataflowChoice::Default,
+            config: HwConfig::default(),
+        }
+    }
+
+    /// The kernel this accelerator computes.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The generated design (netlist, tiling, memory plan, summary).
+    pub fn design(&self) -> &AcceleratorDesign {
+        &self.design
+    }
+
+    /// The analyzed dataflow.
+    pub fn dataflow(&self) -> &Dataflow {
+        self.design.dataflow()
+    }
+
+    /// Runs the bit-exact functional simulation on seeded random inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Simulation`] on coverage gaps or output mismatches.
+    pub fn verify(&self, seed: u64) -> Result<FunctionalRun, Error> {
+        Ok(functional::simulate(&self.design, &self.kernel, seed)?)
+    }
+
+    /// The analytical cycle/throughput estimate.
+    pub fn performance(&self, cfg: &SimConfig) -> SimReport {
+        perf::estimate(&self.design, &self.kernel, cfg)
+    }
+
+    /// ASIC area/power at the given activity.
+    pub fn asic_cost(&self, activity: &Activity) -> AsicReport {
+        asic_cost(&self.design, activity)
+    }
+
+    /// FPGA resources/frequency on `device`.
+    pub fn fpga_cost(&self, device: &FpgaDevice, placement_optimized: bool) -> FpgaReport {
+        fpga_cost(&self.design, device, placement_optimized)
+    }
+
+    /// Emits the full design as Verilog.
+    pub fn verilog(&self) -> String {
+        verilog::emit_design(&self.design)
+    }
+
+    /// Energy and energy-delay estimate for one full kernel execution:
+    /// ASIC power at the workload's achieved utilization multiplied by the
+    /// modeled runtime.
+    pub fn energy(&self, cfg: &SimConfig) -> EnergyReport {
+        let perf = self.performance(cfg);
+        let asic = self.asic_cost(&Activity {
+            utilization: perf.normalized_perf,
+            freq_mhz: cfg.freq_mhz,
+        });
+        let energy_uj = asic.power_mw * perf.runtime_us * 1e-3;
+        EnergyReport {
+            energy_uj,
+            avg_power_mw: asic.power_mw,
+            runtime_us: perf.runtime_us,
+            edp_uj_us: energy_uj * perf.runtime_us,
+            uj_per_gmac: energy_uj / (perf.macs as f64 / 1e9),
+        }
+    }
+}
+
+/// Workload-level energy summary from [`Accelerator::energy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Total energy for the kernel, µJ.
+    pub energy_uj: f64,
+    /// Average power during execution, mW.
+    pub avg_power_mw: f64,
+    /// Runtime, µs.
+    pub runtime_us: f64,
+    /// Energy-delay product, µJ·µs.
+    pub edp_uj_us: f64,
+    /// Energy per 10⁹ MACs, µJ.
+    pub uj_per_gmac: f64,
+}
+
+/// How the builder picks the dataflow.
+#[derive(Debug, Clone)]
+enum DataflowChoice {
+    /// Output-stationary on the first three loops.
+    Default,
+    /// A paper-style name like `"KCX-SST"`.
+    Named(String),
+    /// An explicit (selection, STT) pair.
+    Explicit(LoopSelection, Stt),
+}
+
+/// Builder for [`Accelerator`]; see [`Accelerator::builder`].
+#[derive(Debug, Clone)]
+pub struct AcceleratorBuilder {
+    kernel: Kernel,
+    dataflow: DataflowChoice,
+    config: HwConfig,
+}
+
+impl AcceleratorBuilder {
+    /// Selects the dataflow by paper-style name (e.g. `"KCX-SST"`).
+    pub fn dataflow_name(mut self, name: &str) -> AcceleratorBuilder {
+        self.dataflow = DataflowChoice::Named(name.to_string());
+        self
+    }
+
+    /// Selects an explicit loop selection and STT matrix.
+    pub fn dataflow(mut self, selection: LoopSelection, stt: Stt) -> AcceleratorBuilder {
+        self.dataflow = DataflowChoice::Explicit(selection, stt);
+        self
+    }
+
+    /// Sets the PE-array dimensions (default 16×16).
+    pub fn array(mut self, rows: usize, cols: usize) -> AcceleratorBuilder {
+        self.config.array = ArrayConfig { rows, cols };
+        self
+    }
+
+    /// Sets the element datatype (default INT16).
+    pub fn datatype(mut self, dt: DataType) -> AcceleratorBuilder {
+        self.config.datatype = dt;
+        self
+    }
+
+    /// Sets the SIMD lanes per PE (default 1).
+    pub fn vectorize(mut self, lanes: u32) -> AcceleratorBuilder {
+        self.config.vectorize = lanes;
+        self
+    }
+
+    /// Analyzes, generates, and validates the accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if the dataflow name cannot be realized, the STT is
+    /// invalid for the kernel, or the hardware cannot be wired.
+    pub fn build(self) -> Result<Accelerator, Error> {
+        let dataflow = match self.dataflow {
+            DataflowChoice::Named(name) => {
+                find_named(&self.kernel, &name, &DseConfig::default())?
+            }
+            DataflowChoice::Explicit(sel, stt) => {
+                Dataflow::analyze(&self.kernel, sel, stt)?
+            }
+            DataflowChoice::Default => {
+                let names = self.kernel.loop_nest().names();
+                let sel =
+                    LoopSelection::by_names(&self.kernel, [names[0], names[1], names[2]])?;
+                Dataflow::analyze(&self.kernel, sel, Stt::output_stationary())?
+            }
+        };
+        let design = generate(&dataflow, &self.config)?;
+        design
+            .validate()
+            .expect("generated designs are structurally sound by construction");
+        Ok(Accelerator {
+            kernel: self.kernel,
+            design,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensorlib_ir::workloads;
+
+    #[test]
+    fn default_dataflow_builds_and_verifies() {
+        let acc = Accelerator::builder(workloads::gemm(16, 16, 16))
+            .array(4, 4)
+            .build()
+            .unwrap();
+        assert_eq!(acc.dataflow().letters(), "SST");
+        let run = acc.verify(3).unwrap();
+        assert!(run.matches_reference);
+        assert_eq!(acc.kernel().name(), "GEMM");
+    }
+
+    #[test]
+    fn named_dataflow_builds() {
+        let acc = Accelerator::builder(workloads::gemm(32, 32, 32))
+            .dataflow_name("MNK-STS")
+            .array(8, 8)
+            .build()
+            .unwrap();
+        assert_eq!(acc.dataflow().letters(), "STS");
+        assert!(acc.verilog().contains("endmodule"));
+    }
+
+    #[test]
+    fn explicit_dataflow_builds() {
+        let k = workloads::mttkrp(8, 8, 8, 8);
+        let sel = LoopSelection::by_names(&k, ["i", "j", "k"]).unwrap();
+        let acc = Accelerator::builder(k)
+            .dataflow(sel, Stt::output_stationary())
+            .array(4, 4)
+            .datatype(DataType::Int32)
+            .vectorize(2)
+            .build()
+            .unwrap();
+        assert_eq!(acc.design().config().vectorize, 2);
+        assert!(acc.verify(1).unwrap().matches_reference);
+    }
+
+    #[test]
+    fn bad_name_is_an_error() {
+        let err = Accelerator::builder(workloads::gemm(8, 8, 8))
+            .dataflow_name("nonsense")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Dataflow(_)));
+    }
+
+    #[test]
+    fn costs_are_queryable() {
+        let acc = Accelerator::builder(workloads::gemm(32, 32, 32))
+            .array(8, 8)
+            .build()
+            .unwrap();
+        let a = acc.asic_cost(&Activity::default());
+        assert!(a.power_mw > 0.0);
+        let f = acc.fpga_cost(&FpgaDevice::vu9p(), false);
+        assert!(f.freq_mhz > 0.0);
+        let p = acc.performance(&SimConfig::default());
+        assert!(p.total_cycles > 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! The unified error type for the facade API.
+
+use std::fmt;
+
+use tensorlib_dataflow::DataflowError;
+use tensorlib_hw::HwError;
+use tensorlib_ir::KernelError;
+use tensorlib_sim::SimError;
+
+/// Any failure the high-level TensorLib API can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Kernel construction or execution failed.
+    Kernel(KernelError),
+    /// Dataflow analysis failed (bad STT, bad selection, bad name).
+    Dataflow(DataflowError),
+    /// Hardware generation failed (unwireable reuse vector).
+    Hardware(HwError),
+    /// Simulation failed (coverage gap or output mismatch).
+    Simulation(SimError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Kernel(e) => write!(f, "kernel error: {e}"),
+            Error::Dataflow(e) => write!(f, "dataflow error: {e}"),
+            Error::Hardware(e) => write!(f, "hardware error: {e}"),
+            Error::Simulation(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Kernel(e) => Some(e),
+            Error::Dataflow(e) => Some(e),
+            Error::Hardware(e) => Some(e),
+            Error::Simulation(e) => Some(e),
+        }
+    }
+}
+
+impl From<KernelError> for Error {
+    fn from(e: KernelError) -> Error {
+        Error::Kernel(e)
+    }
+}
+
+impl From<DataflowError> for Error {
+    fn from(e: DataflowError) -> Error {
+        Error::Dataflow(e)
+    }
+}
+
+impl From<HwError> for Error {
+    fn from(e: HwError) -> Error {
+        Error::Hardware(e)
+    }
+}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Error {
+        Error::Simulation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: Error = DataflowError::SingularStt.into();
+        assert!(matches!(e, Error::Dataflow(_)));
+        assert!(e.to_string().contains("dataflow"));
+        let e: Error = HwError::EmptyArray.into();
+        assert!(e.to_string().contains("hardware"));
+        let e: Error = KernelError::MissingOutput.into();
+        assert!(e.to_string().contains("kernel"));
+        let e: Error = SimError::CoverageGap {
+            expected: 1,
+            executed: 0,
+        }
+        .into();
+        assert!(e.to_string().contains("simulation"));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+    }
+}

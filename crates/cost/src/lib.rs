@@ -1,0 +1,26 @@
+//! Area, power, and FPGA resource models for generated accelerators.
+//!
+//! The paper evaluates designs with Synopsys DC (UMC 55 nm) and Vivado
+//! (VU9P); neither toolchain is available here, so this crate substitutes
+//! component-level analytical models driven by the generated design's
+//! [`tensorlib_hw::ResourceSummary`]:
+//!
+//! - [`asic`]: per-primitive area (µm²) and energy (pJ) constants calibrated
+//!   against the paper's Figure 6 envelope (GEMM 16×16 INT16 @ 320 MHz lands
+//!   in 35–63 mW with an area spread ≪ energy spread).
+//! - [`fpga`]: LUT/FF/DSP/BRAM counts and a fanout-aware frequency heuristic
+//!   calibrated against the paper's Table III build (10×16 FP32 array,
+//!   vectorization 8, on a VU9P).
+//!
+//! All constants live in [`calibration`] with their provenance documented —
+//! change them there, nowhere else.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asic;
+pub mod calibration;
+pub mod fpga;
+
+pub use asic::{asic_cost, Activity, AsicReport};
+pub use fpga::{fpga_cost, FpgaDevice, FpgaReport};

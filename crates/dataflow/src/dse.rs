@@ -1,0 +1,364 @@
+//! Design-space enumeration: every dataflow a kernel admits.
+//!
+//! The paper's Figure 6 sweeps 148 GEMM dataflows and 33 Depthwise-Conv
+//! dataflows. This module regenerates such sweeps by enumerating candidate
+//! STT matrices (small integer entries, full rank), analyzing each against
+//! each 3-loop selection, and de-duplicating by dataflow signature — two
+//! `T` matrices that induce the same per-tensor flows drive the same
+//! hardware.
+//!
+//! # Examples
+//!
+//! ```
+//! use tensorlib_dataflow::dse::{design_space, DseConfig};
+//! use tensorlib_ir::workloads;
+//!
+//! let gemm = workloads::gemm(16, 16, 16);
+//! let designs = design_space(&gemm, &DseConfig::default());
+//! assert!(designs.len() > 50);
+//! // The classic dataflows are all in the space.
+//! for want in ["SST", "STS", "MTM"] {
+//!     assert!(designs.iter().any(|d| d.matches_letters(want)));
+//! }
+//! ```
+
+use tensorlib_ir::{Kernel, TensorRole};
+use tensorlib_linalg::Mat;
+
+use crate::{classify::classify_reuse, Dataflow, DataflowError, LoopSelection, Stt, TensorFlow};
+
+/// Configuration for design-space enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DseConfig {
+    /// Maximum absolute value of STT matrix entries (default 1; the classic
+    /// dataflow literature never needs more).
+    pub max_coeff: i64,
+    /// Keep only unimodular matrices (`|det| = 1`), guaranteeing every
+    /// (PE, cycle) slot has work (default `true`).
+    pub require_unimodular: bool,
+    /// Restrict to these loop selections (by name triples); `None` enumerates
+    /// every combination of three distinct loops.
+    pub selections: Option<Vec<[String; 3]>>,
+    /// Hard cap on the number of de-duplicated designs returned.
+    pub max_designs: usize,
+}
+
+impl Default for DseConfig {
+    fn default() -> DseConfig {
+        DseConfig {
+            max_coeff: 1,
+            require_unimodular: true,
+            selections: None,
+            max_designs: 10_000,
+        }
+    }
+}
+
+/// Enumerates all candidate STT matrices under `config`.
+///
+/// # Examples
+///
+/// ```
+/// use tensorlib_dataflow::dse::{enumerate_stt, DseConfig};
+/// let all = enumerate_stt(&DseConfig::default());
+/// assert!(all.iter().all(|t| t.is_unimodular()));
+/// assert!(all.len() > 1000);
+/// ```
+pub fn enumerate_stt(config: &DseConfig) -> Vec<Stt> {
+    let c = config.max_coeff;
+    let span = (2 * c + 1) as usize;
+    let total = span.pow(9);
+    let mut out = Vec::new();
+    for code in 0..total {
+        let mut rows = [[0i64; 3]; 3];
+        let mut rem = code;
+        for row in &mut rows {
+            for e in row.iter_mut() {
+                *e = (rem % span) as i64 - c;
+                rem /= span;
+            }
+        }
+        if let Ok(stt) = Stt::from_rows(rows) {
+            if !config.require_unimodular || stt.is_unimodular() {
+                out.push(stt);
+            }
+        }
+    }
+    out
+}
+
+/// Enumerates the loop selections to explore: every 3-combination of the
+/// kernel's iterators (in nest order), or the explicit list in `config`.
+///
+/// Selection *order* is deliberately not enumerated — permuting the selected
+/// loops is equivalent to permuting the columns of `T`, which the matrix
+/// enumeration already covers.
+///
+/// # Errors
+///
+/// Returns [`DataflowError`] if an explicit selection names an unknown or
+/// repeated loop, or the kernel has fewer than three loops.
+pub fn enumerate_selections(
+    kernel: &Kernel,
+    config: &DseConfig,
+) -> Result<Vec<LoopSelection>, DataflowError> {
+    if let Some(named) = &config.selections {
+        return named
+            .iter()
+            .map(|[a, b, c]| LoopSelection::by_names(kernel, [a, b, c]))
+            .collect();
+    }
+    let n = kernel.loop_nest().len();
+    if n < 3 {
+        return Err(DataflowError::TooFewLoops { available: n });
+    }
+    let mut out = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            for k in (j + 1)..n {
+                out.push(LoopSelection::by_indices(kernel, [i, j, k])?);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Enumerates the full de-duplicated dataflow design space of `kernel`.
+///
+/// Returns one representative [`Dataflow`] per distinct signature, sorted by
+/// name for determinism. See the module docs for an example.
+///
+/// # Panics
+///
+/// Panics if `config.selections` is invalid for the kernel (use
+/// [`enumerate_selections`] directly for fallible handling).
+pub fn design_space(kernel: &Kernel, config: &DseConfig) -> Vec<Dataflow> {
+    let selections =
+        enumerate_selections(kernel, config).expect("valid DSE selections for kernel");
+    let matrices = enumerate_stt(config);
+    let mut seen = std::collections::HashSet::new();
+    let mut out: Vec<Dataflow> = Vec::new();
+    for sel in &selections {
+        // Precompute each tensor's null-space basis over this selection once.
+        let idx = sel.indices();
+        let bases: Vec<(String, TensorRole, Mat)> = kernel
+            .tensors()
+            .iter()
+            .map(|t| {
+                (
+                    t.name().to_string(),
+                    t.role(),
+                    t.access().restrict_to(&idx).null_space(),
+                )
+            })
+            .collect();
+        for stt in &matrices {
+            let t_mat = stt.to_mat();
+            let flows: Vec<TensorFlow> = bases
+                .iter()
+                .map(|(name, role, basis)| TensorFlow {
+                    tensor: name.clone(),
+                    role: *role,
+                    class: classify_reuse(&(&t_mat * basis), *role),
+                })
+                .collect();
+            let df = Dataflow::from_parts(kernel, sel.clone(), stt.clone(), flows);
+            if seen.insert(df.signature()) {
+                out.push(df);
+                if out.len() >= config.max_designs {
+                    out.sort_by_key(Dataflow::name);
+                    return out;
+                }
+            }
+        }
+    }
+    out.sort_by_key(Dataflow::name);
+    out
+}
+
+/// Finds a dataflow by its paper-style name, e.g. `"KCX-SST"` for Conv2D.
+///
+/// The selection tag is matched against loop-name initials (in tag order);
+/// the letters are matched with rank-2 aliases (see
+/// [`crate::FlowClass::letter_aliases`]). Among all matching STT matrices the
+/// simplest is returned (fewest nonzero entries, then smallest magnitudes),
+/// which recovers the textbook transformation for the classic dataflows.
+///
+/// # Errors
+///
+/// Returns [`DataflowError::BadName`] if the name is malformed, names unknown
+/// loops, or no candidate matrix realizes the requested letters.
+///
+/// # Examples
+///
+/// ```
+/// use tensorlib_dataflow::dse::{find_named, DseConfig};
+/// use tensorlib_ir::workloads;
+///
+/// let gemm = workloads::gemm(16, 16, 16);
+/// let df = find_named(&gemm, "MNK-SST", &DseConfig::default())?;
+/// assert_eq!(df.letters(), "SST");
+/// # Ok::<(), tensorlib_dataflow::DataflowError>(())
+/// ```
+pub fn find_named(
+    kernel: &Kernel,
+    name: &str,
+    config: &DseConfig,
+) -> Result<Dataflow, DataflowError> {
+    let (tag, letters) = name
+        .split_once('-')
+        .ok_or_else(|| DataflowError::BadName(name.to_string()))?;
+    if tag.len() != 3 || letters.len() != kernel.tensors().len() {
+        return Err(DataflowError::BadName(name.to_string()));
+    }
+    // Resolve tag initials to loop names, in tag order.
+    let mut loop_names = Vec::new();
+    for ch in tag.chars() {
+        let found = kernel
+            .loop_nest()
+            .names()
+            .into_iter()
+            .find(|n| n.chars().next().is_some_and(|c| c.eq_ignore_ascii_case(&ch)))
+            .ok_or_else(|| DataflowError::BadName(name.to_string()))?;
+        loop_names.push(found.to_string());
+    }
+    let sel = LoopSelection::by_names(
+        kernel,
+        [&loop_names[0], &loop_names[1], &loop_names[2]],
+    )?;
+
+    let mut best: Option<(u64, Dataflow)> = None;
+    for stt in enumerate_stt(config) {
+        let df = Dataflow::analyze(kernel, sel.clone(), stt)?;
+        if df.matches_letters(letters) {
+            let cost = matrix_simplicity(df.stt());
+            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                best = Some((cost, df));
+            }
+        }
+    }
+    best.map(|(_, df)| df)
+        .ok_or_else(|| DataflowError::BadName(name.to_string()))
+}
+
+/// Complexity score used to pick the canonical matrix for a named dataflow:
+/// nonzero entries weigh 4, plus total magnitude, plus 1 per negative entry —
+/// so permutation matrices beat skewed ones, positive skews beat mirrored
+/// ones, and anything with ±2 entries comes last.
+fn matrix_simplicity(stt: &Stt) -> u64 {
+    let mut score = 0u64;
+    for row in stt.rows() {
+        for &e in row {
+            if e != 0 {
+                score += 4 + e.unsigned_abs();
+            }
+            if e < 0 {
+                score += 1;
+            }
+        }
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensorlib_ir::workloads;
+
+    #[test]
+    fn stt_enumeration_counts() {
+        let uni = enumerate_stt(&DseConfig::default());
+        assert!(uni.iter().all(Stt::is_unimodular));
+        // All {-1,0,1} unimodular 3x3 matrices: a fixed, deterministic set.
+        assert_eq!(uni.len(), 6960);
+        let nonsing = enumerate_stt(&DseConfig {
+            require_unimodular: false,
+            ..DseConfig::default()
+        });
+        assert!(nonsing.len() > uni.len());
+    }
+
+    #[test]
+    fn selection_enumeration_counts() {
+        let conv = workloads::conv2d(4, 4, 4, 4, 3, 3);
+        let sels = enumerate_selections(&conv, &DseConfig::default()).unwrap();
+        assert_eq!(sels.len(), 20); // C(6,3)
+        let gemm = workloads::gemm(4, 4, 4);
+        assert_eq!(
+            enumerate_selections(&gemm, &DseConfig::default())
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn explicit_selections_are_respected() {
+        let conv = workloads::conv2d(4, 4, 4, 4, 3, 3);
+        let cfg = DseConfig {
+            selections: Some(vec![["k".into(), "c".into(), "x".into()]]),
+            ..DseConfig::default()
+        };
+        let sels = enumerate_selections(&conv, &cfg).unwrap();
+        assert_eq!(sels.len(), 1);
+        assert_eq!(sels[0].tag(), "KCX");
+    }
+
+    #[test]
+    fn gemm_design_space_contains_classics() {
+        let gemm = workloads::gemm(16, 16, 16);
+        let designs = design_space(&gemm, &DseConfig::default());
+        for want in ["SST", "STS", "TSS", "MTM", "UUU"] {
+            // UUU should NOT exist for GEMM: every tensor always has nullity
+            // >= ... actually A has rank 2 access over 3 loops, so nullity 1.
+            let found = designs.iter().any(|d| d.letters() == want);
+            if want == "UUU" {
+                assert!(!found, "GEMM admits no all-unicast dataflow");
+            } else {
+                assert!(found, "missing classic dataflow {want}");
+            }
+        }
+        // Signatures are unique.
+        let mut sigs: Vec<String> = designs.iter().map(Dataflow::signature).collect();
+        sigs.sort();
+        sigs.dedup();
+        assert_eq!(sigs.len(), designs.len());
+    }
+
+    #[test]
+    fn find_named_recovers_textbook_matrices() {
+        let gemm = workloads::gemm(16, 16, 16);
+        let cfg = DseConfig::default();
+        let sst = find_named(&gemm, "MNK-SST", &cfg).unwrap();
+        assert_eq!(sst.letters(), "SST");
+        assert!(sst.stt().is_unimodular());
+        let sts = find_named(&gemm, "MNK-STS", &cfg).unwrap();
+        assert_eq!(sts.letters(), "STS");
+        // Bad names.
+        assert!(find_named(&gemm, "MNK", &cfg).is_err());
+        assert!(find_named(&gemm, "ZZZ-SST", &cfg).is_err());
+        assert!(find_named(&gemm, "MNK-XX", &cfg).is_err());
+    }
+
+    #[test]
+    fn find_named_conv2d_paper_dataflows() {
+        let conv = workloads::conv2d(8, 8, 8, 8, 3, 3);
+        let cfg = DseConfig::default();
+        for name in ["KCX-SST", "KCX-STS", "XYP-MMT"] {
+            let df = find_named(&conv, name, &cfg).unwrap_or_else(|e| {
+                panic!("paper dataflow {name} must exist: {e}");
+            });
+            assert_eq!(df.selection().tag(), &name[..3]);
+        }
+    }
+
+    #[test]
+    fn max_designs_caps_output() {
+        let gemm = workloads::gemm(8, 8, 8);
+        let cfg = DseConfig {
+            max_designs: 5,
+            ..DseConfig::default()
+        };
+        assert_eq!(design_space(&gemm, &cfg).len(), 5);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for dataflow analysis.
+
+use std::fmt;
+
+/// Error produced by STT construction or dataflow analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataflowError {
+    /// The STT matrix is singular, so the loop-point → space-time mapping is
+    /// not one-to-one (the paper requires `T` to be full rank).
+    SingularStt,
+    /// A loop name passed to [`crate::LoopSelection`] does not exist in the
+    /// kernel's nest.
+    UnknownLoop(String),
+    /// The same loop was selected more than once.
+    DuplicateLoop(String),
+    /// The kernel has fewer than three loops, so no 2-D space + time
+    /// selection exists.
+    TooFewLoops {
+        /// Iterators available in the kernel.
+        available: usize,
+    },
+    /// A dataflow name (e.g. `"KCX-SST"`) could not be parsed or matched.
+    BadName(String),
+}
+
+impl fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataflowError::SingularStt => {
+                write!(f, "space-time transformation matrix is singular")
+            }
+            DataflowError::UnknownLoop(n) => write!(f, "unknown loop iterator {n:?}"),
+            DataflowError::DuplicateLoop(n) => write!(f, "loop iterator {n:?} selected twice"),
+            DataflowError::TooFewLoops { available } => write!(
+                f,
+                "space-time mapping needs 3 loops, kernel has only {available}"
+            ),
+            DataflowError::BadName(n) => write!(f, "malformed dataflow name {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DataflowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(DataflowError::SingularStt.to_string().contains("singular"));
+        assert!(DataflowError::UnknownLoop("z".into())
+            .to_string()
+            .contains("\"z\""));
+        assert!(DataflowError::TooFewLoops { available: 2 }
+            .to_string()
+            .contains("only 2"));
+    }
+}

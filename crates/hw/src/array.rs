@@ -1,0 +1,795 @@
+//! PE-array assembly: interconnect patterns per tensor dataflow (Figure 4).
+//!
+//! - **Systolic** tensors chain neighbouring PEs along the spatial reuse
+//!   vector `dp`; boundary PEs get feed ports (inputs) or drain ports
+//!   (outputs).
+//! - **Multicast** inputs fan one bank port out to every PE on a line along
+//!   `dp` (rows, columns, or diagonals — the diagonal case is Eyeriss').
+//! - **Reduction-tree** outputs sum each line's products in a log-depth
+//!   pipelined adder tree.
+//! - **Stationary** tensors are loaded through shift chains (plain
+//!   stationary) or line multicast (multicast+stationary), double-buffered
+//!   inside the PE.
+//! - **Unicast** tensors give every PE its own memory port.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use tensorlib_dataflow::{FlowClass, TensorFlow};
+
+use crate::netlist::{Expr, Module};
+use crate::pe::{PeIoKind, PeSpec};
+
+/// PE-array dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArrayConfig {
+    /// Rows (first spatial coordinate `p1`).
+    pub rows: usize,
+    /// Columns (second spatial coordinate `p2`).
+    pub cols: usize,
+}
+
+impl ArrayConfig {
+    /// A square array.
+    pub fn square(n: usize) -> ArrayConfig {
+        ArrayConfig { rows: n, cols: n }
+    }
+
+    /// Total PE count.
+    pub fn pes(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+impl Default for ArrayConfig {
+    fn default() -> ArrayConfig {
+        ArrayConfig::square(16)
+    }
+}
+
+/// Hardware-generation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HwError {
+    /// A reuse vector steps farther than one PE per hop; the interconnect
+    /// templates wire nearest neighbours and diagonals only.
+    NonNeighborReuse {
+        /// The offending tensor.
+        tensor: String,
+        /// Its spatial step.
+        dp: [i64; 2],
+    },
+    /// Array dimensions must be positive.
+    EmptyArray,
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::NonNeighborReuse { tensor, dp } => write!(
+                f,
+                "tensor {tensor:?} has reuse step ({}, {}); only |step| <= 1 per axis is wireable",
+                dp[0], dp[1]
+            ),
+            HwError::EmptyArray => write!(f, "PE array dimensions must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for HwError {}
+
+/// The role a top-level array port plays, used by memory generation to bank
+/// and connect the scratchpad.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortKind {
+    /// Streams one word per cycle into a systolic chain head.
+    SystolicFeed,
+    /// Broadcast to a multicast line.
+    Multicast,
+    /// Per-PE unicast stream.
+    Unicast,
+    /// Fill port for a stationary load chain or load-multicast line.
+    StationaryLoad,
+    /// Partial-sum exit of a systolic output chain.
+    SystolicDrain,
+    /// Root of a reduction tree.
+    ReduceSum,
+    /// Drain port of a stationary-output chain.
+    StationaryDrain,
+    /// Per-PE unicast result.
+    UnicastOut,
+}
+
+impl PortKind {
+    /// `true` if the port carries data into the array.
+    pub fn is_input(self) -> bool {
+        matches!(
+            self,
+            PortKind::SystolicFeed
+                | PortKind::Multicast
+                | PortKind::Unicast
+                | PortKind::StationaryLoad
+        )
+    }
+}
+
+/// One top-level data port of the generated array.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayPort {
+    /// Which tensor it serves.
+    pub tensor: String,
+    /// Its role.
+    pub kind: PortKind,
+    /// Port net name in the array module.
+    pub name: String,
+    /// Width in bits.
+    pub width: u32,
+    /// How many PEs observe this port combinationally (1 for chains).
+    pub fanout: usize,
+}
+
+/// Result of array assembly: the array module, any reduction-tree modules it
+/// instantiates, and the catalog of top-level data ports.
+#[derive(Debug, Clone)]
+pub struct ArrayBuild {
+    /// The array module (instantiates the PE `rows × cols` times).
+    pub module: Module,
+    /// Reduction-tree modules referenced by the array.
+    pub tree_modules: Vec<Module>,
+    /// Top-level data ports, in deterministic order.
+    pub ports: Vec<ArrayPort>,
+    /// Total adders instantiated in reduction trees.
+    pub tree_adders: u64,
+    /// Total pipeline register bits in reduction trees.
+    pub tree_reg_bits: u64,
+}
+
+/// Enumerates the maximal lines of the `rows × cols` grid in direction `dp`
+/// (each line is the ordered set of PEs a value visits). `dp` components must
+/// be in `{-1, 0, 1}` and not both zero.
+///
+/// # Examples
+///
+/// ```
+/// use tensorlib_hw::array::direction_lines;
+/// // Column direction on a 2x3 grid: 3 lines of 2.
+/// let lines = direction_lines(2, 3, [1, 0]);
+/// assert_eq!(lines.len(), 3);
+/// assert_eq!(lines[0], vec![(0, 0), (1, 0)]);
+/// // Diagonals: 2 + 3 - 1 = 4 lines.
+/// assert_eq!(direction_lines(2, 3, [1, 1]).len(), 4);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `dp` is zero or steps more than one PE per axis.
+pub fn direction_lines(rows: usize, cols: usize, dp: [i64; 2]) -> Vec<Vec<(usize, usize)>> {
+    assert!(dp != [0, 0], "direction must be nonzero");
+    assert!(
+        dp[0].abs() <= 1 && dp[1].abs() <= 1,
+        "direction must step at most one PE per axis"
+    );
+    let in_grid = |r: i64, c: i64| r >= 0 && c >= 0 && (r as usize) < rows && (c as usize) < cols;
+    let mut lines = Vec::new();
+    for r in 0..rows as i64 {
+        for c in 0..cols as i64 {
+            // Start a line only at cells with no predecessor.
+            if in_grid(r - dp[0], c - dp[1]) {
+                continue;
+            }
+            let mut line = Vec::new();
+            let (mut cr, mut cc) = (r, c);
+            while in_grid(cr, cc) {
+                line.push((cr as usize, cc as usize));
+                cr += dp[0];
+                cc += dp[1];
+            }
+            lines.push(line);
+        }
+    }
+    lines
+}
+
+/// Builds a pipelined binary reduction tree module summing `n` inputs of
+/// `width` bits. One register level per adder level.
+///
+/// Returns the module plus `(adders, register bits)` for resource accounting.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn build_reduce_tree(name: &str, n: usize, width: u32) -> (Module, u64, u64) {
+    assert!(n > 0, "reduction tree needs at least one input");
+    let mut m = Module::new(name);
+    let mut level: Vec<_> = (0..n).map(|i| m.input(format!("in{i}"), width)).collect();
+    let sum = m.output("sum", width);
+    let mut adders = 0u64;
+    let mut reg_bits = 0u64;
+    let mut lvl = 0;
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        let mut i = 0;
+        while i < level.len() {
+            if i + 1 < level.len() {
+                let r = m.net(format!("l{lvl}_{}", i / 2), width);
+                m.reg(r, Expr::net(level[i]).add(Expr::net(level[i + 1])), None, 0);
+                adders += 1;
+                reg_bits += width as u64;
+                next.push(r);
+                i += 2;
+            } else {
+                // Odd element: register it to stay aligned with the level's
+                // pipeline latency.
+                let r = m.net(format!("l{lvl}_{}", i / 2), width);
+                m.reg(r, Expr::net(level[i]), None, 0);
+                reg_bits += width as u64;
+                next.push(r);
+                i += 1;
+            }
+        }
+        level = next;
+        lvl += 1;
+    }
+    m.assign(sum, Expr::net(level[0]));
+    (m, adders, reg_bits)
+}
+
+/// The spatial wiring direction each flow uses at the array level, if any.
+fn wiring_dp(class: &FlowClass) -> Option<[i64; 2]> {
+    match class {
+        FlowClass::Systolic { dp, .. } => Some(*dp),
+        FlowClass::Multicast { dp } | FlowClass::ReductionTree { dp } => Some(*dp),
+        FlowClass::MulticastStationary { dp } => Some(*dp),
+        FlowClass::SystolicMulticast { systolic_dp, .. } => Some(*systolic_dp),
+        // Plain stationary loads through column chains by convention.
+        FlowClass::Stationary { .. } => Some([1, 0]),
+        _ => None,
+    }
+}
+
+/// Assembles the PE array for the given per-tensor flows.
+///
+/// `pe_spec` must have one entry per flow, in the same order (use
+/// [`crate::design::generate`] for the end-to-end path).
+///
+/// # Errors
+///
+/// Returns [`HwError::NonNeighborReuse`] if any tensor's spatial step exceeds
+/// one PE per axis, or [`HwError::EmptyArray`] for a degenerate array.
+#[allow(clippy::needless_range_loop)] // r/c are grid coordinates, not slice walks
+pub fn build_array(
+    name: &str,
+    pe_spec: &PeSpec,
+    flows: &[TensorFlow],
+    cfg: &ArrayConfig,
+) -> Result<ArrayBuild, HwError> {
+    if cfg.rows == 0 || cfg.cols == 0 {
+        return Err(HwError::EmptyArray);
+    }
+    for f in flows {
+        if let Some(dp) = wiring_dp(&f.class) {
+            if dp[0].abs() > 1 || dp[1].abs() > 1 {
+                return Err(HwError::NonNeighborReuse {
+                    tensor: f.tensor.clone(),
+                    dp,
+                });
+            }
+        }
+    }
+
+    let w = pe_spec.datatype.bits();
+    let acc_w = pe_spec.datatype.accumulator_bits();
+    let mut m = Module::new(name);
+    let mut ports = Vec::new();
+    let mut tree_modules = Vec::new();
+    let mut tree_adders = 0u64;
+    let mut tree_reg_bits = 0u64;
+
+    // Control inputs, fanned to every PE.
+    let en = m.input("en", 1);
+    let load_en = pe_spec.needs_load_phase().then(|| m.input("load_en", 1));
+    let phase = pe_spec.needs_load_phase().then(|| m.input("phase", 1));
+    let swap = pe_spec.needs_swap_drain().then(|| m.input("swap", 1));
+    let drain_en = pe_spec.needs_swap_drain().then(|| m.input("drain_en", 1));
+
+    // Per-PE, per-tensor nets for the PE's in/out ports.
+    let pe_net = |m: &mut Module, t: &str, io: &str, r: usize, c: usize, width: u32| {
+        m.net(format!("{t}_{io}_r{r}c{c}"), width)
+    };
+    let mut in_nets = vec![vec![Vec::new(); flows.len()]; cfg.rows]; // [r][flow] -> per col
+    let mut out_nets = vec![vec![Vec::new(); flows.len()]; cfg.rows];
+    for r in 0..cfg.rows {
+        for (fi, f) in flows.iter().enumerate() {
+            let lo = f.tensor.to_lowercase();
+            let kind = pe_spec.tensors[fi].kind;
+            let (iw, has_out) = match kind {
+                PeIoKind::SystolicIn => (w, true),
+                PeIoKind::StationaryIn => (w, true),
+                PeIoKind::DirectIn => (w, false),
+                PeIoKind::SystolicOut | PeIoKind::StationaryOut => (acc_w, true),
+                PeIoKind::ReduceOut | PeIoKind::DirectOut => (acc_w, true),
+            };
+            for c in 0..cfg.cols {
+                let has_in = !matches!(kind, PeIoKind::ReduceOut | PeIoKind::DirectOut);
+                let i_net = if has_in {
+                    pe_net(&mut m, &lo, "in", r, c, iw)
+                } else {
+                    usize::MAX
+                };
+                let o_net = if has_out {
+                    pe_net(&mut m, &lo, "out", r, c, iw)
+                } else {
+                    usize::MAX
+                };
+                in_nets[r][fi].push(i_net);
+                out_nets[r][fi].push(o_net);
+            }
+        }
+    }
+
+    // Instantiate the PEs.
+    for r in 0..cfg.rows {
+        for c in 0..cfg.cols {
+            let mut conns = vec![("en".to_string(), en)];
+            if let (Some(l), Some(p)) = (load_en, phase) {
+                conns.push(("load_en".to_string(), l));
+                conns.push(("phase".to_string(), p));
+            }
+            if let (Some(s), Some(d)) = (swap, drain_en) {
+                conns.push(("swap".to_string(), s));
+                conns.push(("drain_en".to_string(), d));
+            }
+            for (fi, f) in flows.iter().enumerate() {
+                let lo = f.tensor.to_lowercase();
+                let kind = pe_spec.tensors[fi].kind;
+                if !matches!(kind, PeIoKind::ReduceOut | PeIoKind::DirectOut) {
+                    conns.push((format!("{lo}_in"), in_nets[r][fi][c]));
+                }
+                if !matches!(kind, PeIoKind::DirectIn) {
+                    conns.push((format!("{lo}_out"), out_nets[r][fi][c]));
+                }
+            }
+            m.instance(pe_spec.name.clone(), format!("pe_r{r}c{c}"), conns);
+        }
+    }
+
+    // Wire each tensor's interconnect.
+    for (fi, f) in flows.iter().enumerate() {
+        let lo = f.tensor.to_lowercase();
+        let kind = pe_spec.tensors[fi].kind;
+        match kind {
+            PeIoKind::SystolicIn | PeIoKind::SystolicOut | PeIoKind::StationaryOut => {
+                // Chain along dp (stationary-out drains along columns).
+                let dp = match (&f.class, kind) {
+                    (_, PeIoKind::StationaryOut) => [1, 0],
+                    (class, _) => wiring_dp(class).unwrap_or([1, 0]),
+                };
+                let lines = direction_lines(cfg.rows, cfg.cols, dp);
+                let width = if kind == PeIoKind::SystolicIn { w } else { acc_w };
+                for (li, line) in lines.iter().enumerate() {
+                    // Head of chain.
+                    let (hr, hc) = line[0];
+                    match kind {
+                        PeIoKind::SystolicIn => {
+                            let port = m.input(format!("{lo}_feed{li}"), width);
+                            m.assign(in_nets[hr][fi][hc], Expr::net(port));
+                            ports.push(ArrayPort {
+                                tensor: f.tensor.clone(),
+                                kind: PortKind::SystolicFeed,
+                                name: format!("{lo}_feed{li}"),
+                                width,
+                                fanout: 1,
+                            });
+                        }
+                        _ => {
+                            // Output chains start from zero partial sums.
+                            m.assign(in_nets[hr][fi][hc], Expr::lit(0, width));
+                        }
+                    }
+                    // Interior links.
+                    for win in line.windows(2) {
+                        let (pr, pc) = win[0];
+                        let (nr, nc) = win[1];
+                        m.assign(in_nets[nr][fi][nc], Expr::net(out_nets[pr][fi][pc]));
+                    }
+                    // Tail of chain.
+                    let (tr, tc) = *line.last().expect("nonempty line");
+                    if kind != PeIoKind::SystolicIn {
+                        let port = m.output(format!("{lo}_drain{li}"), width);
+                        m.assign(port, Expr::net(out_nets[tr][fi][tc]));
+                        ports.push(ArrayPort {
+                            tensor: f.tensor.clone(),
+                            kind: if kind == PeIoKind::SystolicOut {
+                                PortKind::SystolicDrain
+                            } else {
+                                PortKind::StationaryDrain
+                            },
+                            name: format!("{lo}_drain{li}"),
+                            width,
+                            fanout: 1,
+                        });
+                    }
+                }
+            }
+            PeIoKind::StationaryIn => {
+                let multicast_load = matches!(
+                    f.class,
+                    FlowClass::MulticastStationary { .. } | FlowClass::FullReuse
+                );
+                if multicast_load {
+                    // Load by line multicast (or full-array broadcast).
+                    let lines = match &f.class {
+                        FlowClass::MulticastStationary { dp } => {
+                            direction_lines(cfg.rows, cfg.cols, *dp)
+                        }
+                        _ => vec![(0..cfg.rows)
+                            .flat_map(|r| (0..cfg.cols).map(move |c| (r, c)))
+                            .collect()],
+                    };
+                    for (li, line) in lines.iter().enumerate() {
+                        let port = m.input(format!("{lo}_load{li}"), w);
+                        for &(r, c) in line {
+                            m.assign(in_nets[r][fi][c], Expr::net(port));
+                        }
+                        ports.push(ArrayPort {
+                            tensor: f.tensor.clone(),
+                            kind: PortKind::StationaryLoad,
+                            name: format!("{lo}_load{li}"),
+                            width: w,
+                            fanout: line.len(),
+                        });
+                    }
+                } else {
+                    // Shift-chain load down columns.
+                    let lines = direction_lines(cfg.rows, cfg.cols, [1, 0]);
+                    for (li, line) in lines.iter().enumerate() {
+                        let (hr, hc) = line[0];
+                        let port = m.input(format!("{lo}_load{li}"), w);
+                        m.assign(in_nets[hr][fi][hc], Expr::net(port));
+                        for win in line.windows(2) {
+                            let (pr, pc) = win[0];
+                            let (nr, nc) = win[1];
+                            m.assign(in_nets[nr][fi][nc], Expr::net(out_nets[pr][fi][pc]));
+                        }
+                        ports.push(ArrayPort {
+                            tensor: f.tensor.clone(),
+                            kind: PortKind::StationaryLoad,
+                            name: format!("{lo}_load{li}"),
+                            width: w,
+                            fanout: 1,
+                        });
+                    }
+                }
+            }
+            PeIoKind::DirectIn => match &f.class {
+                FlowClass::Multicast { dp } => {
+                    let lines = direction_lines(cfg.rows, cfg.cols, *dp);
+                    for (li, line) in lines.iter().enumerate() {
+                        let port = m.input(format!("{lo}_mc{li}"), w);
+                        for &(r, c) in line {
+                            m.assign(in_nets[r][fi][c], Expr::net(port));
+                        }
+                        ports.push(ArrayPort {
+                            tensor: f.tensor.clone(),
+                            kind: PortKind::Multicast,
+                            name: format!("{lo}_mc{li}"),
+                            width: w,
+                            fanout: line.len(),
+                        });
+                    }
+                }
+                FlowClass::Broadcast { .. } => {
+                    let port = m.input(format!("{lo}_bc"), w);
+                    for r in 0..cfg.rows {
+                        for c in 0..cfg.cols {
+                            m.assign(in_nets[r][fi][c], Expr::net(port));
+                        }
+                    }
+                    ports.push(ArrayPort {
+                        tensor: f.tensor.clone(),
+                        kind: PortKind::Multicast,
+                        name: format!("{lo}_bc"),
+                        width: w,
+                        fanout: cfg.pes(),
+                    });
+                }
+                _ => {
+                    // Unicast: a port per PE.
+                    for r in 0..cfg.rows {
+                        for c in 0..cfg.cols {
+                            let port = m.input(format!("{lo}_u_r{r}c{c}"), w);
+                            m.assign(in_nets[r][fi][c], Expr::net(port));
+                            ports.push(ArrayPort {
+                                tensor: f.tensor.clone(),
+                                kind: PortKind::Unicast,
+                                name: format!("{lo}_u_r{r}c{c}"),
+                                width: w,
+                                fanout: 1,
+                            });
+                        }
+                    }
+                }
+            },
+            PeIoKind::ReduceOut => {
+                let dp = match &f.class {
+                    FlowClass::ReductionTree { dp } => *dp,
+                    // Broadcast-style outputs reduce over the whole array;
+                    // approximate with row trees feeding a column tree is
+                    // overkill here — reduce whole rows then a final tree.
+                    _ => [0, 1],
+                };
+                let lines = direction_lines(cfg.rows, cfg.cols, dp);
+                for (li, line) in lines.iter().enumerate() {
+                    let tree_name = format!("{}_{lo}_tree{}", name, line.len());
+                    if !tree_modules.iter().any(|t: &Module| t.name() == tree_name) {
+                        let (tm, a, rb) = build_reduce_tree(&tree_name, line.len(), acc_w);
+                        tree_modules.push(tm);
+                        // Adders/bits counted per *instance* below; store per
+                        // module here only once.
+                        let _ = (a, rb);
+                    }
+                    tree_adders += (line.len() as u64).saturating_sub(1);
+                    // Reg bits per instance: every level registers every lane.
+                    tree_reg_bits += tree_instance_reg_bits(line.len(), acc_w);
+                    let sum_port = m.output(format!("{lo}_sum{li}"), acc_w);
+                    let mut conns = vec![("sum".to_string(), sum_port)];
+                    for (i, &(r, c)) in line.iter().enumerate() {
+                        conns.push((format!("in{i}"), out_nets[r][fi][c]));
+                    }
+                    m.instance(tree_name, format!("{lo}_tree_i{li}"), conns);
+                    ports.push(ArrayPort {
+                        tensor: f.tensor.clone(),
+                        kind: PortKind::ReduceSum,
+                        name: format!("{lo}_sum{li}"),
+                        width: acc_w,
+                        fanout: line.len(),
+                    });
+                }
+            }
+            PeIoKind::DirectOut => {
+                for r in 0..cfg.rows {
+                    for c in 0..cfg.cols {
+                        let port = m.output(format!("{lo}_o_r{r}c{c}"), acc_w);
+                        m.assign(port, Expr::net(out_nets[r][fi][c]));
+                        ports.push(ArrayPort {
+                            tensor: f.tensor.clone(),
+                            kind: PortKind::UnicastOut,
+                            name: format!("{lo}_o_r{r}c{c}"),
+                            width: acc_w,
+                            fanout: 1,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(ArrayBuild {
+        module: m,
+        tree_modules,
+        ports,
+        tree_adders,
+        tree_reg_bits,
+    })
+}
+
+/// Register bits one reduction-tree instance of `n` inputs uses (every level
+/// registers all surviving lanes).
+fn tree_instance_reg_bits(n: usize, width: u32) -> u64 {
+    let mut bits = 0u64;
+    let mut lanes = n;
+    while lanes > 1 {
+        lanes = lanes.div_ceil(2);
+        bits += lanes as u64 * width as u64;
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pe::{build_pe, PeTensorSpec};
+    use tensorlib_ir::TensorRole;
+    use tensorlib_ir::DataType;
+
+    fn flow(tensor: &str, role: TensorRole, class: FlowClass) -> TensorFlow {
+        TensorFlow {
+            tensor: tensor.to_string(),
+            role,
+            class,
+        }
+    }
+
+    fn spec_for(flows: &[TensorFlow]) -> PeSpec {
+        PeSpec {
+            name: "pe".into(),
+            datatype: DataType::Int16,
+            tensors: flows
+                .iter()
+                .map(|f| PeTensorSpec {
+                    tensor: f.tensor.clone(),
+                    kind: PeIoKind::for_flow(&f.class, f.role),
+                    delay: 1,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn direction_lines_cover_grid_exactly_once() {
+        for dp in [[0, 1], [1, 0], [1, 1], [1, -1]] {
+            let lines = direction_lines(4, 5, dp);
+            let mut all: Vec<(usize, usize)> = lines.into_iter().flatten().collect();
+            assert_eq!(all.len(), 20, "dp {dp:?}");
+            all.sort();
+            all.dedup();
+            assert_eq!(all.len(), 20, "dp {dp:?} double-covers");
+        }
+    }
+
+    #[test]
+    fn line_counts_match_geometry() {
+        assert_eq!(direction_lines(4, 5, [0, 1]).len(), 4);
+        assert_eq!(direction_lines(4, 5, [1, 0]).len(), 5);
+        assert_eq!(direction_lines(4, 5, [1, 1]).len(), 8); // 4 + 5 - 1
+        assert_eq!(direction_lines(4, 5, [1, -1]).len(), 8);
+        assert_eq!(direction_lines(4, 5, [-1, 0]).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_direction_panics() {
+        let _ = direction_lines(2, 2, [0, 0]);
+    }
+
+    #[test]
+    fn reduce_tree_shapes() {
+        let (m, adders, bits) = build_reduce_tree("t8", 8, 32);
+        m.validate().unwrap();
+        assert_eq!(adders, 7);
+        // Levels: 4 + 2 + 1 regs of 32 bits.
+        assert_eq!(bits, 7 * 32);
+        let (m3, a3, _) = build_reduce_tree("t3", 3, 32);
+        m3.validate().unwrap();
+        assert_eq!(a3, 2);
+        let (m1, a1, b1) = build_reduce_tree("t1", 1, 32);
+        m1.validate().unwrap();
+        assert_eq!((a1, b1), (0, 0));
+    }
+
+    #[test]
+    fn output_stationary_array_builds() {
+        let flows = vec![
+            flow("A", TensorRole::Input, FlowClass::Systolic { dp: [0, 1], dt: 1 }),
+            flow("B", TensorRole::Input, FlowClass::Systolic { dp: [1, 0], dt: 1 }),
+            flow("C", TensorRole::Output, FlowClass::Stationary { dt: 1 }),
+        ];
+        let spec = spec_for(&flows);
+        let pe = build_pe(&spec);
+        pe.validate().unwrap();
+        let cfg = ArrayConfig { rows: 3, cols: 4 };
+        let ab = build_array("arr", &spec, &flows, &cfg).unwrap();
+        ab.module.validate().unwrap();
+        // A feeds 3 rows, B feeds 4 columns, C drains 4 columns.
+        let feeds_a = ab
+            .ports
+            .iter()
+            .filter(|p| p.tensor == "A" && p.kind == PortKind::SystolicFeed)
+            .count();
+        let feeds_b = ab
+            .ports
+            .iter()
+            .filter(|p| p.tensor == "B" && p.kind == PortKind::SystolicFeed)
+            .count();
+        let drains_c = ab
+            .ports
+            .iter()
+            .filter(|p| p.kind == PortKind::StationaryDrain)
+            .count();
+        assert_eq!((feeds_a, feeds_b, drains_c), (3, 4, 4));
+        assert!(ab.tree_modules.is_empty());
+    }
+
+    #[test]
+    fn multicast_reduction_array_builds_trees() {
+        let flows = vec![
+            flow("A", TensorRole::Input, FlowClass::Multicast { dp: [1, 0] }),
+            flow("B", TensorRole::Input, FlowClass::Stationary { dt: 1 }),
+            flow("C", TensorRole::Output, FlowClass::ReductionTree { dp: [0, 1] }),
+        ];
+        let spec = spec_for(&flows);
+        let cfg = ArrayConfig { rows: 4, cols: 4 };
+        let ab = build_array("arr", &spec, &flows, &cfg).unwrap();
+        ab.module.validate().unwrap();
+        // One tree per row.
+        assert_eq!(
+            ab.ports
+                .iter()
+                .filter(|p| p.kind == PortKind::ReduceSum)
+                .count(),
+            4
+        );
+        assert_eq!(ab.tree_adders, 4 * 3);
+        // Multicast ports have fanout = column height.
+        let mc = ab
+            .ports
+            .iter()
+            .find(|p| p.kind == PortKind::Multicast)
+            .unwrap();
+        assert_eq!(mc.fanout, 4);
+        assert_eq!(ab.tree_modules.len(), 1, "tree module deduplicated");
+    }
+
+    #[test]
+    fn eyeriss_style_diagonal_multicast() {
+        let flows = vec![
+            flow("A", TensorRole::Input, FlowClass::Multicast { dp: [1, -1] }),
+            flow("B", TensorRole::Input, FlowClass::Stationary { dt: 1 }),
+            flow("C", TensorRole::Output, FlowClass::Systolic { dp: [1, 0], dt: 1 }),
+        ];
+        let spec = spec_for(&flows);
+        let cfg = ArrayConfig { rows: 3, cols: 3 };
+        let ab = build_array("arr", &spec, &flows, &cfg).unwrap();
+        ab.module.validate().unwrap();
+        // 3 + 3 - 1 diagonal lines.
+        assert_eq!(
+            ab.ports
+                .iter()
+                .filter(|p| p.kind == PortKind::Multicast)
+                .count(),
+            5
+        );
+    }
+
+    #[test]
+    fn unicast_gets_per_pe_ports() {
+        let flows = vec![
+            flow("A", TensorRole::Input, FlowClass::Unicast),
+            flow("B", TensorRole::Input, FlowClass::Stationary { dt: 1 }),
+            flow("C", TensorRole::Output, FlowClass::Unicast),
+        ];
+        let spec = spec_for(&flows);
+        let cfg = ArrayConfig { rows: 2, cols: 2 };
+        let ab = build_array("arr", &spec, &flows, &cfg).unwrap();
+        ab.module.validate().unwrap();
+        assert_eq!(
+            ab.ports
+                .iter()
+                .filter(|p| p.kind == PortKind::Unicast)
+                .count(),
+            4
+        );
+        assert_eq!(
+            ab.ports
+                .iter()
+                .filter(|p| p.kind == PortKind::UnicastOut)
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn non_neighbor_reuse_is_rejected() {
+        let flows = vec![
+            flow("A", TensorRole::Input, FlowClass::Systolic { dp: [2, 0], dt: 1 }),
+            flow("B", TensorRole::Input, FlowClass::Stationary { dt: 1 }),
+            flow("C", TensorRole::Output, FlowClass::Stationary { dt: 1 }),
+        ];
+        let spec = spec_for(&flows);
+        let err = build_array("arr", &spec, &flows, &ArrayConfig::square(4)).unwrap_err();
+        assert!(matches!(err, HwError::NonNeighborReuse { .. }));
+        assert!(err.to_string().contains("(2, 0)"));
+    }
+
+    #[test]
+    fn empty_array_is_rejected() {
+        let flows = vec![
+            flow("A", TensorRole::Input, FlowClass::Unicast),
+            flow("C", TensorRole::Output, FlowClass::Unicast),
+        ];
+        let spec = spec_for(&flows);
+        assert_eq!(
+            build_array("arr", &spec, &flows, &ArrayConfig { rows: 0, cols: 4 }).unwrap_err(),
+            HwError::EmptyArray
+        );
+    }
+}

@@ -1,0 +1,683 @@
+//! End-to-end accelerator generation: dataflow in, validated design out.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use tensorlib_dataflow::{Dataflow, FlowClass};
+use tensorlib_ir::DataType;
+
+use crate::array::{build_array, ArrayConfig, ArrayPort, HwError, PortKind};
+use crate::ctrl::{build_controller, CtrlPhases};
+use crate::mem::MemBank;
+use crate::netlist::{Dir, Expr, Module, NetlistError};
+use crate::pe::{build_pe, PeIoKind, PeSpec, PeTensorSpec};
+use crate::tiling::{tile_for_array, Tiling};
+
+/// Generation-time configuration for one accelerator instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HwConfig {
+    /// PE-array dimensions.
+    pub array: ArrayConfig,
+    /// Element datatype.
+    pub datatype: DataType,
+    /// SIMD lanes per PE (the paper's FPGA build uses 8). The netlist is
+    /// built for one lane; vectorization scales the resource summary.
+    pub vectorize: u32,
+}
+
+impl Default for HwConfig {
+    fn default() -> HwConfig {
+        HwConfig {
+            array: ArrayConfig::default(),
+            datatype: DataType::Int16,
+            vectorize: 1,
+        }
+    }
+}
+
+/// Resource census of a generated design, consumed by the cost models.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResourceSummary {
+    /// Array rows.
+    pub pe_rows: usize,
+    /// Array columns.
+    pub pe_cols: usize,
+    /// SIMD lanes per PE.
+    pub vectorize: u32,
+    /// Total PEs.
+    pub pes: u64,
+    /// Multipliers across the array (lanes included).
+    pub multipliers: u64,
+    /// Adders inside PEs (lanes included).
+    pub pe_adders: u64,
+    /// Adders in reduction trees (lanes included).
+    pub tree_adders: u64,
+    /// Register bits inside PEs (lanes included).
+    pub pe_reg_bits: u64,
+    /// Register bits in reduction trees (lanes included).
+    pub tree_reg_bits: u64,
+    /// Mux data bits inside PEs (lanes included).
+    pub mux_bits: u64,
+    /// Number of multicast/broadcast array ports.
+    pub multicast_ports: u64,
+    /// Largest combinational fanout of any data port.
+    pub max_fanout: u64,
+    /// Per-PE streaming input ports (unicast inputs).
+    pub unicast_in_ports: u64,
+    /// Per-PE result ports (unicast outputs).
+    pub unicast_out_ports: u64,
+    /// Boundary chain feed ports (systolic heads + stationary chain loads).
+    pub chain_feed_ports: u64,
+    /// Input bits the array consumes per compute cycle (lanes included).
+    pub stream_bits_per_cycle: u64,
+    /// Output bits the array produces per compute cycle (lanes included).
+    pub output_bits_per_cycle: u64,
+    /// Scratchpad bank instances.
+    pub mem_banks: u64,
+    /// Total scratchpad bits.
+    pub mem_bits: u64,
+    /// Tensors held stationary in PEs.
+    pub stationary_tensors: u32,
+    /// Distinct control signals fanned across the array.
+    pub control_wires: u32,
+    /// Register bits in the controller.
+    pub ctrl_reg_bits: u64,
+}
+
+impl ResourceSummary {
+    /// Total adders (PE + tree).
+    pub fn total_adders(&self) -> u64 {
+        self.pe_adders + self.tree_adders
+    }
+
+    /// Total register bits (PE + tree + controller).
+    pub fn total_reg_bits(&self) -> u64 {
+        self.pe_reg_bits + self.tree_reg_bits + self.ctrl_reg_bits
+    }
+}
+
+/// One scratchpad bank instance bound to an array port.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankBinding {
+    /// Module name of the bank template.
+    pub bank_module: String,
+    /// Instance name in the top module.
+    pub instance: String,
+    /// The array port it serves.
+    pub port: ArrayPort,
+}
+
+/// A complete generated accelerator: netlist modules, memory plan, tiling,
+/// and resource summary.
+///
+/// # Examples
+///
+/// ```
+/// use tensorlib_dataflow::{Dataflow, LoopSelection, Stt};
+/// use tensorlib_hw::design::{generate, HwConfig};
+/// use tensorlib_ir::workloads;
+///
+/// let gemm = workloads::gemm(64, 64, 64);
+/// let sel = LoopSelection::by_names(&gemm, ["m", "n", "k"])?;
+/// let df = Dataflow::analyze(&gemm, sel, Stt::output_stationary())?;
+/// let design = generate(&df, &HwConfig::default()).expect("wireable dataflow");
+/// design.validate().expect("structurally sound");
+/// assert_eq!(design.summary().pes, 256);
+/// # Ok::<(), tensorlib_dataflow::DataflowError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AcceleratorDesign {
+    name: String,
+    dataflow: Dataflow,
+    config: HwConfig,
+    tiling: Tiling,
+    phases: CtrlPhases,
+    modules: Vec<Module>,
+    mem_banks: Vec<MemBank>,
+    bank_bindings: Vec<BankBinding>,
+    array_ports: Vec<ArrayPort>,
+    top: String,
+    summary: ResourceSummary,
+}
+
+impl AcceleratorDesign {
+    /// The design's name (derived from the dataflow name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The dataflow this design implements.
+    pub fn dataflow(&self) -> &Dataflow {
+        &self.dataflow
+    }
+
+    /// The generation configuration.
+    pub fn config(&self) -> &HwConfig {
+        &self.config
+    }
+
+    /// The tile mapping onto the array.
+    pub fn tiling(&self) -> &Tiling {
+        &self.tiling
+    }
+
+    /// The controller phase budget for one tile.
+    pub fn phases(&self) -> &CtrlPhases {
+        &self.phases
+    }
+
+    /// All netlist modules (PE, trees, controller, array, top).
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// The module named `name`, if present.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name() == name)
+    }
+
+    /// Unique memory bank templates.
+    pub fn mem_banks(&self) -> &[MemBank] {
+        &self.mem_banks
+    }
+
+    /// Bank instance bindings (which bank serves which array port).
+    pub fn bank_bindings(&self) -> &[BankBinding] {
+        &self.bank_bindings
+    }
+
+    /// The array's top-level data ports.
+    pub fn array_ports(&self) -> &[ArrayPort] {
+        &self.array_ports
+    }
+
+    /// Name of the top module.
+    pub fn top(&self) -> &str {
+        &self.top
+    }
+
+    /// The resource census.
+    pub fn summary(&self) -> &ResourceSummary {
+        &self.summary
+    }
+
+    /// Validates the whole design: per-module structural checks plus
+    /// cross-module instance checking (module existence, port existence,
+    /// width agreement, and a full driver census including instance outputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NetlistError`] found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        // Port tables for all referencable modules.
+        let mut port_tables: HashMap<&str, &Module> = HashMap::new();
+        for m in &self.modules {
+            port_tables.insert(m.name(), m);
+        }
+        let bank_interfaces: Vec<Module> =
+            self.mem_banks.iter().map(MemBank::interface_module).collect();
+        for b in &bank_interfaces {
+            port_tables.insert(b.name(), b);
+        }
+
+        for m in &self.modules {
+            m.validate()?;
+            // Cross-module checks + extended driver census.
+            let mut drivers: Vec<u32> = vec![0; m.nets().len()];
+            let mut read: Vec<bool> = vec![false; m.nets().len()];
+            for (id, dir) in m.ports() {
+                if *dir == Dir::Input {
+                    drivers[*id] += 1;
+                } else {
+                    read[*id] = true; // output ports must be driven
+                }
+            }
+            for (target, expr) in m.assigns() {
+                drivers[*target] += 1;
+                let mut reads = Vec::new();
+                expr.collect_reads(&mut reads);
+                for r in reads {
+                    read[r] = true;
+                }
+            }
+            for r in m.regs() {
+                drivers[r.target] += 1;
+                let mut reads = Vec::new();
+                r.next.collect_reads(&mut reads);
+                if let Some(e) = &r.enable {
+                    e.collect_reads(&mut reads);
+                }
+                for x in reads {
+                    read[x] = true;
+                }
+            }
+            for inst in m.instances() {
+                let child = port_tables.get(inst.module.as_str()).ok_or_else(|| {
+                    NetlistError::BadInstance {
+                        module: m.name().to_string(),
+                        instance: inst.name.clone(),
+                        reason: format!("unknown module {:?}", inst.module),
+                    }
+                })?;
+                for (port, net) in &inst.connections {
+                    let dir = child.port_dir(port).ok_or_else(|| NetlistError::BadInstance {
+                        module: m.name().to_string(),
+                        instance: inst.name.clone(),
+                        reason: format!("module {:?} has no port {port:?}", inst.module),
+                    })?;
+                    let child_width = child
+                        .ports()
+                        .iter()
+                        .find(|(id, _)| child.nets()[*id].name == *port)
+                        .map(|(id, _)| child.nets()[*id].width)
+                        .expect("port exists");
+                    let net_width = m.nets()[*net].width;
+                    if child_width != net_width {
+                        return Err(NetlistError::BadInstance {
+                            module: m.name().to_string(),
+                            instance: inst.name.clone(),
+                            reason: format!(
+                                "port {port:?} is {child_width} bits, net is {net_width}"
+                            ),
+                        });
+                    }
+                    match dir {
+                        Dir::Output => drivers[*net] += 1,
+                        Dir::Input => read[*net] = true,
+                    }
+                }
+            }
+            for (id, (&d, &r)) in drivers.iter().zip(read.iter()).enumerate() {
+                if d > 1 {
+                    return Err(NetlistError::MultipleDrivers {
+                        module: m.name().to_string(),
+                        net: m.nets()[id].name.clone(),
+                    });
+                }
+                if d == 0 && r {
+                    return Err(NetlistError::NoDriver {
+                        module: m.name().to_string(),
+                        net: m.nets()[id].name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for AcceleratorDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}x{} {} array, {} modules, {} banks",
+            self.name,
+            self.config.array.rows,
+            self.config.array.cols,
+            self.config.datatype,
+            self.modules.len(),
+            self.bank_bindings.len()
+        )
+    }
+}
+
+fn next_pow2(v: u64) -> u64 {
+    v.max(1).next_power_of_two()
+}
+
+/// Generates the complete accelerator for `dataflow`.
+///
+/// Pipeline: PE template selection (Figure 3) → PE assembly → array
+/// interconnect (Figure 4) → tiling → controller → memory banking → top-level
+/// wiring → resource census.
+///
+/// # Errors
+///
+/// Returns [`HwError`] if the dataflow's reuse steps cannot be wired
+/// (non-neighbour `dp`) or the array is degenerate.
+pub fn generate(dataflow: &Dataflow, cfg: &HwConfig) -> Result<AcceleratorDesign, HwError> {
+    let name = format!(
+        "{}_{}",
+        dataflow.kernel_name().to_lowercase().replace('-', "_"),
+        dataflow.name().to_lowercase().replace('-', "_")
+    );
+
+    // 1. PE.
+    let pe_spec = PeSpec {
+        name: format!("{name}_pe"),
+        datatype: cfg.datatype,
+        tensors: dataflow
+            .flows()
+            .iter()
+            .map(|f| PeTensorSpec {
+                tensor: f.tensor.clone(),
+                kind: PeIoKind::for_flow(&f.class, f.role),
+                delay: match &f.class {
+                    FlowClass::Systolic { dt, .. } => dt.unsigned_abs() as u32,
+                    FlowClass::SystolicMulticast { systolic_dt, .. } => {
+                        systolic_dt.unsigned_abs() as u32
+                    }
+                    _ => 1,
+                },
+            })
+            .collect(),
+    };
+    let pe = build_pe(&pe_spec);
+
+    // 2. Array.
+    let array_name = format!("{name}_array");
+    let ab = build_array(&array_name, &pe_spec, dataflow.flows(), &cfg.array)?;
+
+    // 3. Tiling and controller phases.
+    let tiling = tile_for_array(dataflow.stt(), dataflow.selected_extents(), &cfg.array);
+    let has_stationary_in = pe_spec.needs_load_phase();
+    let has_stationary_out = pe_spec.needs_swap_drain();
+    let phases = CtrlPhases {
+        load_cycles: if has_stationary_in {
+            cfg.array.rows as u64
+        } else {
+            0
+        },
+        compute_cycles: tiling.t_extent,
+        drain_cycles: if has_stationary_out {
+            cfg.array.rows as u64
+        } else {
+            0
+        },
+    };
+    let ctrl_name = format!("{name}_ctrl");
+    let ctrl = build_controller(&ctrl_name, &phases);
+
+    // 4. Memory plan: one bank instance per array data port.
+    let mut mem_banks: Vec<MemBank> = Vec::new();
+    let mut bank_bindings = Vec::new();
+    for (i, port) in ab.ports.iter().enumerate() {
+        let stationary = matches!(
+            port.kind,
+            PortKind::StationaryLoad | PortKind::StationaryDrain
+        );
+        let words = match port.kind {
+            PortKind::StationaryLoad => next_pow2(cfg.array.rows as u64).max(16),
+            _ => next_pow2(tiling.t_extent).clamp(16, 65_536),
+        };
+        let bank = MemBank::new(words, port.width, stationary);
+        if !mem_banks.contains(&bank) {
+            mem_banks.push(bank.clone());
+        }
+        bank_bindings.push(BankBinding {
+            bank_module: bank.module_name(),
+            instance: format!("bank_{i}_{}", port.name),
+            port: port.clone(),
+        });
+    }
+
+    // 5. Top-level wiring.
+    let top_name = format!("{name}_top");
+    let mut top = Module::new(top_name.clone());
+    let start = top.input("start", 1);
+    let done = top.output("done", 1);
+    let fill_en = top.input("fill_en", 1);
+    let en = top.net("en", 1);
+    let load_en = top.net("load_en", 1);
+    let phase = top.net("phase", 1);
+    let swap = top.net("swap", 1);
+    let drain_en = top.net("drain_en", 1);
+    top.instance(
+        ctrl_name.clone(),
+        "ctrl_i".to_string(),
+        vec![
+            ("start".into(), start),
+            ("en".into(), en),
+            ("load_en".into(), load_en),
+            ("phase".into(), phase),
+            ("swap".into(), swap),
+            ("drain_en".into(), drain_en),
+            ("done".into(), done),
+        ],
+    );
+
+    let mut array_conns = vec![("en".to_string(), en)];
+    if has_stationary_in {
+        array_conns.push(("load_en".into(), load_en));
+        array_conns.push(("phase".into(), phase));
+    }
+    if has_stationary_out {
+        array_conns.push(("swap".into(), swap));
+        array_conns.push(("drain_en".into(), drain_en));
+    }
+    for (bi, binding) in bank_bindings.iter().enumerate() {
+        let port = &binding.port;
+        let data_net = top.net(format!("n_{}", port.name), port.width);
+        array_conns.push((port.name.clone(), data_net));
+        let bank = mem_banks
+            .iter()
+            .find(|b| b.module_name() == binding.bank_module)
+            .expect("bank template exists");
+        let mut conns: Vec<(String, usize)> = Vec::new();
+        if port.kind.is_input() {
+            // Bank streams into the array; filled from outside.
+            let fill = top.input(format!("fill_{bi}"), port.width);
+            let stream_en = if port.kind == PortKind::StationaryLoad {
+                load_en
+            } else {
+                en
+            };
+            conns.push(("en".into(), stream_en));
+            conns.push(("wen".into(), fill_en));
+            conns.push(("wdata".into(), fill));
+            conns.push(("rdata".into(), data_net));
+        } else {
+            // Bank captures array results; exposed for readback.
+            let out = top.output(format!("result_{bi}"), port.width);
+            let capture_en = if port.kind == PortKind::StationaryDrain {
+                drain_en
+            } else {
+                en
+            };
+            let read_back = top.input(format!("readback_{bi}"), 1);
+            conns.push(("en".into(), read_back));
+            conns.push(("wen".into(), capture_en));
+            conns.push(("wdata".into(), data_net));
+            let rd = top.net(format!("rd_{bi}"), port.width);
+            conns.push(("rdata".into(), rd));
+            top.assign(out, Expr::net(rd));
+        }
+        if bank.is_double_buffered() {
+            conns.push(("buf_sel".into(), phase));
+        }
+        top.instance(binding.bank_module.clone(), binding.instance.clone(), conns);
+    }
+    top.instance(array_name.clone(), "array_i".to_string(), array_conns);
+
+    // 6. Resource census.
+    let lanes = cfg.vectorize as u64;
+    let pe_ops = pe.count_ops();
+    let pes = cfg.array.pes() as u64;
+    let ctrl_reg_bits = ctrl.reg_bits();
+    let mut summary = ResourceSummary {
+        pe_rows: cfg.array.rows,
+        pe_cols: cfg.array.cols,
+        vectorize: cfg.vectorize,
+        pes,
+        multipliers: pe_ops.multipliers * pes * lanes,
+        pe_adders: pe_ops.adders * pes * lanes,
+        tree_adders: ab.tree_adders * lanes,
+        pe_reg_bits: pe.reg_bits() * pes * lanes,
+        tree_reg_bits: ab.tree_reg_bits * lanes,
+        mux_bits: pe_ops.mux_bits * pes * lanes,
+        stationary_tensors: dataflow
+            .flows()
+            .iter()
+            .filter(|f| f.class.is_stationary_like())
+            .count() as u32,
+        control_wires: 1
+            + if has_stationary_in { 2 } else { 0 }
+            + if has_stationary_out { 2 } else { 0 },
+        ctrl_reg_bits,
+        ..ResourceSummary::default()
+    };
+    for port in &ab.ports {
+        summary.max_fanout = summary.max_fanout.max(port.fanout as u64);
+        match port.kind {
+            PortKind::Multicast => {
+                summary.multicast_ports += 1;
+                summary.stream_bits_per_cycle += port.width as u64 * lanes;
+            }
+            PortKind::SystolicFeed => {
+                summary.chain_feed_ports += 1;
+                summary.stream_bits_per_cycle += port.width as u64 * lanes;
+            }
+            PortKind::Unicast => {
+                summary.unicast_in_ports += 1;
+                summary.stream_bits_per_cycle += port.width as u64 * lanes;
+            }
+            PortKind::StationaryLoad => {
+                summary.chain_feed_ports += 1;
+            }
+            PortKind::SystolicDrain | PortKind::ReduceSum => {
+                summary.output_bits_per_cycle += port.width as u64 * lanes;
+            }
+            PortKind::UnicastOut => {
+                summary.unicast_out_ports += 1;
+                summary.output_bits_per_cycle += port.width as u64 * lanes;
+            }
+            PortKind::StationaryDrain => {}
+        }
+    }
+    for binding in &bank_bindings {
+        let bank = mem_banks
+            .iter()
+            .find(|b| b.module_name() == binding.bank_module)
+            .expect("bank template exists");
+        summary.mem_banks += 1;
+        summary.mem_bits += bank.bits();
+    }
+
+    let mut modules = vec![pe];
+    modules.extend(ab.tree_modules.clone());
+    modules.push(ctrl);
+    modules.push(ab.module);
+    modules.push(top);
+
+    Ok(AcceleratorDesign {
+        name,
+        dataflow: dataflow.clone(),
+        config: *cfg,
+        tiling,
+        phases,
+        modules,
+        mem_banks,
+        bank_bindings,
+        array_ports: ab.ports,
+        top: top_name,
+        summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensorlib_dataflow::{dse, LoopSelection, Stt};
+    use tensorlib_ir::workloads;
+
+    fn gemm_design(rows: [[i64; 3]; 3]) -> AcceleratorDesign {
+        let gemm = workloads::gemm(64, 64, 64);
+        let sel = LoopSelection::by_names(&gemm, ["m", "n", "k"]).unwrap();
+        let df = Dataflow::analyze(&gemm, sel, Stt::from_rows(rows).unwrap()).unwrap();
+        generate(&df, &HwConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn output_stationary_design_validates() {
+        let d = gemm_design([[1, 0, 0], [0, 1, 0], [1, 1, 1]]);
+        d.validate().unwrap();
+        let s = d.summary();
+        assert_eq!(s.pes, 256);
+        assert_eq!(s.multipliers, 256);
+        // Output stationary: C held in PEs.
+        assert_eq!(s.stationary_tensors, 1);
+        // Feeds: 16 A-rows + 16 B-columns.
+        assert_eq!(s.chain_feed_ports, 32);
+        assert!(d.module(d.top()).is_some());
+        assert!(d.to_string().contains("16x16"));
+    }
+
+    #[test]
+    fn multicast_design_has_trees_and_fanout() {
+        let d = gemm_design([[0, 1, 0], [0, 0, 1], [1, 0, 0]]);
+        d.validate().unwrap();
+        let s = d.summary();
+        assert!(s.tree_adders > 0, "reduction trees expected");
+        assert_eq!(s.max_fanout, 16);
+        assert!(s.multicast_ports > 0);
+    }
+
+    #[test]
+    fn unicast_design_has_per_pe_ports() {
+        // Batched-GEMV forces unicast on A.
+        let k = workloads::batched_gemv(32, 32, 32);
+        let sel = LoopSelection::by_names(&k, ["m", "n", "k"]).unwrap();
+        let df = Dataflow::analyze(&k, sel, Stt::output_stationary()).unwrap();
+        let d = generate(&df, &HwConfig::default()).unwrap();
+        d.validate().unwrap();
+        assert_eq!(d.summary().unicast_in_ports, 256);
+    }
+
+    #[test]
+    fn named_paper_dataflows_generate_and_validate() {
+        let conv = workloads::conv2d(16, 16, 14, 14, 3, 3);
+        let cfg = HwConfig::default();
+        for name in ["KCX-SST", "KCX-STS"] {
+            let df = dse::find_named(&conv, name, &dse::DseConfig::default()).unwrap();
+            let d = generate(&df, &cfg).unwrap();
+            d.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn vectorization_scales_summary_only() {
+        let base = gemm_design([[1, 0, 0], [0, 1, 0], [1, 1, 1]]);
+        let gemm = workloads::gemm(64, 64, 64);
+        let sel = LoopSelection::by_names(&gemm, ["m", "n", "k"]).unwrap();
+        let df = Dataflow::analyze(&gemm, sel, Stt::output_stationary()).unwrap();
+        let v8 = generate(
+            &df,
+            &HwConfig {
+                vectorize: 8,
+                ..HwConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(v8.summary().multipliers, base.summary().multipliers * 8);
+        assert_eq!(v8.modules().len(), base.modules().len());
+    }
+
+    #[test]
+    fn bank_plan_is_consistent() {
+        let d = gemm_design([[1, 0, 0], [0, 1, 0], [1, 1, 1]]);
+        assert_eq!(d.bank_bindings().len(), d.array_ports().len());
+        assert_eq!(d.summary().mem_banks, d.bank_bindings().len() as u64);
+        // Stationary drain banks are double-buffered.
+        for b in d.bank_bindings() {
+            let bank = d
+                .mem_banks()
+                .iter()
+                .find(|mb| mb.module_name() == b.bank_module)
+                .unwrap();
+            if matches!(
+                b.port.kind,
+                PortKind::StationaryLoad | PortKind::StationaryDrain
+            ) {
+                assert!(bank.is_double_buffered());
+            }
+        }
+    }
+
+    #[test]
+    fn tiling_is_exposed() {
+        let d = gemm_design([[1, 0, 0], [0, 1, 0], [1, 1, 1]]);
+        assert_eq!(d.tiling().tile_extents, [16, 16, 64]);
+        assert_eq!(d.phases().compute_cycles, d.tiling().t_extent);
+    }
+}

@@ -1,0 +1,795 @@
+//! Netlist elaboration and cycle-level interpretation.
+//!
+//! [`elaborate`] flattens a module hierarchy into a single netlist (child
+//! instances inlined, ports spliced onto parent nets, memory banks kept as
+//! behavioural primitives). [`Interpreter`] then executes the flat netlist
+//! cycle by cycle: combinational settle in topological order, registered
+//! state commits on [`Interpreter::step`].
+//!
+//! This is how the test suite proves the generated RTL itself computes the
+//! kernel — e.g. driving an output-stationary GEMM array's feed ports with
+//! the skewed schedule and reading the drained results (see
+//! `tests/netlist_execution.rs`).
+
+use std::collections::HashMap;
+
+use crate::mem::MemBank;
+use crate::netlist::{BinOp, Dir, Expr, Module, Net, NetId, RegDef};
+
+/// A memory bank instance surviving elaboration as a behavioural primitive.
+#[derive(Debug, Clone)]
+pub struct FlatBank {
+    /// The bank template.
+    pub spec: MemBank,
+    /// Flat net carrying the stream enable.
+    pub en: NetId,
+    /// Flat net carrying the write enable.
+    pub wen: NetId,
+    /// Flat net carrying write data.
+    pub wdata: NetId,
+    /// Flat net carrying read data (driven by the bank).
+    pub rdata: NetId,
+    /// Double-buffer select net, if the bank is double-buffered.
+    pub buf_sel: Option<NetId>,
+}
+
+/// A fully elaborated (flattened) netlist.
+#[derive(Debug, Clone)]
+pub struct FlatDesign {
+    nets: Vec<Net>,
+    ports: Vec<(NetId, Dir)>,
+    assigns: Vec<(NetId, Expr)>,
+    regs: Vec<RegDef>,
+    banks: Vec<FlatBank>,
+    topo: Vec<usize>,
+}
+
+impl FlatDesign {
+    /// All flat nets (names are hierarchical, `inst.inst.net`).
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// Top-level ports.
+    pub fn ports(&self) -> &[(NetId, Dir)] {
+        &self.ports
+    }
+
+    /// The flat net id of the top-level port named `name`.
+    pub fn port(&self, name: &str) -> Option<NetId> {
+        self.ports
+            .iter()
+            .find(|(id, _)| self.nets[*id].name == name)
+            .map(|&(id, _)| id)
+    }
+
+    /// Total registers after flattening.
+    pub fn reg_count(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Total behavioural banks after flattening.
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+}
+
+/// Elaboration failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElaborateError {
+    /// An instance references a module that is neither in `modules` nor a
+    /// bank template.
+    UnknownModule(String),
+    /// An instance connection names a port the child does not have.
+    UnknownPort {
+        /// The child module.
+        module: String,
+        /// The missing port.
+        port: String,
+    },
+}
+
+impl std::fmt::Display for ElaborateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElaborateError::UnknownModule(m) => write!(f, "unknown module {m:?}"),
+            ElaborateError::UnknownPort { module, port } => {
+                write!(f, "module {module:?} has no port {port:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ElaborateError {}
+
+/// Flattens the hierarchy rooted at `top` into a single netlist.
+///
+/// # Errors
+///
+/// Returns [`ElaborateError`] if an instance references an unknown module or
+/// port.
+///
+/// # Examples
+///
+/// ```
+/// use tensorlib_hw::interp::{elaborate, Interpreter};
+/// use tensorlib_hw::netlist::{Expr, Module};
+///
+/// let mut m = Module::new("cnt");
+/// let en = m.input("en", 1);
+/// let q = m.output("q", 8);
+/// m.reg(q, Expr::net(q).add(Expr::lit(1, 8)), Some(Expr::net(en)), 0);
+/// let flat = elaborate(&[m], &[], "cnt")?;
+/// let mut sim = Interpreter::new(flat);
+/// sim.poke("en", 1);
+/// sim.step();
+/// sim.step();
+/// assert_eq!(sim.peek("q"), 2);
+/// # Ok::<(), tensorlib_hw::interp::ElaborateError>(())
+/// ```
+pub fn elaborate(
+    modules: &[Module],
+    banks: &[MemBank],
+    top: &str,
+) -> Result<FlatDesign, ElaborateError> {
+    let by_name: HashMap<&str, &Module> = modules.iter().map(|m| (m.name(), m)).collect();
+    let bank_by_name: HashMap<String, &MemBank> =
+        banks.iter().map(|b| (b.module_name(), b)).collect();
+    let top_module = by_name
+        .get(top)
+        .ok_or_else(|| ElaborateError::UnknownModule(top.to_string()))?;
+
+    let mut flat = FlatDesign {
+        nets: Vec::new(),
+        ports: Vec::new(),
+        assigns: Vec::new(),
+        regs: Vec::new(),
+        banks: Vec::new(),
+        topo: Vec::new(),
+    };
+
+    // Top-level ports become flat nets first so `port()` lookups stay simple.
+    let mut top_map: Vec<Option<NetId>> = vec![None; top_module.nets().len()];
+    for (id, dir) in top_module.ports() {
+        let flat_id = flat.nets.len();
+        flat.nets.push(top_module.nets()[*id].clone());
+        flat.ports.push((flat_id, *dir));
+        top_map[*id] = Some(flat_id);
+    }
+    inline(
+        top_module,
+        "",
+        top_map,
+        &by_name,
+        &bank_by_name,
+        &mut flat,
+    )?;
+
+    // Topological order over combinational assigns.
+    flat.topo = topo_order(&flat);
+    Ok(flat)
+}
+
+/// Convenience: elaborates a complete [`crate::design::AcceleratorDesign`]
+/// from the given top module (usually [`crate::design::AcceleratorDesign::top`]
+/// or the array module).
+pub fn elaborate_design(
+    design: &crate::design::AcceleratorDesign,
+    top: &str,
+) -> Result<FlatDesign, ElaborateError> {
+    elaborate(design.modules(), design.mem_banks(), top)
+}
+
+fn inline(
+    module: &Module,
+    prefix: &str,
+    // For each child-local net: the flat id it maps to (ports pre-bound by
+    // the parent), or None to allocate fresh.
+    mut map: Vec<Option<NetId>>,
+    by_name: &HashMap<&str, &Module>,
+    bank_by_name: &HashMap<String, &MemBank>,
+    flat: &mut FlatDesign,
+) -> Result<(), ElaborateError> {
+    // Allocate fresh flat nets for everything unbound.
+    for (id, net) in module.nets().iter().enumerate() {
+        if map[id].is_none() {
+            let flat_id = flat.nets.len();
+            flat.nets.push(Net {
+                name: format!("{prefix}{}", net.name),
+                width: net.width,
+            });
+            map[id] = Some(flat_id);
+        }
+    }
+    let remap = |id: NetId| map[id].expect("all nets mapped");
+    for (target, expr) in module.assigns() {
+        flat.assigns.push((remap(*target), rewrite(expr, &map)));
+    }
+    for r in module.regs() {
+        flat.regs.push(RegDef {
+            target: remap(r.target),
+            next: rewrite(&r.next, &map),
+            enable: r.enable.as_ref().map(|e| rewrite(e, &map)),
+            init: r.init,
+        });
+    }
+    for inst in module.instances() {
+        let child_prefix = format!("{prefix}{}.", inst.name);
+        if let Some(bank) = bank_by_name.get(&inst.module) {
+            let find = |port: &str| -> Result<Option<NetId>, ElaborateError> {
+                Ok(inst
+                    .connections
+                    .iter()
+                    .find(|(p, _)| p == port)
+                    .map(|(_, n)| remap(*n)))
+            };
+            let req = |port: &str| -> Result<NetId, ElaborateError> {
+                find(port)?.ok_or_else(|| ElaborateError::UnknownPort {
+                    module: inst.module.clone(),
+                    port: port.to_string(),
+                })
+            };
+            flat.banks.push(FlatBank {
+                spec: (*bank).clone(),
+                en: req("en")?,
+                wen: req("wen")?,
+                wdata: req("wdata")?,
+                rdata: req("rdata")?,
+                buf_sel: find("buf_sel")?,
+            });
+            continue;
+        }
+        let child = by_name
+            .get(inst.module.as_str())
+            .ok_or_else(|| ElaborateError::UnknownModule(inst.module.clone()))?;
+        let mut child_map: Vec<Option<NetId>> = vec![None; child.nets().len()];
+        for (port, parent_net) in &inst.connections {
+            let child_net = child
+                .ports()
+                .iter()
+                .find(|(id, _)| child.nets()[*id].name == *port)
+                .map(|&(id, _)| id)
+                .ok_or_else(|| ElaborateError::UnknownPort {
+                    module: inst.module.clone(),
+                    port: port.clone(),
+                })?;
+            child_map[child_net] = Some(remap(*parent_net));
+        }
+        inline(child, &child_prefix, child_map, by_name, bank_by_name, flat)?;
+    }
+    Ok(())
+}
+
+fn rewrite(expr: &Expr, map: &[Option<NetId>]) -> Expr {
+    match expr {
+        Expr::Const { value, width } => Expr::Const {
+            value: *value,
+            width: *width,
+        },
+        Expr::Net(id) => Expr::Net(map[*id].expect("net mapped")),
+        Expr::Not(e) => Expr::Not(Box::new(rewrite(e, map))),
+        Expr::Bin(op, a, b) => {
+            Expr::Bin(*op, Box::new(rewrite(a, map)), Box::new(rewrite(b, map)))
+        }
+        Expr::Mux {
+            sel,
+            on_true,
+            on_false,
+        } => Expr::Mux {
+            sel: Box::new(rewrite(sel, map)),
+            on_true: Box::new(rewrite(on_true, map)),
+            on_false: Box::new(rewrite(on_false, map)),
+        },
+        Expr::Resize(e, w) => Expr::Resize(Box::new(rewrite(e, map)), *w),
+        Expr::SignExtend(e, w) => Expr::SignExtend(Box::new(rewrite(e, map)), *w),
+    }
+}
+
+fn topo_order(flat: &FlatDesign) -> Vec<usize> {
+    // Map: net -> assign index driving it.
+    let mut driver: HashMap<NetId, usize> = HashMap::new();
+    for (i, (target, _)) in flat.assigns.iter().enumerate() {
+        driver.insert(*target, i);
+    }
+    let mut order = Vec::with_capacity(flat.assigns.len());
+    let mut state = vec![0u8; flat.assigns.len()];
+    fn visit(
+        i: usize,
+        flat: &FlatDesign,
+        driver: &HashMap<NetId, usize>,
+        state: &mut [u8],
+        order: &mut Vec<usize>,
+    ) {
+        if state[i] != 0 {
+            assert!(state[i] == 2, "combinational cycle (validated earlier)");
+            return;
+        }
+        state[i] = 1;
+        let mut reads = Vec::new();
+        flat.assigns[i].1.collect_reads(&mut reads);
+        for r in reads {
+            if let Some(&j) = driver.get(&r) {
+                if state[j] == 0 {
+                    visit(j, flat, driver, state, order);
+                }
+            }
+        }
+        state[i] = 2;
+        order.push(i);
+    }
+    for i in 0..flat.assigns.len() {
+        visit(i, flat, &driver, &mut state, &mut order);
+    }
+    order
+}
+
+fn mask(value: u64, width: u32) -> u64 {
+    if width >= 64 {
+        value
+    } else {
+        value & ((1u64 << width) - 1)
+    }
+}
+
+fn sign_extend(value: u64, from: u32, to: u32) -> u64 {
+    let v = mask(value, from);
+    if from == 0 || from >= 64 {
+        return mask(v, to);
+    }
+    let sign_bit = 1u64 << (from - 1);
+    let extended = if v & sign_bit != 0 {
+        v | !((1u64 << from) - 1)
+    } else {
+        v
+    };
+    mask(extended, to)
+}
+
+/// Cycle-level interpreter over a [`FlatDesign`].
+///
+/// Drive inputs with [`Interpreter::poke`], advance one clock with
+/// [`Interpreter::step`], observe with [`Interpreter::peek`]. Combinational
+/// logic settles automatically before every read and commit.
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    flat: FlatDesign,
+    values: Vec<u64>,
+    bank_mem: Vec<Vec<u64>>,
+    bank_raddr: Vec<u64>,
+    bank_waddr: Vec<u64>,
+    bank_rdata: Vec<u64>,
+}
+
+impl Interpreter {
+    /// Creates an interpreter with all registers at their reset values and
+    /// bank memories zeroed.
+    pub fn new(flat: FlatDesign) -> Interpreter {
+        let values = vec![0; flat.nets.len()];
+        let bank_mem = flat
+            .banks
+            .iter()
+            .map(|b| {
+                let mult = if b.spec.is_double_buffered() { 2 } else { 1 };
+                vec![0u64; (b.spec.words() * mult) as usize]
+            })
+            .collect();
+        let n_banks = flat.banks.len();
+        let mut interp = Interpreter {
+            flat,
+            values,
+            bank_mem,
+            bank_raddr: vec![0; n_banks],
+            bank_waddr: vec![0; n_banks],
+            bank_rdata: vec![0; n_banks],
+        };
+        for r in interp.flat.regs.clone() {
+            interp.values[r.target] = mask(r.init, interp.flat.nets[r.target].width);
+        }
+        interp.settle();
+        interp
+    }
+
+    /// Sets a top-level input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such input port exists.
+    pub fn poke(&mut self, port: &str, value: u64) {
+        let id = self
+            .flat
+            .port(port)
+            .unwrap_or_else(|| panic!("no port {port:?}"));
+        self.values[id] = mask(value, self.flat.nets[id].width);
+        self.settle();
+    }
+
+    /// Reads any net by (hierarchical) name after settling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such net exists.
+    pub fn peek(&self, name: &str) -> u64 {
+        let id = self
+            .flat
+            .nets
+            .iter()
+            .position(|n| n.name == name)
+            .unwrap_or_else(|| panic!("no net {name:?}"));
+        self.values[id]
+    }
+
+    /// Reads a net as a signed value of its declared width.
+    pub fn peek_signed(&self, name: &str) -> i64 {
+        let id = self
+            .flat
+            .nets
+            .iter()
+            .position(|n| n.name == name)
+            .unwrap_or_else(|| panic!("no net {name:?}"));
+        let w = self.flat.nets[id].width;
+        sign_extend(self.values[id], w, 64) as i64
+    }
+
+    /// Preloads a bank's memory (test convenience; index by elaboration
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank index or address is out of range.
+    pub fn load_bank(&mut self, bank: usize, words: &[u64]) {
+        for (i, &w) in words.iter().enumerate() {
+            self.bank_mem[bank][i] = w;
+        }
+    }
+
+    /// Number of behavioural banks.
+    pub fn bank_count(&self) -> usize {
+        self.flat.banks.len()
+    }
+
+    /// Settles combinational logic (topological evaluation).
+    fn settle(&mut self) {
+        // Bank read data drives its net.
+        for (i, b) in self.flat.banks.iter().enumerate() {
+            self.values[b.rdata] = mask(self.bank_rdata[i], self.flat.nets[b.rdata].width);
+        }
+        for &i in &self.flat.topo.clone() {
+            let (target, expr) = &self.flat.assigns[i];
+            let w = self.flat.nets[*target].width;
+            self.values[*target] = mask(self.eval(expr), w);
+        }
+    }
+
+    fn eval(&self, expr: &Expr) -> u64 {
+        match expr {
+            Expr::Const { value, width } => mask(*value, *width),
+            Expr::Net(id) => self.values[*id],
+            Expr::Not(e) => {
+                let w = e.width(&self.flat.nets);
+                mask(!self.eval(e), w)
+            }
+            Expr::Bin(op, a, b) => {
+                let wa = a.width(&self.flat.nets);
+                let wb = b.width(&self.flat.nets);
+                let w = wa.max(wb);
+                let va = self.eval(a);
+                let vb = self.eval(b);
+                match op {
+                    BinOp::Add => mask(va.wrapping_add(vb), w),
+                    BinOp::Sub => mask(va.wrapping_sub(vb), w),
+                    BinOp::Mul => mask(va.wrapping_mul(vb), w),
+                    BinOp::And => va & vb,
+                    BinOp::Or => va | vb,
+                    BinOp::Xor => va ^ vb,
+                    BinOp::Eq => (va == vb) as u64,
+                    BinOp::Lt => (va < vb) as u64,
+                }
+            }
+            Expr::Mux {
+                sel,
+                on_true,
+                on_false,
+            } => {
+                if self.eval(sel) & 1 == 1 {
+                    self.eval(on_true)
+                } else {
+                    self.eval(on_false)
+                }
+            }
+            Expr::Resize(e, w) => mask(self.eval(e), *w),
+            Expr::SignExtend(e, w) => sign_extend(self.eval(e), e.width(&self.flat.nets), *w),
+        }
+    }
+
+    /// Advances one clock: samples every register's next value and every
+    /// bank's port activity, commits them simultaneously, and resettles.
+    pub fn step(&mut self) {
+        self.settle();
+        // Sample.
+        let mut next_regs = Vec::with_capacity(self.flat.regs.len());
+        for r in &self.flat.regs {
+            let enabled = r.enable.as_ref().is_none_or(|e| self.eval(e) & 1 == 1);
+            let w = self.flat.nets[r.target].width;
+            next_regs.push(if enabled {
+                Some(mask(self.eval(&r.next), w))
+            } else {
+                None
+            });
+        }
+        #[derive(Clone, Copy)]
+        struct BankOp {
+            read: bool,
+            write: bool,
+            wdata: u64,
+            buf_sel: u64,
+        }
+        let bank_ops: Vec<BankOp> = self
+            .flat
+            .banks
+            .iter()
+            .map(|b| BankOp {
+                read: self.values[b.en] & 1 == 1,
+                write: self.values[b.wen] & 1 == 1,
+                wdata: self.values[b.wdata],
+                buf_sel: b.buf_sel.map_or(0, |n| self.values[n] & 1),
+            })
+            .collect();
+        // Commit registers.
+        for (r, next) in self.flat.regs.clone().iter().zip(next_regs) {
+            if let Some(v) = next {
+                self.values[r.target] = v;
+            }
+        }
+        // Commit banks: read from the inactive buffer, write to the active
+        // one (matching the behavioural Verilog template).
+        for (i, (b, op)) in self.flat.banks.clone().iter().zip(bank_ops).enumerate() {
+            let words = b.spec.words();
+            if op.read {
+                let base = if b.spec.is_double_buffered() {
+                    (1 - op.buf_sel) * words
+                } else {
+                    0
+                };
+                let addr = (base + self.bank_raddr[i] % words) as usize;
+                self.bank_rdata[i] = self.bank_mem[i][addr];
+                self.bank_raddr[i] = (self.bank_raddr[i] + 1) % words;
+            }
+            if op.write {
+                let base = if b.spec.is_double_buffered() {
+                    op.buf_sel * words
+                } else {
+                    0
+                };
+                let addr = (base + self.bank_waddr[i] % words) as usize;
+                self.bank_mem[i][addr] = mask(op.wdata, b.spec.width());
+                self.bank_waddr[i] = (self.bank_waddr[i] + 1) % words;
+            }
+        }
+        self.settle();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pe::{build_pe, PeIoKind, PeSpec, PeTensorSpec};
+    use tensorlib_ir::DataType;
+
+    fn as_u16(v: i64) -> u64 {
+        (v as u64) & 0xFFFF
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut m = Module::new("cnt");
+        let en = m.input("en", 1);
+        let q = m.output("q", 8);
+        m.reg(q, Expr::net(q).add(Expr::lit(1, 8)), Some(Expr::net(en)), 0);
+        let mut sim = Interpreter::new(elaborate(&[m], &[], "cnt").unwrap());
+        sim.poke("en", 1);
+        for _ in 0..5 {
+            sim.step();
+        }
+        assert_eq!(sim.peek("q"), 5);
+        sim.poke("en", 0);
+        sim.step();
+        assert_eq!(sim.peek("q"), 5, "enable gates the register");
+    }
+
+    #[test]
+    fn sign_extension_semantics() {
+        assert_eq!(sign_extend(0xFFFF, 16, 32), 0xFFFF_FFFF);
+        assert_eq!(sign_extend(0x7FFF, 16, 32), 0x7FFF);
+        assert_eq!(sign_extend(0xFFFF_FFFF, 32, 16), 0xFFFF);
+        assert_eq!(sign_extend(5, 16, 64) as i64, 5);
+        assert_eq!(sign_extend(as_u16(-5), 16, 64) as i64, -5);
+    }
+
+    #[test]
+    fn hierarchy_flattens_and_runs() {
+        // child: y = a + b; parent instantiates it twice in a chain.
+        let mut child = Module::new("add1");
+        let a = child.input("a", 8);
+        let y = child.output("y", 8);
+        child.assign(y, Expr::net(a).add(Expr::lit(1, 8)));
+        let mut parent = Module::new("top");
+        let x = parent.input("x", 8);
+        let mid = parent.net("mid", 8);
+        let out = parent.output("out", 8);
+        parent.instance("add1", "u0", vec![("a".into(), x), ("y".into(), mid)]);
+        parent.instance("add1", "u1", vec![("a".into(), mid), ("y".into(), out)]);
+        let flat = elaborate(&[child, parent], &[], "top").unwrap();
+        assert_eq!(flat.reg_count(), 0);
+        let mut sim = Interpreter::new(flat);
+        sim.poke("x", 40);
+        assert_eq!(sim.peek("out"), 42);
+    }
+
+    #[test]
+    fn unknown_module_and_port_errors() {
+        let mut parent = Module::new("top");
+        let x = parent.input("x", 8);
+        parent.instance("ghost", "u0", vec![("a".into(), x)]);
+        assert!(matches!(
+            elaborate(&[parent], &[], "top").unwrap_err(),
+            ElaborateError::UnknownModule(_)
+        ));
+        let mut child = Module::new("c");
+        let _ = child.input("a", 8);
+        let mut parent = Module::new("top");
+        let x = parent.input("x", 8);
+        parent.instance("c", "u0", vec![("zz".into(), x)]);
+        let err = elaborate(&[child, parent], &[], "top").unwrap_err();
+        assert!(matches!(err, ElaborateError::UnknownPort { .. }));
+        assert!(err.to_string().contains("zz"));
+    }
+
+    #[test]
+    fn systolic_pe_computes_and_forwards() {
+        // Weight-stationary-ish PE: a systolic, b stationary, c systolic out.
+        let spec = PeSpec {
+            name: "pe".into(),
+            datatype: DataType::Int16,
+            tensors: vec![
+                PeTensorSpec {
+                    tensor: "a".into(),
+                    kind: PeIoKind::SystolicIn,
+                    delay: 1,
+                },
+                PeTensorSpec {
+                    tensor: "b".into(),
+                    kind: PeIoKind::StationaryIn,
+                    delay: 1,
+                },
+                PeTensorSpec {
+                    tensor: "c".into(),
+                    kind: PeIoKind::SystolicOut,
+                    delay: 1,
+                },
+            ],
+        };
+        let pe = build_pe(&spec);
+        let mut sim = Interpreter::new(elaborate(&[pe], &[], "pe").unwrap());
+        // Load weight -3 into buf1 (phase 0 loads the inactive buffer).
+        sim.poke("load_en", 1);
+        sim.poke("phase", 0);
+        sim.poke("b_in", as_u16(-3));
+        sim.step();
+        sim.poke("load_en", 0);
+        // Compute with phase 1 (buf1 active): c_out' = c_in + a_in * (-3).
+        sim.poke("phase", 1);
+        sim.poke("en", 1);
+        sim.poke("a_in", as_u16(7));
+        sim.poke("c_in", as_u16(100));
+        sim.step();
+        assert_eq!(sim.peek_signed("c_out"), 100 + 7 * -3);
+        // a is forwarded with one cycle of delay.
+        assert_eq!(sim.peek_signed("a_out"), 7);
+    }
+
+    #[test]
+    fn stationary_output_pe_accumulates_and_drains() {
+        let spec = PeSpec {
+            name: "pe".into(),
+            datatype: DataType::Int16,
+            tensors: vec![
+                PeTensorSpec {
+                    tensor: "a".into(),
+                    kind: PeIoKind::DirectIn,
+                    delay: 1,
+                },
+                PeTensorSpec {
+                    tensor: "b".into(),
+                    kind: PeIoKind::DirectIn,
+                    delay: 1,
+                },
+                PeTensorSpec {
+                    tensor: "c".into(),
+                    kind: PeIoKind::StationaryOut,
+                    delay: 1,
+                },
+            ],
+        };
+        let pe = build_pe(&spec);
+        let mut sim = Interpreter::new(elaborate(&[pe], &[], "pe").unwrap());
+        sim.poke("en", 1);
+        sim.poke("swap", 0);
+        sim.poke("drain_en", 0);
+        sim.poke("c_in", 0);
+        // Accumulate 2*3 + 4*5 + (-1)*6. First product enters via swap pulse.
+        sim.poke("swap", 1);
+        sim.poke("a_in", as_u16(2));
+        sim.poke("b_in", as_u16(3));
+        sim.step();
+        sim.poke("swap", 0);
+        sim.poke("a_in", as_u16(4));
+        sim.poke("b_in", as_u16(5));
+        sim.step();
+        sim.poke("a_in", as_u16(-1));
+        sim.poke("b_in", as_u16(6));
+        sim.step();
+        // Swap captures the finished accumulation into the transfer register.
+        sim.poke("swap", 1);
+        sim.poke("a_in", 0);
+        sim.poke("b_in", 0);
+        sim.step();
+        assert_eq!(sim.peek_signed("c_out"), 2 * 3 + 4 * 5 - 6);
+        // Drain shifts the chain input through.
+        sim.poke("swap", 0);
+        sim.poke("drain_en", 1);
+        sim.poke("c_in", as_u16(777));
+        sim.step();
+        assert_eq!(sim.peek_signed("c_out"), 777);
+    }
+
+    #[test]
+    fn reduction_tree_sums_with_pipeline_latency() {
+        let (tree, _, _) = crate::array::build_reduce_tree("t4", 4, 32);
+        let mut sim = Interpreter::new(elaborate(&[tree], &[], "t4").unwrap());
+        for (i, v) in [10u64, 20, 30, 40].iter().enumerate() {
+            sim.poke(&format!("in{i}"), *v);
+        }
+        // Two pipeline levels for 4 inputs.
+        sim.step();
+        sim.step();
+        assert_eq!(sim.peek("sum"), 100);
+    }
+
+    #[test]
+    fn bank_streams_and_captures() {
+        let bank = MemBank::new(8, 16, false);
+        let mut top = Module::new("top");
+        let en = top.input("en", 1);
+        let wen = top.input("wen", 1);
+        let wdata = top.input("wdata", 16);
+        let rdata = top.output("rdata", 16);
+        top.instance(
+            bank.module_name(),
+            "b0",
+            vec![
+                ("en".into(), en),
+                ("wen".into(), wen),
+                ("wdata".into(), wdata),
+                ("rdata".into(), rdata),
+            ],
+        );
+        let flat = elaborate(&[top], &[bank], "top").unwrap();
+        assert_eq!(flat.bank_count(), 1);
+        let mut sim = Interpreter::new(flat);
+        // Write 3 values.
+        sim.poke("wen", 1);
+        for v in [11u64, 22, 33] {
+            sim.poke("wdata", v);
+            sim.step();
+        }
+        sim.poke("wen", 0);
+        // Stream them back.
+        sim.poke("en", 1);
+        sim.step();
+        assert_eq!(sim.peek("rdata"), 11);
+        sim.step();
+        assert_eq!(sim.peek("rdata"), 22);
+        sim.step();
+        assert_eq!(sim.peek("rdata"), 33);
+    }
+}

@@ -1,0 +1,52 @@
+//! Hardware generation for TensorLib dataflows: netlist IR, the paper's
+//! Figure 3 PE templates, Figure 4 array interconnect, banked scratchpad,
+//! controller, and Verilog emission.
+//!
+//! The paper implements this layer as parameterized Chisel templates; this
+//! crate substitutes a compact structural netlist IR (see `DESIGN.md`). The
+//! generation pipeline mirrors the paper's bottom-up flow:
+//!
+//! 1. [`pe::PeIoKind::for_flow`] selects a per-tensor PE-internal template
+//!    from the classified dataflow.
+//! 2. [`pe::build_pe`] assembles the PE around the computation cell.
+//! 3. [`array::build_array`] instantiates the PE grid and wires systolic
+//!    chains, multicast lines, reduction trees, load chains, and unicast
+//!    ports.
+//! 4. [`tiling::tile_for_array`] fits the selected loops onto the array.
+//! 5. [`ctrl::build_controller`] sequences load / compute / drain.
+//! 6. Memory banks ([`mem::MemBank`]) are planned one per reuse group.
+//! 7. [`design::generate`] wires everything into a validated top level;
+//!    [`verilog::emit_design`] prints RTL.
+//!
+//! # Examples
+//!
+//! ```
+//! use tensorlib_dataflow::{Dataflow, LoopSelection, Stt};
+//! use tensorlib_hw::design::{generate, HwConfig};
+//! use tensorlib_ir::workloads;
+//!
+//! let gemm = workloads::gemm(64, 64, 64);
+//! let sel = LoopSelection::by_names(&gemm, ["m", "n", "k"])?;
+//! let df = Dataflow::analyze(&gemm, sel, Stt::output_stationary())?;
+//! let design = generate(&df, &HwConfig::default()).expect("wireable");
+//! design.validate().expect("structurally sound");
+//! let verilog = tensorlib_hw::verilog::emit_design(&design);
+//! assert!(verilog.contains("module"));
+//! # Ok::<(), tensorlib_dataflow::DataflowError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod ctrl;
+pub mod design;
+pub mod interp;
+pub mod mem;
+pub mod netlist;
+pub mod pe;
+pub mod tiling;
+pub mod verilog;
+
+pub use array::{ArrayConfig, HwError};
+pub use design::{generate, AcceleratorDesign, HwConfig, ResourceSummary};

@@ -1,0 +1,469 @@
+//! Verilog emission: turns a generated design into synthesizable RTL text.
+//!
+//! Every module gets implicit `clk`/`rst` ports (registers use synchronous
+//! reset); memory banks are emitted from a behavioural template. The output
+//! is deterministic — identical designs emit byte-identical Verilog.
+
+use std::fmt::Write as _;
+
+use crate::design::AcceleratorDesign;
+use crate::mem::MemBank;
+use crate::netlist::{BinOp, Dir, Expr, Module};
+
+/// Emits one module as Verilog.
+///
+/// # Examples
+///
+/// ```
+/// use tensorlib_hw::netlist::{Expr, Module};
+/// use tensorlib_hw::verilog::emit_module;
+///
+/// let mut m = Module::new("inc");
+/// let a = m.input("a", 8);
+/// let y = m.output("y", 8);
+/// m.assign(y, Expr::net(a).add(Expr::lit(1, 8)).resize(8));
+/// let v = emit_module(&m);
+/// assert!(v.contains("module inc"));
+/// assert!(v.contains("assign y"));
+/// ```
+pub fn emit_module(m: &Module) -> String {
+    let mut s = String::new();
+    let has_regs = !m.regs().is_empty() || !m.instances().is_empty();
+    let mut port_names: Vec<String> = Vec::new();
+    if has_regs {
+        port_names.push("clk".into());
+        port_names.push("rst".into());
+    }
+    for (id, _) in m.ports() {
+        port_names.push(m.nets()[*id].name.clone());
+    }
+    let _ = writeln!(s, "module {} (", m.name());
+    let _ = writeln!(s, "  {}", port_names.join(",\n  "));
+    let _ = writeln!(s, ");");
+    if has_regs {
+        let _ = writeln!(s, "  input wire clk;");
+        let _ = writeln!(s, "  input wire rst;");
+    }
+    // Port declarations.
+    let reg_targets: Vec<usize> = m.regs().iter().map(|r| r.target).collect();
+    for (id, dir) in m.ports() {
+        let n = &m.nets()[*id];
+        let d = match dir {
+            Dir::Input => "input wire",
+            Dir::Output => {
+                if reg_targets.contains(id) {
+                    "output reg"
+                } else {
+                    "output wire"
+                }
+            }
+        };
+        let _ = writeln!(s, "  {}{}{};", d, width_decl(n.width), n.name);
+    }
+    // Internal nets.
+    let port_ids: Vec<usize> = m.ports().iter().map(|(id, _)| *id).collect();
+    for (id, n) in m.nets().iter().enumerate() {
+        if port_ids.contains(&id) {
+            continue;
+        }
+        let kw = if reg_targets.contains(&id) { "reg" } else { "wire" };
+        let _ = writeln!(s, "  {}{}{};", kw, width_decl(n.width), n.name);
+    }
+    s.push('\n');
+    // Combinational assigns.
+    for (target, expr) in m.assigns() {
+        let _ = writeln!(
+            s,
+            "  assign {} = {};",
+            m.nets()[*target].name,
+            emit_expr(expr, m)
+        );
+    }
+    // Registers.
+    for r in m.regs() {
+        let name = &m.nets()[r.target].name;
+        let _ = writeln!(s, "  always @(posedge clk) begin");
+        let _ = writeln!(
+            s,
+            "    if (rst) {} <= {}'d{};",
+            name,
+            m.nets()[r.target].width,
+            r.init
+        );
+        match &r.enable {
+            Some(e) => {
+                let _ = writeln!(s, "    else if ({}) {} <= {};", emit_expr(e, m), name, {
+                    emit_expr(&r.next, m)
+                });
+            }
+            None => {
+                let _ = writeln!(s, "    else {} <= {};", name, emit_expr(&r.next, m));
+            }
+        }
+        let _ = writeln!(s, "  end");
+    }
+    // Instances.
+    for inst in m.instances() {
+        let mut conns: Vec<String> =
+            vec!["    .clk(clk)".into(), "    .rst(rst)".into()];
+        for (port, net) in &inst.connections {
+            conns.push(format!("    .{}({})", port, m.nets()[*net].name));
+        }
+        let _ = writeln!(s, "  {} {} (", inst.module, inst.name);
+        let _ = writeln!(s, "{}", conns.join(",\n"));
+        let _ = writeln!(s, "  );");
+    }
+    let _ = writeln!(s, "endmodule");
+    s
+}
+
+fn width_decl(width: u32) -> String {
+    if width == 1 {
+        " ".into()
+    } else {
+        format!(" [{}:0] ", width - 1)
+    }
+}
+
+fn emit_expr(expr: &Expr, m: &Module) -> String {
+    match expr {
+        Expr::Const { value, width } => format!("{width}'d{value}"),
+        Expr::Net(id) => m.nets()[*id].name.clone(),
+        Expr::Not(e) => format!("(~{})", emit_expr(e, m)),
+        Expr::Bin(op, a, b) => {
+            let o = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::And => "&",
+                BinOp::Or => "|",
+                BinOp::Xor => "^",
+                BinOp::Eq => "==",
+                BinOp::Lt => "<",
+            };
+            format!("({} {} {})", emit_expr(a, m), o, emit_expr(b, m))
+        }
+        Expr::Mux {
+            sel,
+            on_true,
+            on_false,
+        } => format!(
+            "({} ? {} : {})",
+            emit_expr(sel, m),
+            emit_expr(on_true, m),
+            emit_expr(on_false, m)
+        ),
+        Expr::Resize(inner, w) => {
+            let iw = inner.width(m.nets());
+            let inner_s = emit_expr(inner, m);
+            if *w == iw {
+                inner_s
+            } else if *w < iw {
+                format!("{inner_s}[{}:0]", w - 1)
+            } else {
+                format!("{{{{{}{{1'b0}}}}, {inner_s}}}", w - iw)
+            }
+        }
+        Expr::SignExtend(inner, w) => {
+            let iw = inner.width(m.nets());
+            let inner_s = emit_expr(inner, m);
+            if *w == iw {
+                inner_s
+            } else if *w < iw {
+                format!("{inner_s}[{}:0]", w - 1)
+            } else {
+                format!("{{{{{}{{{inner_s}[{}]}}}}, {inner_s}}}", w - iw, iw - 1)
+            }
+        }
+    }
+}
+
+/// Emits the behavioural Verilog for a memory bank template.
+pub fn emit_mem_bank(bank: &MemBank) -> String {
+    let mut s = String::new();
+    let w = bank.width();
+    let depth = bank.words();
+    let ab = bank.addr_bits();
+    let db = bank.is_double_buffered();
+    let _ = writeln!(s, "module {} (", bank.module_name());
+    let mut ports = vec!["clk", "rst", "en", "wen", "wdata", "rdata"];
+    if db {
+        ports.push("buf_sel");
+    }
+    let _ = writeln!(s, "  {}", ports.join(",\n  "));
+    let _ = writeln!(s, ");");
+    let _ = writeln!(s, "  input wire clk;");
+    let _ = writeln!(s, "  input wire rst;");
+    let _ = writeln!(s, "  input wire en;");
+    let _ = writeln!(s, "  input wire wen;");
+    let _ = writeln!(s, "  input wire{}wdata;", width_decl(w));
+    let _ = writeln!(s, "  output reg{}rdata;", width_decl(w));
+    if db {
+        let _ = writeln!(s, "  input wire buf_sel;");
+    }
+    let total = if db { depth * 2 } else { depth };
+    let _ = writeln!(s, "  reg{}mem [0:{}];", width_decl(w), total - 1);
+    let _ = writeln!(s, "  reg [{}:0] raddr;", ab);
+    let _ = writeln!(s, "  reg [{}:0] waddr;", ab);
+    let base_r = if db {
+        format!("{{(~buf_sel), raddr[{}:0]}}", ab - 1)
+    } else {
+        "raddr".to_string()
+    };
+    let base_w = if db {
+        format!("{{buf_sel, waddr[{}:0]}}", ab - 1)
+    } else {
+        "waddr".to_string()
+    };
+    let _ = writeln!(s, "  always @(posedge clk) begin");
+    let _ = writeln!(s, "    if (rst) begin raddr <= 0; waddr <= 0; rdata <= 0; end");
+    let _ = writeln!(s, "    else begin");
+    let _ = writeln!(
+        s,
+        "      if (en) begin rdata <= mem[{base_r}]; raddr <= raddr + 1; end"
+    );
+    let _ = writeln!(
+        s,
+        "      if (wen) begin mem[{base_w}] <= wdata; waddr <= waddr + 1; end"
+    );
+    let _ = writeln!(s, "    end");
+    let _ = writeln!(s, "  end");
+    let _ = writeln!(s, "endmodule");
+    s
+}
+
+/// Emits the entire design — bank templates first, then all netlist modules
+/// bottom-up (PE, trees, controller, array, top).
+///
+/// # Examples
+///
+/// ```
+/// use tensorlib_dataflow::{Dataflow, LoopSelection, Stt};
+/// use tensorlib_hw::design::{generate, HwConfig};
+/// use tensorlib_hw::verilog::emit_design;
+/// use tensorlib_ir::workloads;
+///
+/// let gemm = workloads::gemm(32, 32, 32);
+/// let sel = LoopSelection::by_names(&gemm, ["m", "n", "k"])?;
+/// let df = Dataflow::analyze(&gemm, sel, Stt::output_stationary())?;
+/// let design = generate(&df, &HwConfig::default()).expect("generates");
+/// let v = emit_design(&design);
+/// assert!(v.contains("endmodule"));
+/// # Ok::<(), tensorlib_dataflow::DataflowError>(())
+/// ```
+pub fn emit_design(design: &AcceleratorDesign) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "// Generated by tensorlib-hw for dataflow {}",
+        design.dataflow().name()
+    );
+    let _ = writeln!(s, "// Top module: {}\n", design.top());
+    for bank in design.mem_banks() {
+        s.push_str(&emit_mem_bank(bank));
+        s.push('\n');
+    }
+    for m in design.modules() {
+        s.push_str(&emit_module(m));
+        s.push('\n');
+    }
+    s
+}
+
+/// Emits a self-checking-ish Verilog testbench for the design's top module:
+/// clock/reset generation, a fill phase that streams stimulus into every
+/// input bank, a `start` pulse, and a wait-for-`done` with result dumping.
+///
+/// The testbench is simulator-agnostic (plain `initial`/`always` blocks,
+/// `$display`/`$finish`) so the emitted design can be sanity-run under any
+/// event-driven simulator; bit-exact checking against the reference executor
+/// is done natively by `tensorlib-sim` and the netlist interpreter.
+pub fn emit_testbench(design: &AcceleratorDesign) -> String {
+    let mut s = String::new();
+    let top = design.top();
+    let _ = writeln!(s, "// Testbench for {top} (generated)");
+    let _ = writeln!(s, "`timescale 1ns/1ps");
+    let _ = writeln!(s, "module tb_{top};");
+    let _ = writeln!(s, "  reg clk = 0; always #5 clk = ~clk;");
+    let _ = writeln!(s, "  reg rst = 1;");
+    let _ = writeln!(s, "  reg start = 0;");
+    let _ = writeln!(s, "  reg fill_en = 0;");
+    let _ = writeln!(s, "  wire done;");
+    // Per-binding stimulus/readback nets.
+    let mut conns: Vec<String> = vec![
+        ".clk(clk)".into(),
+        ".rst(rst)".into(),
+        ".start(start)".into(),
+        ".fill_en(fill_en)".into(),
+        ".done(done)".into(),
+    ];
+    let mut fill_regs = Vec::new();
+    let mut result_wires = Vec::new();
+    for (bi, binding) in design.bank_bindings().iter().enumerate() {
+        let w = binding.port.width;
+        if binding.port.kind.is_input() {
+            let _ = writeln!(s, "  reg{}fill_{bi} = 0;", width_decl(w));
+            conns.push(format!(".fill_{bi}(fill_{bi})"));
+            fill_regs.push(bi);
+        } else {
+            let _ = writeln!(s, "  wire{}result_{bi};", width_decl(w));
+            let _ = writeln!(s, "  reg readback_{bi} = 0;");
+            conns.push(format!(".result_{bi}(result_{bi})"));
+            conns.push(format!(".readback_{bi}(readback_{bi})"));
+            result_wires.push(bi);
+        }
+    }
+    let _ = writeln!(s, "  {top} dut (");
+    let _ = writeln!(
+        s,
+        "    {}",
+        conns
+            .iter()
+            .map(|c| c.as_str())
+            .collect::<Vec<_>>()
+            .join(",\n    ")
+    );
+    let _ = writeln!(s, "  );");
+    let fill_words = design
+        .phases()
+        .compute_cycles
+        .min(256);
+    let _ = writeln!(s, "  integer i;");
+    let _ = writeln!(s, "  initial begin");
+    let _ = writeln!(s, "    repeat (4) @(posedge clk); rst = 0;");
+    let _ = writeln!(s, "    // Fill phase: pseudo-random stimulus.");
+    let _ = writeln!(s, "    fill_en = 1;");
+    let _ = writeln!(s, "    for (i = 0; i < {fill_words}; i = i + 1) begin");
+    for bi in &fill_regs {
+        let _ = writeln!(s, "      fill_{bi} = $random;");
+    }
+    let _ = writeln!(s, "      @(posedge clk);");
+    let _ = writeln!(s, "    end");
+    let _ = writeln!(s, "    fill_en = 0;");
+    let _ = writeln!(s, "    start = 1; @(posedge clk); start = 0;");
+    let _ = writeln!(s, "    wait (done);");
+    for bi in &result_wires {
+        let _ = writeln!(s, "    readback_{bi} = 1;");
+    }
+    let _ = writeln!(s, "    repeat (4) @(posedge clk);");
+    for bi in &result_wires {
+        let _ = writeln!(
+            s,
+            "    $display(\"result_{bi} = %0d\", result_{bi});"
+        );
+    }
+    let _ = writeln!(s, "    $display(\"done at %0t\", $time);");
+    let _ = writeln!(s, "    $finish;");
+    let _ = writeln!(s, "  end");
+    let _ = writeln!(s, "  initial begin #1000000 $display(\"TIMEOUT\"); $finish; end");
+    let _ = writeln!(s, "endmodule");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Expr;
+
+    #[test]
+    fn simple_module_emission() {
+        let mut m = Module::new("inc");
+        let a = m.input("a", 8);
+        let y = m.output("y", 8);
+        m.assign(y, Expr::net(a).add(Expr::lit(1, 8)).resize(8));
+        let v = emit_module(&m);
+        assert!(v.contains("module inc"));
+        assert!(!v.contains("clk"), "combinational module needs no clock");
+        assert!(v.contains("assign y = (a + 8'd1)"));
+        assert!(v.ends_with("endmodule\n"));
+    }
+
+    #[test]
+    fn register_gets_clock_and_reset() {
+        let mut m = Module::new("cnt");
+        let en = m.input("en", 1);
+        let q = m.output("q", 4);
+        m.reg(q, Expr::net(q).add(Expr::lit(1, 4)), Some(Expr::net(en)), 0);
+        let v = emit_module(&m);
+        assert!(v.contains("input wire clk"));
+        assert!(v.contains("output reg [3:0] q"));
+        assert!(v.contains("always @(posedge clk)"));
+        assert!(v.contains("if (rst) q <= 4'd0;"));
+        assert!(v.contains("else if (en) q <= (q + 4'd1);"));
+    }
+
+    #[test]
+    fn resize_emission() {
+        let mut m = Module::new("rs");
+        let a = m.input("a", 8);
+        let wide = m.output("wide", 12);
+        let narrow = m.output("narrow", 4);
+        m.assign(wide, Expr::net(a).resize(12));
+        m.assign(narrow, Expr::net(a).resize(4));
+        let v = emit_module(&m);
+        assert!(v.contains("{{4{1'b0}}, a}"), "zero extension: {v}");
+        assert!(v.contains("a[3:0]"), "truncation: {v}");
+    }
+
+    #[test]
+    fn mem_bank_emission() {
+        let bank = MemBank::new(64, 16, true);
+        let v = emit_mem_bank(&bank);
+        assert!(v.contains("module bank_w16_d64_db"));
+        assert!(v.contains("mem [0:127]"), "double buffer doubles depth: {v}");
+        assert!(v.contains("buf_sel"));
+        let single = emit_mem_bank(&MemBank::new(64, 16, false));
+        assert!(single.contains("mem [0:63]"));
+        assert!(!single.contains("buf_sel"));
+    }
+
+    #[test]
+    fn instances_connect_clock() {
+        let mut m = Module::new("wrap");
+        let a = m.input("a", 8);
+        let y = m.output("y", 8);
+        m.instance(
+            "child",
+            "c0",
+            vec![("in".into(), a), ("out".into(), y)],
+        );
+        let v = emit_module(&m);
+        assert!(v.contains(".clk(clk)"));
+        assert!(v.contains(".in(a)"));
+        assert!(v.contains("child c0 ("));
+    }
+
+    #[test]
+    fn testbench_targets_top_and_waits_for_done() {
+        use crate::design::{generate, HwConfig};
+        use tensorlib_dataflow::{Dataflow, LoopSelection, Stt};
+        use tensorlib_ir::workloads;
+        let gemm = workloads::gemm(16, 16, 16);
+        let sel = LoopSelection::by_names(&gemm, ["m", "n", "k"]).unwrap();
+        let df = Dataflow::analyze(&gemm, sel, Stt::output_stationary()).unwrap();
+        let design = generate(&df, &HwConfig::default()).unwrap();
+        let tb = emit_testbench(&design);
+        assert!(tb.contains(&format!("module tb_{}", design.top())));
+        assert!(tb.contains("wait (done);"));
+        assert!(tb.contains("$finish"));
+        // Every input bank gets a stimulus register.
+        let fills = design
+            .bank_bindings()
+            .iter()
+            .filter(|b| b.port.kind.is_input())
+            .count();
+        assert_eq!(tb.matches("= $random;").count(), fills);
+    }
+
+    #[test]
+    fn emission_is_deterministic() {
+        let build = || {
+            let mut m = Module::new("d");
+            let a = m.input("a", 8);
+            let y = m.output("y", 8);
+            m.assign(y, Expr::net(a));
+            emit_module(&m)
+        };
+        assert_eq!(build(), build());
+    }
+}

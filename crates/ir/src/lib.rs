@@ -1,0 +1,48 @@
+//! Tensor-algebra intermediate representation for spatial accelerator
+//! generation.
+//!
+//! TensorLib (DAC 2021) takes as input a tensor computation expressed as a
+//! *perfect nested loop* whose tensor accesses are *affine* in the loop
+//! iterators (`I = A·x`). This crate models exactly that:
+//!
+//! - [`LoopNest`]: named iterators with integer extents.
+//! - [`AffineExpr`] / [`AccessMap`]: linear index expressions and per-tensor
+//!   access matrices.
+//! - [`Kernel`]: an einsum-of-products computation
+//!   `Out[A_out·x] += Π_i In_i[A_i·x]`, which covers all six workloads the
+//!   paper evaluates (Table II).
+//! - [`DenseTensor`] and [`Kernel::execute_reference`]: an exact reference
+//!   executor used as ground truth when validating generated accelerators.
+//! - [`workloads`]: constructors for GEMM, Batched-GEMV, Conv2D,
+//!   Depthwise-Conv, MTTKRP and TTMc, including the ResNet layer shapes used
+//!   in the paper's Figure 5.
+//!
+//! # Examples
+//!
+//! ```
+//! use tensorlib_ir::workloads;
+//!
+//! let gemm = workloads::gemm(4, 4, 4);
+//! assert_eq!(gemm.loop_nest().len(), 3);
+//! let inputs = gemm.random_inputs(42);
+//! let out = gemm.execute_reference(&inputs).unwrap();
+//! assert_eq!(out.dims(), &[4, 4]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod datatype;
+mod expr;
+mod kernel;
+mod nest;
+mod parse;
+mod tensor;
+pub mod workloads;
+
+pub use datatype::DataType;
+pub use expr::{AccessMap, AffineExpr};
+pub use parse::{parse_kernel, ParseKernelError};
+pub use kernel::{Kernel, KernelError, TensorDecl, TensorRole};
+pub use nest::{LoopIter, LoopNest};
+pub use tensor::DenseTensor;

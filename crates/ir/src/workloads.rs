@@ -1,0 +1,305 @@
+//! The six tensor-algebra workloads evaluated in the paper (Table II).
+//!
+//! | Name | Formula |
+//! |------|---------|
+//! | GEMM | `C[m,n] += A[m,k] × B[n,k]` |
+//! | Batched-GEMV | `C[m,n] += A[m,k,n] × B[m,k]` |
+//! | Conv2D | `C[k,y,x] += A[c,y+p,x+q] × B[k,c,p,q]` |
+//! | Depthwise-Conv | `C[k,y,x] += A[k,y+p,x+q] × B[k,p,q]` |
+//! | MTTKRP | `D[i,j] += A[i,k,l] × B[k,j] × C[l,j]` |
+//! | TTMc | `D[i,j,k] += A[i,l,m] × B[l,j] × C[m,k]` |
+//!
+//! The `resnet_layer2`/`resnet_layer5` presets are the two ResNet Conv2D
+//! layers used in Figure 5 (layer 5 is the late 7×7 feature-map layer whose
+//! tiny spatial extents crater PE utilization, as §VI-A discusses).
+
+use crate::{AccessMap, AffineExpr, Kernel, LoopNest, TensorDecl, TensorRole};
+
+fn input(nest: &LoopNest, name: &str, dims: &[&[&str]]) -> TensorDecl {
+    decl(nest, name, TensorRole::Input, dims)
+}
+
+fn output(nest: &LoopNest, name: &str, dims: &[&[&str]]) -> TensorDecl {
+    decl(nest, name, TensorRole::Output, dims)
+}
+
+fn decl(nest: &LoopNest, name: &str, role: TensorRole, dims: &[&[&str]]) -> TensorDecl {
+    TensorDecl::new(
+        name,
+        role,
+        AccessMap::new(dims.iter().map(|d| AffineExpr::sum_of(nest, d)).collect()),
+    )
+}
+
+/// General matrix multiplication `C[m,n] += A[m,k] × B[n,k]`.
+///
+/// # Examples
+///
+/// ```
+/// use tensorlib_ir::workloads;
+/// let k = workloads::gemm(16, 16, 64);
+/// assert_eq!(k.macs(), 16 * 16 * 64);
+/// ```
+pub fn gemm(m: u64, n: u64, k: u64) -> Kernel {
+    let nest = LoopNest::new(vec![("m", m), ("n", n), ("k", k)]);
+    let tensors = vec![
+        input(&nest, "A", &[&["m"], &["k"]]),
+        input(&nest, "B", &[&["n"], &["k"]]),
+        output(&nest, "C", &[&["m"], &["n"]]),
+    ];
+    Kernel::new("GEMM", nest, tensors).expect("GEMM is well-formed")
+}
+
+/// Batched matrix–vector product `C[m,n] += A[m,k,n] × B[m,k]`.
+///
+/// Tensor `A` depends on all three iterators, so it can never be reused — the
+/// paper notes Batched-GEMV is restricted to unicast dataflows for `A`.
+pub fn batched_gemv(m: u64, n: u64, k: u64) -> Kernel {
+    let nest = LoopNest::new(vec![("m", m), ("n", n), ("k", k)]);
+    let tensors = vec![
+        input(&nest, "A", &[&["m"], &["k"], &["n"]]),
+        input(&nest, "B", &[&["m"], &["k"]]),
+        output(&nest, "C", &[&["m"], &["n"]]),
+    ];
+    Kernel::new("Batched-GEMV", nest, tensors).expect("Batched-GEMV is well-formed")
+}
+
+/// 2-D convolution `C[k,y,x] += A[c,y+p,x+q] × B[k,c,p,q]`.
+///
+/// Loop order is `(k, c, y, x, p, q)`.
+pub fn conv2d(k: u64, c: u64, y: u64, x: u64, p: u64, q: u64) -> Kernel {
+    let nest = LoopNest::new(vec![
+        ("k", k),
+        ("c", c),
+        ("y", y),
+        ("x", x),
+        ("p", p),
+        ("q", q),
+    ]);
+    let tensors = vec![
+        input(&nest, "A", &[&["c"], &["y", "p"], &["x", "q"]]),
+        input(&nest, "B", &[&["k"], &["c"], &["p"], &["q"]]),
+        output(&nest, "C", &[&["k"], &["y"], &["x"]]),
+    ];
+    Kernel::new("Conv2D", nest, tensors).expect("Conv2D is well-formed")
+}
+
+/// Depthwise convolution `C[k,y,x] += A[k,y+p,x+q] × B[k,p,q]`.
+///
+/// There is no large reduction dimension (no `c` loop), which is why standard
+/// systolic GEMM-style dataflows do not apply — the paper uses this kernel to
+/// demonstrate generality beyond systolic generators.
+pub fn depthwise_conv(k: u64, y: u64, x: u64, p: u64, q: u64) -> Kernel {
+    let nest = LoopNest::new(vec![("k", k), ("y", y), ("x", x), ("p", p), ("q", q)]);
+    let tensors = vec![
+        input(&nest, "A", &[&["k"], &["y", "p"], &["x", "q"]]),
+        input(&nest, "B", &[&["k"], &["p"], &["q"]]),
+        output(&nest, "C", &[&["k"], &["y"], &["x"]]),
+    ];
+    Kernel::new("Depthwise-Conv", nest, tensors).expect("Depthwise-Conv is well-formed")
+}
+
+/// Matricized tensor times Khatri-Rao product
+/// `D[i,j] += A[i,k,l] × B[k,j] × C[l,j]`.
+pub fn mttkrp(i: u64, j: u64, k: u64, l: u64) -> Kernel {
+    let nest = LoopNest::new(vec![("i", i), ("j", j), ("k", k), ("l", l)]);
+    let tensors = vec![
+        input(&nest, "A", &[&["i"], &["k"], &["l"]]),
+        input(&nest, "B", &[&["k"], &["j"]]),
+        input(&nest, "C", &[&["l"], &["j"]]),
+        output(&nest, "D", &[&["i"], &["j"]]),
+    ];
+    Kernel::new("MTTKRP", nest, tensors).expect("MTTKRP is well-formed")
+}
+
+/// Tensor-times-matrix chain `D[i,j,k] += A[i,l,m] × B[l,j] × C[m,k]`.
+pub fn ttmc(i: u64, j: u64, k: u64, l: u64, m: u64) -> Kernel {
+    let nest = LoopNest::new(vec![("i", i), ("j", j), ("k", k), ("l", l), ("m", m)]);
+    let tensors = vec![
+        input(&nest, "A", &[&["i"], &["l"], &["m"]]),
+        input(&nest, "B", &[&["l"], &["j"]]),
+        input(&nest, "C", &[&["m"], &["k"]]),
+        output(&nest, "D", &[&["i"], &["j"], &["k"]]),
+    ];
+    Kernel::new("TTMc", nest, tensors).expect("TTMc is well-formed")
+}
+
+/// ResNet layer-2 Conv2D preset: 64 output channels, 64 input channels,
+/// 56×56 feature map, 3×3 kernel.
+pub fn resnet_layer2() -> Kernel {
+    conv2d(64, 64, 56, 56, 3, 3)
+}
+
+/// ResNet layer-5 Conv2D preset: 512 output channels, 512 input channels,
+/// 7×7 feature map, 3×3 kernel. The `x = y = 7` extents are the utilization
+/// cliff discussed in §VI-A of the paper.
+pub fn resnet_layer5() -> Kernel {
+    conv2d(512, 512, 7, 7, 3, 3)
+}
+
+/// The Table II catalog at the evaluation sizes used throughout the bench
+/// harness (large enough to exercise a 16×16 array, small enough to simulate).
+pub fn table2_catalog() -> Vec<Kernel> {
+    vec![
+        gemm(64, 64, 64),
+        batched_gemv(64, 64, 64),
+        resnet_layer2(),
+        resnet_layer5(),
+        depthwise_conv(64, 56, 56, 3, 3),
+        mttkrp(32, 32, 32, 32),
+        ttmc(16, 16, 16, 16, 16),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_formulas_have_expected_shapes() {
+        let g = gemm(4, 5, 6);
+        assert_eq!(g.input_dims(), vec![vec![4, 6], vec![5, 6]]);
+        assert_eq!(g.output_dims(), vec![4, 5]);
+
+        let bg = batched_gemv(4, 5, 6);
+        assert_eq!(bg.input_dims(), vec![vec![4, 6, 5], vec![4, 6]]);
+        assert_eq!(bg.output_dims(), vec![4, 5]);
+
+        let cv = conv2d(2, 3, 8, 8, 3, 3);
+        assert_eq!(cv.input_dims(), vec![vec![3, 10, 10], vec![2, 3, 3, 3]]);
+        assert_eq!(cv.output_dims(), vec![2, 8, 8]);
+
+        let dw = depthwise_conv(2, 8, 8, 3, 3);
+        assert_eq!(dw.input_dims(), vec![vec![2, 10, 10], vec![2, 3, 3]]);
+        assert_eq!(dw.output_dims(), vec![2, 8, 8]);
+
+        let mt = mttkrp(2, 3, 4, 5);
+        assert_eq!(mt.input_dims(), vec![vec![2, 4, 5], vec![4, 3], vec![5, 3]]);
+        assert_eq!(mt.output_dims(), vec![2, 3]);
+
+        let tt = ttmc(2, 3, 4, 5, 6);
+        assert_eq!(
+            tt.input_dims(),
+            vec![vec![2, 5, 6], vec![5, 3], vec![6, 4]]
+        );
+        assert_eq!(tt.output_dims(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn conv2d_matches_hand_convolution() {
+        let k = conv2d(1, 1, 3, 3, 2, 2);
+        let inputs = k.random_inputs(5);
+        let out = k.execute_reference(&inputs).unwrap();
+        for y in 0..3i64 {
+            for x in 0..3i64 {
+                let mut acc = 0;
+                for p in 0..2i64 {
+                    for q in 0..2i64 {
+                        acc += inputs[0].get(&[0, y + p, x + q]) * inputs[1].get(&[0, 0, p, q]);
+                    }
+                }
+                assert_eq!(out.get(&[0, y, x]), acc);
+            }
+        }
+    }
+
+    #[test]
+    fn mttkrp_matches_hand_computation() {
+        let kern = mttkrp(2, 2, 3, 3);
+        let ins = kern.random_inputs(11);
+        let out = kern.execute_reference(&ins).unwrap();
+        for i in 0..2i64 {
+            for j in 0..2i64 {
+                let mut acc = 0;
+                for k in 0..3i64 {
+                    for l in 0..3i64 {
+                        acc += ins[0].get(&[i, k, l]) * ins[1].get(&[k, j]) * ins[2].get(&[l, j]);
+                    }
+                }
+                assert_eq!(out.get(&[i, j]), acc);
+            }
+        }
+    }
+
+    #[test]
+    fn ttmc_matches_hand_computation() {
+        let kern = ttmc(2, 2, 2, 3, 3);
+        let ins = kern.random_inputs(13);
+        let out = kern.execute_reference(&ins).unwrap();
+        for i in 0..2i64 {
+            for j in 0..2i64 {
+                for k in 0..2i64 {
+                    let mut acc = 0;
+                    for l in 0..3i64 {
+                        for m in 0..3i64 {
+                            acc += ins[0].get(&[i, l, m])
+                                * ins[1].get(&[l, j])
+                                * ins[2].get(&[m, k]);
+                        }
+                    }
+                    assert_eq!(out.get(&[i, j, k]), acc);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_gemv_matches_hand_computation() {
+        let kern = batched_gemv(2, 3, 4);
+        let ins = kern.random_inputs(17);
+        let out = kern.execute_reference(&ins).unwrap();
+        for m in 0..2i64 {
+            for n in 0..3i64 {
+                let mut acc = 0;
+                for k in 0..4i64 {
+                    acc += ins[0].get(&[m, k, n]) * ins[1].get(&[m, k]);
+                }
+                assert_eq!(out.get(&[m, n]), acc);
+            }
+        }
+    }
+
+    #[test]
+    fn depthwise_keeps_channels_independent() {
+        let kern = depthwise_conv(2, 3, 3, 2, 2);
+        let mut ins = kern.random_inputs(23);
+        // Ensure the weight multiplying the perturbed activation is nonzero.
+        ins[1].set(&[1, 0, 0], 1);
+        let before = kern.execute_reference(&ins).unwrap();
+        // Perturb channel 1's input; channel 0 outputs must not change.
+        let v = ins[0].get(&[1, 0, 0]);
+        ins[0].set(&[1, 0, 0], v + 5);
+        let after = kern.execute_reference(&ins).unwrap();
+        for y in 0..3i64 {
+            for x in 0..3i64 {
+                assert_eq!(before.get(&[0, y, x]), after.get(&[0, y, x]));
+            }
+        }
+        assert_ne!(before.get(&[1, 0, 0]), after.get(&[1, 0, 0]));
+    }
+
+    #[test]
+    fn resnet_presets() {
+        assert_eq!(resnet_layer2().loop_nest().extent_of("y"), Some(56));
+        assert_eq!(resnet_layer5().loop_nest().extent_of("x"), Some(7));
+        assert_eq!(resnet_layer5().loop_nest().extent_of("k"), Some(512));
+    }
+
+    #[test]
+    fn catalog_is_complete() {
+        let names: Vec<String> = table2_catalog()
+            .iter()
+            .map(|k| k.name().to_string())
+            .collect();
+        for expected in [
+            "GEMM",
+            "Batched-GEMV",
+            "Conv2D",
+            "Depthwise-Conv",
+            "MTTKRP",
+            "TTMc",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Exact rational linear algebra for space-time transformation analysis.
+//!
+//! Space-Time Transformation (STT) analysis manipulates small integer matrices:
+//! inverting the transformation matrix `T`, computing null spaces of access
+//! matrices, and projecting reuse directions between the iteration domain and
+//! the space-time domain. Floating point is unacceptable here — a reuse vector
+//! either is or is not zero — so everything in this crate is computed over
+//! exact rationals ([`Frac`], an `i128` fraction kept in lowest terms).
+//!
+//! The two workhorse types are:
+//!
+//! - [`Frac`]: an exact rational number with full arithmetic operator support.
+//! - [`Mat`]: a dense row-major matrix of [`Frac`] with rank, inverse,
+//!   null-space, pseudo-inverse, and Gauss–Jordan elimination.
+//!
+//! # Examples
+//!
+//! Invert the classic output-stationary STT matrix and recover a loop point
+//! from a space-time point:
+//!
+//! ```
+//! use tensorlib_linalg::{Mat, Frac};
+//!
+//! // T maps (i, j, k) -> (p1, p2, t) = (i, j, i + j + k).
+//! let t = Mat::from_i64(&[&[1, 0, 0], &[0, 1, 0], &[1, 1, 1]]);
+//! let t_inv = t.inverse().expect("T is full rank");
+//! let st = Mat::col_from_i64(&[1, 2, 6]);
+//! let x = &t_inv * &st;
+//! assert_eq!(x.col_to_i64().unwrap(), vec![1, 2, 3]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod frac;
+mod mat;
+mod solve;
+
+pub use frac::{Frac, ParseFracError};
+pub use mat::{Mat, MatShapeError};
+pub use solve::{gcd_i128, lcm_i128, primitive_integer_vector};

@@ -1,0 +1,460 @@
+//! Dense row-major matrices of exact rationals.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+use crate::Frac;
+
+/// A dense, row-major matrix of exact rationals ([`Frac`]).
+///
+/// `Mat` is sized at construction; all arithmetic is exact. Matrices in STT
+/// analysis are tiny (at most a handful of rows/columns), so the
+/// implementation favours clarity over asymptotics.
+///
+/// # Examples
+///
+/// ```
+/// use tensorlib_linalg::Mat;
+///
+/// let a = Mat::from_i64(&[&[1, 2], &[3, 4]]);
+/// let b = Mat::identity(2);
+/// assert_eq!(&a * &b, a);
+/// assert_eq!(a.rank(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Frac>,
+}
+
+/// Error returned when constructing a [`Mat`] from malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use tensorlib_linalg::{Mat, Frac};
+///
+/// let ragged = vec![vec![Frac::ONE], vec![Frac::ONE, Frac::ZERO]];
+/// assert!(Mat::from_rows(ragged).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatShapeError {
+    expected: usize,
+    got: usize,
+    row: usize,
+}
+
+impl fmt::Display for MatShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ragged matrix rows: row {} has {} entries, expected {}",
+            self.row, self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for MatShapeError {}
+
+impl Mat {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Mat {
+        Mat {
+            rows,
+            cols,
+            data: vec![Frac::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tensorlib_linalg::Mat;
+    /// let i = Mat::identity(3);
+    /// assert_eq!(&i * &i, i);
+    /// ```
+    pub fn identity(n: usize) -> Mat {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Frac::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix from owned rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatShapeError`] if the rows have differing lengths.
+    pub fn from_rows(rows: Vec<Vec<Frac>>) -> Result<Mat, MatShapeError> {
+        let ncols = rows.first().map_or(0, Vec::len);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != ncols {
+                return Err(MatShapeError {
+                    expected: ncols,
+                    got: r.len(),
+                    row: i,
+                });
+            }
+        }
+        Ok(Mat {
+            rows: rows.len(),
+            cols: ncols,
+            data: rows.into_iter().flatten().collect(),
+        })
+    }
+
+    /// Creates a matrix from integer row slices. Convenient for literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tensorlib_linalg::Mat;
+    /// let m = Mat::from_i64(&[&[1, 0, 0], &[0, 0, 1]]);
+    /// assert_eq!((m.rows(), m.cols()), (2, 3));
+    /// ```
+    pub fn from_i64(rows: &[&[i64]]) -> Mat {
+        let frac_rows = rows
+            .iter()
+            .map(|r| r.iter().map(|&v| Frac::from(v)).collect())
+            .collect();
+        Mat::from_rows(frac_rows).expect("rows of equal length")
+    }
+
+    /// Creates a single-column matrix from integers.
+    pub fn col_from_i64(col: &[i64]) -> Mat {
+        Mat {
+            rows: col.len(),
+            cols: 1,
+            data: col.iter().map(|&v| Frac::from(v)).collect(),
+        }
+    }
+
+    /// Creates a single-column matrix from fractions.
+    pub fn col_from_fracs(col: &[Frac]) -> Mat {
+        Mat {
+            rows: col.len(),
+            cols: 1,
+            data: col.to_vec(),
+        }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at each position.
+    pub fn from_fn<F: FnMut(usize, usize) -> Frac>(rows: usize, cols: usize, mut f: F) -> Mat {
+        let mut m = Mat::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Returns `true` if every entry is zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(|f| f.is_zero())
+    }
+
+    /// Returns `true` if every entry is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.data.iter().all(|f| f.is_integer())
+    }
+
+    /// A copy of row `i` as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> Vec<Frac> {
+        assert!(i < self.rows, "row index {i} out of bounds");
+        self.data[i * self.cols..(i + 1) * self.cols].to_vec()
+    }
+
+    /// A copy of column `j` as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn col(&self, j: usize) -> Vec<Frac> {
+        assert!(j < self.cols, "column index {j} out of bounds");
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Mat {
+        Mat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Horizontally concatenates `self | other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
+    pub fn hstack(&self, other: &Mat) -> Mat {
+        assert_eq!(self.rows, other.rows, "hstack requires equal row counts");
+        Mat::from_fn(self.rows, self.cols + other.cols, |i, j| {
+            if j < self.cols {
+                self[(i, j)]
+            } else {
+                other[(i, j - self.cols)]
+            }
+        })
+    }
+
+    /// Vertically concatenates `self` on top of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ.
+    pub fn vstack(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.cols, "vstack requires equal column counts");
+        Mat::from_fn(self.rows + other.rows, self.cols, |i, j| {
+            if i < self.rows {
+                self[(i, j)]
+            } else {
+                other[(i - self.rows, j)]
+            }
+        })
+    }
+
+    /// Returns the submatrix formed by the given column indices, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_cols(&self, idx: &[usize]) -> Mat {
+        Mat::from_fn(self.rows, idx.len(), |i, j| self[(i, idx[j])])
+    }
+
+    /// Applies `f` to every entry, producing a new matrix.
+    pub fn map<F: FnMut(Frac) -> Frac>(&self, mut f: F) -> Mat {
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Multiplies every entry by a scalar.
+    pub fn scale(&self, s: Frac) -> Mat {
+        self.map(|v| v * s)
+    }
+
+    /// Extracts a single-column matrix as integers, if every entry is integral.
+    ///
+    /// Returns `None` if the matrix is not a column or contains non-integers
+    /// that do not fit `i64`.
+    pub fn col_to_i64(&self) -> Option<Vec<i64>> {
+        if self.cols != 1 {
+            return None;
+        }
+        self.data
+            .iter()
+            .map(|f| f.to_integer().and_then(|v| i64::try_from(v).ok()))
+            .collect()
+    }
+
+    /// Iterates over all entries in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = Frac> + '_ {
+        self.data.iter().copied()
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = Frac;
+    fn index(&self, (i, j): (usize, usize)) -> &Frac {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Frac {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  [")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl Add for &Mat {
+    type Output = Mat;
+    fn add(self, rhs: &Mat) -> Mat {
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "matrix addition requires equal shapes"
+        );
+        Mat::from_fn(self.rows, self.cols, |i, j| self[(i, j)] + rhs[(i, j)])
+    }
+}
+
+impl Sub for &Mat {
+    type Output = Mat;
+    fn sub(self, rhs: &Mat) -> Mat {
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "matrix subtraction requires equal shapes"
+        );
+        Mat::from_fn(self.rows, self.cols, |i, j| self[(i, j)] - rhs[(i, j)])
+    }
+}
+
+impl Neg for &Mat {
+    type Output = Mat;
+    fn neg(self) -> Mat {
+        self.map(|v| -v)
+    }
+}
+
+impl Mul for &Mat {
+    type Output = Mat;
+    fn mul(self, rhs: &Mat) -> Mat {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matrix product dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        Mat::from_fn(self.rows, rhs.cols, |i, j| {
+            (0..self.cols).map(|k| self[(i, k)] * rhs[(k, j)]).sum()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Mat::from_i64(&[&[1, 2, 3], &[4, 5, 6]]);
+        assert_eq!(m[(0, 2)], Frac::from(3i64));
+        assert_eq!(m[(1, 0)], Frac::from(4i64));
+        assert_eq!(m.row(1), vec![4.into(), 5.into(), 6.into()]);
+        assert_eq!(m.col(1), vec![2.into(), 5.into()]);
+    }
+
+    #[test]
+    fn ragged_rows_error() {
+        let err = Mat::from_rows(vec![vec![Frac::ONE], vec![Frac::ONE, Frac::ZERO]]).unwrap_err();
+        assert!(err.to_string().contains("ragged"));
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Mat::from_i64(&[&[1, 2], &[3, 4]]);
+        let i = Mat::identity(2);
+        let z = Mat::zeros(2, 2);
+        assert_eq!(&a * &i, a);
+        assert_eq!(&i * &a, a);
+        assert_eq!(&a + &z, a);
+        assert_eq!(&a - &a, z);
+        assert_eq!(&(-&a) + &a, z);
+    }
+
+    #[test]
+    fn product_values() {
+        let a = Mat::from_i64(&[&[1, 2], &[3, 4]]);
+        let b = Mat::from_i64(&[&[5, 6], &[7, 8]]);
+        assert_eq!(&a * &b, Mat::from_i64(&[&[19, 22], &[43, 50]]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::from_i64(&[&[1, 2, 3], &[4, 5, 6]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], Frac::from(6i64));
+    }
+
+    #[test]
+    fn stacking() {
+        let a = Mat::from_i64(&[&[1], &[2]]);
+        let b = Mat::from_i64(&[&[3], &[4]]);
+        assert_eq!(a.hstack(&b), Mat::from_i64(&[&[1, 3], &[2, 4]]));
+        assert_eq!(a.vstack(&b), Mat::from_i64(&[&[1], &[2], &[3], &[4]]));
+    }
+
+    #[test]
+    fn select_cols_reorders() {
+        let a = Mat::from_i64(&[&[1, 2, 3], &[4, 5, 6]]);
+        assert_eq!(a.select_cols(&[2, 0]), Mat::from_i64(&[&[3, 1], &[6, 4]]));
+    }
+
+    #[test]
+    fn col_to_i64_round_trip() {
+        let c = Mat::col_from_i64(&[7, -3, 0]);
+        assert_eq!(c.col_to_i64().unwrap(), vec![7, -3, 0]);
+        let half = Mat::col_from_fracs(&[Frac::new(1, 2)]);
+        assert!(half.col_to_i64().is_none());
+        let wide = Mat::identity(2);
+        assert!(wide.col_to_i64().is_none());
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Mat::zeros(2, 3).is_zero());
+        assert!(Mat::identity(2).is_integer());
+        assert!(Mat::identity(2).is_square());
+        assert!(!Mat::zeros(2, 3).is_square());
+        let half = Mat::col_from_fracs(&[Frac::new(1, 2)]);
+        assert!(!half.is_integer());
+    }
+
+    #[test]
+    fn debug_format_contains_entries() {
+        let s = format!("{:?}", Mat::from_i64(&[&[1, 2]]));
+        assert!(s.contains("1, 2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn product_shape_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        let _ = &a * &b;
+    }
+}

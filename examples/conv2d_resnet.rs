@@ -1,0 +1,53 @@
+//! Conv2D dataflow shoot-out on the paper's two ResNet layers.
+//!
+//! Demonstrates the §VI-A narrative: selecting the `(k, c, x)` loops turns
+//! convolution into a large GEMM and wins; mapping the tiny `p` (kernel) or
+//! `x = y = 7` (late-layer) loops onto the array craters utilization.
+//!
+//! Run with: `cargo run --release --example conv2d_resnet`
+
+use tensorlib::dataflow::dse::{find_named, DseConfig};
+use tensorlib::hw::design::{generate, HwConfig};
+use tensorlib::ir::workloads;
+use tensorlib::sim::perf;
+use tensorlib::SimConfig;
+
+fn main() {
+    let dataflows = ["KCX-SST", "KCX-STS", "XYP-MMT", "XYP-MST", "KPX-MST"];
+    let hw = HwConfig::default();
+    let sim = SimConfig::paper_default();
+
+    for (label, kernel) in [
+        ("ResNet layer 2 (56x56 feature map)", workloads::resnet_layer2()),
+        ("ResNet layer 5 (7x7 feature map)", workloads::resnet_layer5()),
+    ] {
+        println!("{label}: {} MACs", kernel.macs());
+        for name in dataflows {
+            let Ok(df) = find_named(&kernel, name, &DseConfig::default()) else {
+                println!("  {name:8}  (not realizable on this kernel)");
+                continue;
+            };
+            let Ok(design) = generate(&df, &hw) else {
+                println!("  {name:8}  (reuse vectors not wireable)");
+                continue;
+            };
+            let r = perf::estimate(&design, &kernel, &sim);
+            // Explain the utilization through the tiling.
+            let t = design.tiling();
+            println!(
+                "  {name:8}  {:>10} cycles  {:>5.1}% of peak  (tile {}x{} PEs, {} tiles)",
+                r.total_cycles,
+                100.0 * r.normalized_perf,
+                t.space_size[0],
+                t.space_size[1],
+                r.tiles,
+            );
+        }
+        println!();
+    }
+    println!(
+        "Takeaway: KCX selections keep all 16 rows busy; XYP/KPX map a loop of\n\
+         extent 3 (or 7) onto a 16-wide dimension and idle the rest, exactly\n\
+         as Figure 5 of the paper shows."
+    );
+}

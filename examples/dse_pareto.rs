@@ -1,0 +1,59 @@
+//! Design-space exploration with a Pareto view — the Figure 6 workflow.
+//!
+//! Sweeps every implementable Depthwise-Conv dataflow (the kernel that
+//! systolic-only generators cannot build at all), scores cycles / power /
+//! area, and prints the power-area Pareto frontier plus the
+//! fastest-per-watt picks.
+//!
+//! Run with: `cargo run --release --example dse_pareto`
+
+use tensorlib::explore::{explore, pareto_power_area, ExploreOptions};
+use tensorlib::ir::workloads;
+
+fn main() {
+    let kernel = workloads::depthwise_conv(64, 56, 56, 3, 3);
+    let points = explore(&kernel, &ExploreOptions::default());
+    println!(
+        "Depthwise-Conv: {} implementable dataflow designs explored",
+        points.len()
+    );
+
+    // Fastest designs (distinct names: several signatures can share one).
+    println!("\nfastest five:");
+    let mut seen = std::collections::HashSet::new();
+    for p in points.iter().filter(|p| seen.insert(p.name.clone())).take(5) {
+        println!(
+            "  {:12} {:>9} cycles  {:5.1} mW  {:.3} mm2",
+            p.name, p.performance.total_cycles, p.asic.power_mw, p.asic.area_mm2
+        );
+    }
+
+    // Power/area Pareto frontier.
+    let mut frontier = pareto_power_area(&points);
+    frontier.sort_by(|a, b| a.asic.power_mw.partial_cmp(&b.asic.power_mw).unwrap());
+    frontier.dedup_by(|a, b| a.name == b.name);
+    println!("\npower/area Pareto frontier ({} points):", frontier.len());
+    for p in frontier.iter().take(10) {
+        println!(
+            "  {:12} {:5.1} mW  {:.3} mm2  ({} cycles)",
+            p.name, p.asic.power_mw, p.asic.area_mm2, p.performance.total_cycles
+        );
+    }
+
+    // Best performance-per-watt.
+    let best_eff = points
+        .iter()
+        .max_by(|a, b| {
+            let ea = a.performance.gops / a.asic.power_mw;
+            let eb = b.performance.gops / b.asic.power_mw;
+            ea.partial_cmp(&eb).unwrap()
+        })
+        .expect("nonempty space");
+    println!(
+        "\nbest Gop/s-per-watt: {} at {:.1} Gop/s / {:.1} mW = {:.2} Gop/s/W",
+        best_eff.name,
+        best_eff.performance.gops,
+        best_eff.asic.power_mw,
+        1000.0 * best_eff.performance.gops / best_eff.asic.power_mw
+    );
+}

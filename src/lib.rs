@@ -1,0 +1,7 @@
+//! Umbrella crate for the TensorLib reproduction workspace.
+//!
+//! This crate exists to anchor the workspace-level integration tests in
+//! `tests/` and the runnable examples in `examples/`. The public API lives in
+//! the [`tensorlib`] facade crate; see the README for a tour.
+
+pub use tensorlib;

@@ -1,0 +1,149 @@
+//! End-to-end pipeline tests: kernel → dataflow → hardware → simulation →
+//! cost, across every Table II workload.
+
+use tensorlib::dataflow::dse::{design_space, DseConfig};
+use tensorlib::hw::design::generate;
+use tensorlib::hw::verilog::emit_design;
+use tensorlib::ir::workloads;
+use tensorlib::sim::functional;
+use tensorlib::{Accelerator, Activity, ArrayConfig, FpgaDevice, HwConfig, Kernel, SimConfig};
+
+fn small_twins() -> Vec<Kernel> {
+    vec![
+        workloads::gemm(8, 8, 8),
+        workloads::batched_gemv(8, 8, 8),
+        workloads::conv2d(4, 4, 6, 6, 3, 3),
+        workloads::depthwise_conv(4, 6, 6, 3, 3),
+        workloads::mttkrp(6, 6, 6, 6),
+        workloads::ttmc(4, 4, 4, 4, 4),
+    ]
+}
+
+#[test]
+fn every_workload_has_a_verified_accelerator() {
+    for kernel in small_twins() {
+        let name = kernel.name().to_string();
+        let acc = Accelerator::builder(kernel)
+            .array(4, 4)
+            .build()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let run = acc.verify(11).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(run.matches_reference, "{name}");
+        assert_eq!(run.macs_executed, acc.kernel().macs(), "{name}");
+    }
+}
+
+#[test]
+fn every_workload_supports_multiple_verified_dataflows() {
+    // For each kernel, take several distinct implementable dataflows from the
+    // design space and verify each bit-exactly.
+    let hw = HwConfig {
+        array: ArrayConfig::square(4),
+        ..HwConfig::default()
+    };
+    for kernel in small_twins() {
+        let mut verified = 0;
+        let mut letters_seen = std::collections::HashSet::new();
+        for df in design_space(&kernel, &DseConfig::default()) {
+            if verified >= 4 || !letters_seen.insert(df.letters()) {
+                continue;
+            }
+            let Ok(design) = generate(&df, &hw) else {
+                continue;
+            };
+            let run = functional::simulate(&design, &kernel, 5)
+                .unwrap_or_else(|e| panic!("{} {}: {e}", kernel.name(), df.name()));
+            assert!(run.matches_reference);
+            verified += 1;
+        }
+        assert!(
+            verified >= 3,
+            "{}: only {verified} distinct dataflows verified",
+            kernel.name()
+        );
+    }
+}
+
+#[test]
+fn generated_designs_are_structurally_valid_and_emit_verilog() {
+    for kernel in small_twins() {
+        let name = kernel.name().to_string();
+        let acc = Accelerator::builder(kernel).array(4, 4).build().unwrap();
+        acc.design()
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let v = emit_design(acc.design());
+        // Every module appears exactly once.
+        for m in acc.design().modules() {
+            let needle = format!("module {} (", m.name());
+            assert_eq!(
+                v.matches(&needle).count(),
+                1,
+                "{name}: module {} not emitted exactly once",
+                m.name()
+            );
+        }
+        assert_eq!(
+            v.matches("endmodule").count(),
+            acc.design().modules().len() + acc.design().mem_banks().len(),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn costs_are_finite_and_positive_for_all_workloads() {
+    for kernel in small_twins() {
+        let acc = Accelerator::builder(kernel).array(4, 4).build().unwrap();
+        let perf = acc.performance(&SimConfig::default());
+        assert!(perf.total_cycles > 0);
+        assert!(perf.normalized_perf > 0.0 && perf.normalized_perf <= 1.0);
+        let asic = acc.asic_cost(&Activity::default());
+        assert!(asic.power_mw.is_finite() && asic.power_mw > 0.0);
+        assert!(asic.area_mm2.is_finite() && asic.area_mm2 > 0.0);
+        let fpga = acc.fpga_cost(&FpgaDevice::vu9p(), false);
+        assert!(fpga.freq_mhz > 100.0 && fpga.freq_mhz < 400.0);
+        assert!(fpga.dsps > 0);
+    }
+}
+
+#[test]
+fn functional_and_analytical_models_agree_on_compute_cycles() {
+    // The analytical model's per-tile compute time must equal the functional
+    // simulator's cycles per tile (both come from the tiling's t-extent).
+    for kernel in small_twins() {
+        let acc = Accelerator::builder(kernel).array(4, 4).build().unwrap();
+        let run = acc.verify(3).unwrap();
+        let t = acc.design().tiling();
+        let outer: u64 = acc
+            .dataflow()
+            .selection()
+            .outer_indices(acc.kernel())
+            .iter()
+            .map(|&i| acc.kernel().loop_nest().iters()[i].extent())
+            .product();
+        assert_eq!(
+            run.cycles_simulated,
+            outer * t.total_tiles() * t.t_extent,
+            "{}",
+            acc.kernel().name()
+        );
+    }
+}
+
+#[test]
+fn different_seeds_and_sizes_still_verify() {
+    for seed in [0, 1, 999] {
+        let acc = Accelerator::builder(workloads::gemm(12, 20, 28))
+            .array(5, 3)
+            .build()
+            .unwrap();
+        assert!(acc.verify(seed).unwrap().matches_reference);
+    }
+    // Non-square array, non-divisible bounds.
+    let acc = Accelerator::builder(workloads::conv2d(5, 3, 9, 7, 3, 3))
+        .array(6, 4)
+        .build()
+        .unwrap();
+    assert!(acc.verify(17).unwrap().matches_reference);
+}

@@ -1,0 +1,272 @@
+//! Executes the *generated netlists themselves* and checks they compute the
+//! kernel: the flattened array RTL is driven cycle-by-cycle through its feed,
+//! load, multicast, swap, and drain protocols, and the harvested outputs are
+//! compared against the reference executor.
+//!
+//! This is the strongest validation level in the workspace: it proves the
+//! Figure 3 templates, the Figure 4 interconnect, and the STT schedule agree
+//! with each other at the register-transfer level.
+
+use tensorlib::dataflow::{Dataflow, LoopSelection, Stt};
+use tensorlib::hw::design::{generate, HwConfig};
+use tensorlib::hw::interp::{elaborate_design, Interpreter};
+use tensorlib::hw::ArrayConfig;
+use tensorlib::ir::workloads;
+
+fn as_u16(v: i64) -> u64 {
+    (v as u64) & 0xFFFF
+}
+
+/// Output-stationary systolic GEMM (MNK-SST): skewed boundary feeds, then
+/// swap + column drain.
+#[test]
+fn output_stationary_gemm_array_netlist_computes_gemm() {
+    let (r, c, k) = (3usize, 3usize, 4usize);
+    let gemm = workloads::gemm(r as u64, c as u64, k as u64);
+    let sel = LoopSelection::by_names(&gemm, ["m", "n", "k"]).unwrap();
+    let df = Dataflow::analyze(&gemm, sel, Stt::output_stationary()).unwrap();
+    assert_eq!(df.letters(), "SST");
+    let design = generate(
+        &df,
+        &HwConfig {
+            array: ArrayConfig { rows: r, cols: c },
+            ..HwConfig::default()
+        },
+    )
+    .unwrap();
+    // Drive the array module directly (the top's banks are exercised in the
+    // interpreter's own tests).
+    let array_name = design
+        .modules()
+        .iter()
+        .map(|m| m.name().to_string())
+        .find(|n| n.ends_with("_array"))
+        .unwrap();
+    let mut sim = Interpreter::new(elaborate_design(&design, &array_name).unwrap());
+
+    let inputs = gemm.random_inputs(77);
+    let reference = gemm.execute_reference(&inputs).unwrap();
+    let (a, b) = (&inputs[0], &inputs[1]);
+
+    // With T = [[1,0,0],[0,1,0],[1,1,1]]: A (dp=(0,1)) enters row i carrying
+    // A[i, t-i]; B (dp=(1,0)) enters column j carrying B[j, t-j]. Outside the
+    // valid window the feeds carry zero, which contributes nothing.
+    sim.poke("en", 1);
+    sim.poke("swap", 0);
+    sim.poke("drain_en", 0);
+    let total = k + r + c - 2;
+    for t in 0..total as i64 {
+        for i in 0..r as i64 {
+            let kk = t - i;
+            let v = if (0..k as i64).contains(&kk) {
+                a.get(&[i, kk])
+            } else {
+                0
+            };
+            sim.poke(&format!("a_feed{i}"), as_u16(v));
+        }
+        for j in 0..c as i64 {
+            let kk = t - j;
+            let v = if (0..k as i64).contains(&kk) {
+                b.get(&[j, kk])
+            } else {
+                0
+            };
+            sim.poke(&format!("b_feed{j}"), as_u16(v));
+        }
+        sim.step();
+    }
+    // Swap captures accumulators into the transfer registers.
+    for i in 0..r {
+        sim.poke(&format!("a_feed{i}"), 0);
+    }
+    for j in 0..c {
+        sim.poke(&format!("b_feed{j}"), 0);
+    }
+    sim.poke("swap", 1);
+    sim.step();
+    sim.poke("swap", 0);
+    sim.poke("en", 0);
+    sim.poke("drain_en", 1);
+    // Drain: tail of each column chain emits rows bottom-up.
+    for d in 0..r {
+        let row = (r - 1 - d) as i64;
+        for j in 0..c {
+            let got = sim.peek_signed(&format!("c_drain{j}"));
+            assert_eq!(
+                got,
+                reference.get(&[row, j as i64]),
+                "C[{row}][{j}] after {d} drain steps"
+            );
+        }
+        sim.step();
+    }
+}
+
+/// Multicast inputs + stationary weights + reduction-tree outputs (MNK-MTM):
+/// chain-load B, multicast A per column, read each row's tree root.
+#[test]
+fn multicast_reduction_gemm_array_netlist_computes_gemm() {
+    let (n, kdim, m) = (4usize, 4usize, 6usize); // p1 = n, p2 = k, t = m
+    let gemm = workloads::gemm(m as u64, n as u64, kdim as u64);
+    let sel = LoopSelection::by_names(&gemm, ["m", "n", "k"]).unwrap();
+    let stt = Stt::from_rows([[0, 1, 0], [0, 0, 1], [1, 0, 0]]).unwrap();
+    let df = Dataflow::analyze(&gemm, sel, stt).unwrap();
+    assert_eq!(df.letters(), "MTM");
+    let design = generate(
+        &df,
+        &HwConfig {
+            array: ArrayConfig { rows: n, cols: kdim },
+            ..HwConfig::default()
+        },
+    )
+    .unwrap();
+    let array_name = design
+        .modules()
+        .iter()
+        .map(|m| m.name().to_string())
+        .find(|nm| nm.ends_with("_array"))
+        .unwrap();
+    let mut sim = Interpreter::new(elaborate_design(&design, &array_name).unwrap());
+
+    let inputs = gemm.random_inputs(31);
+    let reference = gemm.execute_reference(&inputs).unwrap();
+    let (a, b) = (&inputs[0], &inputs[1]);
+
+    // Phase 0: load B down the column chains; the value pushed at load step s
+    // settles at row (rows-1-s), so push B[rows-1-s][col].
+    sim.poke("en", 0);
+    sim.poke("load_en", 1);
+    sim.poke("phase", 0);
+    for s in 0..n {
+        let row = (n - 1 - s) as i64;
+        for col in 0..kdim {
+            sim.poke(&format!("b_load{col}"), as_u16(b.get(&[row, col as i64])));
+        }
+        sim.step();
+    }
+    sim.poke("load_en", 0);
+
+    // Phase 1: compute. Multicast A[t, k] onto column k each cycle; each
+    // row's reduction tree emits C[t - depth, row] after its pipeline fills.
+    sim.poke("phase", 1);
+    sim.poke("en", 1);
+    let depth = (kdim as f64).log2().ceil() as i64; // pipelined tree levels
+    let mut collected = vec![vec![None::<i64>; n]; m];
+    for t in 0..(m as i64 + depth) {
+        for col in 0..kdim {
+            let v = if t < m as i64 {
+                a.get(&[t, col as i64])
+            } else {
+                0
+            };
+            sim.poke(&format!("a_mc{col}"), as_u16(v));
+        }
+        sim.step();
+        let mm = t - depth + 1;
+        if (0..m as i64).contains(&mm) {
+            for (row, slot) in collected[mm as usize].iter_mut().enumerate() {
+                *slot = Some(sim.peek_signed(&format!("c_sum{row}")));
+            }
+        }
+    }
+    for mm in 0..m as i64 {
+        for row in 0..n as i64 {
+            assert_eq!(
+                collected[mm as usize][row as usize],
+                Some(reference.get(&[mm, row])),
+                "C[{mm}][{row}]"
+            );
+        }
+    }
+}
+
+/// Weight-stationary systolic GEMM (MNK-STS): partial sums travel through the
+/// array and exit at the systolic drain ports.
+#[test]
+fn weight_stationary_gemm_array_netlist_computes_gemm() {
+    // T = [[0,0,1],[0,1,0],[1,1,1]]: p1 = k, p2 = n, t = m + n + k.
+    let (kdim, n, m) = (3usize, 3usize, 4usize);
+    let gemm = workloads::gemm(m as u64, n as u64, kdim as u64);
+    let sel = LoopSelection::by_names(&gemm, ["m", "n", "k"]).unwrap();
+    let stt = Stt::from_rows([[0, 0, 1], [0, 1, 0], [1, 1, 1]]).unwrap();
+    let df = Dataflow::analyze(&gemm, sel, stt).unwrap();
+    assert_eq!(df.letters(), "STS");
+    let design = generate(
+        &df,
+        &HwConfig {
+            array: ArrayConfig {
+                rows: kdim,
+                cols: n,
+            },
+            ..HwConfig::default()
+        },
+    )
+    .unwrap();
+    let array_name = design
+        .modules()
+        .iter()
+        .map(|md| md.name().to_string())
+        .find(|nm| nm.ends_with("_array"))
+        .unwrap();
+    let mut sim = Interpreter::new(elaborate_design(&design, &array_name).unwrap());
+
+    let inputs = gemm.random_inputs(55);
+    let reference = gemm.execute_reference(&inputs).unwrap();
+    let (a, b) = (&inputs[0], &inputs[1]);
+
+    // B[n,k] is stationary at PE(k, n); chain-load down columns: the value
+    // pushed at step s settles at row (kdim-1-s) = that k index.
+    sim.poke("en", 0);
+    sim.poke("load_en", 1);
+    sim.poke("phase", 0);
+    for s in 0..kdim {
+        let kk = (kdim - 1 - s) as i64;
+        for col in 0..n {
+            sim.poke(&format!("b_load{col}"), as_u16(b.get(&[col as i64, kk])));
+        }
+        sim.step();
+    }
+    sim.poke("load_en", 0);
+
+    // A[m,k]: reuse direction T·(0,1,0) = (0,1,1) — systolic along p2 with
+    // dt 1, entering column 0: PE(k, j) uses A at t = m + j + k, so the feed
+    // for row k at cycle t carries A[t - k, k].
+    // C[m,n]: reuse T·(0,0,1) = (1,0,1) — partial sums travel down p1 from
+    // row 0, exiting at row kdim-1; C[m,n] appears at the drain of column n
+    // at cycle t = m + n + (kdim - 1) + 1 (one registered hop after the last
+    // accumulation).
+    sim.poke("phase", 1);
+    sim.poke("en", 1);
+    let total = m + n + kdim; // enough cycles for the last drain
+    let mut got = vec![vec![None::<i64>; n]; m];
+    for t in 0..total as i64 {
+        for row in 0..kdim as i64 {
+            let mm = t - row;
+            let v = if (0..m as i64).contains(&mm) {
+                a.get(&[mm, row])
+            } else {
+                0
+            };
+            sim.poke(&format!("a_feed{row}"), as_u16(v));
+        }
+        sim.step();
+        // After this step, drain ports show psums produced at cycle t.
+        for col in 0..n as i64 {
+            let mm = t - col - (kdim as i64 - 1);
+            if (0..m as i64).contains(&mm) {
+                got[mm as usize][col as usize] =
+                    Some(sim.peek_signed(&format!("c_drain{col}")));
+            }
+        }
+    }
+    for mm in 0..m as i64 {
+        for col in 0..n as i64 {
+            assert_eq!(
+                got[mm as usize][col as usize],
+                Some(reference.get(&[mm, col])),
+                "C[{mm}][{col}]"
+            );
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! The paper's headline experimental claims, asserted as tests.
+//!
+//! Each test names the section of the paper it reproduces. Absolute numbers
+//! are model outputs; the *shape* of every claim (who wins, roughly by how
+//! much, where the cliffs are) is what is asserted.
+
+use tensorlib::cost::{fpga_cost, FpgaDevice};
+use tensorlib::dataflow::dse::{find_named, DseConfig};
+use tensorlib::explore::{explore, ExploreOptions};
+use tensorlib::hw::design::{generate, HwConfig};
+use tensorlib::hw::ArrayConfig;
+use tensorlib::ir::{workloads, DataType};
+use tensorlib::sim::perf;
+use tensorlib::SimConfig;
+use tensorlib_baselines::{BaselineGenerator, BaselineKind};
+
+fn cycles(kernel: &tensorlib::Kernel, name: &str) -> u64 {
+    let df = find_named(kernel, name, &DseConfig::default())
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    let design = generate(&df, &HwConfig::default()).unwrap();
+    perf::estimate(&design, kernel, &SimConfig::paper_default()).total_cycles
+}
+
+#[test]
+fn s6a_gemm_multicast_beats_systolic() {
+    // "the performance of multicast dataflows (MTM) is better than systolic
+    // dataflow (STS) because multicast dataflows have a smaller pipeline
+    // overhead".
+    let gemm = workloads::gemm(256, 256, 256);
+    let mtm = cycles(&gemm, "MNK-MTM");
+    let sts = cycles(&gemm, "MNK-STS");
+    assert!(mtm < sts, "MTM {mtm} !< STS {sts}");
+}
+
+#[test]
+fn s6a_unicast_dataflows_lose_on_mttkrp_and_ttmc() {
+    // "the unicast dataflows (e.g. IKL-UBBB and IJK-BBBU) perform worse than
+    // others because ... bandwidth becomes insufficient".
+    let sim = SimConfig::paper_default();
+    let hw = HwConfig::default();
+    for (kernel, unicast_name) in [
+        (workloads::mttkrp(64, 64, 64, 64), "IKL-UBBB"),
+        (workloads::ttmc(32, 32, 32, 32, 32), "IJK-BBBU"),
+    ] {
+        let uni = find_named(&kernel, unicast_name, &DseConfig::default()).unwrap();
+        let uni_perf = perf::estimate(
+            &generate(&uni, &hw).unwrap(),
+            &kernel,
+            &sim,
+        );
+        assert!(uni_perf.stall_cycles > 0, "{unicast_name} must stall");
+        // The best reuse-only design beats it by a wide margin.
+        let best = explore(&kernel, &ExploreOptions::default())
+            .into_iter()
+            .find(|p| p.dataflow.is_reuse_only())
+            .expect("reuse-only designs exist");
+        assert!(
+            best.performance.total_cycles * 3 < uni_perf.total_cycles,
+            "{}: best reuse {} vs unicast {}",
+            kernel.name(),
+            best.performance.total_cycles,
+            uni_perf.total_cycles
+        );
+    }
+}
+
+#[test]
+fn s6a_batched_gemv_is_unicast_only() {
+    // "Batched-GEMV can only use unicast dataflow because the tensor A is
+    // only accessed once".
+    use tensorlib::FlowClass;
+    let kernel = workloads::batched_gemv(32, 32, 32);
+    let space = tensorlib::dataflow::dse::design_space(&kernel, &DseConfig::default());
+    assert!(!space.is_empty());
+    for d in &space {
+        assert!(
+            matches!(d.tensor_flow("A").unwrap().class, FlowClass::Unicast),
+            "{} reuses A",
+            d.name()
+        );
+    }
+}
+
+#[test]
+fn s6a_conv2d_kcx_beats_small_loop_selections() {
+    // "selecting KCX iterations can deliver better performance because it
+    // becomes standard GEMM operation with large loop bounds", while XYP
+    // selections idle PEs (p = 3).
+    let l2 = workloads::resnet_layer2();
+    let kcx = cycles(&l2, "KCX-SST");
+    let xyp = cycles(&l2, "XYP-MMT");
+    assert!(kcx * 2 < xyp, "KCX {kcx} should be >2x faster than XYP {xyp}");
+}
+
+#[test]
+fn s6a_resnet_layer5_utilization_is_worse_than_layer2() {
+    // "The performance of ResNet-Layer5 is even lower because X and Y loops
+    // are also small (x = y = 7)".
+    let sim = SimConfig::paper_default();
+    let hw = HwConfig::default();
+    let perf_of = |kernel: &tensorlib::Kernel, name: &str| {
+        let df = find_named(kernel, name, &DseConfig::default()).unwrap();
+        perf::estimate(&generate(&df, &hw).unwrap(), kernel, &sim).normalized_perf
+    };
+    let l2 = workloads::resnet_layer2();
+    let l5 = workloads::resnet_layer5();
+    assert!(perf_of(&l5, "XYP-MMT") < perf_of(&l2, "XYP-MMT"));
+    assert!(perf_of(&l5, "KCX-SST") < perf_of(&l2, "KCX-SST"));
+}
+
+#[test]
+fn s6b_energy_spread_dwarfs_area_spread_on_gemm() {
+    // "The energy variation of GEMM ... shows 1.8X difference, while the
+    // area has only 1.16X difference."
+    let points = explore(&workloads::gemm(64, 64, 64), &ExploreOptions::default());
+    let pmax = points.iter().map(|p| p.asic.power_mw).fold(0.0, f64::max);
+    let pmin = points
+        .iter()
+        .map(|p| p.asic.power_mw)
+        .fold(f64::MAX, f64::min);
+    let amax = points.iter().map(|p| p.asic.area_mm2).fold(0.0, f64::max);
+    let amin = points
+        .iter()
+        .map(|p| p.asic.area_mm2)
+        .fold(f64::MAX, f64::min);
+    let p_ratio = pmax / pmin;
+    let a_ratio = amax / amin;
+    assert!(
+        (1.5..2.3).contains(&p_ratio),
+        "power ratio {p_ratio} vs paper 1.8x"
+    );
+    assert!(
+        (1.05..1.35).contains(&a_ratio),
+        "area ratio {a_ratio} vs paper 1.16x"
+    );
+    assert!(p_ratio > a_ratio);
+    // Paper's absolute envelope: 35..63 mW.
+    assert!(pmin > 25.0 && pmax < 85.0, "power {pmin}..{pmax} mW");
+}
+
+#[test]
+fn s6b_double_multicast_dataflows_cost_the_most_energy() {
+    // "dataflow with two multicast input (MMT, MMS) consumes more energy".
+    let points = explore(&workloads::gemm(64, 64, 64), &ExploreOptions::default());
+    let mean = |sel: Vec<f64>| sel.iter().sum::<f64>() / sel.len().max(1) as f64;
+    let mm = mean(
+        points
+            .iter()
+            .filter(|p| p.letters.starts_with("MM"))
+            .map(|p| p.asic.power_mw)
+            .collect(),
+    );
+    let others = mean(
+        points
+            .iter()
+            .filter(|p| !p.letters.starts_with("MM"))
+            .map(|p| p.asic.power_mw)
+            .collect(),
+    );
+    assert!(mm > others, "MM* mean {mm} !> others {others}");
+}
+
+#[test]
+fn s6c_tensorlib_beats_systolic_baselines_by_about_21_percent() {
+    let gemm = workloads::gemm(640, 640, 640);
+    let df = find_named(&gemm, "MNK-STS", &DseConfig::default()).unwrap();
+    let tl_design = generate(
+        &df,
+        &HwConfig {
+            array: ArrayConfig { rows: 10, cols: 16 },
+            datatype: DataType::Fp32,
+            vectorize: 8,
+        },
+    )
+    .unwrap();
+    let tl = fpga_cost(&tl_design, &FpgaDevice::vu9p(), false);
+    assert!((tl.peak_gops - 673.0).abs() < 45.0, "TL {}", tl.peak_gops);
+
+    let mut best_baseline: f64 = 0.0;
+    for kind in [BaselineKind::PolySa, BaselineKind::Susy] {
+        let gen = BaselineGenerator::new(kind);
+        let design = gen.generate(&gemm).unwrap();
+        best_baseline = best_baseline.max(gen.fpga_report(&design).peak_gops);
+    }
+    let gain = tl.peak_gops / best_baseline - 1.0;
+    assert!(
+        (0.10..0.35).contains(&gain),
+        "gain {:.0}% vs paper 21%",
+        100.0 * gain
+    );
+}
+
+#[test]
+fn s6c_baselines_cannot_build_depthwise_or_batched_gemv() {
+    for kind in [BaselineKind::PolySa, BaselineKind::Susy] {
+        let gen = BaselineGenerator::new(kind);
+        assert!(gen
+            .find_dataflow(&workloads::depthwise_conv(16, 14, 14, 3, 3))
+            .is_err());
+        assert!(gen
+            .find_dataflow(&workloads::batched_gemv(16, 16, 16))
+            .is_err());
+        // But TensorLib builds both.
+        for kernel in [
+            workloads::depthwise_conv(16, 14, 14, 3, 3),
+            workloads::batched_gemv(16, 16, 16),
+        ] {
+            let points = explore(
+                &kernel,
+                &ExploreOptions {
+                    dse: DseConfig {
+                        max_designs: 200,
+                        ..DseConfig::default()
+                    },
+                    ..ExploreOptions::default()
+                },
+            );
+            assert!(!points.is_empty(), "{}", kernel.name());
+        }
+    }
+}
+
+#[test]
+fn s6c_placement_optimization_reaches_328_mhz() {
+    let gemm = workloads::gemm(640, 640, 640);
+    let df = find_named(&gemm, "MNK-STS", &DseConfig::default()).unwrap();
+    let design = generate(
+        &df,
+        &HwConfig {
+            array: ArrayConfig { rows: 10, cols: 16 },
+            datatype: DataType::Fp32,
+            vectorize: 8,
+        },
+    )
+    .unwrap();
+    let base = fpga_cost(&design, &FpgaDevice::vu9p(), false);
+    let opt = fpga_cost(&design, &FpgaDevice::vu9p(), true);
+    assert!((base.freq_mhz - 263.0).abs() < 15.0, "{}", base.freq_mhz);
+    assert!((opt.freq_mhz - 328.0).abs() < 20.0, "{}", opt.freq_mhz);
+}

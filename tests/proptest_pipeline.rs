@@ -1,0 +1,120 @@
+//! Property-based tests over the whole pipeline: any valid (kernel,
+//! selection, unimodular STT) combination that generates hardware must
+//! simulate bit-exactly; classification must be stable under mapping-
+//! preserving symmetries.
+
+use proptest::prelude::*;
+use tensorlib::dataflow::{Dataflow, LoopSelection, Stt};
+use tensorlib::hw::design::{generate, HwConfig};
+use tensorlib::hw::ArrayConfig;
+use tensorlib::ir::{workloads, Kernel};
+use tensorlib::sim::functional;
+
+/// Small kernels covering 2- and 3-input shapes and affine (conv) accesses.
+fn kernels() -> Vec<Kernel> {
+    vec![
+        workloads::gemm(6, 6, 6),
+        workloads::batched_gemv(5, 5, 5),
+        workloads::conv2d(3, 3, 5, 5, 2, 2),
+        workloads::depthwise_conv(3, 5, 5, 2, 2),
+        workloads::mttkrp(4, 4, 4, 4),
+        workloads::ttmc(3, 3, 3, 3, 3),
+    ]
+}
+
+fn arb_unimodular() -> impl Strategy<Value = Stt> {
+    proptest::collection::vec(-1i64..=1, 9).prop_filter_map("unimodular", |v| {
+        let rows = [
+            [v[0], v[1], v[2]],
+            [v[3], v[4], v[5]],
+            [v[6], v[7], v[8]],
+        ];
+        Stt::from_rows(rows).ok().filter(Stt::is_unimodular)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_generated_design_simulates_bit_exactly(
+        kernel_idx in 0usize..6,
+        stt in arb_unimodular(),
+        sel_seed in any::<u64>(),
+        data_seed in any::<u64>(),
+    ) {
+        let kernel = kernels().swap_remove(kernel_idx);
+        let n = kernel.loop_nest().len();
+        // Derive a selection deterministically from the seed.
+        let mut idx: Vec<usize> = (0..n).collect();
+        let a = (sel_seed as usize) % n;
+        idx.swap(0, a);
+        let b = 1 + ((sel_seed / 7) as usize) % (n - 1);
+        idx.swap(1, b);
+        let sel = LoopSelection::by_indices(&kernel, [idx[0], idx[1], idx[2]]).unwrap();
+        let df = Dataflow::analyze(&kernel, sel, stt).unwrap();
+        let cfg = HwConfig { array: ArrayConfig::square(3), ..HwConfig::default() };
+        // Not every reuse vector is wireable; that is a documented error,
+        // not a failure.
+        if let Ok(design) = generate(&df, &cfg) {
+            design.validate().expect("generated designs validate");
+            let run = functional::simulate(&design, &kernel, data_seed)
+                .unwrap_or_else(|e| panic!("{}: {e}", df.name()));
+            prop_assert!(run.matches_reference);
+            prop_assert_eq!(run.macs_executed, kernel.macs());
+        }
+    }
+
+    #[test]
+    fn negating_stt_preserves_dataflow_letters(stt in arb_unimodular()) {
+        // -T maps the same reuse subspaces, so classification is identical.
+        let gemm = workloads::gemm(8, 8, 8);
+        let sel = LoopSelection::by_names(&gemm, ["m", "n", "k"]).unwrap();
+        let rows = *stt.rows();
+        let neg = Stt::from_rows([
+            [-rows[0][0], -rows[0][1], -rows[0][2]],
+            [-rows[1][0], -rows[1][1], -rows[1][2]],
+            [-rows[2][0], -rows[2][1], -rows[2][2]],
+        ]).unwrap();
+        let a = Dataflow::analyze(&gemm, sel.clone(), stt).unwrap();
+        let b = Dataflow::analyze(&gemm, sel, neg).unwrap();
+        prop_assert_eq!(a.letters(), b.letters());
+    }
+
+    #[test]
+    fn swapping_space_rows_transposes_but_preserves_classes(stt in arb_unimodular()) {
+        // Exchanging p1 and p2 transposes the array; every per-tensor class
+        // keeps its letter.
+        let gemm = workloads::gemm(8, 8, 8);
+        let sel = LoopSelection::by_names(&gemm, ["m", "n", "k"]).unwrap();
+        let rows = *stt.rows();
+        let swapped = Stt::from_rows([rows[1], rows[0], rows[2]]).unwrap();
+        let a = Dataflow::analyze(&gemm, sel.clone(), stt).unwrap();
+        let b = Dataflow::analyze(&gemm, sel, swapped).unwrap();
+        prop_assert_eq!(a.letters(), b.letters());
+    }
+
+    #[test]
+    fn selected_extent_permutation_matches_column_permutation(
+        stt in arb_unimodular(),
+    ) {
+        // Permuting the selection order while permuting T's columns the same
+        // way is a no-op on the analysis.
+        let gemm = workloads::gemm(8, 8, 8);
+        let sel_a = LoopSelection::by_names(&gemm, ["m", "n", "k"]).unwrap();
+        let sel_b = LoopSelection::by_names(&gemm, ["k", "m", "n"]).unwrap();
+        let r = *stt.rows();
+        // Columns reordered to match selection order (k, m, n).
+        let permuted = Stt::from_rows([
+            [r[0][2], r[0][0], r[0][1]],
+            [r[1][2], r[1][0], r[1][1]],
+            [r[2][2], r[2][0], r[2][1]],
+        ]).unwrap();
+        let a = Dataflow::analyze(&gemm, sel_a, stt).unwrap();
+        let b = Dataflow::analyze(&gemm, sel_b, permuted).unwrap();
+        prop_assert_eq!(a.letters(), b.letters());
+        for (fa, fb) in a.flows().iter().zip(b.flows()) {
+            prop_assert_eq!(&fa.class, &fb.class, "tensor {}", fa.tensor);
+        }
+    }
+}
