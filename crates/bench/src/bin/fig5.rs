@@ -120,6 +120,7 @@ fn main() {
                 hw,
                 sim,
                 synthesis_activity: true,
+                ..ExploreOptions::default()
             },
         );
         if let (Some(best), Some(worst)) = (sweep.first(), sweep.last()) {

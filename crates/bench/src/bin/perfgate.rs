@@ -1,0 +1,259 @@
+//! Performance gate for the evaluation hot path.
+//!
+//! Times (a) netlist-interpreter throughput — compiled bytecode vs the
+//! tree-walking reference — stepping a 4×4 output-stationary GEMM array, and
+//! (b) full [`explore`] wall-time on GEMM-32, serial vs the worker pool.
+//! Writes `BENCH_perfgate.json` at the repository root.
+//!
+//! With `--check-against <path>` the run additionally compares its compiled
+//! interpreter throughput to the baseline report at `<path>` and exits
+//! non-zero on a regression of more than 20% — see `scripts/perfgate.sh`.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use tensorlib::dataflow::{Dataflow, LoopSelection, Stt};
+use tensorlib::explore::{explore, ExploreOptions};
+use tensorlib::hw::design::{generate, HwConfig};
+use tensorlib::hw::interp::{elaborate_design, FlatDesign, Interpreter};
+use tensorlib::hw::ArrayConfig;
+use tensorlib::ir::workloads;
+use tensorlib_bench::TextTable;
+
+/// Regression threshold for `--check-against`: fail if compiled throughput
+/// drops below 80% of the baseline.
+const REGRESSION_FLOOR: f64 = 0.8;
+
+#[derive(Serialize)]
+struct PerfGateReport {
+    host_cores: usize,
+    interpreter: InterpReport,
+    explore: ExploreReport,
+}
+
+#[derive(Serialize)]
+struct InterpReport {
+    scenario: String,
+    compiled_cycles_per_sec: f64,
+    tree_walking_cycles_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct ExploreReport {
+    workload: String,
+    designs: usize,
+    serial_seconds: f64,
+    parallel_seconds: f64,
+    parallel_workers: usize,
+    speedup: f64,
+}
+
+/// Builds the flattened 4×4 output-stationary (MNK-SST) GEMM array.
+fn os_array_4x4() -> FlatDesign {
+    let gemm = workloads::gemm(4, 4, 4);
+    let sel = LoopSelection::by_names(&gemm, ["m", "n", "k"]).expect("gemm loops");
+    let df = Dataflow::analyze(&gemm, sel, Stt::output_stationary()).expect("SST dataflow");
+    let design = generate(
+        &df,
+        &HwConfig {
+            array: ArrayConfig { rows: 4, cols: 4 },
+            ..HwConfig::default()
+        },
+    )
+    .expect("generate 4x4 array");
+    let array_name = design
+        .modules()
+        .iter()
+        .map(|m| m.name().to_string())
+        .find(|n| n.ends_with("_array"))
+        .expect("array module");
+    elaborate_design(&design, &array_name).expect("elaborate array")
+}
+
+/// Steps `n_cycles` cycles, driving every feed port with a varying pattern
+/// (one batched poke + settle per cycle).
+fn run_cycles(sim: &mut Interpreter, feeds: &[usize], n_cycles: u64, salt: u64) {
+    for t in 0..n_cycles {
+        let pokes = feeds
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, (t.wrapping_mul(31) + i as u64 * 17 + salt) & 0xFF));
+        sim.poke_by_id(pokes);
+        sim.step();
+    }
+}
+
+/// Measures steady-state simulated cycles per second for one interpreter.
+fn cycles_per_sec(mut sim: Interpreter, feed_names: &[String]) -> f64 {
+    let feeds: Vec<usize> = feed_names.iter().map(|n| sim.input_id(n)).collect();
+    sim.poke_many([("en", 1), ("swap", 0), ("drain_en", 0)]);
+    run_cycles(&mut sim, &feeds, 256, 0); // warmup
+    let mut cycles = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < Duration::from_millis(600) {
+        run_cycles(&mut sim, &feeds, 1024, cycles);
+        cycles += 1024;
+    }
+    let rate = cycles as f64 / start.elapsed().as_secs_f64();
+    std::hint::black_box(sim.peek("c_drain0"));
+    rate
+}
+
+fn bench_interpreter() -> InterpReport {
+    let flat = os_array_4x4();
+    let feeds: Vec<String> = (0..4)
+        .map(|i| format!("a_feed{i}"))
+        .chain((0..4).map(|j| format!("b_feed{j}")))
+        .collect();
+    let compiled = cycles_per_sec(Interpreter::new(flat.clone()), &feeds);
+    let tree = cycles_per_sec(Interpreter::new_tree_walking(flat), &feeds);
+    InterpReport {
+        scenario: "4x4 output-stationary GEMM array (MNK-SST)".into(),
+        compiled_cycles_per_sec: compiled,
+        tree_walking_cycles_per_sec: tree,
+        speedup: compiled / tree,
+    }
+}
+
+fn bench_explore(host_cores: usize) -> ExploreReport {
+    let kernel = workloads::gemm(32, 32, 32);
+    let serial_opts = ExploreOptions {
+        workers: 1,
+        ..ExploreOptions::default()
+    };
+    let start = Instant::now();
+    let serial = explore(&kernel, &serial_opts);
+    let serial_seconds = start.elapsed().as_secs_f64();
+
+    let parallel_opts = ExploreOptions::default(); // workers = 0 → per-core
+    let start = Instant::now();
+    let parallel = explore(&kernel, &parallel_opts);
+    let parallel_seconds = start.elapsed().as_secs_f64();
+
+    assert_eq!(serial.len(), parallel.len(), "worker count changed results");
+    assert!(
+        serial
+            .iter()
+            .zip(&parallel)
+            .all(|(a, b)| a.name == b.name && a.performance.total_cycles == b.performance.total_cycles),
+        "worker count changed result ordering"
+    );
+    ExploreReport {
+        workload: "GEMM-32 full sweep".into(),
+        designs: serial.len(),
+        serial_seconds,
+        parallel_seconds,
+        parallel_workers: host_cores,
+        speedup: serial_seconds / parallel_seconds,
+    }
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Extracts `"key": <number>` from a baseline report without a JSON parser.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut baseline_path: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check-against" => {
+                let p = args.next().unwrap_or_else(|| {
+                    eprintln!("--check-against requires a path");
+                    std::process::exit(2);
+                });
+                baseline_path = Some(PathBuf::from(p));
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (usage: perfgate [--check-against <json>])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let interpreter = bench_interpreter();
+    let explore_report = bench_explore(host_cores);
+
+    let mut table = TextTable::new(vec!["metric", "value"]);
+    table.row(vec!["host cores".into(), host_cores.to_string()]);
+    table.row(vec![
+        "interp compiled (cycles/s)".into(),
+        format!("{:.0}", interpreter.compiled_cycles_per_sec),
+    ]);
+    table.row(vec![
+        "interp tree-walking (cycles/s)".into(),
+        format!("{:.0}", interpreter.tree_walking_cycles_per_sec),
+    ]);
+    table.row(vec![
+        "interp speedup".into(),
+        format!("{:.2}x", interpreter.speedup),
+    ]);
+    table.row(vec![
+        "explore serial (s)".into(),
+        format!("{:.2}", explore_report.serial_seconds),
+    ]);
+    table.row(vec![
+        format!("explore {} workers (s)", explore_report.parallel_workers),
+        format!("{:.2}", explore_report.parallel_seconds),
+    ]);
+    table.row(vec![
+        "explore speedup".into(),
+        format!("{:.2}x", explore_report.speedup),
+    ]);
+    println!("{table}");
+
+    let report = PerfGateReport {
+        host_cores,
+        interpreter,
+        explore: explore_report,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    let out = repo_root().join("BENCH_perfgate.json");
+    std::fs::write(&out, json + "\n").expect("write BENCH_perfgate.json");
+    println!("wrote {}", out.display());
+
+    if let Some(path) = baseline_path {
+        let Ok(baseline) = std::fs::read_to_string(&path) else {
+            eprintln!(
+                "warning: baseline {} not readable; skipping regression gate",
+                path.display()
+            );
+            return;
+        };
+        let Some(base_rate) = extract_number(&baseline, "compiled_cycles_per_sec") else {
+            eprintln!(
+                "warning: baseline {} has no compiled_cycles_per_sec; skipping regression gate",
+                path.display()
+            );
+            return;
+        };
+        let current = report.interpreter.compiled_cycles_per_sec;
+        let ratio = current / base_rate;
+        println!(
+            "regression gate: current {current:.0} vs baseline {base_rate:.0} cycles/s ({:.1}% of baseline)",
+            ratio * 100.0
+        );
+        if ratio < REGRESSION_FLOOR {
+            eprintln!(
+                "FAIL: compiled interpreter throughput regressed more than {:.0}% vs baseline",
+                (1.0 - REGRESSION_FLOOR) * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("regression gate passed");
+    }
+}

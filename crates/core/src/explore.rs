@@ -6,6 +6,7 @@ use tensorlib_dataflow::dse::{design_space, DseConfig};
 use tensorlib_dataflow::Dataflow;
 use tensorlib_hw::design::{generate, HwConfig};
 use tensorlib_ir::Kernel;
+use tensorlib_linalg::par::par_map_indexed;
 use tensorlib_sim::{perf, SimConfig, SimReport};
 
 /// One scored point of the design space.
@@ -35,6 +36,10 @@ pub struct ExploreOptions {
     /// Evaluate power at synthesis-style full activity (`true`, the Figure 6
     /// methodology) or at the workload's achieved utilization (`false`).
     pub synthesis_activity: bool,
+    /// Worker threads used to score candidates (`0` = one per available
+    /// core, `1` = fully serial). Results are identical for every worker
+    /// count — see [`explore`].
+    pub workers: usize,
 }
 
 impl Default for ExploreOptions {
@@ -44,6 +49,7 @@ impl Default for ExploreOptions {
             hw: HwConfig::default(),
             sim: SimConfig::default(),
             synthesis_activity: true,
+            workers: 0,
         }
     }
 }
@@ -52,6 +58,12 @@ impl Default for ExploreOptions {
 /// every *implementable* candidate (non-neighbour reuse vectors are skipped —
 /// the same designs the paper's templates cannot wire), and scores each with
 /// the cycle model and the ASIC cost model.
+///
+/// Candidates are scored on a scoped worker pool
+/// ([`ExploreOptions::workers`] threads; the work is embarrassingly
+/// parallel). The parallel map preserves enumeration order before the final
+/// stable sort, so the returned points — names, ordering, every field — are
+/// identical for any worker count.
 ///
 /// Results are sorted by total cycles, fastest first.
 ///
@@ -69,32 +81,14 @@ impl Default for ExploreOptions {
 /// assert!(best.total_cycles < worst.total_cycles);
 /// ```
 pub fn explore(kernel: &Kernel, opts: &ExploreOptions) -> Vec<DesignPoint> {
-    let mut points = Vec::new();
-    for df in design_space(kernel, &opts.dse) {
-        let Ok(design) = generate(&df, &opts.hw) else {
-            continue;
-        };
-        let performance = perf::estimate(&design, kernel, &opts.sim);
-        let activity = if opts.synthesis_activity {
-            Activity {
-                utilization: 1.0,
-                freq_mhz: opts.sim.freq_mhz,
-            }
-        } else {
-            Activity {
-                utilization: performance.normalized_perf,
-                freq_mhz: opts.sim.freq_mhz,
-            }
-        };
-        let asic = asic_cost(&design, &activity);
-        points.push(DesignPoint {
-            name: df.name(),
-            letters: df.letters(),
-            dataflow: df,
-            performance,
-            asic,
-        });
-    }
+    let candidates = design_space(kernel, &opts.dse);
+    // Scoring a candidate (hardware generation + cycle model + cost model)
+    // is orders of magnitude heavier than the queue bookkeeping, so small
+    // chunks keep the pool balanced.
+    let scored = par_map_indexed(&candidates, opts.workers, 4, |_, df| score(kernel, opts, df));
+    let mut points: Vec<DesignPoint> = scored.into_iter().flatten().collect();
+    // `scored` is in enumeration order, so this stable sort reproduces the
+    // serial implementation's output exactly, ties and all.
     points.sort_by(|a, b| {
         a.performance
             .total_cycles
@@ -102,6 +96,32 @@ pub fn explore(kernel: &Kernel, opts: &ExploreOptions) -> Vec<DesignPoint> {
             .then_with(|| a.name.cmp(&b.name))
     });
     points
+}
+
+/// Scores one candidate dataflow, or `None` if its reuse pattern is not
+/// implementable by the hardware templates.
+fn score(kernel: &Kernel, opts: &ExploreOptions, df: &Dataflow) -> Option<DesignPoint> {
+    let design = generate(df, &opts.hw).ok()?;
+    let performance = perf::estimate(&design, kernel, &opts.sim);
+    let activity = if opts.synthesis_activity {
+        Activity {
+            utilization: 1.0,
+            freq_mhz: opts.sim.freq_mhz,
+        }
+    } else {
+        Activity {
+            utilization: performance.normalized_perf,
+            freq_mhz: opts.sim.freq_mhz,
+        }
+    };
+    let asic = asic_cost(&design, &activity);
+    Some(DesignPoint {
+        name: df.name(),
+        letters: df.letters(),
+        dataflow: df.clone(),
+        performance,
+        asic,
+    })
 }
 
 /// Returns the Pareto frontier of `points` in the (power, area) plane —

@@ -23,6 +23,7 @@
 //! ```
 
 use tensorlib_ir::{Kernel, TensorRole};
+use tensorlib_linalg::par::par_map_indexed;
 use tensorlib_linalg::Mat;
 
 use crate::{classify::classify_reuse, Dataflow, DataflowError, LoopSelection, Stt, TensorFlow};
@@ -41,6 +42,10 @@ pub struct DseConfig {
     pub selections: Option<Vec<[String; 3]>>,
     /// Hard cap on the number of de-duplicated designs returned.
     pub max_designs: usize,
+    /// Worker threads used to classify candidates in [`design_space`] (`0` =
+    /// one per available core, `1` = fully serial). The output is identical
+    /// for every worker count.
+    pub workers: usize,
 }
 
 impl Default for DseConfig {
@@ -50,6 +55,7 @@ impl Default for DseConfig {
             require_unimodular: true,
             selections: None,
             max_designs: 10_000,
+            workers: 0,
         }
     }
 }
@@ -152,7 +158,12 @@ pub fn design_space(kernel: &Kernel, config: &DseConfig) -> Vec<Dataflow> {
                 )
             })
             .collect();
-        for stt in &matrices {
+        // Classification (three matrix products + reuse analysis per
+        // candidate) dominates; fan it out across the worker pool. The map
+        // preserves enumeration order, so the first-occurrence dedup and the
+        // `max_designs` cap below keep exactly the serial semantics for any
+        // worker count.
+        let classified = par_map_indexed(&matrices, config.workers, 128, |_, stt| {
             let t_mat = stt.to_mat();
             let flows: Vec<TensorFlow> = bases
                 .iter()
@@ -163,7 +174,11 @@ pub fn design_space(kernel: &Kernel, config: &DseConfig) -> Vec<Dataflow> {
                 })
                 .collect();
             let df = Dataflow::from_parts(kernel, sel.clone(), stt.clone(), flows);
-            if seen.insert(df.signature()) {
+            let sig = df.signature();
+            (sig, df)
+        });
+        for (sig, df) in classified {
+            if seen.insert(sig) {
                 out.push(df);
                 if out.len() >= config.max_designs {
                     out.sort_by_key(Dataflow::name);

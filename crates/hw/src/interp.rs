@@ -345,25 +345,582 @@ fn sign_extend(value: u64, from: u32, to: u32) -> u64 {
     mask(extended, to)
 }
 
+/// Returns the bitmask selecting the low `width` bits (`u64::MAX` for widths
+/// of 64 and above, `0` for width 0 — matching [`mask`]).
+fn width_mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width).wrapping_sub(1)
+    }
+}
+
+/// One postfix instruction of the compiled evaluator.
+///
+/// Operands live on a value stack; widths, masks, and sign-extension
+/// parameters are folded in at compile time so evaluation is a single linear
+/// pass with no tree recursion and no per-node width re-derivation.
+#[derive(Debug, Clone, Copy)]
+enum Instr {
+    /// Push a pre-masked literal.
+    Const(u64),
+    /// Push the current value of a net.
+    Load(u32),
+    /// Bitwise NOT masked to the operand width.
+    Not { mask: u64 },
+    /// Binary operator over the top two stack entries (see [`bin_eval`] for
+    /// the per-op masking rules, which mirror the tree evaluator).
+    Bin { op: BinOp, mask: u64 },
+    /// 2-way mux: pops `on_false`, `on_true`, then tests `sel & 1`.
+    Mux,
+    /// Zero-extension/truncation to a precomputed mask.
+    Resize { mask: u64 },
+    /// Sign-extension with all parameters precomputed. `sign_bit == 0`
+    /// encodes the degenerate from-widths (0 or ≥ 64) where no extension
+    /// happens.
+    SignExt {
+        /// Mask selecting the source width.
+        from_mask: u64,
+        /// The source sign bit (0 if no extension applies).
+        sign_bit: u64,
+        /// Bits OR-ed in when the sign bit is set (`!from_mask`).
+        ext_bits: u64,
+        /// Mask selecting the destination width.
+        to_mask: u64,
+    },
+    /// Pop the expression result and store it into a net (masked to the
+    /// target width). Terminates one combinational assignment.
+    Store { net: u32, mask: u64 },
+    /// Fused `Load` + `Store`: a wire alias assignment.
+    Copy { src: u32, dst: u32, mask: u64 },
+    /// Fused `Const` + `Store` (value pre-masked to the target width).
+    StoreConst { dst: u32, value: u64 },
+    /// Pop next-value then enable; append the sample (masked next value if
+    /// enabled, else the register's current value, making the commit loop
+    /// branchless) to the register sample buffer. Samples appear in
+    /// `FlatDesign::regs` order, which the commit loop relies on.
+    SampleReg { mask: u64, target: u32 },
+    /// Pop next-value; append an always-enabled register sample.
+    SampleRegAlways { mask: u64 },
+
+    // Fused superinstructions produced by the peephole pass — each folds a
+    // short operand-fetch pattern into one dispatch. Semantics are exactly
+    // the sequences they replace.
+    /// `Load` + `Bin`: both operands fetched straight from nets.
+    Bin2 { op: BinOp, a: u32, b: u32, mask: u64 },
+    /// `Load` + `SignExt`.
+    LoadSext {
+        net: u32,
+        from_mask: u64,
+        sign_bit: u64,
+        ext_bits: u64,
+        to_mask: u64,
+    },
+    /// `Load` + `Resize`.
+    LoadMasked { net: u32, mask: u64 },
+    /// `Load` + `Not`.
+    NotNet { net: u32, mask: u64 },
+    /// `Mux` with all three operands fetched straight from nets.
+    Mux3 { sel: u32, t: u32, f: u32 },
+    /// `SampleReg` with net-sourced enable and next value.
+    SampleRegNets {
+        en: u32,
+        next: u32,
+        mask: u64,
+        target: u32,
+    },
+    /// `SampleRegAlways` with a net-sourced next value.
+    SampleRegAlwaysNet { net: u32, mask: u64 },
+}
+
+/// Applies a binary operator with the tree evaluator's masking rules:
+/// arithmetic wraps then masks to the max operand width, logical ops need no
+/// mask (operands are already in range), comparisons produce a 1-bit flag.
+#[inline]
+fn bin_eval(op: BinOp, va: u64, vb: u64, mask: u64) -> u64 {
+    match op {
+        BinOp::Add => va.wrapping_add(vb) & mask,
+        BinOp::Sub => va.wrapping_sub(vb) & mask,
+        BinOp::Mul => va.wrapping_mul(vb) & mask,
+        BinOp::And => va & vb,
+        BinOp::Or => va | vb,
+        BinOp::Xor => va ^ vb,
+        BinOp::Eq => (va == vb) as u64,
+        BinOp::Lt => (va < vb) as u64,
+    }
+}
+
+/// Peephole pass over one freshly lowered expression segment: fuses
+/// operand-fetch patterns (`Load` feeding a unary op, `Load`+`Load` feeding
+/// a binary op, three `Load`s feeding a mux) into superinstructions. Postfix
+/// guarantees consecutive `Load`s are exactly the consumer's top-of-stack
+/// operands, so each rewrite is semantics-preserving.
+fn peephole(seg: &mut Vec<Instr>) {
+    let mut out = Vec::with_capacity(seg.len());
+    for ins in seg.drain(..) {
+        match ins {
+            Instr::SignExt {
+                from_mask,
+                sign_bit,
+                ext_bits,
+                to_mask,
+            } => {
+                if let Some(&Instr::Load(net)) = out.last() {
+                    out.pop();
+                    out.push(Instr::LoadSext {
+                        net,
+                        from_mask,
+                        sign_bit,
+                        ext_bits,
+                        to_mask,
+                    });
+                } else {
+                    out.push(ins);
+                }
+            }
+            Instr::Resize { mask } => {
+                if let Some(&Instr::Load(net)) = out.last() {
+                    out.pop();
+                    out.push(Instr::LoadMasked { net, mask });
+                } else {
+                    out.push(ins);
+                }
+            }
+            Instr::Not { mask } => {
+                if let Some(&Instr::Load(net)) = out.last() {
+                    out.pop();
+                    out.push(Instr::NotNet { net, mask });
+                } else {
+                    out.push(ins);
+                }
+            }
+            Instr::Bin { op, mask } => {
+                if let [.., Instr::Load(a), Instr::Load(b)] = out[..] {
+                    out.truncate(out.len() - 2);
+                    out.push(Instr::Bin2 { op, a, b, mask });
+                } else {
+                    out.push(ins);
+                }
+            }
+            Instr::Mux => {
+                if let [.., Instr::Load(sel), Instr::Load(t), Instr::Load(f)] = out[..] {
+                    out.truncate(out.len() - 3);
+                    out.push(Instr::Mux3 { sel, t, f });
+                } else {
+                    out.push(ins);
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    *seg = out;
+}
+
+/// Bank port nets with alias resolution applied (the compiled step samples
+/// through these instead of the raw [`FlatBank`] nets).
+#[derive(Debug, Clone, Copy)]
+struct CompiledBankNets {
+    en: u32,
+    wen: u32,
+    wdata: u32,
+    buf_sel: Option<u32>,
+}
+
+/// The one-time lowering of a [`FlatDesign`]'s expressions into linear
+/// postfix instruction streams: one for the whole combinational settle
+/// (assignments in topological order, each terminated by a store) and one
+/// sampling every register's next value.
+///
+/// Pure wire aliases (`dst = src` where the target width does not truncate)
+/// are eliminated entirely: no instruction is emitted and every compiled
+/// read of `dst` — including [`Interpreter::peek`], bank port sampling, and
+/// downstream expressions — is redirected to `src` through `resolve`.
+#[derive(Debug, Clone)]
+struct Compiled {
+    settle_code: Vec<Instr>,
+    reg_code: Vec<Instr>,
+    /// Read-forwarding map: `resolve[n]` is the net whose value slot holds
+    /// `n`'s value (identity for non-aliased nets).
+    resolve: Vec<u32>,
+    /// Register targets in `FlatDesign::regs` order (compact commit loop).
+    reg_targets: Vec<u32>,
+    /// Alias-resolved bank port nets, parallel to `FlatDesign::banks`.
+    bank_nets: Vec<CompiledBankNets>,
+}
+
+impl Compiled {
+    fn build(flat: &FlatDesign) -> Compiled {
+        let mut resolve: Vec<u32> = (0..flat.nets.len() as u32).collect();
+        let mut settle_code = Vec::new();
+        let mut seg = Vec::new();
+        for &i in &flat.topo {
+            let (target, expr) = &flat.assigns[i];
+            let tw = flat.nets[*target].width;
+            let mask = width_mask(tw);
+            // Alias elimination: a copy that cannot truncate needs no
+            // instruction at all — forward readers to the source. Topo order
+            // guarantees the source's own resolution is already final.
+            if let Expr::Net(src) = expr {
+                if flat.nets[*src].width <= tw {
+                    resolve[*target] = resolve[*src];
+                    continue;
+                }
+            }
+            seg.clear();
+            lower_onto(expr, &flat.nets, &resolve, &mut seg);
+            peephole(&mut seg);
+            // Fuse single-instruction expressions with their store.
+            match seg[..] {
+                [Instr::Load(src)] => settle_code.push(Instr::Copy {
+                    src,
+                    dst: *target as u32,
+                    mask,
+                }),
+                [Instr::Const(value)] => settle_code.push(Instr::StoreConst {
+                    dst: *target as u32,
+                    value: value & mask,
+                }),
+                _ => {
+                    settle_code.extend_from_slice(&seg);
+                    settle_code.push(Instr::Store {
+                        net: *target as u32,
+                        mask,
+                    });
+                }
+            }
+        }
+        let mut reg_code = Vec::new();
+        for r in &flat.regs {
+            let mask = width_mask(flat.nets[r.target].width);
+            let target = r.target as u32;
+            seg.clear();
+            match &r.enable {
+                Some(e) => {
+                    lower_onto(e, &flat.nets, &resolve, &mut seg);
+                    lower_onto(&r.next, &flat.nets, &resolve, &mut seg);
+                    peephole(&mut seg);
+                    if let [Instr::Load(en), Instr::Load(next)] = seg[..] {
+                        reg_code.push(Instr::SampleRegNets {
+                            en,
+                            next,
+                            mask,
+                            target,
+                        });
+                    } else {
+                        reg_code.extend_from_slice(&seg);
+                        reg_code.push(Instr::SampleReg { mask, target });
+                    }
+                }
+                None => {
+                    lower_onto(&r.next, &flat.nets, &resolve, &mut seg);
+                    peephole(&mut seg);
+                    if let [Instr::Load(net)] = seg[..] {
+                        reg_code.push(Instr::SampleRegAlwaysNet { net, mask });
+                    } else {
+                        reg_code.extend_from_slice(&seg);
+                        reg_code.push(Instr::SampleRegAlways { mask });
+                    }
+                }
+            }
+        }
+        let reg_targets = flat.regs.iter().map(|r| r.target as u32).collect();
+        let bank_nets = flat
+            .banks
+            .iter()
+            .map(|b| CompiledBankNets {
+                en: resolve[b.en],
+                wen: resolve[b.wen],
+                wdata: resolve[b.wdata],
+                buf_sel: b.buf_sel.map(|n| resolve[n]),
+            })
+            .collect();
+        Compiled {
+            settle_code,
+            reg_code,
+            resolve,
+            reg_targets,
+            bank_nets,
+        }
+    }
+}
+
+/// Recursive lowering helper; returns the expression's width. Net reads go
+/// through `resolve` so alias-eliminated wires load straight from their
+/// source slot.
+fn lower_onto(expr: &Expr, nets: &[Net], resolve: &[u32], code: &mut Vec<Instr>) -> u32 {
+    match expr {
+        Expr::Const { value, width } => {
+            code.push(Instr::Const(mask(*value, *width)));
+            *width
+        }
+        Expr::Net(id) => {
+            code.push(Instr::Load(resolve[*id]));
+            nets[*id].width
+        }
+        Expr::Not(e) => {
+            let w = lower_onto(e, nets, resolve, code);
+            code.push(Instr::Not {
+                mask: width_mask(w),
+            });
+            w
+        }
+        Expr::Bin(op, a, b) => {
+            let wa = lower_onto(a, nets, resolve, code);
+            let wb = lower_onto(b, nets, resolve, code);
+            let w = wa.max(wb);
+            code.push(Instr::Bin {
+                op: *op,
+                mask: width_mask(w),
+            });
+            match op {
+                BinOp::Eq | BinOp::Lt => 1,
+                _ => w,
+            }
+        }
+        Expr::Mux {
+            sel,
+            on_true,
+            on_false,
+        } => {
+            lower_onto(sel, nets, resolve, code);
+            let wt = lower_onto(on_true, nets, resolve, code);
+            lower_onto(on_false, nets, resolve, code);
+            code.push(Instr::Mux);
+            wt
+        }
+        Expr::Resize(e, w) => {
+            lower_onto(e, nets, resolve, code);
+            code.push(Instr::Resize {
+                mask: width_mask(*w),
+            });
+            *w
+        }
+        Expr::SignExtend(e, w) => {
+            let from = lower_onto(e, nets, resolve, code);
+            let degenerate = from == 0 || from >= 64;
+            code.push(Instr::SignExt {
+                from_mask: width_mask(from),
+                sign_bit: if degenerate { 0 } else { 1u64 << (from - 1) },
+                ext_bits: if degenerate { 0 } else { !width_mask(from) },
+                to_mask: width_mask(*w),
+            });
+            *w
+        }
+    }
+}
+
+/// Executes one bytecode stream over the value array, using `stack` as the
+/// reusable operand stack. `Store`-family instructions write into `values`;
+/// `SampleReg`-family instructions append to `next_regs` (pass an empty
+/// buffer for the settle stream, which contains none). Disabled registers
+/// sample their current value, so every entry commits unconditionally.
+fn exec_stream(code: &[Instr], values: &mut [u64], stack: &mut Vec<u64>, next_regs: &mut Vec<u64>) {
+    stack.clear();
+    for ins in code {
+        match *ins {
+            Instr::Const(v) => stack.push(v),
+            Instr::Load(n) => stack.push(values[n as usize]),
+            Instr::Not { mask } => {
+                let a = stack.last_mut().expect("operand");
+                *a = !*a & mask;
+            }
+            Instr::Bin { op, mask } => {
+                let b = stack.pop().expect("rhs");
+                let a = stack.last_mut().expect("lhs");
+                *a = bin_eval(op, *a, b, mask);
+            }
+            Instr::Mux => {
+                let on_false = stack.pop().expect("on_false");
+                let on_true = stack.pop().expect("on_true");
+                let sel = stack.last_mut().expect("sel");
+                *sel = if *sel & 1 == 1 { on_true } else { on_false };
+            }
+            Instr::Resize { mask } => {
+                let a = stack.last_mut().expect("operand");
+                *a &= mask;
+            }
+            Instr::SignExt {
+                from_mask,
+                sign_bit,
+                ext_bits,
+                to_mask,
+            } => {
+                let a = stack.last_mut().expect("operand");
+                let v = *a & from_mask;
+                *a = if v & sign_bit != 0 { v | ext_bits } else { v } & to_mask;
+            }
+            Instr::Store { net, mask } => {
+                let v = stack.pop().expect("store operand");
+                values[net as usize] = v & mask;
+            }
+            Instr::Copy { src, dst, mask } => {
+                values[dst as usize] = values[src as usize] & mask;
+            }
+            Instr::StoreConst { dst, value } => {
+                values[dst as usize] = value;
+            }
+            Instr::SampleReg { mask, target } => {
+                let next = stack.pop().expect("next value");
+                let en = stack.pop().expect("enable");
+                next_regs.push(if en & 1 == 1 {
+                    next & mask
+                } else {
+                    values[target as usize]
+                });
+            }
+            Instr::SampleRegAlways { mask } => {
+                let next = stack.pop().expect("next value");
+                next_regs.push(next & mask);
+            }
+            Instr::Bin2 { op, a, b, mask } => {
+                stack.push(bin_eval(op, values[a as usize], values[b as usize], mask));
+            }
+            Instr::LoadSext {
+                net,
+                from_mask,
+                sign_bit,
+                ext_bits,
+                to_mask,
+            } => {
+                let v = values[net as usize] & from_mask;
+                stack.push(if v & sign_bit != 0 { v | ext_bits } else { v } & to_mask);
+            }
+            Instr::LoadMasked { net, mask } => stack.push(values[net as usize] & mask),
+            Instr::NotNet { net, mask } => stack.push(!values[net as usize] & mask),
+            Instr::Mux3 { sel, t, f } => {
+                stack.push(if values[sel as usize] & 1 == 1 {
+                    values[t as usize]
+                } else {
+                    values[f as usize]
+                });
+            }
+            Instr::SampleRegNets {
+                en,
+                next,
+                mask,
+                target,
+            } => {
+                next_regs.push(if values[en as usize] & 1 == 1 {
+                    values[next as usize] & mask
+                } else {
+                    values[target as usize]
+                });
+            }
+            Instr::SampleRegAlwaysNet { net, mask } => {
+                next_regs.push(values[net as usize] & mask);
+            }
+        }
+    }
+}
+
+/// Tree-walking expression evaluation (the reference path). Re-derives
+/// widths recursively on every call — kept for differential validation of
+/// the compiled evaluator and selectable via
+/// [`Interpreter::new_tree_walking`].
+fn eval_expr(expr: &Expr, nets: &[Net], values: &[u64]) -> u64 {
+    match expr {
+        Expr::Const { value, width } => mask(*value, *width),
+        Expr::Net(id) => values[*id],
+        Expr::Not(e) => {
+            let w = e.width(nets);
+            mask(!eval_expr(e, nets, values), w)
+        }
+        Expr::Bin(op, a, b) => {
+            let wa = a.width(nets);
+            let wb = b.width(nets);
+            let w = wa.max(wb);
+            let va = eval_expr(a, nets, values);
+            let vb = eval_expr(b, nets, values);
+            match op {
+                BinOp::Add => mask(va.wrapping_add(vb), w),
+                BinOp::Sub => mask(va.wrapping_sub(vb), w),
+                BinOp::Mul => mask(va.wrapping_mul(vb), w),
+                BinOp::And => va & vb,
+                BinOp::Or => va | vb,
+                BinOp::Xor => va ^ vb,
+                BinOp::Eq => (va == vb) as u64,
+                BinOp::Lt => (va < vb) as u64,
+            }
+        }
+        Expr::Mux {
+            sel,
+            on_true,
+            on_false,
+        } => {
+            if eval_expr(sel, nets, values) & 1 == 1 {
+                eval_expr(on_true, nets, values)
+            } else {
+                eval_expr(on_false, nets, values)
+            }
+        }
+        Expr::Resize(e, w) => mask(eval_expr(e, nets, values), *w),
+        Expr::SignExtend(e, w) => {
+            sign_extend(eval_expr(e, nets, values), e.width(nets), *w)
+        }
+    }
+}
+
+/// Sampled per-bank port activity for one clock edge.
+#[derive(Debug, Clone, Copy, Default)]
+struct BankOp {
+    read: bool,
+    write: bool,
+    wdata: u64,
+    buf_sel: u64,
+}
+
 /// Cycle-level interpreter over a [`FlatDesign`].
 ///
-/// Drive inputs with [`Interpreter::poke`], advance one clock with
+/// Drive inputs with [`Interpreter::poke`] (or [`Interpreter::poke_many`] to
+/// settle once for a whole set of port drives), advance one clock with
 /// [`Interpreter::step`], observe with [`Interpreter::peek`]. Combinational
 /// logic settles automatically before every read and commit.
+///
+/// By default the netlist is compiled once into a linear postfix bytecode
+/// stream (precomputed widths/masks, value-array operands, reusable operand
+/// stack) — the evaluation hot path allocates nothing per cycle.
+/// [`Interpreter::new_tree_walking`] selects the original recursive
+/// evaluator, kept as the differential-testing reference; both paths are
+/// bit-identical by construction and by test.
 #[derive(Debug, Clone)]
 pub struct Interpreter {
     flat: FlatDesign,
+    compiled: Option<Compiled>,
     values: Vec<u64>,
     bank_mem: Vec<Vec<u64>>,
     bank_raddr: Vec<u64>,
     bank_waddr: Vec<u64>,
     bank_rdata: Vec<u64>,
+    /// First-occurrence name → net index (peeks are O(1), not O(nets)).
+    net_by_name: HashMap<String, NetId>,
+    /// First-occurrence port name → net index.
+    port_by_name: HashMap<String, NetId>,
+    /// Reusable operand stack for the compiled evaluator.
+    stack: Vec<u64>,
+    /// Reusable register-sample buffer for [`Interpreter::step`] (disabled
+    /// registers sample their current value, so commits are unconditional).
+    next_regs: Vec<u64>,
+    /// Reusable bank-sample buffer for [`Interpreter::step`].
+    bank_ops: Vec<BankOp>,
+    /// `true` when a value changed since the last settle; [`Interpreter::settle`]
+    /// is a no-op on an already-settled design.
+    dirty: bool,
 }
 
 impl Interpreter {
     /// Creates an interpreter with all registers at their reset values and
-    /// bank memories zeroed.
+    /// bank memories zeroed, running the compiled bytecode evaluator.
     pub fn new(flat: FlatDesign) -> Interpreter {
+        Interpreter::with_compilation(flat, true)
+    }
+
+    /// Creates an interpreter that evaluates by walking the expression trees
+    /// (the pre-compilation reference path).
+    pub fn new_tree_walking(flat: FlatDesign) -> Interpreter {
+        Interpreter::with_compilation(flat, false)
+    }
+
+    fn with_compilation(flat: FlatDesign, compile: bool) -> Interpreter {
         let values = vec![0; flat.nets.len()];
         let bank_mem = flat
             .banks
@@ -374,33 +931,136 @@ impl Interpreter {
             })
             .collect();
         let n_banks = flat.banks.len();
+        let mut net_by_name = HashMap::with_capacity(flat.nets.len());
+        for (id, net) in flat.nets.iter().enumerate() {
+            net_by_name.entry(net.name.clone()).or_insert(id);
+        }
+        let mut port_by_name = HashMap::with_capacity(flat.ports.len());
+        for &(id, _) in &flat.ports {
+            port_by_name.entry(flat.nets[id].name.clone()).or_insert(id);
+        }
+        let compiled = compile.then(|| Compiled::build(&flat));
+        let n_regs = flat.regs.len();
         let mut interp = Interpreter {
             flat,
+            compiled,
             values,
             bank_mem,
             bank_raddr: vec![0; n_banks],
             bank_waddr: vec![0; n_banks],
             bank_rdata: vec![0; n_banks],
+            net_by_name,
+            port_by_name,
+            stack: Vec::with_capacity(16),
+            next_regs: Vec::with_capacity(n_regs),
+            bank_ops: Vec::with_capacity(n_banks),
+            dirty: true,
         };
-        for r in interp.flat.regs.clone() {
+        for r in &interp.flat.regs {
             interp.values[r.target] = mask(r.init, interp.flat.nets[r.target].width);
         }
         interp.settle();
         interp
     }
 
-    /// Sets a top-level input port.
+    /// `true` if this interpreter runs the compiled bytecode evaluator.
+    pub fn is_compiled(&self) -> bool {
+        self.compiled.is_some()
+    }
+
+    /// Sets a top-level input port and resettles combinational logic.
+    ///
+    /// When driving many ports in the same cycle, prefer
+    /// [`Interpreter::poke_many`], which settles once for the whole batch.
     ///
     /// # Panics
     ///
-    /// Panics if no such input port exists.
+    /// Panics if no such port exists.
     pub fn poke(&mut self, port: &str, value: u64) {
-        let id = self
-            .flat
-            .port(port)
+        self.set_port(port, value);
+        self.settle();
+    }
+
+    /// Sets a batch of top-level input ports, settling combinational logic
+    /// once at the end instead of once per port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any named port does not exist.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tensorlib_hw::interp::{elaborate, Interpreter};
+    /// use tensorlib_hw::netlist::{Expr, Module};
+    ///
+    /// let mut m = Module::new("sum");
+    /// let a = m.input("a", 8);
+    /// let b = m.input("b", 8);
+    /// let y = m.output("y", 8);
+    /// m.assign(y, Expr::net(a).add(Expr::net(b)));
+    /// let mut sim = Interpreter::new(elaborate(&[m], &[], "sum")?);
+    /// sim.poke_many([("a", 30), ("b", 12)]);
+    /// assert_eq!(sim.peek("y"), 42);
+    /// # Ok::<(), tensorlib_hw::interp::ElaborateError>(())
+    /// ```
+    pub fn poke_many<'a>(&mut self, pokes: impl IntoIterator<Item = (&'a str, u64)>) {
+        for (port, value) in pokes {
+            self.set_port(port, value);
+        }
+        self.settle();
+    }
+
+    fn set_port(&mut self, port: &str, value: u64) {
+        let id = *self
+            .port_by_name
+            .get(port)
             .unwrap_or_else(|| panic!("no port {port:?}"));
         self.values[id] = mask(value, self.flat.nets[id].width);
+        self.dirty = true;
+    }
+
+    /// Resolves a top-level port to its net id, for use with
+    /// [`Interpreter::poke_by_id`] in poke-heavy loops (skips the per-call
+    /// name lookup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such port exists.
+    pub fn input_id(&self, port: &str) -> NetId {
+        *self
+            .port_by_name
+            .get(port)
+            .unwrap_or_else(|| panic!("no port {port:?}"))
+    }
+
+    /// Sets a batch of ports by id (from [`Interpreter::input_id`]) and
+    /// settles once. The ids must come from `input_id`; driving an internal
+    /// net is unsupported (its value is recomputed by the settle).
+    pub fn poke_by_id(&mut self, pokes: impl IntoIterator<Item = (NetId, u64)>) {
+        for (id, value) in pokes {
+            self.values[id] = mask(value, self.flat.nets[id].width);
+        }
+        self.dirty = true;
         self.settle();
+    }
+
+    fn net_id(&self, name: &str) -> NetId {
+        *self
+            .net_by_name
+            .get(name)
+            .unwrap_or_else(|| panic!("no net {name:?}"))
+    }
+
+    /// The value slot holding `id`'s value: the alias-resolved slot on the
+    /// compiled path (eliminated wire copies forward reads to their source,
+    /// whose value is bit-identical by construction), `id` itself otherwise.
+    #[inline]
+    fn read_slot(&self, id: NetId) -> usize {
+        match &self.compiled {
+            Some(c) => c.resolve[id] as usize,
+            None => id,
+        }
     }
 
     /// Reads any net by (hierarchical) name after settling.
@@ -409,25 +1069,14 @@ impl Interpreter {
     ///
     /// Panics if no such net exists.
     pub fn peek(&self, name: &str) -> u64 {
-        let id = self
-            .flat
-            .nets
-            .iter()
-            .position(|n| n.name == name)
-            .unwrap_or_else(|| panic!("no net {name:?}"));
-        self.values[id]
+        self.values[self.read_slot(self.net_id(name))]
     }
 
     /// Reads a net as a signed value of its declared width.
     pub fn peek_signed(&self, name: &str) -> i64 {
-        let id = self
-            .flat
-            .nets
-            .iter()
-            .position(|n| n.name == name)
-            .unwrap_or_else(|| panic!("no net {name:?}"));
+        let id = self.net_id(name);
         let w = self.flat.nets[id].width;
-        sign_extend(self.values[id], w, 64) as i64
+        sign_extend(self.values[self.read_slot(id)], w, 64) as i64
     }
 
     /// Preloads a bank's memory (test convenience; index by elaboration
@@ -435,11 +1084,22 @@ impl Interpreter {
     ///
     /// # Panics
     ///
-    /// Panics if the bank index or address is out of range.
+    /// Panics, naming the bank and its capacity, if the bank index is out of
+    /// range or `words` exceeds the bank's storage (both buffers for a
+    /// double-buffered bank).
     pub fn load_bank(&mut self, bank: usize, words: &[u64]) {
-        for (i, &w) in words.iter().enumerate() {
-            self.bank_mem[bank][i] = w;
-        }
+        assert!(
+            bank < self.bank_mem.len(),
+            "no bank {bank}: design has {} banks",
+            self.bank_mem.len()
+        );
+        let capacity = self.bank_mem[bank].len();
+        assert!(
+            words.len() <= capacity,
+            "bank {bank} holds {capacity} words but load_bank was given {} words",
+            words.len()
+        );
+        self.bank_mem[bank][..words.len()].copy_from_slice(words);
     }
 
     /// Number of behavioural banks.
@@ -447,102 +1107,108 @@ impl Interpreter {
         self.flat.banks.len()
     }
 
-    /// Settles combinational logic (topological evaluation).
+    /// Settles combinational logic (topological evaluation). No-op when
+    /// nothing changed since the last settle — `step` after `poke_many`
+    /// evaluates the netlist once, not twice.
     fn settle(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
         // Bank read data drives its net.
         for (i, b) in self.flat.banks.iter().enumerate() {
             self.values[b.rdata] = mask(self.bank_rdata[i], self.flat.nets[b.rdata].width);
         }
-        for &i in &self.flat.topo.clone() {
-            let (target, expr) = &self.flat.assigns[i];
-            let w = self.flat.nets[*target].width;
-            self.values[*target] = mask(self.eval(expr), w);
-        }
-    }
-
-    fn eval(&self, expr: &Expr) -> u64 {
-        match expr {
-            Expr::Const { value, width } => mask(*value, *width),
-            Expr::Net(id) => self.values[*id],
-            Expr::Not(e) => {
-                let w = e.width(&self.flat.nets);
-                mask(!self.eval(e), w)
+        match &self.compiled {
+            Some(compiled) => {
+                // The settle stream contains no register samples, so the
+                // sample buffer is passed only to satisfy the executor.
+                exec_stream(
+                    &compiled.settle_code,
+                    &mut self.values,
+                    &mut self.stack,
+                    &mut self.next_regs,
+                );
             }
-            Expr::Bin(op, a, b) => {
-                let wa = a.width(&self.flat.nets);
-                let wb = b.width(&self.flat.nets);
-                let w = wa.max(wb);
-                let va = self.eval(a);
-                let vb = self.eval(b);
-                match op {
-                    BinOp::Add => mask(va.wrapping_add(vb), w),
-                    BinOp::Sub => mask(va.wrapping_sub(vb), w),
-                    BinOp::Mul => mask(va.wrapping_mul(vb), w),
-                    BinOp::And => va & vb,
-                    BinOp::Or => va | vb,
-                    BinOp::Xor => va ^ vb,
-                    BinOp::Eq => (va == vb) as u64,
-                    BinOp::Lt => (va < vb) as u64,
+            None => {
+                for &i in &self.flat.topo {
+                    let (target, expr) = &self.flat.assigns[i];
+                    let w = self.flat.nets[*target].width;
+                    self.values[*target] =
+                        mask(eval_expr(expr, &self.flat.nets, &self.values), w);
                 }
             }
-            Expr::Mux {
-                sel,
-                on_true,
-                on_false,
-            } => {
-                if self.eval(sel) & 1 == 1 {
-                    self.eval(on_true)
-                } else {
-                    self.eval(on_false)
-                }
-            }
-            Expr::Resize(e, w) => mask(self.eval(e), *w),
-            Expr::SignExtend(e, w) => sign_extend(self.eval(e), e.width(&self.flat.nets), *w),
         }
     }
 
     /// Advances one clock: samples every register's next value and every
     /// bank's port activity, commits them simultaneously, and resettles.
+    /// Allocation-free on both evaluator paths — sample buffers are reused
+    /// across calls.
     pub fn step(&mut self) {
         self.settle();
-        // Sample.
-        let mut next_regs = Vec::with_capacity(self.flat.regs.len());
-        for r in &self.flat.regs {
-            let enabled = r.enable.as_ref().is_none_or(|e| self.eval(e) & 1 == 1);
-            let w = self.flat.nets[r.target].width;
-            next_regs.push(if enabled {
-                Some(mask(self.eval(&r.next), w))
-            } else {
-                None
-            });
+        // Sample registers.
+        self.next_regs.clear();
+        match &self.compiled {
+            Some(compiled) => {
+                // One linear pass samples every register (the stream's
+                // `SampleReg` ops append in `flat.regs` order).
+                exec_stream(
+                    &compiled.reg_code,
+                    &mut self.values,
+                    &mut self.stack,
+                    &mut self.next_regs,
+                );
+            }
+            None => {
+                for r in &self.flat.regs {
+                    let enabled = r.enable.as_ref().is_none_or(|e| {
+                        eval_expr(e, &self.flat.nets, &self.values) & 1 == 1
+                    });
+                    let w = self.flat.nets[r.target].width;
+                    self.next_regs.push(if enabled {
+                        mask(eval_expr(&r.next, &self.flat.nets, &self.values), w)
+                    } else {
+                        self.values[r.target]
+                    });
+                }
+            }
         }
-        #[derive(Clone, Copy)]
-        struct BankOp {
-            read: bool,
-            write: bool,
-            wdata: u64,
-            buf_sel: u64,
-        }
-        let bank_ops: Vec<BankOp> = self
-            .flat
-            .banks
-            .iter()
-            .map(|b| BankOp {
-                read: self.values[b.en] & 1 == 1,
-                write: self.values[b.wen] & 1 == 1,
-                wdata: self.values[b.wdata],
-                buf_sel: b.buf_sel.map_or(0, |n| self.values[n] & 1),
-            })
-            .collect();
-        // Commit registers.
-        for (r, next) in self.flat.regs.clone().iter().zip(next_regs) {
-            if let Some(v) = next {
-                self.values[r.target] = v;
+        // Sample bank port activity (through the alias-resolved port nets on
+        // the compiled path) and commit registers. The compiled commit walks
+        // the compact target array instead of the full `RegDef` structs.
+        self.bank_ops.clear();
+        match &self.compiled {
+            Some(compiled) => {
+                for b in &compiled.bank_nets {
+                    self.bank_ops.push(BankOp {
+                        read: self.values[b.en as usize] & 1 == 1,
+                        write: self.values[b.wen as usize] & 1 == 1,
+                        wdata: self.values[b.wdata as usize],
+                        buf_sel: b.buf_sel.map_or(0, |n| self.values[n as usize] & 1),
+                    });
+                }
+                for (&t, &v) in compiled.reg_targets.iter().zip(&self.next_regs) {
+                    self.values[t as usize] = v;
+                }
+            }
+            None => {
+                for b in &self.flat.banks {
+                    self.bank_ops.push(BankOp {
+                        read: self.values[b.en] & 1 == 1,
+                        write: self.values[b.wen] & 1 == 1,
+                        wdata: self.values[b.wdata],
+                        buf_sel: b.buf_sel.map_or(0, |n| self.values[n] & 1),
+                    });
+                }
+                for (r, &v) in self.flat.regs.iter().zip(&self.next_regs) {
+                    self.values[r.target] = v;
+                }
             }
         }
         // Commit banks: read from the inactive buffer, write to the active
         // one (matching the behavioural Verilog template).
-        for (i, (b, op)) in self.flat.banks.clone().iter().zip(bank_ops).enumerate() {
+        for (i, (b, op)) in self.flat.banks.iter().zip(&self.bank_ops).enumerate() {
             let words = b.spec.words();
             if op.read {
                 let base = if b.spec.is_double_buffered() {
@@ -565,6 +1231,8 @@ impl Interpreter {
                 self.bank_waddr[i] = (self.bank_waddr[i] + 1) % words;
             }
         }
+        // Committed state changed; resettle the combinational logic.
+        self.dirty = true;
         self.settle();
     }
 }
@@ -791,5 +1459,99 @@ mod tests {
         assert_eq!(sim.peek("rdata"), 22);
         sim.step();
         assert_eq!(sim.peek("rdata"), 33);
+    }
+
+    #[test]
+    fn poke_many_settles_once_and_matches_poke() {
+        let mut m = Module::new("mac");
+        let a = m.input("a", 16);
+        let b = m.input("b", 16);
+        let c = m.input("c", 16);
+        let y = m.output("y", 16);
+        m.assign(y, Expr::net(a).mul(Expr::net(b)).add(Expr::net(c)));
+        let flat = elaborate(&[m], &[], "mac").unwrap();
+        let mut one_by_one = Interpreter::new(flat.clone());
+        one_by_one.poke("a", 3);
+        one_by_one.poke("b", 5);
+        one_by_one.poke("c", 7);
+        let mut batched = Interpreter::new(flat);
+        batched.poke_many([("a", 3), ("b", 5), ("c", 7)]);
+        assert_eq!(batched.peek("y"), 22);
+        assert_eq!(batched.peek("y"), one_by_one.peek("y"));
+    }
+
+    #[test]
+    fn tree_walking_matches_compiled_on_a_pe() {
+        let spec = PeSpec {
+            name: "pe".into(),
+            datatype: DataType::Int16,
+            tensors: vec![
+                PeTensorSpec {
+                    tensor: "a".into(),
+                    kind: PeIoKind::SystolicIn,
+                    delay: 1,
+                },
+                PeTensorSpec {
+                    tensor: "b".into(),
+                    kind: PeIoKind::StationaryIn,
+                    delay: 1,
+                },
+                PeTensorSpec {
+                    tensor: "c".into(),
+                    kind: PeIoKind::SystolicOut,
+                    delay: 1,
+                },
+            ],
+        };
+        let pe = build_pe(&spec);
+        let flat = elaborate(&[pe], &[], "pe").unwrap();
+        let mut fast = Interpreter::new(flat.clone());
+        let mut slow = Interpreter::new_tree_walking(flat);
+        assert!(fast.is_compiled());
+        assert!(!slow.is_compiled());
+        for cycle in 0..32u64 {
+            let pokes = [
+                ("load_en", u64::from(cycle % 7 == 0)),
+                ("phase", (cycle / 7) & 1),
+                ("en", 1),
+                ("a_in", as_u16((cycle as i64 % 17) - 8)),
+                ("b_in", as_u16((cycle as i64 % 5) - 2)),
+                ("c_in", as_u16(cycle as i64 * 3 - 40)),
+            ];
+            fast.poke_many(pokes);
+            slow.poke_many(pokes);
+            fast.step();
+            slow.step();
+            for name in ["c_out", "a_out", "b_out"] {
+                assert_eq!(
+                    fast.peek(name),
+                    slow.peek(name),
+                    "net {name} diverged at cycle {cycle}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bank 0 holds 4 words but load_bank was given 5 words")]
+    fn load_bank_overflow_names_bank_and_capacity() {
+        let bank = MemBank::new(4, 16, false);
+        let mut top = Module::new("top");
+        let en = top.input("en", 1);
+        let wen = top.input("wen", 1);
+        let wdata = top.input("wdata", 16);
+        let rdata = top.output("rdata", 16);
+        top.instance(
+            bank.module_name(),
+            "b0",
+            vec![
+                ("en".into(), en),
+                ("wen".into(), wen),
+                ("wdata".into(), wdata),
+                ("rdata".into(), rdata),
+            ],
+        );
+        let mut sim = Interpreter::new(elaborate(&[top], &[bank], "top").unwrap());
+        sim.load_bank(0, &[1, 2, 3, 4, 5]);
     }
 }

@@ -34,6 +34,7 @@
 
 mod frac;
 mod mat;
+pub mod par;
 mod solve;
 
 pub use frac::{Frac, ParseFracError};

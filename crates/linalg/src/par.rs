@@ -1,0 +1,131 @@
+//! A minimal scoped worker pool for data-parallel sweeps.
+//!
+//! Design-space exploration is embarrassingly parallel: thousands of
+//! independent candidates, each scored by pure functions. This module
+//! provides the one primitive the workspace needs — [`par_map_indexed`], an
+//! order-preserving parallel map over a slice built on
+//! [`std::thread::scope`] with a chunked atomic work queue. No external
+//! dependencies, no global thread pool, no unsafe code: workers collect
+//! `(chunk_start, results)` pieces that are stitched back into input order
+//! at the end, so callers see exactly the output a serial `map` would
+//! produce regardless of worker count or scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a requested worker count: `0` means one worker per available
+/// core; the result is clamped to `[1, items]` so empty or tiny inputs never
+/// spawn idle threads.
+pub fn effective_workers(requested: usize, items: usize) -> usize {
+    let hw = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    };
+    hw.max(1).min(items.max(1))
+}
+
+/// Maps `f` over `items` using `workers` scoped threads (`0` = one per
+/// core), returning results **in input order**.
+///
+/// Work is handed out in chunks of `chunk` items via an atomic cursor, so
+/// uneven per-item cost balances across threads. With one effective worker
+/// the map runs inline on the calling thread — byte-for-byte the serial
+/// behaviour, which keeps single-threaded callers allocation- and
+/// determinism-identical to a plain iterator chain.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+///
+/// # Examples
+///
+/// ```
+/// use tensorlib_linalg::par::par_map_indexed;
+///
+/// let squares = par_map_indexed(&[1u64, 2, 3, 4, 5], 4, 2, |i, &x| (i, x * x));
+/// assert_eq!(squares, vec![(0, 1), (1, 4), (2, 9), (3, 16), (4, 25)]);
+/// ```
+pub fn par_map_indexed<T, U, F>(items: &[T], workers: usize, chunk: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let workers = effective_workers(workers, items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = chunk.max(1);
+    let cursor = AtomicUsize::new(0);
+    let mut pieces: Vec<(usize, Vec<U>)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, Vec<U>)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(items.len());
+                        let mapped = items[start..end]
+                            .iter()
+                            .enumerate()
+                            .map(|(k, t)| f(start + k, t))
+                            .collect();
+                        local.push((start, mapped));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            pieces.extend(h.join().expect("parallel map worker panicked"));
+        }
+    });
+    pieces.sort_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(items.len());
+    for (_, mut piece) in pieces {
+        out.append(&mut piece);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x)).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let got = par_map_indexed(&items, workers, 7, |_, &x| x.wrapping_mul(x));
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn passes_original_indices() {
+        let items = ["a", "b", "c"];
+        let got = par_map_indexed(&items, 2, 1, |i, &s| format!("{i}{s}"));
+        assert_eq!(got, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn handles_empty_and_oversized_chunks() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map_indexed(&empty, 4, 16, |_, &x| x).is_empty());
+        let got = par_map_indexed(&[1u8, 2], 8, 1000, |_, &x| x + 1);
+        assert_eq!(got, vec![2, 3]);
+    }
+
+    #[test]
+    fn effective_workers_clamps() {
+        assert_eq!(effective_workers(4, 2), 2);
+        assert_eq!(effective_workers(4, 100), 4);
+        assert_eq!(effective_workers(1, 0), 1);
+        assert!(effective_workers(0, 1000) >= 1);
+    }
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Performance gate: build, run the test suite, then benchmark the evaluation
+# hot path. Fails if compiled-interpreter throughput regresses more than 20%
+# against the committed BENCH_perfgate.json baseline (skips the gate with a
+# warning when no baseline is committed). Regenerates BENCH_perfgate.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+
+if [ -f BENCH_perfgate.json ]; then
+    baseline=$(mktemp)
+    trap 'rm -f "$baseline"' EXIT
+    cp BENCH_perfgate.json "$baseline"
+    ./target/release/perfgate --check-against "$baseline"
+else
+    echo "warning: no committed BENCH_perfgate.json baseline; running without regression gate" >&2
+    ./target/release/perfgate
+fi

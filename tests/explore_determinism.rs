@@ -1,0 +1,74 @@
+//! Determinism of the parallel design-space exploration: [`explore`] must
+//! return the *identical* result list — same designs, same ordering, same
+//! scores — no matter how many worker threads score the candidates.
+//!
+//! The worker pool maps candidates in enumeration order and the final sort is
+//! stable with a total tie-break, so this holds by construction; the test
+//! pins it against regressions (e.g. a future unordered work queue).
+
+use tensorlib::explore::{explore, ExploreOptions};
+use tensorlib::ir::workloads;
+
+fn with_workers(workers: usize) -> ExploreOptions {
+    ExploreOptions {
+        workers,
+        ..ExploreOptions::default()
+    }
+}
+
+#[test]
+fn explore_results_are_identical_for_any_worker_count() {
+    let kernel = workloads::gemm(16, 16, 16);
+    let serial = explore(&kernel, &with_workers(1));
+    assert!(!serial.is_empty());
+
+    for workers in [2, 3, 8, 0] {
+        let parallel = explore(&kernel, &with_workers(workers));
+        assert_eq!(
+            serial.len(),
+            parallel.len(),
+            "{workers} workers changed the number of designs"
+        );
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(a.name, b.name, "name mismatch at rank {i} ({workers} workers)");
+            assert_eq!(
+                a.letters, b.letters,
+                "letters mismatch at rank {i} ({workers} workers)"
+            );
+            assert_eq!(
+                a.performance.total_cycles, b.performance.total_cycles,
+                "cycle count mismatch at rank {i} ({workers} workers)"
+            );
+            assert_eq!(
+                a.asic.area_mm2, b.asic.area_mm2,
+                "area mismatch at rank {i} ({workers} workers)"
+            );
+        }
+    }
+}
+
+#[test]
+fn design_space_dedup_is_identical_for_any_worker_count() {
+    use tensorlib::dataflow::dse::{design_space, DseConfig};
+
+    let kernel = workloads::gemm(8, 8, 8);
+    let serial = design_space(
+        &kernel,
+        &DseConfig {
+            workers: 1,
+            ..DseConfig::default()
+        },
+    );
+    let parallel = design_space(
+        &kernel,
+        &DseConfig {
+            workers: 4,
+            ..DseConfig::default()
+        },
+    );
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.name(), b.name());
+        assert_eq!(a.signature(), b.signature());
+    }
+}

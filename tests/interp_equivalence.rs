@@ -1,0 +1,87 @@
+//! Differential test of the compiled bytecode evaluator against the
+//! tree-walking reference: a systolic PE is driven for 200 cycles with
+//! seeded-random pokes on every input port, and **every flat net** must match
+//! between the two interpreters after every cycle.
+//!
+//! This is deliberately stronger than checking the output ports — alias
+//! elimination, peephole fusion, and precomputed masks all have to reproduce
+//! the reference value of every intermediate wire and register, not just the
+//! values that happen to reach the boundary.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use tensorlib::hw::interp::{elaborate, FlatDesign, Interpreter};
+use tensorlib::hw::netlist::Dir;
+use tensorlib::hw::pe::{build_pe, PeIoKind, PeSpec, PeTensorSpec};
+use tensorlib::ir::DataType;
+
+/// A weight-stationary-flavoured systolic PE: systolic activation input,
+/// double-buffered stationary weight, systolic partial-sum output — the
+/// richest single-PE expression mix the generator emits (sign-extended
+/// multiply, accumulate mux, enable-gated delay chains, phase muxing).
+fn systolic_pe() -> FlatDesign {
+    let spec = PeSpec {
+        name: "pe".into(),
+        datatype: DataType::Int16,
+        tensors: vec![
+            PeTensorSpec {
+                tensor: "a".into(),
+                kind: PeIoKind::SystolicIn,
+                delay: 1,
+            },
+            PeTensorSpec {
+                tensor: "b".into(),
+                kind: PeIoKind::StationaryIn,
+                delay: 1,
+            },
+            PeTensorSpec {
+                tensor: "c".into(),
+                kind: PeIoKind::SystolicOut,
+                delay: 1,
+            },
+        ],
+    };
+    elaborate(&[build_pe(&spec)], &[], "pe").unwrap()
+}
+
+#[test]
+fn compiled_matches_tree_walking_on_every_net_for_200_random_cycles() {
+    let flat = systolic_pe();
+    let input_ids: Vec<usize> = flat
+        .ports()
+        .iter()
+        .filter(|(_, dir)| *dir == Dir::Input)
+        .map(|&(id, _)| id)
+        .collect();
+    let net_names: Vec<String> = flat.nets().iter().map(|n| n.name.clone()).collect();
+    assert!(!input_ids.is_empty());
+    assert!(net_names.len() > input_ids.len(), "PE has internal nets");
+
+    let mut compiled = Interpreter::new(flat.clone());
+    let mut tree = Interpreter::new_tree_walking(flat);
+    assert!(compiled.is_compiled());
+    assert!(!tree.is_compiled());
+
+    let mut rng = SmallRng::seed_from_u64(0xD1FF);
+    for cycle in 0..200 {
+        // Random values on every input port (the interpreter masks to each
+        // port's width); control ports toggle as aggressively as data ports.
+        let pokes: Vec<(usize, u64)> = input_ids.iter().map(|&id| (id, rng.next_u64())).collect();
+        compiled.poke_by_id(pokes.iter().copied());
+        tree.poke_by_id(pokes.iter().copied());
+        compiled.step();
+        tree.step();
+        for name in &net_names {
+            assert_eq!(
+                compiled.peek(name),
+                tree.peek(name),
+                "net {name} diverged at cycle {cycle}"
+            );
+            assert_eq!(
+                compiled.peek_signed(name),
+                tree.peek_signed(name),
+                "signed read of {name} diverged at cycle {cycle}"
+            );
+        }
+    }
+}

@@ -9,7 +9,7 @@
 
 use tensorlib::dataflow::{Dataflow, LoopSelection, Stt};
 use tensorlib::hw::design::{generate, HwConfig};
-use tensorlib::hw::interp::{elaborate_design, Interpreter};
+use tensorlib::hw::interp::{elaborate_design, FlatDesign, Interpreter};
 use tensorlib::hw::ArrayConfig;
 use tensorlib::ir::workloads;
 
@@ -19,8 +19,7 @@ fn as_u16(v: i64) -> u64 {
 
 /// Output-stationary systolic GEMM (MNK-SST): skewed boundary feeds, then
 /// swap + column drain.
-#[test]
-fn output_stationary_gemm_array_netlist_computes_gemm() {
+fn run_output_stationary_gemm(mk: fn(FlatDesign) -> Interpreter) {
     let (r, c, k) = (3usize, 3usize, 4usize);
     let gemm = workloads::gemm(r as u64, c as u64, k as u64);
     let sel = LoopSelection::by_names(&gemm, ["m", "n", "k"]).unwrap();
@@ -42,7 +41,7 @@ fn output_stationary_gemm_array_netlist_computes_gemm() {
         .map(|m| m.name().to_string())
         .find(|n| n.ends_with("_array"))
         .unwrap();
-    let mut sim = Interpreter::new(elaborate_design(&design, &array_name).unwrap());
+    let mut sim = mk(elaborate_design(&design, &array_name).unwrap());
 
     let inputs = gemm.random_inputs(77);
     let reference = gemm.execute_reference(&inputs).unwrap();
@@ -105,8 +104,7 @@ fn output_stationary_gemm_array_netlist_computes_gemm() {
 
 /// Multicast inputs + stationary weights + reduction-tree outputs (MNK-MTM):
 /// chain-load B, multicast A per column, read each row's tree root.
-#[test]
-fn multicast_reduction_gemm_array_netlist_computes_gemm() {
+fn run_multicast_reduction_gemm(mk: fn(FlatDesign) -> Interpreter) {
     let (n, kdim, m) = (4usize, 4usize, 6usize); // p1 = n, p2 = k, t = m
     let gemm = workloads::gemm(m as u64, n as u64, kdim as u64);
     let sel = LoopSelection::by_names(&gemm, ["m", "n", "k"]).unwrap();
@@ -127,7 +125,7 @@ fn multicast_reduction_gemm_array_netlist_computes_gemm() {
         .map(|m| m.name().to_string())
         .find(|nm| nm.ends_with("_array"))
         .unwrap();
-    let mut sim = Interpreter::new(elaborate_design(&design, &array_name).unwrap());
+    let mut sim = mk(elaborate_design(&design, &array_name).unwrap());
 
     let inputs = gemm.random_inputs(31);
     let reference = gemm.execute_reference(&inputs).unwrap();
@@ -183,8 +181,7 @@ fn multicast_reduction_gemm_array_netlist_computes_gemm() {
 
 /// Weight-stationary systolic GEMM (MNK-STS): partial sums travel through the
 /// array and exit at the systolic drain ports.
-#[test]
-fn weight_stationary_gemm_array_netlist_computes_gemm() {
+fn run_weight_stationary_gemm(mk: fn(FlatDesign) -> Interpreter) {
     // T = [[0,0,1],[0,1,0],[1,1,1]]: p1 = k, p2 = n, t = m + n + k.
     let (kdim, n, m) = (3usize, 3usize, 4usize);
     let gemm = workloads::gemm(m as u64, n as u64, kdim as u64);
@@ -209,7 +206,7 @@ fn weight_stationary_gemm_array_netlist_computes_gemm() {
         .map(|md| md.name().to_string())
         .find(|nm| nm.ends_with("_array"))
         .unwrap();
-    let mut sim = Interpreter::new(elaborate_design(&design, &array_name).unwrap());
+    let mut sim = mk(elaborate_design(&design, &array_name).unwrap());
 
     let inputs = gemm.random_inputs(55);
     let reference = gemm.execute_reference(&inputs).unwrap();
@@ -269,4 +266,39 @@ fn weight_stationary_gemm_array_netlist_computes_gemm() {
             );
         }
     }
+}
+
+// Every scenario must hold on both evaluator paths: the compiled bytecode
+// interpreter (the default) and the tree-walking reference it was derived
+// from. Running each protocol twice proves the compilation is
+// behaviour-preserving at the full-array level, not just per-expression.
+
+#[test]
+fn output_stationary_gemm_array_netlist_computes_gemm() {
+    run_output_stationary_gemm(Interpreter::new);
+}
+
+#[test]
+fn output_stationary_gemm_array_tree_walking() {
+    run_output_stationary_gemm(Interpreter::new_tree_walking);
+}
+
+#[test]
+fn multicast_reduction_gemm_array_netlist_computes_gemm() {
+    run_multicast_reduction_gemm(Interpreter::new);
+}
+
+#[test]
+fn multicast_reduction_gemm_array_tree_walking() {
+    run_multicast_reduction_gemm(Interpreter::new_tree_walking);
+}
+
+#[test]
+fn weight_stationary_gemm_array_netlist_computes_gemm() {
+    run_weight_stationary_gemm(Interpreter::new);
+}
+
+#[test]
+fn weight_stationary_gemm_array_tree_walking() {
+    run_weight_stationary_gemm(Interpreter::new_tree_walking);
 }

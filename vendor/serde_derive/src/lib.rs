@@ -1,0 +1,263 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! item shapes used in this workspace — non-generic structs with named,
+//! tuple, or no fields, and non-generic enums with unit, tuple, and struct
+//! variants — by walking the raw token stream (no `syn`/`quote`, which are
+//! unreachable in this offline build environment).
+//!
+//! The generated `Serialize` impls produce the `serde::Content` value model;
+//! `serde_json` renders that model with upstream-compatible JSON shapes
+//! (field-order maps for structs, externally tagged enums).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by emitting a field-wise `to_content` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("serde::Content::Seq(vec![{}])", entries.join(", "))
+        }
+        Shape::UnitStruct => "serde::Content::Null".to_string(),
+        Shape::Enum(variants) => {
+            let name = &item.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => serde::Content::Str(\"{vn}\".to_string())"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => serde::Content::Map(vec![(\"{vn}\".to_string(), serde::Serialize::to_content(f0))])"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_content(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Content::Map(vec![(\"{vn}\".to_string(), serde::Content::Seq(vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Content::Map(vec![(\"{vn}\".to_string(), serde::Content::Map(vec![{}]))])",
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    let out = format!(
+        "impl serde::Serialize for {} {{\n    fn to_content(&self) -> serde::Content {{\n        {}\n    }}\n}}",
+        item.name, body
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the marker trait `serde::Deserialize` (no methods; see the
+/// `serde` stub's docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive does not support generic type `{name}`");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::NamedStruct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                shape: Shape::TupleStruct(count_top_level_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                name,
+                shape: Shape::UnitStruct,
+            },
+            other => panic!("unexpected token after struct name: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("unexpected token after enum name: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Skips `#[...]` attributes (incl. doc comments) and a `pub`/`pub(...)`
+/// visibility prefix.
+fn skip_attrs_and_vis<I: Iterator<Item = TokenTree>>(
+    tokens: &mut std::iter::Peekable<I>,
+) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g))
+                        if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    tokens.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a field-list token stream at top-level commas. Commas inside
+/// parenthesized groups are invisible (groups are single tokens); commas
+/// inside generic arguments are skipped by tracking `<`/`>` depth.
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                parts.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream).len()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|part| {
+            let mut it = part.into_iter().peekable();
+            skip_attrs_and_vis(&mut it);
+            match it.next() {
+                Some(TokenTree::Ident(i)) => i.to_string(),
+                other => panic!("expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|part| {
+            let mut it = part.into_iter().peekable();
+            skip_attrs_and_vis(&mut it);
+            let name = match it.next() {
+                Some(TokenTree::Ident(i)) => i.to_string(),
+                other => panic!("expected variant name, got {other:?}"),
+            };
+            let shape = match it.next() {
+                None => VariantShape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Struct(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis =>
+                {
+                    VariantShape::Tuple(count_top_level_fields(g.stream()))
+                }
+                other => panic!("unexpected token in variant `{name}`: {other:?}"),
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
