@@ -19,17 +19,38 @@ use tensorlib::hw::design::{generate, HwConfig};
 use tensorlib::hw::interp::{elaborate_design, FlatDesign, Interpreter};
 use tensorlib::hw::ArrayConfig;
 use tensorlib::ir::workloads;
+use tensorlib::TraceConfig;
 use tensorlib_bench::TextTable;
 
 /// Regression threshold for `--check-against`: fail if compiled throughput
 /// drops below 80% of the baseline.
 const REGRESSION_FLOOR: f64 = 0.8;
 
+/// Observability must be pay-for-use: with tracing disabled the interpreter
+/// may cost at most this much relative to one without the hooks.
+const TRACE_OFF_OVERHEAD_CEILING_PCT: f64 = 3.0;
+
 #[derive(Serialize)]
 struct PerfGateReport {
     host_cores: usize,
     interpreter: InterpReport,
+    trace_overhead: TraceOverheadReport,
     explore: ExploreReport,
+}
+
+#[derive(Serialize)]
+struct TraceOverheadReport {
+    scenario: String,
+    plain_cycles_per_sec: f64,
+    trace_off_cycles_per_sec: f64,
+    /// Slowdown of the disabled-trace interpreter vs plain, in percent
+    /// (negative = measured faster; gated at
+    /// [`TRACE_OFF_OVERHEAD_CEILING_PCT`]).
+    trace_off_overhead_pct: f64,
+    counters_cycles_per_sec: f64,
+    /// Slowdown with PE/bank/controller counters accumulating (informational,
+    /// not gated).
+    counters_overhead_pct: f64,
 }
 
 #[derive(Serialize)]
@@ -85,18 +106,29 @@ fn run_cycles(sim: &mut Interpreter, feeds: &[usize], n_cycles: u64, salt: u64) 
     }
 }
 
-/// Measures steady-state simulated cycles per second for one interpreter.
-fn cycles_per_sec(mut sim: Interpreter, feed_names: &[String]) -> f64 {
+/// Resolves the feed-port ids, drives the enables, and warms the caches.
+fn warm_up(sim: &mut Interpreter, feed_names: &[String]) -> Vec<usize> {
     let feeds: Vec<usize> = feed_names.iter().map(|n| sim.input_id(n)).collect();
     sim.poke_many([("en", 1), ("swap", 0), ("drain_en", 0)]);
-    run_cycles(&mut sim, &feeds, 256, 0); // warmup
+    run_cycles(sim, &feeds, 256, 0);
+    feeds
+}
+
+/// Times one measurement window of roughly `ms` milliseconds.
+fn rate_window(sim: &mut Interpreter, feeds: &[usize], ms: u64, salt: u64) -> f64 {
     let mut cycles = 0u64;
     let start = Instant::now();
-    while start.elapsed() < Duration::from_millis(600) {
-        run_cycles(&mut sim, &feeds, 1024, cycles);
+    while start.elapsed() < Duration::from_millis(ms) {
+        run_cycles(sim, feeds, 1024, cycles.wrapping_add(salt));
         cycles += 1024;
     }
-    let rate = cycles as f64 / start.elapsed().as_secs_f64();
+    cycles as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Measures steady-state simulated cycles per second for one interpreter.
+fn cycles_per_sec(mut sim: Interpreter, feed_names: &[String]) -> f64 {
+    let feeds = warm_up(&mut sim, feed_names);
+    let rate = rate_window(&mut sim, &feeds, 600, 0);
     std::hint::black_box(sim.peek("c_drain0"));
     rate
 }
@@ -114,6 +146,43 @@ fn bench_interpreter() -> InterpReport {
         compiled_cycles_per_sec: compiled,
         tree_walking_cycles_per_sec: tree,
         speedup: compiled / tree,
+    }
+}
+
+/// A/B/C comparison: plain interpreter vs one constructed through
+/// [`Interpreter::with_trace`] with tracing disabled (must be free — the
+/// hooks reduce to a `None` check) vs counters accumulating. Windows are
+/// interleaved and the best rate per configuration is kept, which cancels
+/// frequency-scaling and scheduler noise.
+fn bench_trace_overhead() -> TraceOverheadReport {
+    let flat = os_array_4x4();
+    let feed_names: Vec<String> = (0..4)
+        .map(|i| format!("a_feed{i}"))
+        .chain((0..4).map(|j| format!("b_feed{j}")))
+        .collect();
+    let mut plain = Interpreter::new(flat.clone());
+    let mut off =
+        Interpreter::with_trace(flat.clone(), &TraceConfig::disabled()).expect("trace off");
+    let mut counters =
+        Interpreter::with_trace(flat, &TraceConfig::counters_only()).expect("counters");
+    let plain_feeds = warm_up(&mut plain, &feed_names);
+    let off_feeds = warm_up(&mut off, &feed_names);
+    let counter_feeds = warm_up(&mut counters, &feed_names);
+    let (mut best_plain, mut best_off, mut best_counters) = (0.0f64, 0.0f64, 0.0f64);
+    for round in 0..5u64 {
+        best_plain = best_plain.max(rate_window(&mut plain, &plain_feeds, 150, round));
+        best_off = best_off.max(rate_window(&mut off, &off_feeds, 150, round));
+        best_counters =
+            best_counters.max(rate_window(&mut counters, &counter_feeds, 150, round));
+    }
+    std::hint::black_box((plain.peek("c_drain0"), off.peek("c_drain0"), counters.peek("c_drain0")));
+    TraceOverheadReport {
+        scenario: "4x4 output-stationary GEMM array (MNK-SST)".into(),
+        plain_cycles_per_sec: best_plain,
+        trace_off_cycles_per_sec: best_off,
+        trace_off_overhead_pct: (best_plain / best_off - 1.0) * 100.0,
+        counters_cycles_per_sec: best_counters,
+        counters_overhead_pct: (best_plain / best_counters - 1.0) * 100.0,
     }
 }
 
@@ -186,6 +255,7 @@ fn main() {
 
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let interpreter = bench_interpreter();
+    let trace_overhead = bench_trace_overhead();
     let explore_report = bench_explore(host_cores);
 
     let mut table = TextTable::new(vec!["metric", "value"]);
@@ -201,6 +271,14 @@ fn main() {
     table.row(vec![
         "interp speedup".into(),
         format!("{:.2}x", interpreter.speedup),
+    ]);
+    table.row(vec![
+        "trace off overhead".into(),
+        format!("{:+.2}%", trace_overhead.trace_off_overhead_pct),
+    ]);
+    table.row(vec![
+        "trace counters overhead".into(),
+        format!("{:+.2}%", trace_overhead.counters_overhead_pct),
     ]);
     table.row(vec![
         "explore serial (s)".into(),
@@ -219,12 +297,24 @@ fn main() {
     let report = PerfGateReport {
         host_cores,
         interpreter,
+        trace_overhead,
         explore: explore_report,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     let out = repo_root().join("BENCH_perfgate.json");
     std::fs::write(&out, json + "\n").expect("write BENCH_perfgate.json");
     println!("wrote {}", out.display());
+
+    let off_pct = report.trace_overhead.trace_off_overhead_pct;
+    if off_pct >= TRACE_OFF_OVERHEAD_CEILING_PCT {
+        eprintln!(
+            "FAIL: disabled tracing costs {off_pct:.2}% (ceiling {TRACE_OFF_OVERHEAD_CEILING_PCT}%)"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "trace-off gate passed: {off_pct:+.2}% (ceiling {TRACE_OFF_OVERHEAD_CEILING_PCT}%)"
+    );
 
     if let Some(path) = baseline_path {
         let Ok(baseline) = std::fs::read_to_string(&path) else {

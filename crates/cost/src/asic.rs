@@ -24,6 +24,20 @@ impl Default for Activity {
     }
 }
 
+impl Activity {
+    /// Builds the power-model activity from *measured* interpreter counters
+    /// (see `tensorlib_hw::trace::InterpreterStats`), closing the loop
+    /// between the analytic calibration and what the netlist actually did:
+    /// utilization here is the measured fraction of (PE × cycle) slots that
+    /// issued a MAC, not the scheduler's prediction.
+    pub fn from_measured(stats: &tensorlib_hw::InterpreterStats, freq_mhz: f64) -> Activity {
+        Activity {
+            utilization: stats.utilization().clamp(0.0, 1.0),
+            freq_mhz,
+        }
+    }
+}
+
 /// Area/power breakdown of one design.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AsicReport {
@@ -239,6 +253,36 @@ mod tests {
         let a = Activity::default();
         assert!(asic_cost(&d32, &a).power_mw > asic_cost(&d16, &a).power_mw);
         assert!(asic_cost(&d32, &a).area_mm2 > asic_cost(&d16, &a).area_mm2);
+    }
+
+    #[test]
+    fn measured_activity_feeds_the_power_model() {
+        use tensorlib_hw::InterpreterStats;
+        // Two PEs over 10 cycles, 15 MAC issues total → 75% utilization.
+        let mut stats = InterpreterStats::default();
+        stats.cycles = 10;
+        for (i, macs) in [10u64, 5u64].into_iter().enumerate() {
+            stats.pes.push(tensorlib_hw::trace::PeCounters {
+                name: format!("array_i.pe_r0c{i}"),
+                row: 0,
+                col: i,
+                mac_cycles: macs,
+                enabled_cycles: 10,
+            });
+        }
+        let a = Activity::from_measured(&stats, 320.0);
+        assert!((a.utilization - 0.75).abs() < 1e-12);
+        assert_eq!(a.freq_mhz, 320.0);
+
+        // Lower measured utilization must mean lower dynamic power.
+        let gemm = workloads::gemm(64, 64, 64);
+        let sel = LoopSelection::by_names(&gemm, ["m", "n", "k"]).unwrap();
+        let df = Dataflow::analyze(&gemm, sel, Stt::output_stationary()).unwrap();
+        let d = generate(&df, &HwConfig::default()).unwrap();
+        let busy = asic_cost(&d, &Activity::default());
+        let measured = asic_cost(&d, &a);
+        assert!(measured.power_mw < busy.power_mw);
+        assert!((measured.area_mm2 - busy.area_mm2).abs() < 1e-12);
     }
 
     #[test]

@@ -60,6 +60,27 @@ pub enum HwError {
     },
     /// Array dimensions must be positive.
     EmptyArray,
+    /// A bank index beyond the elaborated design's bank list.
+    NoSuchBank {
+        /// The requested bank index.
+        bank: usize,
+        /// How many banks the design has.
+        banks: usize,
+    },
+    /// More words than a bank can hold.
+    BankOverflow {
+        /// The bank index.
+        bank: usize,
+        /// Total storage words (both buffers for a double-buffered bank).
+        capacity: usize,
+        /// Words offered.
+        given: usize,
+    },
+    /// A trace configuration watches a net the design does not have.
+    UnknownNet {
+        /// The missing hierarchical net name.
+        net: String,
+    },
 }
 
 impl fmt::Display for HwError {
@@ -71,6 +92,20 @@ impl fmt::Display for HwError {
                 dp[0], dp[1]
             ),
             HwError::EmptyArray => write!(f, "PE array dimensions must be positive"),
+            HwError::NoSuchBank { bank, banks } => {
+                write!(f, "no bank {bank}: design has {banks} banks")
+            }
+            HwError::BankOverflow {
+                bank,
+                capacity,
+                given,
+            } => write!(
+                f,
+                "bank {bank} holds {capacity} words but load_bank was given {given} words"
+            ),
+            HwError::UnknownNet { net } => {
+                write!(f, "no net {net:?} to trace")
+            }
         }
     }
 }

@@ -13,12 +13,16 @@
 
 use std::collections::HashMap;
 
+use crate::array::HwError;
 use crate::mem::MemBank;
 use crate::netlist::{BinOp, Dir, Expr, Module, Net, NetId, RegDef};
+use crate::trace::{InterpreterStats, TraceConfig, TraceEvent, TraceState};
 
 /// A memory bank instance surviving elaboration as a behavioural primitive.
 #[derive(Debug, Clone)]
 pub struct FlatBank {
+    /// Hierarchical instance path (e.g. `bank_0_a_feed0`).
+    pub name: String,
     /// The bank template.
     pub spec: MemBank,
     /// Flat net carrying the stream enable.
@@ -36,12 +40,12 @@ pub struct FlatBank {
 /// A fully elaborated (flattened) netlist.
 #[derive(Debug, Clone)]
 pub struct FlatDesign {
-    nets: Vec<Net>,
-    ports: Vec<(NetId, Dir)>,
-    assigns: Vec<(NetId, Expr)>,
-    regs: Vec<RegDef>,
-    banks: Vec<FlatBank>,
-    topo: Vec<usize>,
+    pub(crate) nets: Vec<Net>,
+    pub(crate) ports: Vec<(NetId, Dir)>,
+    pub(crate) assigns: Vec<(NetId, Expr)>,
+    pub(crate) regs: Vec<RegDef>,
+    pub(crate) banks: Vec<FlatBank>,
+    pub(crate) topo: Vec<usize>,
 }
 
 impl FlatDesign {
@@ -230,6 +234,7 @@ fn inline(
                 })
             };
             flat.banks.push(FlatBank {
+                name: format!("{prefix}{}", inst.name),
                 spec: (*bank).clone(),
                 en: req("en")?,
                 wen: req("wen")?,
@@ -905,6 +910,9 @@ pub struct Interpreter {
     /// `true` when a value changed since the last settle; [`Interpreter::settle`]
     /// is a no-op on an already-settled design.
     dirty: bool,
+    /// Observability layer (`None` unless attached — the disabled path costs
+    /// one pointer test per step).
+    trace: Option<Box<TraceState>>,
 }
 
 impl Interpreter {
@@ -955,6 +963,7 @@ impl Interpreter {
             next_regs: Vec::with_capacity(n_regs),
             bank_ops: Vec::with_capacity(n_banks),
             dirty: true,
+            trace: None,
         };
         for r in &interp.flat.regs {
             interp.values[r.target] = mask(r.init, interp.flat.nets[r.target].width);
@@ -966,6 +975,64 @@ impl Interpreter {
     /// `true` if this interpreter runs the compiled bytecode evaluator.
     pub fn is_compiled(&self) -> bool {
         self.compiled.is_some()
+    }
+
+    /// Creates a compiled interpreter with the observability layer attached
+    /// (see [`crate::trace`] for what gets recorded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::UnknownNet`] if the config watches a net the
+    /// design does not have.
+    pub fn with_trace(flat: FlatDesign, cfg: &TraceConfig) -> Result<Interpreter, HwError> {
+        let mut sim = Interpreter::new(flat);
+        sim.attach_trace(cfg)?;
+        Ok(sim)
+    }
+
+    /// Attaches (or replaces) the observability layer. Counters start from
+    /// zero; the current settled values become the event-trace baseline.
+    /// Attaching a [`TraceConfig::disabled`] config detaches entirely,
+    /// restoring the zero-overhead step path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::UnknownNet`] if the config watches a net the
+    /// design does not have.
+    pub fn attach_trace(&mut self, cfg: &TraceConfig) -> Result<(), HwError> {
+        if !cfg.is_enabled() {
+            self.trace = None;
+            return Ok(());
+        }
+        let resolve = self.compiled.as_ref().map(|c| c.resolve.as_slice());
+        let mut state = TraceState::build(&self.flat, resolve, cfg)?;
+        state.snapshot(&self.values);
+        self.trace = Some(state);
+        Ok(())
+    }
+
+    /// The accumulated counters, if a trace is attached.
+    pub fn stats(&self) -> Option<&InterpreterStats> {
+        self.trace.as_ref().map(|t| &t.stats)
+    }
+
+    /// The retained value-change events (oldest first; empty without a
+    /// trace).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.as_ref().map_or_else(Vec::new, |t| t.events())
+    }
+
+    /// Watched-net `(name, width)` pairs in watch-index order (the
+    /// [`TraceEvent::watch`] namespace).
+    pub fn watched_signals(&self) -> Vec<(String, u32)> {
+        self.trace.as_ref().map_or_else(Vec::new, |t| t.signals())
+    }
+
+    /// Renders the watched nets as a VCD waveform (`None` without a trace).
+    /// One timescale unit per clock cycle; the baseline at `#0` reflects the
+    /// ring's horizon when events have been dropped.
+    pub fn write_vcd(&self) -> Option<String> {
+        self.trace.as_ref().map(|t| t.to_vcd())
     }
 
     /// Sets a top-level input port and resettles combinational logic.
@@ -1079,27 +1146,30 @@ impl Interpreter {
         sign_extend(self.values[self.read_slot(id)], w, 64) as i64
     }
 
-    /// Preloads a bank's memory (test convenience; index by elaboration
-    /// order).
+    /// Preloads a bank's memory (index by elaboration order).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics, naming the bank and its capacity, if the bank index is out of
-    /// range or `words` exceeds the bank's storage (both buffers for a
-    /// double-buffered bank).
-    pub fn load_bank(&mut self, bank: usize, words: &[u64]) {
-        assert!(
-            bank < self.bank_mem.len(),
-            "no bank {bank}: design has {} banks",
-            self.bank_mem.len()
-        );
+    /// Returns [`HwError::NoSuchBank`] for an out-of-range index and
+    /// [`HwError::BankOverflow`] when `words` exceeds the bank's storage
+    /// (both buffers for a double-buffered bank) — naming the bank and its
+    /// capacity in either case, so the failure surfaces cleanly through the
+    /// `tensorlib-core` error boundary instead of panicking.
+    pub fn load_bank(&mut self, bank: usize, words: &[u64]) -> Result<(), HwError> {
+        let banks = self.bank_mem.len();
+        if bank >= banks {
+            return Err(HwError::NoSuchBank { bank, banks });
+        }
         let capacity = self.bank_mem[bank].len();
-        assert!(
-            words.len() <= capacity,
-            "bank {bank} holds {capacity} words but load_bank was given {} words",
-            words.len()
-        );
+        if words.len() > capacity {
+            return Err(HwError::BankOverflow {
+                bank,
+                capacity,
+                given: words.len(),
+            });
+        }
         self.bank_mem[bank][..words.len()].copy_from_slice(words);
+        Ok(())
     }
 
     /// Number of behavioural banks.
@@ -1147,6 +1217,11 @@ impl Interpreter {
     /// across calls.
     pub fn step(&mut self) {
         self.settle();
+        // Counter hook: observe the settled pre-commit values — what the
+        // hardware's registers see on this clock edge.
+        if let Some(tr) = self.trace.as_deref_mut() {
+            tr.observe_cycle(&self.values);
+        }
         // Sample registers.
         self.next_regs.clear();
         match &self.compiled {
@@ -1234,6 +1309,11 @@ impl Interpreter {
         // Committed state changed; resettle the combinational logic.
         self.dirty = true;
         self.settle();
+        // Event hook: record watched-net transitions on the post-commit
+        // settled values (the state visible after this cycle).
+        if let Some(tr) = self.trace.as_deref_mut() {
+            tr.record_events(&self.values);
+        }
     }
 }
 
@@ -1532,9 +1612,8 @@ mod tests {
         }
     }
 
-    #[test]
-    #[should_panic(expected = "bank 0 holds 4 words but load_bank was given 5 words")]
-    fn load_bank_overflow_names_bank_and_capacity() {
+    /// One single-buffered 4-word bank wired to top-level ports.
+    fn one_bank_top() -> Interpreter {
         let bank = MemBank::new(4, 16, false);
         let mut top = Module::new("top");
         let en = top.input("en", 1);
@@ -1551,7 +1630,112 @@ mod tests {
                 ("rdata".into(), rdata),
             ],
         );
-        let mut sim = Interpreter::new(elaborate(&[top], &[bank], "top").unwrap());
-        sim.load_bank(0, &[1, 2, 3, 4, 5]);
+        Interpreter::new(elaborate(&[top], &[bank], "top").unwrap())
+    }
+
+    #[test]
+    fn load_bank_overflow_is_an_error_naming_bank_and_capacity() {
+        let mut sim = one_bank_top();
+        let err = sim.load_bank(0, &[1, 2, 3, 4, 5]).unwrap_err();
+        assert_eq!(
+            err,
+            HwError::BankOverflow {
+                bank: 0,
+                capacity: 4,
+                given: 5
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "bank 0 holds 4 words but load_bank was given 5 words"
+        );
+        // A full-capacity load succeeds, and the bank streams it back.
+        sim.load_bank(0, &[7, 8, 9, 10]).unwrap();
+        sim.poke("en", 1);
+        sim.step();
+        assert_eq!(sim.peek("rdata"), 7);
+    }
+
+    #[test]
+    fn load_bank_bad_index_is_an_error_naming_the_design_size() {
+        let mut sim = one_bank_top();
+        let err = sim.load_bank(3, &[1]).unwrap_err();
+        assert_eq!(err, HwError::NoSuchBank { bank: 3, banks: 1 });
+        assert_eq!(err.to_string(), "no bank 3: design has 1 banks");
+    }
+
+    #[test]
+    fn trace_counts_bank_traffic_conflicts_and_flags_unknown_nets() {
+        let mut sim = one_bank_top();
+        assert!(sim.stats().is_none(), "no trace attached by default");
+        let err = sim
+            .attach_trace(&TraceConfig::counters_only().with_watch(["ghost_net"]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            HwError::UnknownNet {
+                net: "ghost_net".into()
+            }
+        );
+        sim.attach_trace(&TraceConfig::counters_only()).unwrap();
+        // 2 write-only cycles, then 1 read+write conflict cycle, then 1
+        // read-only cycle.
+        sim.poke_many([("wen", 1), ("wdata", 5)]);
+        sim.step();
+        sim.step();
+        sim.poke("en", 1);
+        sim.step();
+        sim.poke("wen", 0);
+        sim.step();
+        let stats = sim.stats().unwrap();
+        assert_eq!(stats.cycles, 4);
+        assert_eq!(stats.banks.len(), 1);
+        assert_eq!(stats.banks[0].name, "b0");
+        assert_eq!(stats.banks[0].writes, 3);
+        assert_eq!(stats.banks[0].reads, 2);
+        assert_eq!(stats.banks[0].conflicts, 1);
+        assert_eq!(stats.total_bank_conflicts(), 1);
+        // Detaching restores the zero-overhead path.
+        sim.attach_trace(&TraceConfig::disabled()).unwrap();
+        assert!(sim.stats().is_none());
+    }
+
+    #[test]
+    fn trace_ring_bounds_events_and_folds_overflow_into_baseline() {
+        let mut m = Module::new("cnt");
+        let en = m.input("en", 1);
+        let q = m.output("q", 8);
+        m.reg(q, Expr::net(q).add(Expr::lit(1, 8)), Some(Expr::net(en)), 0);
+        let cfg = TraceConfig {
+            counters: false,
+            watch: vec!["q".into()],
+            ring_capacity: 3,
+        };
+        let mut sim =
+            Interpreter::with_trace(elaborate(&[m], &[], "cnt").unwrap(), &cfg).unwrap();
+        sim.poke("en", 1);
+        for _ in 0..8 {
+            sim.step();
+        }
+        let stats = sim.stats().unwrap();
+        assert_eq!(stats.events_recorded, 8);
+        assert_eq!(stats.events_dropped, 5);
+        let events = sim.trace_events();
+        assert_eq!(events.len(), 3);
+        // The retained tail is the last three increments.
+        let values: Vec<u64> = events.iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![6, 7, 8]);
+        assert_eq!(events[0].cycle, 6);
+        // The VCD baseline advanced to the value before the retained tail.
+        let vcd = sim.write_vcd().unwrap();
+        let doc = crate::trace::parse_vcd(&vcd).unwrap();
+        let id = doc.id_of("q").unwrap().to_string();
+        let at_zero: Vec<u64> = doc
+            .changes
+            .iter()
+            .filter(|c| c.time == 0 && c.id == id)
+            .map(|c| c.value)
+            .collect();
+        assert_eq!(at_zero, vec![5]);
     }
 }

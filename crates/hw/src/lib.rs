@@ -46,7 +46,9 @@ pub mod mem;
 pub mod netlist;
 pub mod pe;
 pub mod tiling;
+pub mod trace;
 pub mod verilog;
 
 pub use array::{ArrayConfig, HwError};
+pub use trace::{InterpreterStats, TraceConfig, TraceEvent};
 pub use design::{generate, AcceleratorDesign, HwConfig, ResourceSummary};

@@ -16,6 +16,12 @@
 //! The two agree on compute-cycle counts by construction (both derive them
 //! from the tiling's time extent); tests enforce it.
 //!
+//! A third, measured path closes the loop: [`trace::measure`] runs the
+//! generated top level in the netlist interpreter with hardware counters
+//! attached (PE activity, bank traffic, controller breakdown — see
+//! `tensorlib_hw::trace`), and [`perf::cross_check`] compares those measured
+//! counters against the analytic model.
+//!
 //! # Examples
 //!
 //! ```
@@ -45,6 +51,8 @@
 mod config;
 pub mod functional;
 pub mod perf;
+pub mod trace;
 
 pub use config::{SimConfig, SimReport};
 pub use functional::{FunctionalRun, SimError};
+pub use trace::{InterpreterStats, MeasuredRun, MeasureError, TraceConfig};

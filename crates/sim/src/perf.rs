@@ -16,10 +16,12 @@
 //!   compute thanks to double buffering; only the non-hidden remainder shows
 //!   up, plus the first load and last drain.
 
+use serde::Serialize;
 use tensorlib_dataflow::FlowClass;
 use tensorlib_hw::design::AcceleratorDesign;
 use tensorlib_ir::Kernel;
 
+use crate::trace::{measure, MeasureError, TraceConfig};
 use crate::{SimConfig, SimReport};
 
 /// Estimates execution of `kernel` on `design` under `cfg`.
@@ -97,6 +99,75 @@ pub fn estimate(design: &AcceleratorDesign, kernel: &Kernel, cfg: &SimConfig) ->
         runtime_us,
         gops: 2.0 * macs as f64 / (runtime_us * 1e3),
     }
+}
+
+/// The analytic model lined up against measured interpreter counters for the
+/// same design (see [`cross_check`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelCrossCheck {
+    /// The analytic estimate.
+    pub analytic: SimReport,
+    /// Controller rounds the measured run executed.
+    pub tiles_measured: u64,
+    /// Total measured cycles (`1 + tiles × phases.total()`).
+    pub measured_cycles: u64,
+    /// Measured compute-phase cycles (`en` high).
+    pub measured_compute_cycles: u64,
+    /// Measured idle (stall) cycles.
+    pub measured_stall_cycles: u64,
+    /// Measured mean PE utilization over the whole run.
+    pub measured_utilization: f64,
+    /// Analytic cycles per tile (`total_cycles / tiles`).
+    pub analytic_cycles_per_tile: f64,
+    /// Measured non-idle cycles per controller round.
+    pub measured_cycles_per_tile: f64,
+    /// `measured_cycles_per_tile / analytic_cycles_per_tile`. The analytic
+    /// model overlaps load/drain with compute (double buffering) while the
+    /// generated FSM serializes the phases, so the ratio sits above 1 for
+    /// stationary dataflows but must stay within a small constant factor.
+    pub tile_cycle_ratio: f64,
+}
+
+/// Runs `design` in the netlist interpreter with counters attached
+/// ([`crate::trace::measure`], `tiles` controller rounds) and lines the
+/// measured cycle counts up against [`estimate`].
+///
+/// The measured per-tile compute is exact (`phases.compute_cycles`, shared
+/// with the analytic model by construction); the interesting signal is
+/// `tile_cycle_ratio`, which exposes how much phase serialization the real
+/// FSM adds over the analytic steady-state overlap.
+///
+/// # Errors
+///
+/// Returns [`MeasureError`] if the design fails to elaborate.
+///
+/// # Panics
+///
+/// Panics if `kernel` is not the design's kernel (same contract as
+/// [`estimate`]) or `tiles` is zero.
+pub fn cross_check(
+    design: &AcceleratorDesign,
+    kernel: &Kernel,
+    cfg: &SimConfig,
+    tiles: u64,
+) -> Result<ModelCrossCheck, MeasureError> {
+    assert!(tiles > 0, "cross-check needs at least one tile");
+    let analytic = estimate(design, kernel, cfg);
+    let run = measure(design, &TraceConfig::counters_only(), tiles)?;
+    let s = &run.stats;
+    let measured_per_tile = (s.cycles - s.ctrl.idle_cycles) as f64 / tiles as f64;
+    let analytic_per_tile = analytic.total_cycles as f64 / analytic.tiles.max(1) as f64;
+    Ok(ModelCrossCheck {
+        analytic,
+        tiles_measured: tiles,
+        measured_cycles: s.cycles,
+        measured_compute_cycles: s.ctrl.compute_cycles,
+        measured_stall_cycles: s.stall_cycles(),
+        measured_utilization: s.utilization(),
+        analytic_cycles_per_tile: analytic_per_tile,
+        measured_cycles_per_tile: measured_per_tile,
+        tile_cycle_ratio: measured_per_tile / analytic_per_tile,
+    })
 }
 
 /// Extra cycles a tile occupies after its last input: reduction-tree depth

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 CI: release build, the full test suite, the observability battery
+# (named individually so a failure is attributable at a glance), then the
+# performance gate — interpreter-throughput regression vs the committed
+# BENCH_perfgate.json baseline plus the <3% trace-off overhead ceiling.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+
+# Observability battery (all are part of `cargo test` above; re-run by name).
+cargo test -q --test pe_golden
+cargo test -q --test trace_observability
+cargo test -q --test proptest_pipeline
+cargo test -q -p tensorlib-hw --lib trace
+cargo test -q -p tensorlib-sim --lib trace
+
+# Perf gate. perfgate itself enforces the trace-off overhead ceiling; with a
+# committed baseline it also gates compiled-interpreter throughput.
+if [ -f BENCH_perfgate.json ]; then
+    baseline=$(mktemp)
+    trap 'rm -f "$baseline"' EXIT
+    cp BENCH_perfgate.json "$baseline"
+    ./target/release/perfgate --check-against "$baseline"
+else
+    echo "warning: no committed BENCH_perfgate.json baseline; running without regression gate" >&2
+    ./target/release/perfgate
+fi
+
+echo "ci: all gates passed"

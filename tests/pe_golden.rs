@@ -1,0 +1,254 @@
+//! Golden-vector tests for the six Figure 3 PE templates.
+//!
+//! Each test builds one PE from an explicit [`PeSpec`], drives it
+//! cycle-by-cycle through its protocol, and compares *every* observed output
+//! against a committed per-cycle vector. The vectors are derived by hand from
+//! the template semantics in `crates/hw/src/pe.rs`:
+//!
+//! - registers sample on `step()` when their enable is high;
+//! - combinational nets (the `product`, reduce-out) follow pokes within the
+//!   same cycle;
+//! - values are read back after the interpreter settles, so a "pre" read
+//!   (after poking, before stepping) sees combinational results and the
+//!   registers' previous state, while a "post" read sees the freshly
+//!   clocked state.
+//!
+//! Both interpreter engines (compiled bytecode and the tree-walking
+//! reference) must reproduce the same vectors.
+
+use tensorlib::hw::interp::{elaborate, FlatDesign, Interpreter};
+use tensorlib::hw::pe::{build_pe, PeIoKind, PeSpec, PeTensorSpec};
+use tensorlib::ir::DataType;
+
+fn pe_spec(kinds: &[(&str, PeIoKind)]) -> PeSpec {
+    PeSpec {
+        name: "pe".into(),
+        datatype: DataType::Int16,
+        tensors: kinds
+            .iter()
+            .map(|(n, k)| PeTensorSpec {
+                tensor: n.to_string(),
+                kind: *k,
+                delay: 1,
+            })
+            .collect(),
+    }
+}
+
+fn flat_pe(kinds: &[(&str, PeIoKind)]) -> FlatDesign {
+    let m = build_pe(&pe_spec(kinds));
+    m.validate().expect("PE module validates");
+    elaborate(&[m], &[], "pe").expect("PE elaborates")
+}
+
+/// Runs `scenario` under both interpreter engines.
+fn both_engines(flat: FlatDesign, scenario: impl Fn(Interpreter, &str)) {
+    scenario(Interpreter::new(flat.clone()), "compiled");
+    scenario(Interpreter::new_tree_walking(flat), "tree-walking");
+}
+
+fn as_u16(v: i64) -> u64 {
+    (v as u64) & 0xFFFF
+}
+
+fn as_u32(v: i64) -> u64 {
+    (v as u64) & 0xFFFF_FFFF
+}
+
+/// (a) systolic-in: the operand is used the cycle it arrives and forwarded
+/// through one en-gated register.
+#[test]
+fn systolic_in_golden() {
+    both_engines(
+        flat_pe(&[("a", PeIoKind::SystolicIn), ("c", PeIoKind::ReduceOut)]),
+        |mut sim, engine| {
+            // Cycle-indexed: (en, a_in) → expected (c_out before step,
+            // a_out before step, a_out after step).
+            //
+            // c_out = product = sext(a_in) combinationally; a_out shows the
+            // previous captured value before the step and the newly captured
+            // one after; en=0 freezes the hop register.
+            let vectors: &[(u64, i64, i64, i64, i64)] = &[
+                (1, 5, 5, 0, 5),
+                (1, 7, 7, 5, 7),
+                (1, -9, -9, 7, -9),
+                (0, 42, 42, -9, -9), // en low: product follows, hop holds
+                (1, 3, 3, -9, 3),
+            ];
+            for (t, &(en, a, c_pre, a_pre, a_post)) in vectors.iter().enumerate() {
+                sim.poke_many([("en", en), ("a_in", as_u16(a))]);
+                assert_eq!(sim.peek("c_out"), as_u32(c_pre), "{engine} c_out pre t={t}");
+                assert_eq!(sim.peek("a_out"), as_u16(a_pre), "{engine} a_out pre t={t}");
+                sim.step();
+                assert_eq!(sim.peek("a_out"), as_u16(a_post), "{engine} a_out post t={t}");
+            }
+        },
+    );
+}
+
+/// (b) systolic-out: partial sums accumulate the local product into the
+/// incoming chain value and forward one register later.
+#[test]
+fn systolic_out_golden() {
+    both_engines(
+        flat_pe(&[("a", PeIoKind::DirectIn), ("c", PeIoKind::SystolicOut)]),
+        |mut sim, engine| {
+            // (en, a_in, c_in) → c_out after step = c_in + a_in when enabled.
+            let vectors: &[(u64, i64, i64, i64)] = &[
+                (1, 3, 100, 103),
+                (1, -4, 103, 99),
+                (0, 50, 0, 99), // en low: psum register holds
+                (1, 1, 99, 100),
+            ];
+            for (t, &(en, a, c_in, c_post)) in vectors.iter().enumerate() {
+                sim.poke_many([("en", en), ("a_in", as_u16(a)), ("c_in", as_u32(c_in))]);
+                sim.step();
+                assert_eq!(sim.peek("c_out"), as_u32(c_post), "{engine} c_out t={t}");
+            }
+        },
+    );
+}
+
+/// (c) stationary-in: double-buffered ping-pong — compute from one buffer
+/// while the load chain refills the other, `phase` selecting which is which.
+#[test]
+fn stationary_in_golden() {
+    both_engines(
+        flat_pe(&[("a", PeIoKind::StationaryIn), ("c", PeIoKind::ReduceOut)]),
+        |mut sim, engine| {
+            // phase=0 computes from buf0 and loads buf1 (chain-out shows
+            // buf1); phase=1 computes from buf1 and loads buf0.
+            // (load_en, phase, a_in) → (c_out after step, a_out after step).
+            let vectors: &[(u64, u64, i64, i64, i64)] = &[
+                (1, 0, 11, 0, 11),  // buf1 <- 11; compute side (buf0) still 0
+                (0, 1, 0, 11, 0),   // swap phases: now compute from buf1
+                (1, 1, 22, 11, 22), // buf0 <- 22 while buf1 keeps computing
+                (0, 0, 0, 22, 11),  // swap back: compute from buf0 = 22
+            ];
+            sim.poke("en", 1);
+            for (t, &(load_en, phase, a, c_post, a_post)) in vectors.iter().enumerate() {
+                sim.poke_many([
+                    ("load_en", load_en),
+                    ("phase", phase),
+                    ("a_in", as_u16(a)),
+                ]);
+                sim.step();
+                assert_eq!(sim.peek("c_out"), as_u32(c_post), "{engine} c_out t={t}");
+                assert_eq!(sim.peek("a_out"), as_u16(a_post), "{engine} a_out t={t}");
+            }
+        },
+    );
+}
+
+/// (d) stationary-out: accumulate in place; `swap` restarts the accumulator
+/// and captures the finished tile into the transfer register, which then
+/// shifts along the drain chain under `drain_en`.
+#[test]
+fn stationary_out_golden() {
+    both_engines(
+        flat_pe(&[
+            ("a", PeIoKind::DirectIn),
+            ("b", PeIoKind::DirectIn),
+            ("c", PeIoKind::StationaryOut),
+        ]),
+        |mut sim, engine| {
+            // (en, swap, drain_en, a, b, c_in) → c_out after step.
+            let vectors: &[(u64, u64, u64, i64, i64, i64, i64)] = &[
+                (1, 0, 0, 2, 3, 0, 0),     // acc = 6
+                (1, 0, 0, 4, 5, 0, 0),     // acc = 26
+                (1, 0, 0, 10, 10, 0, 0),   // acc = 126
+                (1, 1, 0, 1, 1, 0, 126),   // swap: xfer <- 126, acc restarts at 1
+                (1, 0, 1, 0, 7, 999, 999), // drain: xfer <- c_in; acc = 1 + 0
+                (1, 1, 0, 0, 0, 0, 1),     // next swap exposes the restarted acc
+            ];
+            for (t, &(en, swap, drain, a, b, c_in, c_post)) in vectors.iter().enumerate() {
+                sim.poke_many([
+                    ("en", en),
+                    ("swap", swap),
+                    ("drain_en", drain),
+                    ("a_in", as_u16(a)),
+                    ("b_in", as_u16(b)),
+                    ("c_in", as_u32(c_in)),
+                ]);
+                sim.step();
+                assert_eq!(sim.peek("c_out"), as_u32(c_post), "{engine} c_out t={t}");
+            }
+        },
+    );
+}
+
+/// (e) direct-in: the streamed operand is consumed combinationally — no
+/// registers, same-cycle visibility, correct sign extension into the
+/// accumulator width.
+#[test]
+fn direct_in_golden() {
+    both_engines(
+        flat_pe(&[
+            ("a", PeIoKind::DirectIn),
+            ("b", PeIoKind::DirectIn),
+            ("c", PeIoKind::ReduceOut),
+        ]),
+        |mut sim, engine| {
+            // (a, b) → c_out in the same cycle, no step needed.
+            let vectors: &[(i64, i64, i64)] = &[
+                (3, 7, 21),
+                (-3, 7, -21),
+                (-3, -7, 21),
+                (300, 300, 90_000), // exceeds 16 bits: lives in the 32-bit product
+                (0, 12345, 0),
+            ];
+            for (t, &(a, b, c)) in vectors.iter().enumerate() {
+                sim.poke_many([("a_in", as_u16(a)), ("b_in", as_u16(b))]);
+                assert_eq!(sim.peek("c_out"), as_u32(c), "{engine} c_out t={t}");
+            }
+        },
+    );
+}
+
+/// (f) reduce-out: the product is exposed combinationally to the array-level
+/// reduction tree — stepping the clock must not change it.
+#[test]
+fn reduce_out_golden() {
+    both_engines(
+        flat_pe(&[("a", PeIoKind::DirectIn), ("c", PeIoKind::ReduceOut)]),
+        |mut sim, engine| {
+            let vectors: &[(i64, i64)] = &[(9, 9), (-32768, -32768), (32767, 32767)];
+            for (t, &(a, c)) in vectors.iter().enumerate() {
+                sim.poke("a_in", as_u16(a));
+                assert_eq!(sim.peek("c_out"), as_u32(c), "{engine} pre-step t={t}");
+                sim.step();
+                assert_eq!(
+                    sim.peek("c_out"),
+                    as_u32(c),
+                    "{engine} post-step t={t}: reduce-out is stateless"
+                );
+            }
+        },
+    );
+}
+
+/// Bonus template: direct-out registers the product once per enabled cycle
+/// and writes it straight toward the tensor's bank.
+#[test]
+fn direct_out_golden() {
+    both_engines(
+        flat_pe(&[
+            ("a", PeIoKind::DirectIn),
+            ("b", PeIoKind::DirectIn),
+            ("c", PeIoKind::DirectOut),
+        ]),
+        |mut sim, engine| {
+            // (en, a, b) → c_out after step.
+            let vectors: &[(u64, i64, i64, i64)] = &[
+                (1, 6, 7, 42),
+                (0, 8, 8, 42), // en low: result register holds
+                (1, -2, 5, -10),
+            ];
+            for (t, &(en, a, b, c_post)) in vectors.iter().enumerate() {
+                sim.poke_many([("en", en), ("a_in", as_u16(a)), ("b_in", as_u16(b))]);
+                sim.step();
+                assert_eq!(sim.peek("c_out"), as_u32(c_post), "{engine} c_out t={t}");
+            }
+        },
+    );
+}

@@ -4,10 +4,11 @@
 //! preserving symmetries.
 
 use proptest::prelude::*;
-use tensorlib::dataflow::{Dataflow, LoopSelection, Stt};
+use tensorlib::dataflow::{classify_tensor, Dataflow, FlowClass, LoopSelection, Stt};
 use tensorlib::hw::design::{generate, HwConfig};
 use tensorlib::hw::ArrayConfig;
-use tensorlib::ir::{workloads, Kernel};
+use tensorlib::ir::{workloads, Kernel, TensorRole};
+use tensorlib::linalg::Mat;
 use tensorlib::sim::functional;
 
 /// Small kernels covering 2- and 3-input shapes and affine (conv) accesses.
@@ -20,6 +21,75 @@ fn kernels() -> Vec<Kernel> {
         workloads::mttkrp(4, 4, 4, 4),
         workloads::ttmc(3, 3, 3, 3, 3),
     ]
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Divides out the content, leaving the shortest integer vector on the line.
+fn primitive3(v: [i64; 3]) -> [i64; 3] {
+    let g = gcd(gcd(v[0], v[1]), v[2]);
+    assert!(g != 0, "primitive3 needs a nonzero vector");
+    [v[0] / g, v[1] / g, v[2] / g]
+}
+
+/// Same orientation rule as the classifier: dt > 0 preferred, else the
+/// spatial part lexicographically positive.
+fn orient3(v: [i64; 3]) -> [i64; 3] {
+    let flip = if v[2] != 0 {
+        v[2] < 0
+    } else if v[0] != 0 {
+        v[0] < 0
+    } else {
+        v[1] < 0
+    };
+    if flip {
+        [-v[0], -v[1], -v[2]]
+    } else {
+        v
+    }
+}
+
+/// A 2×3 access matrix whose null space is exactly span{r}.
+fn rank1_access(r: [i64; 3]) -> Mat {
+    let rows: [[i64; 3]; 2] = if r[0] != 0 {
+        [[r[1], -r[0], 0], [r[2], 0, -r[0]]]
+    } else if r[1] != 0 {
+        [[1, 0, 0], [0, r[2], -r[1]]]
+    } else {
+        [[1, 0, 0], [0, 1, 0]]
+    };
+    Mat::from_i64(&[&rows[0][..], &rows[1][..]])
+}
+
+/// Two independent integer vectors spanning the plane w⊥.
+fn plane_basis(w: [i64; 3]) -> ([i64; 3], [i64; 3]) {
+    if w[0] != 0 {
+        ([w[1], -w[0], 0], [w[2], 0, -w[0]])
+    } else if w[1] != 0 {
+        ([1, 0, 0], [0, w[2], -w[1]])
+    } else {
+        ([1, 0, 0], [0, 1, 0])
+    }
+}
+
+/// A primitive, oriented spatial direction (dt = 0).
+fn arb_spatial() -> impl Strategy<Value = [i64; 3]> {
+    proptest::collection::vec(-2i64..=2, 2).prop_filter_map("nonzero spatial", |v| {
+        ((v[0], v[1]) != (0, 0)).then(|| orient3(primitive3([v[0], v[1], 0])))
+    })
+}
+
+fn arb_primitive() -> impl Strategy<Value = [i64; 3]> {
+    proptest::collection::vec(-2i64..=2, 3).prop_filter_map("nonzero", |v| {
+        let v = [v[0], v[1], v[2]];
+        (v != [0, 0, 0]).then(|| primitive3(v))
+    })
 }
 
 fn arb_unimodular() -> impl Strategy<Value = Stt> {
@@ -92,6 +162,124 @@ proptest! {
         let a = Dataflow::analyze(&gemm, sel.clone(), stt).unwrap();
         let b = Dataflow::analyze(&gemm, sel, swapped).unwrap();
         prop_assert_eq!(a.letters(), b.letters());
+    }
+
+    // ---- Table I: the classifier against by-construction ground truth ----
+    //
+    // Rather than sampling random access matrices and trusting the
+    // classifier twice, these tests *construct* access matrices whose reuse
+    // subspace is known exactly — a chosen line or plane in loop space — and
+    // check that `classify_tensor` lands on the Table I row that the STT
+    // image of that subspace dictates.
+
+    #[test]
+    fn table1_rank0_is_always_unicast(stt in arb_unimodular(), access in arb_unimodular()) {
+        // A full-rank access matrix has an empty null space: no reuse, so
+        // every STT and role must classify as unicast.
+        let r = access.rows();
+        let a_sel = Mat::from_i64(&[&r[0][..], &r[1][..], &r[2][..]]);
+        for role in [TensorRole::Input, TensorRole::Output] {
+            prop_assert_eq!(classify_tensor(&a_sel, &stt, role), FlowClass::Unicast);
+        }
+    }
+
+    #[test]
+    fn table1_rank1_matches_the_reuse_direction(
+        stt in arb_unimodular(),
+        r in arb_primitive(),
+    ) {
+        // The access matrix is built so its null space is exactly span{r};
+        // the space-time reuse direction is then T·r, and Table I reads off
+        // the class from its zero pattern.
+        let a_sel = rank1_access(r);
+        let v = orient3(primitive3(stt.apply(&r)));
+        let (dp, dt) = ([v[0], v[1]], v[2]);
+        for role in [TensorRole::Input, TensorRole::Output] {
+            let want = match (dp == [0, 0], dt == 0) {
+                (true, false) => FlowClass::Stationary { dt },
+                (false, false) => FlowClass::Systolic { dp, dt },
+                (false, true) => match role {
+                    TensorRole::Input => FlowClass::Multicast { dp },
+                    TensorRole::Output => FlowClass::ReductionTree { dp },
+                },
+                (true, true) => unreachable!("primitive vectors are nonzero"),
+            };
+            prop_assert_eq!(
+                classify_tensor(&a_sel, &stt, role),
+                want,
+                "r={:?} T·r={:?} role={}", r, v, role
+            );
+        }
+    }
+
+    #[test]
+    fn table1_reduction_tree_on_outputs_multicast_on_inputs(
+        stt in arb_unimodular(),
+        d in arb_spatial(),
+    ) {
+        // Target a *spatial* reuse direction d (dt = 0) directly: pulling it
+        // back through T⁻¹ gives the loop-space line whose image is d, so
+        // the classified dp is forced. Outputs must reduce through a tree,
+        // inputs must multicast — the asymmetric row of Table I.
+        let r = stt.unapply(&d).expect("unimodular STTs invert over the integers");
+        let a_sel = rank1_access(primitive3(r));
+        let dp = [d[0], d[1]];
+        prop_assert_eq!(
+            classify_tensor(&a_sel, &stt, TensorRole::Output),
+            FlowClass::ReductionTree { dp }
+        );
+        prop_assert_eq!(
+            classify_tensor(&a_sel, &stt, TensorRole::Input),
+            FlowClass::Multicast { dp }
+        );
+    }
+
+    #[test]
+    fn table1_rank2_splits_on_the_time_axis(
+        stt in arb_unimodular(),
+        w in arb_primitive(),
+    ) {
+        // A single access row w leaves the whole plane w⊥ as reuse. The
+        // class is decided by how T·(w⊥) meets the time axis: perpendicular
+        // → broadcast; containing it → multicast+stationary; oblique →
+        // systolic+multicast. All three predicates are computable without
+        // the classifier, as is the (canonical) multicast line — the
+        // plane's intersection with {dt = 0}.
+        let a_sel = Mat::from_i64(&[&w[..]]);
+        let (u1, u2) = plane_basis(w);
+        let s1 = stt.apply(&u1);
+        let s2 = stt.apply(&u2);
+        let tinv_e3 = stt.unapply(&[0, 0, 1]).expect("unimodular");
+        let contains_t_axis =
+            w[0] * tinv_e3[0] + w[1] * tinv_e3[1] + w[2] * tinv_e3[2] == 0;
+        for role in [TensorRole::Input, TensorRole::Output] {
+            let got = classify_tensor(&a_sel, &stt, role);
+            if s1[2] == 0 && s2[2] == 0 {
+                prop_assert!(
+                    matches!(got, FlowClass::Broadcast { .. }),
+                    "plane ⊥ t-axis must broadcast, got {}", got
+                );
+                continue;
+            }
+            let line = orient3(primitive3([
+                s1[0] * s2[2] - s2[0] * s1[2],
+                s1[1] * s2[2] - s2[1] * s1[2],
+                0,
+            ]));
+            let dp = [line[0], line[1]];
+            match got {
+                FlowClass::MulticastStationary { dp: got_dp } => {
+                    prop_assert!(contains_t_axis, "w={:?}: plane misses t-axis", w);
+                    prop_assert_eq!(got_dp, dp);
+                }
+                FlowClass::SystolicMulticast { multicast_dp, systolic_dt, .. } => {
+                    prop_assert!(!contains_t_axis, "w={:?}: plane contains t-axis", w);
+                    prop_assert_eq!(multicast_dp, dp);
+                    prop_assert!(systolic_dt != 0);
+                }
+                other => prop_assert!(false, "expected a rank-2 class, got {other}"),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Observability-layer integration tests.
+//!
+//! 1. **Differential**: measured hardware counters (`sim::trace::measure`)
+//!    against the analytic cycle model (`sim::perf::estimate`) across three
+//!    kernels × three dataflow families, with stated tolerances.
+//! 2. **VCD round trip**: export an event trace as a waveform, re-parse it
+//!    with the bundled reader, and require transition-exact agreement with
+//!    the in-memory event ring.
+
+use tensorlib::dataflow::{Dataflow, LoopSelection, Stt};
+use tensorlib::hw::design::{generate, AcceleratorDesign, HwConfig};
+use tensorlib::hw::ArrayConfig;
+use tensorlib::ir::{workloads, Kernel};
+use tensorlib::sim::perf::cross_check;
+use tensorlib::sim::trace::{measure, parse_vcd};
+use tensorlib::sim::{SimConfig, TraceConfig};
+
+fn build(kernel: &Kernel, sel: [&str; 3], stt: [[i64; 3]; 3], n: usize) -> AcceleratorDesign {
+    let sel = LoopSelection::by_names(kernel, sel).expect("selection resolves");
+    let stt = Stt::from_rows(stt).expect("valid STT");
+    let df = Dataflow::analyze(kernel, sel, stt).expect("analyzable");
+    generate(
+        &df,
+        &HwConfig {
+            array: ArrayConfig::square(n),
+            ..HwConfig::default()
+        },
+    )
+    .expect("wireable")
+}
+
+/// Systolic output-stationary, weight-stationary-style, and
+/// multicast/reduction-tree STTs — the three interconnect families of
+/// Figure 4.
+const OS: [[i64; 3]; 3] = [[1, 0, 0], [0, 1, 0], [1, 1, 1]];
+const WS: [[i64; 3]; 3] = [[0, 0, 1], [0, 1, 0], [1, 1, 1]];
+const MTM: [[i64; 3]; 3] = [[0, 1, 0], [0, 0, 1], [1, 0, 0]];
+
+/// Measured controller counters vs the analytic model, 3 kernels × 3
+/// dataflows.
+///
+/// Tolerances, and why they are what they are:
+///
+/// - per-tile **compute** cycles must agree *exactly* up to the analytic
+///   pipeline tail (reduction-tree fill): both derive from the tiling's
+///   `t_extent`, so `analytic/measured ∈ [1.0, 1.5]`;
+/// - **total** cycles per tile may differ more: the generated controller
+///   serializes load → compute → drain while the analytic model overlaps
+///   them across tiles (double buffering), so the measured/analytic ratio is
+///   allowed `[0.5, 2.0]` and is expected at or above 1.
+#[test]
+fn measured_counters_track_the_analytic_model_3x3() {
+    let gemm = workloads::gemm(8, 8, 8);
+    let conv = workloads::conv2d(4, 4, 4, 6, 3, 3);
+    let mttkrp = workloads::mttkrp(4, 4, 4, 4);
+    let cases: Vec<(&str, &Kernel, [&str; 3], [[i64; 3]; 3])> = vec![
+        ("gemm/OS", &gemm, ["m", "n", "k"], OS),
+        ("gemm/WS", &gemm, ["m", "n", "k"], WS),
+        ("gemm/MTM", &gemm, ["m", "n", "k"], MTM),
+        ("conv/OS", &conv, ["k", "c", "x"], OS),
+        ("conv/WS", &conv, ["k", "c", "x"], WS),
+        ("conv/MTM", &conv, ["k", "c", "x"], MTM),
+        ("mttkrp/OS", &mttkrp, ["i", "j", "k"], OS),
+        ("mttkrp/WS", &mttkrp, ["i", "j", "k"], WS),
+        ("mttkrp/MTM", &mttkrp, ["i", "j", "k"], MTM),
+    ];
+    let tiles = 2u64;
+    for (name, kernel, sel, stt) in cases {
+        let design = build(kernel, sel, stt, 4);
+        let phases = design.phases();
+        let cc = cross_check(&design, kernel, &SimConfig::paper_default(), tiles)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+
+        // Schedule identities: the measurement protocol is cycle-exact.
+        assert_eq!(
+            cc.measured_cycles,
+            1 + tiles * phases.total(),
+            "{name}: protocol cycle count"
+        );
+        assert_eq!(
+            cc.measured_compute_cycles,
+            tiles * phases.compute_cycles,
+            "{name}: compute phase multiples"
+        );
+        assert_eq!(cc.measured_stall_cycles, 1, "{name}: only the start stall");
+
+        // Analytic per-tile compute = t_extent + pipeline tail.
+        let analytic_tile_compute =
+            cc.analytic.compute_cycles as f64 / cc.analytic.tiles as f64;
+        let measured_tile_compute = phases.compute_cycles as f64;
+        let compute_ratio = analytic_tile_compute / measured_tile_compute;
+        assert!(
+            (1.0..=1.5).contains(&compute_ratio),
+            "{name}: analytic tile compute {analytic_tile_compute} vs measured \
+             {measured_tile_compute} (ratio {compute_ratio})"
+        );
+
+        // Whole-tile cycle ratio within the stated tolerance band.
+        assert!(
+            (0.5..=2.0).contains(&cc.tile_cycle_ratio),
+            "{name}: tile cycle ratio {} out of [0.5, 2.0] (measured {} vs analytic {})",
+            cc.tile_cycle_ratio,
+            cc.measured_cycles_per_tile,
+            cc.analytic_cycles_per_tile
+        );
+
+        // Utilization is a fraction, and nonzero once data reaches the PEs.
+        assert!(
+            cc.measured_utilization > 0.0 && cc.measured_utilization <= 1.0,
+            "{name}: utilization {}",
+            cc.measured_utilization
+        );
+    }
+}
+
+/// Export → parse → compare: the VCD writer and the bundled reader must
+/// agree transition-for-transition with the in-memory event ring.
+#[test]
+fn vcd_round_trip_matches_the_event_ring() {
+    let gemm = workloads::gemm(4, 4, 4);
+    let design = build(&gemm, ["m", "n", "k"], OS, 4);
+    let cfg = TraceConfig::default().with_watch([
+        "en",
+        "swap",
+        "done",
+        "array_i.pe_r0c0.product",
+    ]);
+    let run = measure(&design, &cfg, 2).expect("measured run");
+    assert_eq!(
+        run.stats.events_dropped, 0,
+        "ring must be large enough for a lossless round trip"
+    );
+    let events = run.sim.trace_events();
+    let signals = run.sim.watched_signals();
+    assert_eq!(signals.len(), 4);
+    assert!(!events.is_empty(), "watched nets must toggle");
+
+    let vcd = run.sim.write_vcd().expect("trace attached");
+    let doc = parse_vcd(&vcd).expect("writer output parses");
+
+    // Every watched net appears with its declared width.
+    assert_eq!(doc.signals.len(), signals.len());
+    for (name, width) in &signals {
+        let id = doc.id_of(name).unwrap_or_else(|| panic!("no VCD var {name}"));
+        let sig = doc.signals.iter().find(|s| s.id == id).unwrap();
+        assert_eq!(sig.width, *width, "width of {name}");
+    }
+
+    // Transition-exact: per signal, the parsed (time, value) sequence equals
+    // the ring's (cycle, value) sequence.
+    for (watch, (name, _)) in signals.iter().enumerate() {
+        let id = doc.id_of(name).unwrap();
+        let parsed: Vec<(u64, u64)> = doc.changes_of(&id);
+        let ring: Vec<(u64, u64)> = events
+            .iter()
+            .filter(|e| e.watch == watch)
+            .map(|e| (e.cycle, e.value))
+            .collect();
+        assert_eq!(parsed, ring, "transitions of {name}");
+    }
+
+    // The total event count matches what the counters claim.
+    assert_eq!(events.len() as u64, run.stats.events_recorded);
+}
