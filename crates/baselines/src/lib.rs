@@ -200,6 +200,7 @@ impl BaselineGenerator {
             array: self.profile.array,
             datatype: DataType::Fp32,
             vectorize: self.profile.vectorize,
+            ..HwConfig::default()
         };
         Ok(generate(&df, &cfg).expect("systolic dataflows are always wireable"))
     }
@@ -298,6 +299,7 @@ mod tests {
                     array: ArrayConfig { rows: 10, cols: 16 },
                     datatype: DataType::Fp32,
                     vectorize: 8,
+                    ..HwConfig::default()
                 },
             )
             .unwrap()

@@ -24,6 +24,7 @@ fn bench_table3(c: &mut Criterion) {
         array: ArrayConfig { rows: 10, cols: 16 },
         datatype: DataType::Fp32,
         vectorize: 8,
+        ..HwConfig::default()
     };
     group.bench_function("tensorlib_fp32_build", |b| {
         b.iter(|| generate(std::hint::black_box(&df), &cfg).expect("wireable"))

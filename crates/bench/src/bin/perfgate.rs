@@ -30,12 +30,35 @@ const REGRESSION_FLOOR: f64 = 0.8;
 /// may cost at most this much relative to one without the hooks.
 const TRACE_OFF_OVERHEAD_CEILING_PCT: f64 = 3.0;
 
+/// Fault injection must be pay-for-use too. With no faults attached the hot
+/// path is the `FORCED = false` monomorphization — bit-identical code to the
+/// pre-fault-engine interpreter plus one pointer test per step — so the gate
+/// measures the strictly stronger condition: even with a fault *armed* (a
+/// transient flip scheduled for a cycle the run never reaches), overhead
+/// must stay under this ceiling.
+const FAULT_ARMED_OVERHEAD_CEILING_PCT: f64 = 3.0;
+
 #[derive(Serialize)]
 struct PerfGateReport {
     host_cores: usize,
     interpreter: InterpReport,
     trace_overhead: TraceOverheadReport,
+    fault_overhead: FaultOverheadReport,
     explore: ExploreReport,
+}
+
+#[derive(Serialize)]
+struct FaultOverheadReport {
+    scenario: String,
+    /// Interpreter with the fault layer present but nothing attached (the
+    /// injection-disabled configuration every normal run uses).
+    off_cycles_per_sec: f64,
+    /// One transient flip attached at an unreachable cycle: the per-step
+    /// fault bookkeeping runs, no fault ever fires.
+    armed_cycles_per_sec: f64,
+    /// Slowdown of armed-but-idle vs off, in percent (negative = measured
+    /// faster; gated at [`FAULT_ARMED_OVERHEAD_CEILING_PCT`]).
+    armed_overhead_pct: f64,
 }
 
 #[derive(Serialize)]
@@ -186,6 +209,43 @@ fn bench_trace_overhead() -> TraceOverheadReport {
     }
 }
 
+/// A/B comparison: no faults attached vs one armed-but-never-firing
+/// transient flip. Interleaved best-of windows, like the trace benchmark.
+fn bench_fault_overhead() -> FaultOverheadReport {
+    use tensorlib::hw::fault::FaultSpec;
+
+    let flat = os_array_4x4();
+    let acc_net = flat
+        .regs()
+        .iter()
+        .map(|r| flat.nets()[r.target].name.clone())
+        .find(|n| n.ends_with("_acc"))
+        .expect("array has accumulator registers");
+    let feed_names: Vec<String> = (0..4)
+        .map(|i| format!("a_feed{i}"))
+        .chain((0..4).map(|j| format!("b_feed{j}")))
+        .collect();
+    let mut off = Interpreter::new(flat.clone());
+    let mut armed = Interpreter::new(flat);
+    armed
+        .attach_faults(&[FaultSpec::flip(acc_net, 0, u64::MAX)])
+        .expect("armed flip resolves");
+    let off_feeds = warm_up(&mut off, &feed_names);
+    let armed_feeds = warm_up(&mut armed, &feed_names);
+    let (mut best_off, mut best_armed) = (0.0f64, 0.0f64);
+    for round in 0..5u64 {
+        best_off = best_off.max(rate_window(&mut off, &off_feeds, 150, round));
+        best_armed = best_armed.max(rate_window(&mut armed, &armed_feeds, 150, round));
+    }
+    std::hint::black_box((off.peek("c_drain0"), armed.peek("c_drain0")));
+    FaultOverheadReport {
+        scenario: "4x4 output-stationary GEMM array (MNK-SST)".into(),
+        off_cycles_per_sec: best_off,
+        armed_cycles_per_sec: best_armed,
+        armed_overhead_pct: (best_off / best_armed - 1.0) * 100.0,
+    }
+}
+
 fn bench_explore(host_cores: usize) -> ExploreReport {
     let kernel = workloads::gemm(32, 32, 32);
     let serial_opts = ExploreOptions {
@@ -256,6 +316,7 @@ fn main() {
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let interpreter = bench_interpreter();
     let trace_overhead = bench_trace_overhead();
+    let fault_overhead = bench_fault_overhead();
     let explore_report = bench_explore(host_cores);
 
     let mut table = TextTable::new(vec!["metric", "value"]);
@@ -281,6 +342,10 @@ fn main() {
         format!("{:+.2}%", trace_overhead.counters_overhead_pct),
     ]);
     table.row(vec![
+        "fault armed-idle overhead".into(),
+        format!("{:+.2}%", fault_overhead.armed_overhead_pct),
+    ]);
+    table.row(vec![
         "explore serial (s)".into(),
         format!("{:.2}", explore_report.serial_seconds),
     ]);
@@ -298,6 +363,7 @@ fn main() {
         host_cores,
         interpreter,
         trace_overhead,
+        fault_overhead,
         explore: explore_report,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
@@ -314,6 +380,17 @@ fn main() {
     }
     println!(
         "trace-off gate passed: {off_pct:+.2}% (ceiling {TRACE_OFF_OVERHEAD_CEILING_PCT}%)"
+    );
+
+    let armed_pct = report.fault_overhead.armed_overhead_pct;
+    if armed_pct >= FAULT_ARMED_OVERHEAD_CEILING_PCT {
+        eprintln!(
+            "FAIL: armed-but-idle fault layer costs {armed_pct:.2}% (ceiling {FAULT_ARMED_OVERHEAD_CEILING_PCT}%)"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "fault-armed gate passed: {armed_pct:+.2}% (ceiling {FAULT_ARMED_OVERHEAD_CEILING_PCT}%)"
     );
 
     if let Some(path) = baseline_path {

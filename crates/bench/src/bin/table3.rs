@@ -36,6 +36,7 @@ fn tensorlib_design(kernel: &Kernel, dataflow: &str) -> tensorlib::AcceleratorDe
             array: ArrayConfig { rows: 10, cols: 16 },
             datatype: DataType::Fp32,
             vectorize: 8,
+            ..HwConfig::default()
         },
     )
     .expect("systolic designs are wireable")

@@ -11,6 +11,8 @@
 //! tensorlib explore  <workload> [--top N]
 //! tensorlib stats    <workload> <dataflow> [--rows N] [--cols N] [--tiles T] [-o f.json]
 //! tensorlib trace    <workload> <dataflow> [--nets a,b,c] [--tiles T] [-o f.vcd]
+//! tensorlib faults   [--rows N] [--cols N] [--k K] [--faults N] [--seed S]
+//!                    [--harden tmr,parity,abft] [--workers W] [--sweep-acc] [-o f.json]
 //! ```
 //!
 //! Workloads take optional sizes after a colon: `gemm:64,64,64`,
@@ -21,10 +23,16 @@
 
 use std::fmt;
 
+use tensorlib::cost::{hardening_overhead, Activity, HardeningOverhead};
 use tensorlib::dataflow::dse::{find_named, DseConfig};
+use tensorlib::dataflow::{Dataflow, LoopSelection, Stt};
 use tensorlib::explore::{explore, ExploreOptions};
 use tensorlib::hw::design::generate;
+use tensorlib::hw::fault::Hardening;
 use tensorlib::ir::workloads;
+use tensorlib::sim::resilience::{
+    run_accumulator_sweep, run_gemm_campaign, CampaignConfig, ResilienceReport,
+};
 use tensorlib::{Accelerator, ArrayConfig, HwConfig, Kernel, SimConfig, TraceConfig};
 
 /// A parsed command line.
@@ -103,6 +111,31 @@ pub enum Command {
         /// Output path (`-` for stdout, empty for `reports/` default).
         out: String,
     },
+    /// Run a seeded fault-injection campaign on a generated
+    /// output-stationary GEMM design and emit a JSON resilience report
+    /// (per-fault masked/detected/SDC classification plus the hardening
+    /// options' priced area/power overhead).
+    Faults {
+        /// Array rows (and GEMM `m` extent).
+        rows: usize,
+        /// Array columns (and GEMM `n` extent).
+        cols: usize,
+        /// GEMM reduction extent.
+        k: u64,
+        /// Faults to sample and inject.
+        faults: usize,
+        /// Seed for input data and fault sampling.
+        seed: u64,
+        /// Hardening option list (`tmr,parity,abft`, `full`, `none`).
+        harden: String,
+        /// Campaign worker threads (`0` = one per core).
+        workers: usize,
+        /// Run the exhaustive accumulator bit-flip sweep (the ABFT
+        /// acceptance campaign) instead of seeded sampling.
+        sweep_acc: bool,
+        /// Output path (`-` for stdout, empty for `reports/` default).
+        out: String,
+    },
 }
 
 /// Command-line failure: bad usage or a pipeline error, with a message
@@ -128,6 +161,8 @@ usage:
   tensorlib explore  <workload> [--top N]
   tensorlib stats    <workload> <dataflow> [--rows N] [--cols N] [--tiles T] [-o f.json]
   tensorlib trace    <workload> <dataflow> [--nets a,b,c] [--tiles T] [-o f.vcd]
+  tensorlib faults   [--rows N] [--cols N] [--k K] [--faults N] [--seed S]
+                     [--harden tmr,parity,abft] [--workers W] [--sweep-acc] [-o f.json]
 
 workloads: gemm[:m,n,k]  batched-gemv[:m,n,k]  conv2d[:k,c,y,x,p,q]
            depthwise[:k,y,x,p,q]  mttkrp[:i,j,k,l]  ttmc[:i,j,k,l,m]
@@ -137,7 +172,15 @@ stats runs the netlist interpreter with hardware counters (PE utilization,
 bank traffic/conflicts, controller stall breakdown) and cross-checks the
 analytic cycle model; trace additionally records per-cycle value changes on
 the watched nets and writes a VCD waveform. With no -o, reports land under
-reports/.";
+reports/.
+
+faults runs a seeded fault-injection campaign on an output-stationary GEMM
+design (rows x cols array, reduction extent K): every injected fault is
+classified masked / detected / sdc against a golden fault-free run, hardened
+variants (--harden tmr, parity, abft, or full) report their detectors and
+priced area/power overhead, and --sweep-acc replaces the seeded sample with
+the exhaustive accumulator bit-flip sweep that ABFT must fully detect.
+Reports are byte-identical for any --workers count.";
 
 /// Parses the argument list (without the program name).
 ///
@@ -153,9 +196,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut out_given = false;
     let mut rows = 16usize;
     let mut cols = 16usize;
+    let mut rows_given = false;
+    let mut cols_given = false;
     let mut top = 10usize;
     let mut tiles = 2u64;
     let mut nets = String::new();
+    let mut k = 4u64;
+    let mut faults = 64usize;
+    let mut seed = 1u64;
+    let mut harden = "none".to_string();
+    let mut workers = 0usize;
+    let mut sweep_acc = false;
     let rest: Vec<&String> = it.collect();
     let mut i = 0;
     while i < rest.len() {
@@ -174,12 +225,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--rows" => {
                 rows = take_value(&mut i)?
                     .parse()
-                    .map_err(|_| CliError("--rows expects an integer".into()))?
+                    .map_err(|_| CliError("--rows expects an integer".into()))?;
+                rows_given = true;
             }
             "--cols" => {
                 cols = take_value(&mut i)?
                     .parse()
-                    .map_err(|_| CliError("--cols expects an integer".into()))?
+                    .map_err(|_| CliError("--cols expects an integer".into()))?;
+                cols_given = true;
             }
             "--top" => {
                 top = take_value(&mut i)?
@@ -192,6 +245,28 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .map_err(|_| CliError("--tiles expects an integer".into()))?
             }
             "--nets" => nets = take_value(&mut i)?,
+            "--k" => {
+                k = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| CliError("--k expects an integer".into()))?
+            }
+            "--faults" => {
+                faults = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| CliError("--faults expects an integer".into()))?
+            }
+            "--seed" => {
+                seed = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| CliError("--seed expects an integer".into()))?
+            }
+            "--harden" => harden = take_value(&mut i)?,
+            "--workers" => {
+                workers = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| CliError("--workers expects an integer".into()))?
+            }
+            "--sweep-acc" => sweep_acc = true,
             _ if a.starts_with('-') => {
                 return Err(CliError(format!("unknown flag {a}\n\n{USAGE}")))
             }
@@ -237,6 +312,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             cols,
             tiles,
             nets,
+            out: if out_given { out } else { String::new() },
+        }),
+        // Campaigns clone one interpreter per fault, so the faults default
+        // array is the small 4x4 campaign rather than the 16x16 generator
+        // default.
+        ("faults", 0) => Ok(Command::Faults {
+            rows: if rows_given { rows } else { 4 },
+            cols: if cols_given { cols } else { 4 },
+            k,
+            faults,
+            seed,
+            harden,
+            workers,
+            sweep_acc,
             out: if out_given { out } else { String::new() },
         }),
         _ => Err(usage()),
@@ -344,6 +433,18 @@ struct StatsReport {
     summary: StatsSummary,
     stats: tensorlib::InterpreterStats,
     cross_check: tensorlib::sim::perf::ModelCrossCheck,
+}
+
+/// The JSON document `tensorlib faults` emits: the campaign parameters, the
+/// per-fault classification report, and (for hardened designs) the priced
+/// area/power overhead of the protection.
+#[derive(serde::Serialize)]
+struct FaultsReportDoc {
+    config: CampaignConfig,
+    /// `seeded` or `accumulator-sweep`.
+    mode: String,
+    report: ResilienceReport,
+    hardening_overhead: Option<HardeningOverhead>,
 }
 
 /// Default report path for `stats`/`trace`: `reports/<kind>_<workload>_<dataflow>.<ext>`
@@ -570,6 +671,88 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             )?;
             Ok(msg)
         }
+        Command::Faults {
+            rows,
+            cols,
+            k,
+            faults,
+            seed,
+            harden,
+            workers,
+            sweep_acc,
+            out,
+        } => {
+            if rows == 0 || cols == 0 || k == 0 {
+                return Err(CliError("--rows, --cols, and --k must be at least 1".into()));
+            }
+            if !sweep_acc && faults == 0 {
+                return Err(CliError("--faults must be at least 1".into()));
+            }
+            let hardening = Hardening::parse(&harden).map_err(CliError)?;
+            let cfg = CampaignConfig {
+                rows,
+                cols,
+                k,
+                faults,
+                seed,
+                hardening,
+                workers,
+            };
+            let (mode, report) = if sweep_acc {
+                // Flip every accumulator bit 0..8 mid-accumulation: half-way
+                // through the compute phase (t-extent = k plus the skew in
+                // each direction, plus the streaming-pipeline tail), after
+                // the 1-cycle start handshake.
+                let compute = k + rows as u64 - 1 + cols as u64 - 1 + 2;
+                let cycle = 1 + compute / 2;
+                (
+                    "accumulator-sweep".to_string(),
+                    run_accumulator_sweep(&cfg, 8, cycle).map_err(|err| e(&err))?,
+                )
+            } else {
+                (
+                    "seeded".to_string(),
+                    run_gemm_campaign(&cfg).map_err(|err| e(&err))?,
+                )
+            };
+            let hardening_cost = if hardening.is_any() {
+                let gemm = workloads::gemm(rows as u64, cols as u64, k);
+                let sel =
+                    LoopSelection::by_names(&gemm, ["m", "n", "k"]).map_err(|err| e(&err))?;
+                let df = Dataflow::analyze(&gemm, sel, Stt::output_stationary())
+                    .map_err(|err| e(&err))?;
+                let hw = HwConfig {
+                    array: ArrayConfig { rows, cols },
+                    ..HwConfig::default()
+                };
+                Some(
+                    hardening_overhead(&df, &hw, hardening, &Activity::default())
+                        .map_err(|err| e(&err))?,
+                )
+            } else {
+                None
+            };
+            let doc = FaultsReportDoc {
+                config: cfg,
+                mode,
+                report,
+                hardening_overhead: hardening_cost,
+            };
+            let text = serde_json::to_string_pretty(&doc)
+                .map_err(|err| CliError(format!("serializing report: {err}")))?
+                + "\n";
+            emit_report(
+                &out,
+                report_path(
+                    "faults",
+                    &format!("gemm-{rows}x{cols}x{k}"),
+                    &hardening.to_string(),
+                    "json",
+                ),
+                &text,
+                "resilience report",
+            )
+        }
         Command::Explore { workload, top } => {
             let kernel = resolve_workload(&workload)?;
             let points = explore(&kernel, &ExploreOptions::default());
@@ -735,17 +918,18 @@ mod tests {
     /// can compute by hand from the design's fixed schedule.
     ///
     /// The design (`gemm:4,4,4`, MNK-SST, 4×4 array) has phases
-    /// load=0 / compute=10 / drain=4 (t_extent 10 = k + skew of 3 in each
-    /// direction; drain walks 4 result rows out). With `--tiles 2` the
-    /// measurement protocol runs `1 + 2×14 = 29` cycles:
+    /// load=0 / compute=12 / drain=4 (t_extent 10 = k + skew of 3 in each
+    /// direction, plus the 2-cycle streaming pipeline before the swap
+    /// capture; drain walks 4 result rows out). With `--tiles 2` the
+    /// measurement protocol runs `1 + 2×16 = 33` cycles:
     ///
-    /// * controller: compute = 2×10 = 20, drain = 2×4 = 8, idle = 1 (the
+    /// * controller: compute = 2×12 = 24, drain = 2×4 = 8, idle = 1 (the
     ///   start handshake), swaps = 2 (one per tile);
     /// * MACs: a PE at (i,j) sees its first nonzero product only after the
     ///   1-cycle bank-read latency plus max(i,j) systolic hops, so tile 1
-    ///   contributes Σ_{i,j} (10 − 1 − max(i,j)) = 110; operands then stay
-    ///   latched through the drain phase, so tile 2 contributes 16×10 = 160.
-    ///   Total MAC-issue cycles = 270, utilization = 270/(16×29) ≈ 58.2%;
+    ///   contributes Σ_{i,j} (12 − 1 − max(i,j)) = 142; operands then stay
+    ///   latched through the drain phase, so tile 2 contributes 16×12 = 192.
+    ///   Total MAC-issue cycles = 334, utilization = 334/(16×33) ≈ 63.3%;
     /// * banks: single-ported feeds are never read and written in the same
     ///   cycle, so 0 conflicts; the only stall is the 1 idle cycle.
     #[test]
@@ -760,21 +944,21 @@ mod tests {
         })
         .unwrap();
         for needle in [
-            "\"cycles\": 29",
-            "\"total_mac_cycles\": 270",
+            "\"cycles\": 33",
+            "\"total_mac_cycles\": 334",
             "\"stall_cycles\": 1",
             "\"total_bank_conflicts\": 0",
-            "\"compute_cycles\": 20",
+            "\"compute_cycles\": 24",
             "\"drain_cycles\": 8",
             "\"idle_cycles\": 1",
             "\"swap_pulses\": 2",
         ] {
             assert!(out.contains(needle), "missing {needle} in stats:\n{out}");
         }
-        // 270 MACs over 16 PEs × 29 cycles.
+        // 334 MACs over 16 PEs × 33 cycles.
         assert!(
-            out.contains("\"utilization\": 0.581"),
-            "utilization should be ≈0.582:\n{out}"
+            out.contains("\"utilization\": 0.632"),
+            "utilization should be ≈0.633:\n{out}"
         );
     }
 
@@ -810,6 +994,119 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.to_string().contains("no_such_net"), "{err}");
+    }
+
+    #[test]
+    fn parse_faults_defaults_and_flags() {
+        assert_eq!(
+            parse_args(&sv(&["faults"])).unwrap(),
+            Command::Faults {
+                rows: 4,
+                cols: 4,
+                k: 4,
+                faults: 64,
+                seed: 1,
+                harden: "none".into(),
+                workers: 0,
+                sweep_acc: false,
+                out: String::new(),
+            }
+        );
+        assert_eq!(
+            parse_args(&sv(&[
+                "faults", "--rows", "16", "--cols", "8", "--k", "6", "--faults", "12",
+                "--seed", "9", "--harden", "tmr,parity", "--workers", "2", "--sweep-acc",
+                "-o", "-",
+            ]))
+            .unwrap(),
+            Command::Faults {
+                rows: 16,
+                cols: 8,
+                k: 6,
+                faults: 12,
+                seed: 9,
+                harden: "tmr,parity".into(),
+                workers: 2,
+                sweep_acc: true,
+                out: "-".into(),
+            }
+        );
+        // Malformed arguments are parse errors, not panics.
+        assert!(parse_args(&sv(&["faults", "--seed", "banana"])).is_err());
+        assert!(parse_args(&sv(&["faults", "--faults"])).is_err());
+        assert!(parse_args(&sv(&["faults", "extra-positional"])).is_err());
+    }
+
+    fn faults_cmd(harden: &str, faults: usize, out: &str) -> Command {
+        Command::Faults {
+            rows: 4,
+            cols: 4,
+            k: 4,
+            faults,
+            seed: 1,
+            harden: harden.into(),
+            workers: 1,
+            sweep_acc: false,
+            out: out.into(),
+        }
+    }
+
+    #[test]
+    fn run_faults_emits_classified_report() {
+        let out = run(faults_cmd("full", 6, "-")).unwrap();
+        for needle in [
+            "\"mode\": \"seeded\"",
+            "\"detection_coverage\"",
+            "\"masked\"",
+            "\"hardening\": \"tmr,par,abft\"",
+            "\"area_overhead_pct\"",
+        ] {
+            assert!(out.contains(needle), "missing {needle} in report:\n{out}");
+        }
+    }
+
+    #[test]
+    fn run_faults_unhardened_skips_overhead() {
+        let out = run(faults_cmd("none", 4, "-")).unwrap();
+        assert!(out.contains("\"hardening_overhead\": null"), "{out}");
+    }
+
+    #[test]
+    fn run_faults_bad_hardening_and_zero_params_are_errors() {
+        let err = run(faults_cmd("voodoo", 4, "-")).unwrap_err();
+        assert!(err.to_string().contains("voodoo"), "{err}");
+        let err = run(Command::Faults {
+            rows: 0,
+            cols: 4,
+            k: 4,
+            faults: 4,
+            seed: 1,
+            harden: "none".into(),
+            workers: 1,
+            sweep_acc: false,
+            out: "-".into(),
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("--rows"), "{err}");
+        let err = run(faults_cmd("none", 0, "-")).unwrap_err();
+        assert!(err.to_string().contains("--faults"), "{err}");
+    }
+
+    #[test]
+    fn run_faults_unwritable_report_dir_is_a_typed_error() {
+        // A parent path that is a *file* makes create_dir_all fail; the CLI
+        // must surface a descriptive CliError, not panic.
+        let dir = std::env::temp_dir().join(format!("tl_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocker = dir.join("not_a_dir");
+        std::fs::write(&blocker, b"plain file").unwrap();
+        let out = blocker.join("reports").join("r.json");
+        let err = run(faults_cmd("none", 4, out.to_str().unwrap())).unwrap_err();
+        assert!(
+            err.to_string().contains("creating") || err.to_string().contains("writing"),
+            "unexpected error text: {err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,23 +1,30 @@
 //! Design-space exploration: sweep every dataflow, score each design.
 
+use std::fmt;
+
 use serde::Serialize;
 use tensorlib_cost::{asic_cost, Activity, AsicReport};
 use tensorlib_dataflow::dse::{design_space, DseConfig};
 use tensorlib_dataflow::Dataflow;
 use tensorlib_hw::design::{generate, HwConfig};
+use tensorlib_hw::fault::Hardening;
 use tensorlib_ir::Kernel;
-use tensorlib_linalg::par::par_map_indexed;
-use tensorlib_sim::{perf, SimConfig, SimReport};
+use tensorlib_linalg::par::par_map_catch;
+use tensorlib_sim::{functional, perf, SimConfig, SimError, SimReport};
 
 /// One scored point of the design space.
 #[derive(Debug, Clone, Serialize)]
 pub struct DesignPoint {
-    /// Paper-style dataflow name (e.g. `KCX-SST`).
+    /// Paper-style dataflow name (e.g. `KCX-SST`), with the hardening
+    /// suffix appended for hardened variants (e.g. `KCX-SST+tmr+par`).
     pub name: String,
     /// Per-tensor letters.
     pub letters: String,
     /// The analyzed dataflow.
     pub dataflow: Dataflow,
+    /// Fault-tolerance hardening this variant carries (its area/power
+    /// overhead is already priced into [`DesignPoint::asic`]).
+    pub hardening: Hardening,
     /// Cycle/throughput estimate.
     pub performance: SimReport,
     /// ASIC area/power at synthesis activity.
@@ -40,6 +47,28 @@ pub struct ExploreOptions {
     /// core, `1` = fully serial). Results are identical for every worker
     /// count — see [`explore`].
     pub workers: usize,
+    /// Per-design-point simulated-cycle budget. A candidate whose estimated
+    /// runtime exceeds this becomes an [`PointError::BudgetExceeded`] in
+    /// [`ExploreOutcome::errors`] instead of a scored point; with
+    /// [`ExploreOptions::functional_verify`] the same ceiling gates the
+    /// functional simulation up front (see
+    /// [`tensorlib_sim::simulate_budgeted`]). `None` disables the check.
+    pub cycle_budget: Option<u64>,
+    /// Additionally run the bit-exact functional simulator on every scored
+    /// candidate (budgeted by [`ExploreOptions::cycle_budget`]). Expensive —
+    /// off by default; sweeps that want end-to-end confidence opt in.
+    pub functional_verify: bool,
+    /// Hardening variants to score for every candidate dataflow. Empty (the
+    /// default) scores only [`ExploreOptions::hw`]'s own hardening; a
+    /// non-empty list expands the design space to candidates × variants, so
+    /// resilience shows up as explicit points (with their priced overhead)
+    /// in the Figure 6-style scatter.
+    pub hardening_variants: Vec<Hardening>,
+    /// Test-only chaos hook: candidates whose dataflow name is listed here
+    /// panic during scoring, exercising the per-point panic isolation. Leave
+    /// empty in real sweeps.
+    #[doc(hidden)]
+    pub chaos_panic_names: Vec<String>,
 }
 
 impl Default for ExploreOptions {
@@ -50,8 +79,79 @@ impl Default for ExploreOptions {
             sim: SimConfig::default(),
             synthesis_activity: true,
             workers: 0,
+            cycle_budget: Some(1_000_000_000),
+            functional_verify: false,
+            hardening_variants: Vec::new(),
+            chaos_panic_names: Vec::new(),
         }
     }
+}
+
+/// Why one candidate produced no [`DesignPoint`] (enumeration order is
+/// preserved in [`ExploreOutcome::errors`]).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum PointError {
+    /// Scoring the candidate panicked; the panic was caught and isolated, so
+    /// the rest of the sweep is unaffected.
+    Panicked {
+        /// Dataflow name of the candidate.
+        name: String,
+        /// The panic message.
+        message: String,
+    },
+    /// The candidate's estimated (or functionally required) cycle count
+    /// blew the per-point budget.
+    BudgetExceeded {
+        /// Dataflow name of the candidate.
+        name: String,
+        /// The configured ceiling.
+        budget: u64,
+        /// Cycles the point would need.
+        needed: u64,
+    },
+    /// The functional simulator rejected the candidate (coverage gap or
+    /// output mismatch — a generator bug surfaced by verification).
+    Functional {
+        /// Dataflow name of the candidate.
+        name: String,
+        /// The simulator's error, rendered.
+        message: String,
+    },
+}
+
+impl fmt::Display for PointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PointError::Panicked { name, message } => {
+                write!(f, "{name}: scoring panicked: {message}")
+            }
+            PointError::BudgetExceeded {
+                name,
+                budget,
+                needed,
+            } => write!(
+                f,
+                "{name}: needs {needed} cycles, over the {budget}-cycle point budget"
+            ),
+            PointError::Functional { name, message } => {
+                write!(f, "{name}: functional verification failed: {message}")
+            }
+        }
+    }
+}
+
+/// Everything a sweep produced: scored points plus typed per-candidate
+/// failures. [`explore`] returns just the points; callers that must account
+/// for every candidate (CI sweeps, reports) use [`explore_outcome`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ExploreOutcome {
+    /// Scored designs, sorted by total cycles (fastest first).
+    pub points: Vec<DesignPoint>,
+    /// Candidates that failed to score, in enumeration order.
+    pub errors: Vec<PointError>,
+    /// Candidates skipped because their reuse pattern is not implementable
+    /// by the hardware templates (expected, not an error).
+    pub skipped: usize,
 }
 
 /// Enumerates the kernel's dataflow design space, generates hardware for
@@ -81,12 +181,49 @@ impl Default for ExploreOptions {
 /// assert!(best.total_cycles < worst.total_cycles);
 /// ```
 pub fn explore(kernel: &Kernel, opts: &ExploreOptions) -> Vec<DesignPoint> {
+    explore_outcome(kernel, opts).points
+}
+
+/// [`explore`], but with full accounting: every enumerated candidate ends up
+/// either in `points`, in `errors` (typed — panic, budget, functional), or
+/// in the `skipped` count. A panicking or budget-blowing candidate never
+/// takes the sweep down and never steals another candidate's slot: scoring
+/// runs under per-point panic isolation
+/// ([`tensorlib_linalg::par::par_map_catch`]) and both `points` and `errors`
+/// are byte-identical for any worker count.
+pub fn explore_outcome(kernel: &Kernel, opts: &ExploreOptions) -> ExploreOutcome {
     let candidates = design_space(kernel, &opts.dse);
+    // An empty variant list means "whatever the base config carries";
+    // otherwise every candidate is scored once per hardening variant.
+    let variants: Vec<Hardening> = if opts.hardening_variants.is_empty() {
+        vec![opts.hw.hardening]
+    } else {
+        opts.hardening_variants.clone()
+    };
+    let jobs: Vec<(&Dataflow, Hardening)> = candidates
+        .iter()
+        .flat_map(|df| variants.iter().map(move |&h| (df, h)))
+        .collect();
     // Scoring a candidate (hardware generation + cycle model + cost model)
     // is orders of magnitude heavier than the queue bookkeeping, so small
     // chunks keep the pool balanced.
-    let scored = par_map_indexed(&candidates, opts.workers, 4, |_, df| score(kernel, opts, df));
-    let mut points: Vec<DesignPoint> = scored.into_iter().flatten().collect();
+    let scored = par_map_catch(&jobs, opts.workers, 4, |_, &(df, h)| {
+        score(kernel, opts, df, h)
+    });
+    let mut points = Vec::new();
+    let mut errors = Vec::new();
+    let mut skipped = 0usize;
+    for (result, (df, h)) in scored.into_iter().zip(&jobs) {
+        match result {
+            Ok(Some(Ok(point))) => points.push(point),
+            Ok(Some(Err(e))) => errors.push(e),
+            Ok(None) => skipped += 1,
+            Err(message) => errors.push(PointError::Panicked {
+                name: point_name(df, *h),
+                message,
+            }),
+        }
+    }
     // `scored` is in enumeration order, so this stable sort reproduces the
     // serial implementation's output exactly, ties and all.
     points.sort_by(|a, b| {
@@ -95,14 +232,63 @@ pub fn explore(kernel: &Kernel, opts: &ExploreOptions) -> Vec<DesignPoint> {
             .cmp(&b.performance.total_cycles)
             .then_with(|| a.name.cmp(&b.name))
     });
-    points
+    ExploreOutcome {
+        points,
+        errors,
+        skipped,
+    }
 }
 
-/// Scores one candidate dataflow, or `None` if its reuse pattern is not
-/// implementable by the hardware templates.
-fn score(kernel: &Kernel, opts: &ExploreOptions, df: &Dataflow) -> Option<DesignPoint> {
-    let design = generate(df, &opts.hw).ok()?;
+/// The display name of one (dataflow, hardening) design point.
+fn point_name(df: &Dataflow, hardening: Hardening) -> String {
+    format!("{}{}", df.name(), hardening.suffix())
+}
+
+/// Scores one candidate dataflow under one hardening variant: `None` if its
+/// reuse pattern is not implementable by the hardware templates (an expected
+/// skip), `Some(Err)` for typed per-point failures.
+fn score(
+    kernel: &Kernel,
+    opts: &ExploreOptions,
+    df: &Dataflow,
+    hardening: Hardening,
+) -> Option<Result<DesignPoint, PointError>> {
+    if opts.chaos_panic_names.iter().any(|n| *n == df.name()) {
+        panic!("chaos hook tripped for {}", df.name());
+    }
+    let hw = HwConfig {
+        hardening,
+        ..opts.hw
+    };
+    let design = generate(df, &hw).ok()?;
     let performance = perf::estimate(&design, kernel, &opts.sim);
+    if let Some(budget) = opts.cycle_budget {
+        if performance.total_cycles > budget {
+            return Some(Err(PointError::BudgetExceeded {
+                name: point_name(df, hardening),
+                budget,
+                needed: performance.total_cycles,
+            }));
+        }
+    }
+    if opts.functional_verify {
+        match functional::simulate_budgeted(&design, kernel, 42, opts.cycle_budget) {
+            Ok(_) => {}
+            Err(SimError::CycleBudgetExceeded { budget, needed }) => {
+                return Some(Err(PointError::BudgetExceeded {
+                    name: point_name(df, hardening),
+                    budget,
+                    needed,
+                }))
+            }
+            Err(e) => {
+                return Some(Err(PointError::Functional {
+                    name: point_name(df, hardening),
+                    message: e.to_string(),
+                }))
+            }
+        }
+    }
     let activity = if opts.synthesis_activity {
         Activity {
             utilization: 1.0,
@@ -115,13 +301,14 @@ fn score(kernel: &Kernel, opts: &ExploreOptions, df: &Dataflow) -> Option<Design
         }
     };
     let asic = asic_cost(&design, &activity);
-    Some(DesignPoint {
-        name: df.name(),
+    Some(Ok(DesignPoint {
+        name: point_name(df, hardening),
         letters: df.letters(),
         dataflow: df.clone(),
+        hardening,
         performance,
         asic,
-    })
+    }))
 }
 
 /// Returns the Pareto frontier of `points` in the (power, area) plane —
@@ -177,6 +364,39 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn hardening_variants_are_explorable_design_points() {
+        let k = workloads::gemm(16, 16, 16);
+        let opts = ExploreOptions {
+            hardening_variants: vec![Hardening::none(), Hardening::full()],
+            ..ExploreOptions::default()
+        };
+        let points = explore(&k, &opts);
+        let base = points
+            .iter()
+            .find(|p| p.letters == "SST" && !p.hardening.is_any())
+            .expect("unhardened SST point");
+        let hard = points
+            .iter()
+            .find(|p| p.name == format!("{}+tmr+par+abft", base.name))
+            .expect("hardened twin of the SST point");
+        // The hardened variant pays real area/power for its protection and
+        // is a distinct scatter point with the same schedule.
+        assert!(hard.asic.area_mm2 > base.asic.area_mm2);
+        assert!(hard.asic.power_mw > base.asic.power_mw);
+        assert_eq!(
+            hard.performance.total_cycles,
+            base.performance.total_cycles
+        );
+        assert!(hard.hardening.abft);
+        // Exactly two variants per implementable candidate.
+        assert_eq!(points.len() % 2, 0);
+        assert_eq!(
+            points.iter().filter(|p| p.hardening.is_any()).count(),
+            points.len() / 2
+        );
     }
 
     #[test]

@@ -84,6 +84,7 @@ pub struct FpgaReport {
 ///     array: ArrayConfig { rows: 10, cols: 16 },
 ///     datatype: DataType::Fp32,
 ///     vectorize: 8,
+///     ..HwConfig::default()
 /// };
 /// let design = generate(&df, &cfg).expect("wireable");
 /// let r = fpga_cost(&design, &FpgaDevice::vu9p(), false);
@@ -196,6 +197,7 @@ mod tests {
                 array: ArrayConfig { rows: 10, cols: 16 },
                 datatype: DataType::Fp32,
                 vectorize: 8,
+                ..HwConfig::default()
             },
         )
         .unwrap()

@@ -21,6 +21,8 @@
 pub mod asic;
 pub mod calibration;
 pub mod fpga;
+pub mod hardening;
 
 pub use asic::{asic_cost, Activity, AsicReport};
 pub use fpga::{fpga_cost, FpgaDevice, FpgaReport};
+pub use hardening::{hardening_overhead, HardeningOverhead};

@@ -81,6 +81,30 @@ pub enum HwError {
         /// The missing hierarchical net name.
         net: String,
     },
+    /// A fault spec addresses a bit outside the target net's width.
+    FaultBitOutOfRange {
+        /// The hierarchical net name.
+        net: String,
+        /// The requested bit position.
+        bit: u32,
+        /// The net's actual width.
+        width: u32,
+    },
+    /// A fault kind that only applies to registers was aimed at a
+    /// combinational net.
+    NotARegister {
+        /// The hierarchical net name.
+        net: String,
+    },
+    /// A bank-word fault addresses a word beyond the bank's storage.
+    FaultWordOutOfRange {
+        /// The hierarchical bank instance name.
+        bank: String,
+        /// The requested word index.
+        word: usize,
+        /// Total storage words (both buffers for a double-buffered bank).
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for HwError {
@@ -105,6 +129,15 @@ impl fmt::Display for HwError {
             ),
             HwError::UnknownNet { net } => {
                 write!(f, "no net {net:?} to trace")
+            }
+            HwError::FaultBitOutOfRange { net, bit, width } => {
+                write!(f, "fault targets bit {bit} of {net:?} but the net is {width} bits wide")
+            }
+            HwError::NotARegister { net } => {
+                write!(f, "fault kind requires a register target but {net:?} is combinational")
+            }
+            HwError::FaultWordOutOfRange { bank, word, capacity } => {
+                write!(f, "fault targets word {word} of bank {bank:?} which holds {capacity} words")
             }
         }
     }

@@ -9,6 +9,7 @@ use tensorlib_ir::DataType;
 
 use crate::array::{build_array, ArrayConfig, ArrayPort, HwError, PortKind};
 use crate::ctrl::{build_controller, CtrlPhases};
+use crate::fault::{build_tmr_controller, Hardening, TMR_VOTER_GATE_BITS};
 use crate::mem::MemBank;
 use crate::netlist::{Dir, Expr, Module, NetlistError};
 use crate::pe::{build_pe, PeIoKind, PeSpec, PeTensorSpec};
@@ -24,6 +25,9 @@ pub struct HwConfig {
     /// SIMD lanes per PE (the paper's FPGA build uses 8). The netlist is
     /// built for one lane; vectorization scales the resource summary.
     pub vectorize: u32,
+    /// Fault-tolerance hardening options (pay-for-use: `Hardening::none()`
+    /// generates the identical design as before hardening existed).
+    pub hardening: Hardening,
 }
 
 impl Default for HwConfig {
@@ -32,6 +36,7 @@ impl Default for HwConfig {
             array: ArrayConfig::default(),
             datatype: DataType::Int16,
             vectorize: 1,
+            hardening: Hardening::none(),
         }
     }
 }
@@ -83,6 +88,15 @@ pub struct ResourceSummary {
     pub control_wires: u32,
     /// Register bits in the controller.
     pub ctrl_reg_bits: u64,
+    /// Extra scratchpad bits spent on per-word parity (already included in
+    /// `mem_bits`; informational).
+    pub parity_bits: u64,
+    /// Gate-bit equivalent of TMR majority voters (already included in
+    /// `mux_bits`; informational).
+    pub voter_bits: u64,
+    /// Extra checksum-row/column/corner PEs for ABFT (already folded into
+    /// the compute censuses; informational).
+    pub abft_pes: u64,
 }
 
 impl ResourceSummary {
@@ -326,6 +340,14 @@ fn next_pow2(v: u64) -> u64 {
     v.max(1).next_power_of_two()
 }
 
+/// Register stages between a scratchpad bank and the PE it feeds: the
+/// bank's registered `rdata` plus the array-edge operand register. The
+/// controller's compute phase extends past the schedule's t-extent by this
+/// many cycles on stationary-output designs so the `swap` capture sees the
+/// final in-flight products (verified end-to-end by the resilience
+/// campaign's golden-versus-reference cross-check).
+pub const STREAM_PIPELINE_LATENCY: u64 = 2;
+
 /// Generates the complete accelerator for `dataflow`.
 ///
 /// Pipeline: PE template selection (Figure 3) → PE assembly → array
@@ -337,11 +359,15 @@ fn next_pow2(v: u64) -> u64 {
 /// Returns [`HwError`] if the dataflow's reuse steps cannot be wired
 /// (non-neighbour `dp`) or the array is degenerate.
 pub fn generate(dataflow: &Dataflow, cfg: &HwConfig) -> Result<AcceleratorDesign, HwError> {
-    let name = format!(
+    let mut name = format!(
         "{}_{}",
         dataflow.kernel_name().to_lowercase().replace('-', "_"),
         dataflow.name().to_lowercase().replace('-', "_")
     );
+    if cfg.hardening.is_any() {
+        // Hardened variants are distinct designs (and module namespaces).
+        name.push_str(&cfg.hardening.suffix().replace('+', "_"));
+    }
 
     // 1. PE.
     let pe_spec = PeSpec {
@@ -373,13 +399,23 @@ pub fn generate(dataflow: &Dataflow, cfg: &HwConfig) -> Result<AcceleratorDesign
     let tiling = tile_for_array(dataflow.stt(), dataflow.selected_extents(), &cfg.array);
     let has_stationary_in = pe_spec.needs_load_phase();
     let has_stationary_out = pe_spec.needs_swap_drain();
+    // Stationary-output designs capture accumulators on `swap`, so the
+    // compute phase must outlast the schedule's t-extent by the streaming
+    // pipeline depth (registered bank rdata + the PE operand register):
+    // the last scheduled operand pair is still in flight when cycle
+    // t_extent-1 ends, and swapping then would drop its product.
+    let compute_tail = if has_stationary_out {
+        STREAM_PIPELINE_LATENCY
+    } else {
+        0
+    };
     let phases = CtrlPhases {
         load_cycles: if has_stationary_in {
             cfg.array.rows as u64
         } else {
             0
         },
-        compute_cycles: tiling.t_extent,
+        compute_cycles: tiling.t_extent + compute_tail,
         drain_cycles: if has_stationary_out {
             cfg.array.rows as u64
         } else {
@@ -387,7 +423,16 @@ pub fn generate(dataflow: &Dataflow, cfg: &HwConfig) -> Result<AcceleratorDesign
         },
     };
     let ctrl_name = format!("{name}_ctrl");
-    let ctrl = build_controller(&ctrl_name, &phases);
+    // Plain controller, or a TMR-voted triple with a mismatch detector.
+    let (ctrl_modules, ctrl_reg_bits) = if cfg.hardening.tmr_ctrl {
+        let mods = build_tmr_controller(&ctrl_name, &phases);
+        let bits = mods[0].reg_bits() * 3;
+        (mods, bits)
+    } else {
+        let ctrl = build_controller(&ctrl_name, &phases);
+        let bits = ctrl.reg_bits();
+        (vec![ctrl], bits)
+    };
 
     // 4. Memory plan: one bank instance per array data port.
     let mut mem_banks: Vec<MemBank> = Vec::new();
@@ -401,7 +446,10 @@ pub fn generate(dataflow: &Dataflow, cfg: &HwConfig) -> Result<AcceleratorDesign
             PortKind::StationaryLoad => next_pow2(cfg.array.rows as u64).max(16),
             _ => next_pow2(tiling.t_extent).clamp(16, 65_536),
         };
-        let bank = MemBank::new(words, port.width, stationary);
+        let mut bank = MemBank::new(words, port.width, stationary);
+        if cfg.hardening.parity_banks {
+            bank = bank.with_parity();
+        }
         if !mem_banks.contains(&bank) {
             mem_banks.push(bank.clone());
         }
@@ -423,19 +471,21 @@ pub fn generate(dataflow: &Dataflow, cfg: &HwConfig) -> Result<AcceleratorDesign
     let phase = top.net("phase", 1);
     let swap = top.net("swap", 1);
     let drain_en = top.net("drain_en", 1);
-    top.instance(
-        ctrl_name.clone(),
-        "ctrl_i".to_string(),
-        vec![
-            ("start".into(), start),
-            ("en".into(), en),
-            ("load_en".into(), load_en),
-            ("phase".into(), phase),
-            ("swap".into(), swap),
-            ("drain_en".into(), drain_en),
-            ("done".into(), done),
-        ],
-    );
+    let mut ctrl_conns = vec![
+        ("start".to_string(), start),
+        ("en".into(), en),
+        ("load_en".into(), load_en),
+        ("phase".into(), phase),
+        ("swap".into(), swap),
+        ("drain_en".into(), drain_en),
+        ("done".into(), done),
+    ];
+    if cfg.hardening.tmr_ctrl {
+        // Surface the TMR divergence detector at the top level.
+        let mismatch = top.output("tmr_mismatch", 1);
+        ctrl_conns.push(("tmr_mismatch".into(), mismatch));
+    }
+    top.instance(ctrl_name.clone(), "ctrl_i".to_string(), ctrl_conns);
 
     let mut array_conns = vec![("en".to_string(), en)];
     if has_stationary_in {
@@ -494,18 +544,32 @@ pub fn generate(dataflow: &Dataflow, cfg: &HwConfig) -> Result<AcceleratorDesign
     let lanes = cfg.vectorize as u64;
     let pe_ops = pe.count_ops();
     let pes = cfg.array.pes() as u64;
-    let ctrl_reg_bits = ctrl.reg_bits();
+    // ABFT adds one checksum row, column, and corner PE worth of compute;
+    // TMR adds the voter gates (priced as mux bits).
+    let abft_pes = if cfg.hardening.abft {
+        (cfg.array.rows + cfg.array.cols + 1) as u64
+    } else {
+        0
+    };
+    let compute_pes = pes + abft_pes;
+    let voter_bits = if cfg.hardening.tmr_ctrl {
+        TMR_VOTER_GATE_BITS
+    } else {
+        0
+    };
     let mut summary = ResourceSummary {
         pe_rows: cfg.array.rows,
         pe_cols: cfg.array.cols,
         vectorize: cfg.vectorize,
         pes,
-        multipliers: pe_ops.multipliers * pes * lanes,
-        pe_adders: pe_ops.adders * pes * lanes,
+        multipliers: pe_ops.multipliers * compute_pes * lanes,
+        pe_adders: pe_ops.adders * compute_pes * lanes,
         tree_adders: ab.tree_adders * lanes,
-        pe_reg_bits: pe.reg_bits() * pes * lanes,
+        pe_reg_bits: pe.reg_bits() * compute_pes * lanes,
         tree_reg_bits: ab.tree_reg_bits * lanes,
-        mux_bits: pe_ops.mux_bits * pes * lanes,
+        mux_bits: pe_ops.mux_bits * compute_pes * lanes + voter_bits,
+        voter_bits,
+        abft_pes,
         stationary_tensors: dataflow
             .flows()
             .iter()
@@ -552,11 +616,15 @@ pub fn generate(dataflow: &Dataflow, cfg: &HwConfig) -> Result<AcceleratorDesign
             .expect("bank template exists");
         summary.mem_banks += 1;
         summary.mem_bits += bank.bits();
+        if bank.has_parity() {
+            let buffers = if bank.is_double_buffered() { 2 } else { 1 };
+            summary.parity_bits += bank.words() * buffers;
+        }
     }
 
     let mut modules = vec![pe];
     modules.extend(ab.tree_modules.clone());
-    modules.push(ctrl);
+    modules.extend(ctrl_modules);
     modules.push(ab.module);
     modules.push(top);
 
@@ -675,9 +743,83 @@ mod tests {
     }
 
     #[test]
+    fn hardened_design_validates_and_prices_its_overhead() {
+        let gemm = workloads::gemm(64, 64, 64);
+        let sel = LoopSelection::by_names(&gemm, ["m", "n", "k"]).unwrap();
+        let df = Dataflow::analyze(&gemm, sel, Stt::output_stationary()).unwrap();
+        let base = generate(&df, &HwConfig::default()).unwrap();
+        let hard = generate(
+            &df,
+            &HwConfig {
+                hardening: Hardening::full(),
+                ..HwConfig::default()
+            },
+        )
+        .unwrap();
+        hard.validate().unwrap();
+        assert_eq!(hard.name(), format!("{}_tmr_par_abft", base.name()));
+
+        let (b, h) = (base.summary(), hard.summary());
+        // TMR: triple the controller state, plus voter gates.
+        assert_eq!(h.ctrl_reg_bits, b.ctrl_reg_bits * 3);
+        assert_eq!(h.voter_bits, TMR_VOTER_GATE_BITS);
+        // The top now exposes the divergence detector.
+        let top = hard.module(hard.top()).unwrap();
+        assert_eq!(top.port_dir("tmr_mismatch"), Some(Dir::Output));
+        // Parity: one extra bit per stored word, counted in mem_bits.
+        assert!(h.parity_bits > 0);
+        assert_eq!(h.mem_bits, b.mem_bits + h.parity_bits);
+        assert!(hard.mem_banks().iter().all(MemBank::has_parity));
+        // ABFT: checksum row + column + corner worth of extra compute.
+        assert_eq!(h.abft_pes, 16 + 16 + 1);
+        assert_eq!(h.pes, b.pes, "array geometry is unchanged");
+        assert_eq!(h.multipliers, b.multipliers + 33);
+        // An unhardened config still produces the exact pre-hardening census.
+        assert_eq!(b.voter_bits + b.parity_bits + b.abft_pes, 0);
+    }
+
+    #[test]
+    fn hardened_design_simulates_and_detects_faults() {
+        use crate::interp::{elaborate_design, Interpreter};
+
+        let gemm = workloads::gemm(4, 4, 4);
+        let sel = LoopSelection::by_names(&gemm, ["m", "n", "k"]).unwrap();
+        let df = Dataflow::analyze(&gemm, sel, Stt::output_stationary()).unwrap();
+        let cfg = HwConfig {
+            array: ArrayConfig { rows: 4, cols: 4 },
+            hardening: Hardening {
+                tmr_ctrl: true,
+                parity_banks: true,
+                abft: false,
+            },
+            ..HwConfig::default()
+        };
+        let d = generate(&df, &cfg).unwrap();
+        d.validate().unwrap();
+        let flat = elaborate_design(&d, d.top()).unwrap();
+        let mut sim = Interpreter::new(flat);
+        // Fault-free run: mismatch stays low through a full tile.
+        sim.poke("start", 1);
+        sim.step();
+        sim.poke("start", 0);
+        for _ in 0..40 {
+            sim.step();
+            assert_eq!(sim.peek("tmr_mismatch"), 0);
+        }
+        assert_eq!(sim.parity_error_count(), 0);
+    }
+
+    #[test]
     fn tiling_is_exposed() {
         let d = gemm_design([[1, 0, 0], [0, 1, 0], [1, 1, 1]]);
         assert_eq!(d.tiling().tile_extents, [16, 16, 64]);
-        assert_eq!(d.phases().compute_cycles, d.tiling().t_extent);
+        // Stationary-output designs extend the compute phase by the
+        // streaming pipeline depth so the swap capture is not early.
+        let tail = if d.phases().drain_cycles > 0 {
+            STREAM_PIPELINE_LATENCY
+        } else {
+            0
+        };
+        assert_eq!(d.phases().compute_cycles, d.tiling().t_extent + tail);
     }
 }

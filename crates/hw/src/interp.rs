@@ -14,6 +14,7 @@
 use std::collections::HashMap;
 
 use crate::array::HwError;
+use crate::fault::{BankWordFlip, FaultKind, FaultSpec, FaultState, RegHold, SlotFlip, StuckForce};
 use crate::mem::MemBank;
 use crate::netlist::{BinOp, Dir, Expr, Module, Net, NetId, RegDef};
 use crate::trace::{InterpreterStats, TraceConfig, TraceEvent, TraceState};
@@ -75,6 +76,16 @@ impl FlatDesign {
     /// Total behavioural banks after flattening.
     pub fn bank_count(&self) -> usize {
         self.banks.len()
+    }
+
+    /// All registers after flattening (targets index [`FlatDesign::nets`]).
+    pub fn regs(&self) -> &[RegDef] {
+        &self.regs
+    }
+
+    /// The behavioural bank instances.
+    pub fn flat_banks(&self) -> &[FlatBank] {
+        &self.banks
     }
 }
 
@@ -714,12 +725,40 @@ fn lower_onto(expr: &Expr, nets: &[Net], resolve: &[u32], code: &mut Vec<Instr>)
     }
 }
 
+/// Re-applies stuck-at forces to `slot` after a store clobbered it. Only
+/// called on the fault-injecting execution paths; `forced` is a handful of
+/// entries at most, so a linear scan is the fast structure.
+#[inline]
+fn reforce(forced: &[StuckForce], slot: u32, values: &mut [u64]) {
+    for s in forced {
+        if s.slot == slot {
+            let v = values[slot as usize];
+            values[slot as usize] = (v | s.or_mask) & s.and_mask;
+        }
+    }
+}
+
 /// Executes one bytecode stream over the value array, using `stack` as the
 /// reusable operand stack. `Store`-family instructions write into `values`;
 /// `SampleReg`-family instructions append to `next_regs` (pass an empty
 /// buffer for the settle stream, which contains none). Disabled registers
 /// sample their current value, so every entry commits unconditionally.
 fn exec_stream(code: &[Instr], values: &mut [u64], stack: &mut Vec<u64>, next_regs: &mut Vec<u64>) {
+    exec_stream_impl::<false>(code, values, stack, next_regs, &[]);
+}
+
+/// The [`exec_stream`] body, monomorphized over fault injection. With
+/// `FORCED = false` (the only path reachable without attached faults) the
+/// re-force hooks compile away entirely, keeping the hot path identical to
+/// the pre-fault-engine code. With `FORCED = true`, stuck-at forces are
+/// re-applied after every store so forced bits survive recomputation.
+fn exec_stream_impl<const FORCED: bool>(
+    code: &[Instr],
+    values: &mut [u64],
+    stack: &mut Vec<u64>,
+    next_regs: &mut Vec<u64>,
+    forced: &[StuckForce],
+) {
     stack.clear();
     for ins in code {
         match *ins {
@@ -757,12 +796,21 @@ fn exec_stream(code: &[Instr], values: &mut [u64], stack: &mut Vec<u64>, next_re
             Instr::Store { net, mask } => {
                 let v = stack.pop().expect("store operand");
                 values[net as usize] = v & mask;
+                if FORCED {
+                    reforce(forced, net, values);
+                }
             }
             Instr::Copy { src, dst, mask } => {
                 values[dst as usize] = values[src as usize] & mask;
+                if FORCED {
+                    reforce(forced, dst, values);
+                }
             }
             Instr::StoreConst { dst, value } => {
                 values[dst as usize] = value;
+                if FORCED {
+                    reforce(forced, dst, values);
+                }
             }
             Instr::SampleReg { mask, target } => {
                 let next = stack.pop().expect("next value");
@@ -913,6 +961,16 @@ pub struct Interpreter {
     /// Observability layer (`None` unless attached — the disabled path costs
     /// one pointer test per step).
     trace: Option<Box<TraceState>>,
+    /// Fault-injection layer (`None` unless attached — same pay-for-use
+    /// shape as `trace`).
+    faults: Option<Box<FaultState>>,
+    /// Behavioural parity bookkeeping, parallel to `bank_mem` (`None` for
+    /// banks without parity protection). Stores the expected parity of each
+    /// word, refreshed on every write and checked on every read.
+    bank_parity: Vec<Option<Vec<u8>>>,
+    /// Sticky per-bank parity-mismatch counters (only ever advanced for
+    /// parity-protected banks).
+    parity_errors: Vec<u64>,
 }
 
 impl Interpreter {
@@ -949,6 +1007,16 @@ impl Interpreter {
         }
         let compiled = compile.then(|| Compiled::build(&flat));
         let n_regs = flat.regs.len();
+        let bank_parity = flat
+            .banks
+            .iter()
+            .map(|b| {
+                let mult = if b.spec.is_double_buffered() { 2 } else { 1 };
+                b.spec
+                    .has_parity()
+                    .then(|| vec![0u8; (b.spec.words() * mult) as usize])
+            })
+            .collect();
         let mut interp = Interpreter {
             flat,
             compiled,
@@ -964,6 +1032,9 @@ impl Interpreter {
             bank_ops: Vec::with_capacity(n_banks),
             dirty: true,
             trace: None,
+            faults: None,
+            bank_parity,
+            parity_errors: vec![0; n_banks],
         };
         for r in &interp.flat.regs {
             interp.values[r.target] = mask(r.init, interp.flat.nets[r.target].width);
@@ -1033,6 +1104,175 @@ impl Interpreter {
     /// ring's horizon when events have been dropped.
     pub fn write_vcd(&self) -> Option<String> {
         self.trace.as_ref().map(|t| t.to_vcd())
+    }
+
+    /// Attaches (or replaces) the fault-injection layer, resolving every
+    /// spec against the flat netlist. The fault cycle counter restarts at
+    /// zero: the next [`Interpreter::step`] is fault cycle 1. Stuck-at
+    /// forces take effect immediately (the design is resettled). Attaching
+    /// an empty list detaches entirely, restoring the zero-overhead path.
+    ///
+    /// Stuck-at targets are canonicalized through the compiled engine's
+    /// alias resolution, so forcing an alias-eliminated wire forces its
+    /// source slot — identical observable behaviour to the tree-walking
+    /// engine for single-reader aliases (every alias the generators emit).
+    /// Transient flips and dropped transitions require register targets,
+    /// which are never alias-eliminated, so they are engine-exact by
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::UnknownNet`] for an unresolvable target name,
+    /// [`HwError::FaultBitOutOfRange`] / [`HwError::FaultWordOutOfRange`]
+    /// for out-of-range bit or word positions, and [`HwError::NotARegister`]
+    /// when a register-only fault kind targets a combinational net.
+    pub fn attach_faults(&mut self, faults: &[FaultSpec]) -> Result<(), HwError> {
+        if faults.is_empty() {
+            self.detach_faults();
+            return Ok(());
+        }
+        let mut state = FaultState {
+            specs: faults.to_vec(),
+            ..FaultState::default()
+        };
+        for spec in faults {
+            match &spec.kind {
+                FaultKind::StuckAt { bit, value } => {
+                    let id = self.lookup_net(&spec.target)?;
+                    let width = self.flat.nets[id].width;
+                    if *bit >= width {
+                        return Err(HwError::FaultBitOutOfRange {
+                            net: spec.target.clone(),
+                            bit: *bit,
+                            width,
+                        });
+                    }
+                    let m = 1u64 << bit;
+                    state.stuck.push(StuckForce {
+                        slot: self.read_slot(id) as u32,
+                        or_mask: if *value { m } else { 0 },
+                        and_mask: if *value { u64::MAX } else { !m },
+                    });
+                }
+                FaultKind::TransientFlip { bit, cycle } => {
+                    let id = self.lookup_net(&spec.target)?;
+                    let width = self.flat.nets[id].width;
+                    if *bit >= width {
+                        return Err(HwError::FaultBitOutOfRange {
+                            net: spec.target.clone(),
+                            bit: *bit,
+                            width,
+                        });
+                    }
+                    if !self.flat.regs.iter().any(|r| r.target == id) {
+                        return Err(HwError::NotARegister {
+                            net: spec.target.clone(),
+                        });
+                    }
+                    state.flips.push(SlotFlip {
+                        cycle: *cycle,
+                        slot: id,
+                        xor: 1u64 << bit,
+                    });
+                }
+                FaultKind::BankFlip { word, bit, cycle } => {
+                    let bank = self
+                        .flat
+                        .banks
+                        .iter()
+                        .position(|b| b.name == spec.target)
+                        .ok_or_else(|| HwError::UnknownNet {
+                            net: spec.target.clone(),
+                        })?;
+                    let capacity = self.bank_mem[bank].len();
+                    if *word >= capacity {
+                        return Err(HwError::FaultWordOutOfRange {
+                            bank: spec.target.clone(),
+                            word: *word,
+                            capacity,
+                        });
+                    }
+                    let width = self.flat.banks[bank].spec.width();
+                    if *bit >= width {
+                        return Err(HwError::FaultBitOutOfRange {
+                            net: spec.target.clone(),
+                            bit: *bit,
+                            width,
+                        });
+                    }
+                    state.bank_flips.push(BankWordFlip {
+                        cycle: *cycle,
+                        bank,
+                        word: *word,
+                        xor: 1u64 << bit,
+                    });
+                }
+                FaultKind::DropTransition { cycle } => {
+                    let id = self.lookup_net(&spec.target)?;
+                    let reg = self
+                        .flat
+                        .regs
+                        .iter()
+                        .position(|r| r.target == id)
+                        .ok_or_else(|| HwError::NotARegister {
+                            net: spec.target.clone(),
+                        })?;
+                    state.holds.push(RegHold {
+                        cycle: *cycle,
+                        reg,
+                        target: id,
+                    });
+                }
+            }
+        }
+        self.faults = Some(Box::new(state));
+        // Resettle so stuck-at forces are visible before the next step.
+        self.dirty = true;
+        self.settle();
+        Ok(())
+    }
+
+    /// Removes the fault layer and resettles, clearing any stuck-at forces
+    /// from combinational nets (state already corrupted by past transient
+    /// faults stays corrupted — detaching is not a rollback).
+    pub fn detach_faults(&mut self) {
+        if self.faults.take().is_some() {
+            self.dirty = true;
+            self.settle();
+        }
+    }
+
+    /// The attached fault state, if any.
+    pub fn faults(&self) -> Option<&FaultState> {
+        self.faults.as_deref()
+    }
+
+    /// Total parity mismatches observed on reads of parity-protected banks
+    /// (always 0 for designs without [`crate::fault::Hardening::parity_banks`]).
+    pub fn parity_error_count(&self) -> u64 {
+        self.parity_errors.iter().sum()
+    }
+
+    /// Per-bank sticky parity-mismatch counters, in elaboration order.
+    pub fn parity_errors(&self) -> &[u64] {
+        &self.parity_errors
+    }
+
+    /// The current storage contents of a bank (both buffers for a
+    /// double-buffered bank), for differential output comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range (see [`Interpreter::bank_count`]).
+    pub fn bank_words(&self, bank: usize) -> &[u64] {
+        &self.bank_mem[bank]
+    }
+
+    fn lookup_net(&self, name: &str) -> Result<NetId, HwError> {
+        self.net_by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| HwError::UnknownNet { net: name.into() })
     }
 
     /// Sets a top-level input port and resettles combinational logic.
@@ -1169,6 +1409,11 @@ impl Interpreter {
             });
         }
         self.bank_mem[bank][..words.len()].copy_from_slice(words);
+        if let Some(p) = &mut self.bank_parity[bank] {
+            for (i, w) in words.iter().enumerate() {
+                p[i] = (w.count_ones() & 1) as u8;
+            }
+        }
         Ok(())
     }
 
@@ -1188,6 +1433,10 @@ impl Interpreter {
         // Bank read data drives its net.
         for (i, b) in self.flat.banks.iter().enumerate() {
             self.values[b.rdata] = mask(self.bank_rdata[i], self.flat.nets[b.rdata].width);
+        }
+        if self.faults.is_some() {
+            self.settle_faulty();
+            return;
         }
         match &self.compiled {
             Some(compiled) => {
@@ -1209,6 +1458,39 @@ impl Interpreter {
                 }
             }
         }
+    }
+
+    /// The settle pass with stuck-at forcing: a prologue forces every stuck
+    /// slot (covering inputs, register state, and bank read data, which no
+    /// assignment recomputes), then the evaluators re-force after each store
+    /// so forced bits survive recomputation of combinational targets.
+    fn settle_faulty(&mut self) {
+        let f = self.faults.take().expect("settle_faulty requires faults");
+        for s in &f.stuck {
+            let v = self.values[s.slot as usize];
+            self.values[s.slot as usize] = (v | s.or_mask) & s.and_mask;
+        }
+        match &self.compiled {
+            Some(compiled) => {
+                exec_stream_impl::<true>(
+                    &compiled.settle_code,
+                    &mut self.values,
+                    &mut self.stack,
+                    &mut self.next_regs,
+                    &f.stuck,
+                );
+            }
+            None => {
+                for &i in &self.flat.topo {
+                    let (target, expr) = &self.flat.assigns[i];
+                    let w = self.flat.nets[*target].width;
+                    self.values[*target] =
+                        mask(eval_expr(expr, &self.flat.nets, &self.values), w);
+                    reforce(&f.stuck, *target as u32, &mut self.values);
+                }
+            }
+        }
+        self.faults = Some(f);
     }
 
     /// Advances one clock: samples every register's next value and every
@@ -1248,6 +1530,19 @@ impl Interpreter {
                     });
                 }
             }
+        }
+        // Fault hook (pre-commit): a dropped transition overwrites the
+        // sampled next value with the register's current value, so the
+        // commit below holds it for this cycle.
+        if self.faults.is_some() {
+            let f = self.faults.take().expect("checked above");
+            let now = f.cycle + 1;
+            for h in &f.holds {
+                if h.cycle == now {
+                    self.next_regs[h.reg] = self.values[h.target];
+                }
+            }
+            self.faults = Some(f);
         }
         // Sample bank port activity (through the alias-resolved port nets on
         // the compiled path) and commit registers. The compiled commit walks
@@ -1294,6 +1589,14 @@ impl Interpreter {
                 let addr = (base + self.bank_raddr[i] % words) as usize;
                 self.bank_rdata[i] = self.bank_mem[i][addr];
                 self.bank_raddr[i] = (self.bank_raddr[i] + 1) % words;
+                // Parity check on read: a stored word whose parity no
+                // longer matches its bookkeeping bit was corrupted in
+                // place. The counter is sticky.
+                if let Some(p) = &self.bank_parity[i] {
+                    if (self.bank_mem[i][addr].count_ones() & 1) as u8 != p[addr] {
+                        self.parity_errors[i] += 1;
+                    }
+                }
             }
             if op.write {
                 let base = if b.spec.is_double_buffered() {
@@ -1304,7 +1607,29 @@ impl Interpreter {
                 let addr = (base + self.bank_waddr[i] % words) as usize;
                 self.bank_mem[i][addr] = mask(op.wdata, b.spec.width());
                 self.bank_waddr[i] = (self.bank_waddr[i] + 1) % words;
+                if let Some(p) = &mut self.bank_parity[i] {
+                    p[addr] = (self.bank_mem[i][addr].count_ones() & 1) as u8;
+                }
             }
+        }
+        // Fault hook (post-commit): transient register flips and bank-word
+        // flips corrupt the state just committed by this cycle, *without*
+        // updating parity bookkeeping — that is the point.
+        if self.faults.is_some() {
+            let mut f = self.faults.take().expect("checked above");
+            f.cycle += 1;
+            let now = f.cycle;
+            for fl in &f.flips {
+                if fl.cycle == now {
+                    self.values[fl.slot] ^= fl.xor;
+                }
+            }
+            for bf in &f.bank_flips {
+                if bf.cycle == now {
+                    self.bank_mem[bf.bank][bf.word] ^= bf.xor;
+                }
+            }
+            self.faults = Some(f);
         }
         // Committed state changed; resettle the combinational logic.
         self.dirty = true;
@@ -1737,5 +2062,266 @@ mod tests {
             .map(|c| c.value)
             .collect();
         assert_eq!(at_zero, vec![5]);
+    }
+
+    /// Counter design used by the fault tests: q increments while `en` is
+    /// high, `y = q + 1` is a derived combinational net.
+    fn faultable_counter(compiled: bool) -> Interpreter {
+        let mut m = Module::new("cnt");
+        let en = m.input("en", 1);
+        let q = m.output("q", 8);
+        let y = m.output("y", 8);
+        m.reg(q, Expr::net(q).add(Expr::lit(1, 8)), Some(Expr::net(en)), 0);
+        m.assign(y, Expr::net(q).add(Expr::lit(1, 8)));
+        let flat = elaborate(&[m], &[], "cnt").unwrap();
+        if compiled {
+            Interpreter::new(flat)
+        } else {
+            Interpreter::new_tree_walking(flat)
+        }
+    }
+
+    #[test]
+    fn stuck_at_forces_nets_on_both_engines() {
+        for compiled in [false, true] {
+            let mut sim = faultable_counter(compiled);
+            // Stuck-at-0 on bit 1 of q: counting 0,1,2,3 becomes 0,1,0,1.
+            sim.attach_faults(&[FaultSpec::stuck_at("q", 1, false)]).unwrap();
+            sim.poke("en", 1);
+            let mut seen = Vec::new();
+            for _ in 0..4 {
+                sim.step();
+                seen.push((sim.peek("q"), sim.peek("y")));
+            }
+            // q's bit 1 always reads 0; y tracks the forced value.
+            assert_eq!(
+                seen,
+                vec![(1, 2), (0, 1), (1, 2), (0, 1)],
+                "compiled={compiled}"
+            );
+            // Detach restores clean behaviour (register state persists).
+            sim.detach_faults();
+            assert!(sim.faults().is_none());
+            sim.step();
+            assert_eq!(sim.peek("q"), 1, "compiled={compiled}");
+        }
+    }
+
+    #[test]
+    fn stuck_at_1_forces_high() {
+        let mut sim = faultable_counter(true);
+        sim.attach_faults(&[FaultSpec::stuck_at("q", 7, true)]).unwrap();
+        // Without stepping, the settled value already shows the force.
+        assert_eq!(sim.peek("q"), 0x80);
+    }
+
+    #[test]
+    fn transient_flip_perturbs_one_cycle_on_both_engines() {
+        for compiled in [false, true] {
+            let mut sim = faultable_counter(compiled);
+            // Flip bit 4 of q after the commit of step 3: q becomes 3^16=19,
+            // then resumes counting from the corrupted value.
+            sim.attach_faults(&[FaultSpec::flip("q", 4, 3)]).unwrap();
+            sim.poke("en", 1);
+            let mut seen = Vec::new();
+            for _ in 0..5 {
+                sim.step();
+                seen.push(sim.peek("q"));
+            }
+            assert_eq!(seen, vec![1, 2, 19, 20, 21], "compiled={compiled}");
+        }
+    }
+
+    #[test]
+    fn drop_transition_holds_a_register_for_one_cycle() {
+        for compiled in [false, true] {
+            let mut sim = faultable_counter(compiled);
+            // Drop the commit of step 2: the counter re-holds its value.
+            sim.attach_faults(&[FaultSpec::drop_transition("q", 2)]).unwrap();
+            sim.poke("en", 1);
+            let mut seen = Vec::new();
+            for _ in 0..4 {
+                sim.step();
+                seen.push(sim.peek("q"));
+            }
+            assert_eq!(seen, vec![1, 1, 2, 3], "compiled={compiled}");
+        }
+    }
+
+    #[test]
+    fn fault_target_errors_are_typed() {
+        let mut sim = faultable_counter(true);
+        assert_eq!(
+            sim.attach_faults(&[FaultSpec::stuck_at("q", 8, false)]).unwrap_err(),
+            HwError::FaultBitOutOfRange {
+                net: "q".into(),
+                bit: 8,
+                width: 8
+            }
+        );
+        assert_eq!(
+            sim.attach_faults(&[FaultSpec::flip("y", 0, 1)]).unwrap_err(),
+            HwError::NotARegister { net: "y".into() }
+        );
+        assert!(matches!(
+            sim.attach_faults(&[FaultSpec::stuck_at("ghost", 0, false)]).unwrap_err(),
+            HwError::UnknownNet { .. }
+        ));
+        // A failed attach leaves the interpreter fault-free.
+        assert!(sim.faults().is_none());
+    }
+
+    /// One parity-protected 4-word bank wired to top-level ports.
+    fn parity_bank_top() -> Interpreter {
+        let bank = MemBank::new(4, 16, false).with_parity();
+        let mut top = Module::new("top");
+        let en = top.input("en", 1);
+        let wen = top.input("wen", 1);
+        let wdata = top.input("wdata", 16);
+        let rdata = top.output("rdata", 16);
+        top.instance(
+            bank.module_name(),
+            "b0",
+            vec![
+                ("en".into(), en),
+                ("wen".into(), wen),
+                ("wdata".into(), wdata),
+                ("rdata".into(), rdata),
+            ],
+        );
+        Interpreter::new(elaborate(&[top], &[bank], "top").unwrap())
+    }
+
+    #[test]
+    fn bank_flip_corrupts_a_word_and_parity_detects_it() {
+        let mut sim = parity_bank_top();
+        sim.load_bank(0, &[7, 8, 9, 10]).unwrap();
+        // Flip bit 3 of word 1 after the first step.
+        sim.attach_faults(&[FaultSpec::bank_flip("b0", 1, 3, 1)]).unwrap();
+        sim.poke("en", 1);
+        sim.step(); // read word 0 (clean), then the flip lands
+        assert_eq!(sim.peek("rdata"), 7);
+        assert_eq!(sim.parity_error_count(), 0);
+        sim.step(); // read word 1: corrupted, parity fires
+        assert_eq!(sim.peek("rdata"), 8 ^ 0b1000);
+        assert_eq!(sim.parity_error_count(), 1);
+        assert_eq!(sim.parity_errors(), &[1]);
+        sim.step(); // word 2 is clean again
+        assert_eq!(sim.peek("rdata"), 9);
+        assert_eq!(sim.parity_error_count(), 1);
+        assert_eq!(sim.bank_words(0)[1], 8 ^ 0b1000);
+    }
+
+    /// Exhaustive single-bit sweep: every (word, bit) flip in a
+    /// parity-protected bank is detected on the read of that word.
+    #[test]
+    fn parity_detects_every_single_bit_bank_flip() {
+        for word in 0..4usize {
+            for bit in 0..16u32 {
+                let mut sim = parity_bank_top();
+                sim.load_bank(0, &[7, 8, 9, 10]).unwrap();
+                sim.attach_faults(&[FaultSpec::bank_flip("b0", word, bit, 1)])
+                    .unwrap();
+                sim.poke("en", 1);
+                // The read address wraps, so two passes read every word at
+                // least once *after* the cycle-1 flip has landed (word 0's
+                // first read happens before it).
+                for _ in 0..8 {
+                    sim.step();
+                }
+                assert!(
+                    sim.parity_error_count() >= 1,
+                    "flip of word {word} bit {bit} escaped parity"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clean_writes_refresh_parity() {
+        let mut sim = parity_bank_top();
+        sim.poke("wen", 1);
+        for v in [11u64, 22, 33, 44] {
+            sim.poke("wdata", v);
+            sim.step();
+        }
+        sim.poke_many([("wen", 0), ("en", 1)]);
+        for v in [11u64, 22, 33, 44] {
+            sim.step();
+            assert_eq!(sim.peek("rdata"), v);
+        }
+        assert_eq!(sim.parity_error_count(), 0);
+    }
+
+    #[test]
+    fn bank_fault_word_bounds_are_checked() {
+        let mut sim = parity_bank_top();
+        assert_eq!(
+            sim.attach_faults(&[FaultSpec::bank_flip("b0", 4, 0, 1)]).unwrap_err(),
+            HwError::FaultWordOutOfRange {
+                bank: "b0".into(),
+                word: 4,
+                capacity: 4
+            }
+        );
+    }
+
+    #[test]
+    fn faulty_interpreter_matches_engines_under_mixed_faults() {
+        // The same fault set on both engines over a PE must stay bit-exact.
+        let spec = PeSpec {
+            name: "pe".into(),
+            datatype: DataType::Int16,
+            tensors: vec![
+                PeTensorSpec {
+                    tensor: "a".into(),
+                    kind: PeIoKind::SystolicIn,
+                    delay: 1,
+                },
+                PeTensorSpec {
+                    tensor: "b".into(),
+                    kind: PeIoKind::StationaryIn,
+                    delay: 1,
+                },
+                PeTensorSpec {
+                    tensor: "c".into(),
+                    kind: PeIoKind::SystolicOut,
+                    delay: 1,
+                },
+            ],
+        };
+        let pe = build_pe(&spec);
+        let flat = elaborate(&[pe], &[], "pe").unwrap();
+        let reg_net = flat.nets()[flat.regs()[0].target].name.clone();
+        let faults = vec![
+            FaultSpec::stuck_at(reg_net.as_str(), 0, true),
+            FaultSpec::flip(reg_net.as_str(), 3, 5),
+            FaultSpec::drop_transition(reg_net.as_str(), 9),
+        ];
+        let mut fast = Interpreter::new(flat.clone());
+        let mut slow = Interpreter::new_tree_walking(flat);
+        fast.attach_faults(&faults).unwrap();
+        slow.attach_faults(&faults).unwrap();
+        for cycle in 0..24u64 {
+            let pokes = [
+                ("load_en", u64::from(cycle % 7 == 0)),
+                ("phase", (cycle / 7) & 1),
+                ("en", 1),
+                ("a_in", as_u16((cycle as i64 % 17) - 8)),
+                ("b_in", as_u16((cycle as i64 % 5) - 2)),
+                ("c_in", as_u16(cycle as i64 * 3 - 40)),
+            ];
+            fast.poke_many(pokes);
+            slow.poke_many(pokes);
+            fast.step();
+            slow.step();
+            for name in ["c_out", "a_out", "b_out"] {
+                assert_eq!(
+                    fast.peek(name),
+                    slow.peek(name),
+                    "net {name} diverged at cycle {cycle} under faults"
+                );
+            }
+        }
     }
 }

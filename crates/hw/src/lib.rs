@@ -41,6 +41,7 @@
 pub mod array;
 pub mod ctrl;
 pub mod design;
+pub mod fault;
 pub mod interp;
 pub mod mem;
 pub mod netlist;
@@ -50,5 +51,6 @@ pub mod trace;
 pub mod verilog;
 
 pub use array::{ArrayConfig, HwError};
+pub use fault::{FaultKind, FaultSpec, Hardening};
 pub use trace::{InterpreterStats, TraceConfig, TraceEvent};
 pub use design::{generate, AcceleratorDesign, HwConfig, ResourceSummary};

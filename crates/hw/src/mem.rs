@@ -29,6 +29,9 @@ pub struct MemBank {
     words: u64,
     width: u32,
     double_buffered: bool,
+    /// One parity bit per stored word, checked on every read (see
+    /// [`crate::fault::Hardening::parity_banks`]).
+    parity: bool,
 }
 
 impl MemBank {
@@ -44,7 +47,22 @@ impl MemBank {
             words,
             width,
             double_buffered,
+            parity: false,
         }
+    }
+
+    /// Returns this bank hardened with one parity bit per word. Parity is
+    /// checked behaviourally on every read by the interpreter (sticky
+    /// per-bank error counters); storage grows by one bit per word, which
+    /// [`MemBank::bits`] accounts so the cost models price it.
+    pub fn with_parity(mut self) -> MemBank {
+        self.parity = true;
+        self
+    }
+
+    /// `true` if the bank carries per-word parity.
+    pub fn has_parity(&self) -> bool {
+        self.parity
     }
 
     /// Storage depth in words (per buffer).
@@ -67,9 +85,11 @@ impl MemBank {
         (64 - (self.words - 1).leading_zeros()).max(1)
     }
 
-    /// Total storage bits (both buffers if double-buffered).
+    /// Total storage bits (both buffers if double-buffered; parity bits
+    /// included).
     pub fn bits(&self) -> u64 {
-        let base = self.words * self.width as u64;
+        let word_bits = self.width as u64 + u64::from(self.parity);
+        let base = self.words * word_bits;
         if self.double_buffered {
             2 * base
         } else {
@@ -78,13 +98,14 @@ impl MemBank {
     }
 
     /// The deterministic module name for this template, e.g.
-    /// `bank_w16_d1024_db`.
+    /// `bank_w16_d1024_db` (`_par` appended for parity-protected banks).
     pub fn module_name(&self) -> String {
         format!(
-            "bank_w{}_d{}{}",
+            "bank_w{}_d{}{}{}",
             self.width,
             self.words,
-            if self.double_buffered { "_db" } else { "" }
+            if self.double_buffered { "_db" } else { "" },
+            if self.parity { "_par" } else { "" }
         )
     }
 

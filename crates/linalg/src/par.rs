@@ -10,6 +10,7 @@
 //! at the end, so callers see exactly the output a serial `map` would
 //! produce regardless of worker count or scheduling.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Resolves a requested worker count: `0` means one worker per available
@@ -92,6 +93,62 @@ where
     out
 }
 
+/// Renders a caught panic payload as the `&str`/`String` message panics
+/// carry, or a placeholder for exotic payload types.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Like [`par_map_indexed`], but isolates panics per item: a panic in
+/// `f(i, item)` becomes `Err(message)` in slot `i` instead of tearing down
+/// the whole map. Results stay in input order, and the output is identical
+/// for any worker count (one poisoned item never steals another item's
+/// slot).
+///
+/// The per-item [`catch_unwind`] costs nothing on the non-panicking path
+/// beyond the closure-call indirection, so this is the right entry point
+/// whenever `f` evaluates untrusted or failure-prone work — e.g. scoring a
+/// design point that may hit an internal assertion.
+///
+/// # Examples
+///
+/// ```
+/// use tensorlib_linalg::par::par_map_catch;
+///
+/// let out = par_map_catch(&[1u64, 0, 3], 2, 1, |_, &x| {
+///     assert!(x != 0, "zero is not allowed");
+///     100 / x
+/// });
+/// assert_eq!(out[0], Ok(100));
+/// assert_eq!(out[1], Err("zero is not allowed".to_string()));
+/// assert_eq!(out[2], Ok(33));
+/// ```
+pub fn par_map_catch<T, U, F>(
+    items: &[T],
+    workers: usize,
+    chunk: usize,
+    f: F,
+) -> Vec<Result<U, String>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    // Panic output from caught unwinds still goes to stderr via the default
+    // hook; callers surface the message through the returned `Err`, so the
+    // double report is tolerable and we avoid touching the global hook
+    // (which would race with other threads).
+    par_map_indexed(items, workers, chunk, |i, t| {
+        catch_unwind(AssertUnwindSafe(|| f(i, t))).map_err(panic_message)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +176,39 @@ mod tests {
         assert!(par_map_indexed(&empty, 4, 16, |_, &x| x).is_empty());
         let got = par_map_indexed(&[1u8, 2], 8, 1000, |_, &x| x + 1);
         assert_eq!(got, vec![2, 3]);
+    }
+
+    #[test]
+    fn catch_isolates_panics_in_input_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..100).collect();
+        for workers in [1, 2, 8] {
+            let got = par_map_catch(&items, workers, 3, |_, &x| {
+                assert!(x % 10 != 7, "unlucky {x}");
+                x * 2
+            });
+            assert_eq!(got.len(), 100, "workers={workers}");
+            for (i, r) in got.iter().enumerate() {
+                if i % 10 == 7 {
+                    assert_eq!(r.as_ref().unwrap_err(), &format!("unlucky {i}"));
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(i as u64 * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn catch_handles_string_payloads_and_all_ok() {
+        let got = par_map_catch(&[1, 2], 1, 1, |_, &x: &i32| {
+            if x == 2 {
+                panic!("{}", format!("boom {x}"));
+            }
+            x
+        });
+        assert_eq!(got[0], Ok(1));
+        assert_eq!(got[1], Err("boom 2".to_string()));
+        let clean = par_map_catch(&[5, 6], 2, 1, |_, &x: &i32| x + 1);
+        assert_eq!(clean, vec![Ok(6), Ok(7)]);
     }
 
     #[test]

@@ -45,6 +45,13 @@ pub enum SimError {
         /// Simulated value.
         got: i64,
     },
+    /// The run would exceed the caller's per-design-point cycle budget.
+    CycleBudgetExceeded {
+        /// The budget the caller set.
+        budget: u64,
+        /// Cycles the full run would have needed.
+        needed: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -68,6 +75,10 @@ impl fmt::Display for SimError {
             } => write!(
                 f,
                 "output mismatch at {index:?}: reference {expected}, simulated {got}"
+            ),
+            SimError::CycleBudgetExceeded { budget, needed } => write!(
+                f,
+                "design point needs {needed} simulated cycles, over the {budget}-cycle budget"
             ),
         }
     }
@@ -110,11 +121,42 @@ pub fn simulate(
     kernel: &Kernel,
     seed: u64,
 ) -> Result<FunctionalRun, SimError> {
+    simulate_budgeted(design, kernel, seed, None)
+}
+
+/// [`simulate`] with an optional per-run cycle budget. The total simulated
+/// cycle count is known before any work happens (outer points × tiles ×
+/// tile time extent), so an over-budget run fails fast with
+/// [`SimError::CycleBudgetExceeded`] instead of grinding through it.
+///
+/// # Errors
+///
+/// Everything [`simulate`] returns, plus [`SimError::CycleBudgetExceeded`].
+pub fn simulate_budgeted(
+    design: &AcceleratorDesign,
+    kernel: &Kernel,
+    seed: u64,
+    cycle_budget: Option<u64>,
+) -> Result<FunctionalRun, SimError> {
     if design.dataflow().kernel_name() != kernel.name() {
         return Err(SimError::KernelMismatch {
             design_kernel: design.dataflow().kernel_name().to_string(),
             given_kernel: kernel.name().to_string(),
         });
+    }
+    if let Some(budget) = cycle_budget {
+        let outer_idx = design.dataflow().selection().outer_indices(kernel);
+        let outer_points: u64 = outer_idx
+            .iter()
+            .map(|&i| kernel.loop_nest().iters()[i].extent())
+            .product();
+        let tiles: u64 = design.tiling().tile_counts.iter().product();
+        let needed = outer_points
+            .saturating_mul(tiles)
+            .saturating_mul(design.tiling().t_extent);
+        if needed > budget {
+            return Err(SimError::CycleBudgetExceeded { budget, needed });
+        }
     }
     let inputs = kernel.random_inputs(seed);
     let reference = kernel
@@ -406,6 +448,29 @@ mod tests {
             simulate(&design, &other, 0).unwrap_err(),
             SimError::KernelMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn cycle_budget_is_enforced_before_any_work() {
+        let k = workloads::gemm(8, 8, 8);
+        let sel = LoopSelection::by_names(&k, ["m", "n", "k"]).unwrap();
+        let df = Dataflow::analyze(&k, sel, Stt::output_stationary()).unwrap();
+        let design = generate(&df, &small_cfg()).unwrap();
+        // The unbudgeted run reports the true cycle count; a budget one
+        // cycle below it must fail with exactly that count.
+        let full = simulate_budgeted(&design, &k, 7, None).unwrap();
+        let err = simulate_budgeted(&design, &k, 7, Some(full.cycles_simulated - 1)).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::CycleBudgetExceeded {
+                budget: full.cycles_simulated - 1,
+                needed: full.cycles_simulated
+            }
+        );
+        assert!(err.to_string().contains("cycle budget"));
+        // An exactly sufficient budget succeeds.
+        let ok = simulate_budgeted(&design, &k, 7, Some(full.cycles_simulated)).unwrap();
+        assert_eq!(ok, full);
     }
 
     #[test]

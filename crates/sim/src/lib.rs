@@ -51,8 +51,10 @@
 mod config;
 pub mod functional;
 pub mod perf;
+pub mod resilience;
 pub mod trace;
 
 pub use config::{SimConfig, SimReport};
-pub use functional::{FunctionalRun, SimError};
+pub use functional::{simulate_budgeted, FunctionalRun, SimError};
+pub use resilience::{CampaignConfig, CampaignError, FaultClass, ResilienceReport};
 pub use trace::{InterpreterStats, MeasuredRun, MeasureError, TraceConfig};

@@ -54,8 +54,11 @@ pub fn estimate(design: &AcceleratorDesign, kernel: &Kernel, cfg: &SimConfig) ->
         .product();
     let tiles = outer * tiling.total_tiles();
 
-    // Per-tile compute, including pipeline tails.
-    let mut tile_compute = tiling.t_extent;
+    // Per-tile compute, including pipeline tails. The controller's compute
+    // phase is the schedule's t-extent plus the streaming pipeline depth on
+    // stationary-output designs (see `STREAM_PIPELINE_LATENCY`), so sourcing
+    // it from the design keeps the analytic and measured models in lockstep.
+    let mut tile_compute = design.phases().compute_cycles;
     tile_compute += pipeline_tail(design);
 
     // Bandwidth stall: streaming demand during compute.

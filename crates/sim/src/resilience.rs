@@ -1,0 +1,769 @@
+//! Fault-injection campaigns: inject seeded faults into the *generated
+//! netlist itself*, compare against a golden fault-free run, and classify
+//! every fault as masked, detected, or silent data corruption.
+//!
+//! Two campaign shapes:
+//!
+//! - [`run_campaign`] drives any generated top level under the fixed
+//!   counter-harness protocol (ramp-filled banks, `start` pulsed) and uses
+//!   the per-cycle output-port signature as the golden reference.
+//! - [`run_gemm_campaign`] runs a real output-stationary GEMM with real
+//!   matrices through the top level (banks preloaded with the skewed
+//!   systolic schedule), harvests the result banks, cross-checks the golden
+//!   run against the reference executor, and additionally applies **ABFT**
+//!   row/column checksum verification when the design is hardened with it.
+//!
+//! Detection comes from the hardened design's own mechanisms: scratchpad
+//! parity (sticky per-bank counters), the TMR controller's `tmr_mismatch`
+//! output, and ABFT checksum mismatches. Classification follows the standard
+//! taxonomy: a fault is **Detected** if any detector fired, else **Sdc** if
+//! the harvested outputs differ from golden, else **Masked**.
+//!
+//! Campaigns parallelize over `tensorlib_linalg::par` with per-fault panic
+//! isolation; the outcome list is in fault order and byte-identical for any
+//! worker count, so reports are seed-deterministic artifacts.
+
+use std::fmt;
+
+use serde::Serialize;
+use tensorlib_dataflow::{Dataflow, LoopSelection, Stt};
+use tensorlib_hw::design::{generate, AcceleratorDesign, HwConfig};
+use tensorlib_hw::fault::{enumerate_sites, sample_faults, FaultSpec, Hardening};
+use tensorlib_hw::interp::{elaborate_design, ElaborateError, FlatDesign, Interpreter};
+use tensorlib_hw::{ArrayConfig, HwError};
+use tensorlib_ir::workloads;
+use tensorlib_linalg::par::par_map_catch;
+
+use crate::trace::fill_input_banks;
+
+/// Outcome class of one injected fault (standard fault-injection taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FaultClass {
+    /// Outputs matched golden and no detector fired.
+    Masked,
+    /// A hardening detector (parity, TMR, ABFT) flagged the fault.
+    Detected,
+    /// Outputs differ from golden with no detection: silent data corruption.
+    Sdc,
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultClass::Masked => write!(f, "masked"),
+            FaultClass::Detected => write!(f, "detected"),
+            FaultClass::Sdc => write!(f, "sdc"),
+        }
+    }
+}
+
+/// Campaign parameters. `Default` is a small but non-trivial 4x4 campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CampaignConfig {
+    /// Array rows (and GEMM `m` extent).
+    pub rows: usize,
+    /// Array columns (and GEMM `n` extent).
+    pub cols: usize,
+    /// GEMM reduction extent.
+    pub k: u64,
+    /// Faults to sample and inject.
+    pub faults: usize,
+    /// Seed for input data and fault sampling.
+    pub seed: u64,
+    /// Hardening options the generated design carries.
+    pub hardening: Hardening,
+    /// Worker threads (`0` = one per core).
+    pub workers: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            rows: 4,
+            cols: 4,
+            k: 4,
+            faults: 32,
+            seed: 1,
+            hardening: Hardening::none(),
+            workers: 1,
+        }
+    }
+}
+
+/// The fate of one injected fault.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultOutcome {
+    /// The injected fault.
+    pub fault: FaultSpec,
+    /// Classification against the golden run.
+    pub class: FaultClass,
+    /// Which detectors fired (`parity`, `tmr`, `abft`).
+    pub detectors: Vec<String>,
+    /// Set when the injected run itself failed (attach error or panic);
+    /// such faults are counted separately and classified as `Detected`
+    /// only if a detector fired before the failure.
+    pub error: Option<String>,
+}
+
+/// A full campaign result: per-fault outcomes plus aggregates.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ResilienceReport {
+    /// Name of the faulted design.
+    pub design: String,
+    /// Hardening options in force (`none` when unhardened).
+    pub hardening: String,
+    /// Cycles of the live round during which sampled faults can land.
+    pub cycles_per_run: u64,
+    /// Faults injected.
+    pub faults: usize,
+    /// Faults whose outputs matched golden with no detection.
+    pub masked: usize,
+    /// Faults flagged by a detector.
+    pub detected: usize,
+    /// Silent data corruptions.
+    pub sdc: usize,
+    /// Injected runs that failed outright (attach error or panic).
+    pub errors: usize,
+    /// `detected / (detected + sdc)` — 1.0 when nothing corrupted outputs.
+    pub detection_coverage: f64,
+    /// Per-fault outcomes, in sampling order.
+    pub outcomes: Vec<FaultOutcome>,
+}
+
+/// Campaign failure (setup or golden-run problems; injected-run failures are
+/// per-fault [`FaultOutcome::error`]s, not campaign failures).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// The design would not generate or flatten.
+    Elaborate(ElaborateError),
+    /// Bank preload failed.
+    Hw(HwError),
+    /// The design would not generate.
+    Generate(HwError),
+    /// The fault-free golden run disagrees with the reference executor —
+    /// the campaign would classify against a wrong baseline.
+    GoldenMismatch {
+        /// Row of the first mismatching element.
+        row: usize,
+        /// Column of the first mismatching element.
+        col: usize,
+        /// Reference value.
+        expected: i64,
+        /// Value the golden netlist run produced.
+        got: i64,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Elaborate(e) => write!(f, "campaign design failed to flatten: {e}"),
+            CampaignError::Hw(e) => write!(f, "campaign setup failed: {e}"),
+            CampaignError::Generate(e) => write!(f, "campaign design failed to generate: {e}"),
+            CampaignError::GoldenMismatch {
+                row,
+                col,
+                expected,
+                got,
+            } => write!(
+                f,
+                "golden run disagrees with the reference executor at C[{row}][{col}]: \
+                 reference {expected}, netlist {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<ElaborateError> for CampaignError {
+    fn from(e: ElaborateError) -> CampaignError {
+        CampaignError::Elaborate(e)
+    }
+}
+
+impl From<HwError> for CampaignError {
+    fn from(e: HwError) -> CampaignError {
+        CampaignError::Hw(e)
+    }
+}
+
+fn as_u16(v: i64) -> u64 {
+    (v as u64) & 0xFFFF
+}
+
+/// Builds the output-stationary GEMM design a campaign runs on.
+fn gemm_design(cfg: &CampaignConfig) -> Result<AcceleratorDesign, CampaignError> {
+    let gemm = workloads::gemm(cfg.rows as u64, cfg.cols as u64, cfg.k);
+    let sel = LoopSelection::by_names(&gemm, ["m", "n", "k"])
+        .expect("gemm always has m, n, k");
+    let df = Dataflow::analyze(&gemm, sel, Stt::output_stationary())
+        .expect("output-stationary gemm always analyzes");
+    generate(
+        &df,
+        &HwConfig {
+            array: ArrayConfig {
+                rows: cfg.rows,
+                cols: cfg.cols,
+            },
+            hardening: cfg.hardening,
+            ..HwConfig::default()
+        },
+    )
+    .map_err(CampaignError::Generate)
+}
+
+/// What one (golden or faulted) netlist run produced.
+struct RunResult {
+    /// Harvested result matrix, row-major `rows x cols`.
+    c: Vec<i64>,
+    /// `tmr_mismatch` was ever high during the run.
+    tmr_seen: bool,
+    /// Total sticky parity errors after readback.
+    parity_errors: u64,
+}
+
+/// Steps one full controller round, waits for the ping-pong buffers to
+/// swing back, and harvests the result banks.
+///
+/// The interpreter must be a fresh clone of the preloaded base (banks
+/// loaded, `start` already poked high). Timing: the free-running controller
+/// completes round 1 in `1 + phases.total()` steps, with the drained
+/// results written to the double buffer selected by `phase` during drain.
+/// Readback ports read the *other* buffer, so the harvest waits one more
+/// compute phase for `phase` to toggle back before streaming the results
+/// out (readback also fires the parity checks on the result banks).
+fn run_round(sim: &mut Interpreter, design: &AcceleratorDesign, has_tmr: bool) -> RunResult {
+    let phases = design.phases();
+    let pre = 1 + phases.total() + phases.load_cycles + phases.compute_cycles;
+    let mut tmr_seen = false;
+    for _ in 0..pre {
+        sim.step();
+        if has_tmr && sim.peek("tmr_mismatch") != 0 {
+            tmr_seen = true;
+        }
+    }
+    // Bottom-up drain order: word d of column j's bank holds C[rows-1-d][j].
+    let rows = design.config().array.rows;
+    let cols = design.config().array.cols;
+    let out_banks: Vec<usize> = design
+        .bank_bindings()
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| !b.port.kind.is_input())
+        .map(|(bi, _)| bi)
+        .collect();
+    for &bi in &out_banks {
+        sim.poke(&format!("readback_{bi}"), 1);
+    }
+    let mut c = vec![0i64; rows * cols];
+    for d in 0..rows {
+        sim.step();
+        if has_tmr && sim.peek("tmr_mismatch") != 0 {
+            tmr_seen = true;
+        }
+        let row = rows - 1 - d;
+        for (j, &bi) in out_banks.iter().enumerate() {
+            c[row * cols + j] = sim.peek_signed(&format!("result_{bi}"));
+        }
+    }
+    RunResult {
+        c,
+        tmr_seen,
+        parity_errors: sim.parity_error_count(),
+    }
+}
+
+/// Preloads the top-level input banks with the skewed systolic schedule for
+/// `a` and `b`, so the free-running controller round computes exact GEMM.
+fn load_skewed_inputs(
+    sim: &mut Interpreter,
+    design: &AcceleratorDesign,
+    a: &tensorlib_ir::DenseTensor,
+    b: &tensorlib_ir::DenseTensor,
+    k: i64,
+) -> Result<(), HwError> {
+    for (bi, binding) in design.bank_bindings().iter().enumerate() {
+        if !binding.port.kind.is_input() {
+            continue;
+        }
+        let bank = design
+            .mem_banks()
+            .iter()
+            .find(|m| m.module_name() == binding.bank_module)
+            .expect("binding references a planned bank");
+        let mult = if bank.is_double_buffered() { 2 } else { 1 };
+        let cap = (bank.words() * mult) as usize;
+        let name = &binding.port.name;
+        // Port names are `a_feed{i}` / `b_feed{j}`; word t carries the
+        // operand entering that edge at compute cycle t (zero outside the
+        // valid diagonal window).
+        let words: Vec<u64> = if let Some(i) = name.strip_prefix("a_feed") {
+            let i: i64 = i.parse().expect("generated port index");
+            (0..cap as i64)
+                .map(|t| {
+                    let kk = t - i;
+                    if (0..k).contains(&kk) {
+                        as_u16(a.get(&[i, kk]))
+                    } else {
+                        0
+                    }
+                })
+                .collect()
+        } else if let Some(j) = name.strip_prefix("b_feed") {
+            let j: i64 = j.parse().expect("generated port index");
+            (0..cap as i64)
+                .map(|t| {
+                    let kk = t - j;
+                    if (0..k).contains(&kk) {
+                        as_u16(b.get(&[j, kk]))
+                    } else {
+                        0
+                    }
+                })
+                .collect()
+        } else {
+            vec![0; cap]
+        };
+        sim.load_bank(bi, &words)?;
+    }
+    Ok(())
+}
+
+/// Classifies one faulted run against golden.
+fn classify(
+    cfg: &CampaignConfig,
+    fault: &FaultSpec,
+    run: &RunResult,
+    golden: &RunResult,
+    abft_row_sums: &[i64],
+    abft_col_sums: &[i64],
+) -> FaultOutcome {
+    let mut detectors = Vec::new();
+    if run.parity_errors > 0 {
+        detectors.push("parity".to_string());
+    }
+    if run.tmr_seen {
+        detectors.push("tmr".to_string());
+    }
+    if cfg.hardening.abft {
+        let rows = cfg.rows;
+        let cols = cfg.cols;
+        let mut mismatch = false;
+        for (i, expected) in abft_row_sums.iter().enumerate().take(rows) {
+            let sum: i64 = (0..cols).map(|j| run.c[i * cols + j]).sum();
+            if sum != *expected {
+                mismatch = true;
+            }
+        }
+        for (j, expected) in abft_col_sums.iter().enumerate().take(cols) {
+            let sum: i64 = (0..rows).map(|i| run.c[i * cols + j]).sum();
+            if sum != *expected {
+                mismatch = true;
+            }
+        }
+        if mismatch {
+            detectors.push("abft".to_string());
+        }
+    }
+    let class = if !detectors.is_empty() {
+        FaultClass::Detected
+    } else if run.c != golden.c {
+        FaultClass::Sdc
+    } else {
+        FaultClass::Masked
+    };
+    FaultOutcome {
+        fault: fault.clone(),
+        class,
+        detectors,
+        error: None,
+    }
+}
+
+fn aggregate(
+    design: &AcceleratorDesign,
+    cfg: &CampaignConfig,
+    cycles: u64,
+    outcomes: Vec<FaultOutcome>,
+) -> ResilienceReport {
+    let masked = outcomes.iter().filter(|o| o.class == FaultClass::Masked).count();
+    let detected = outcomes.iter().filter(|o| o.class == FaultClass::Detected).count();
+    let sdc = outcomes.iter().filter(|o| o.class == FaultClass::Sdc).count();
+    let errors = outcomes.iter().filter(|o| o.error.is_some()).count();
+    let denom = detected + sdc;
+    ResilienceReport {
+        design: design.name().to_string(),
+        hardening: cfg.hardening.to_string(),
+        cycles_per_run: cycles,
+        faults: outcomes.len(),
+        masked,
+        detected,
+        sdc,
+        errors,
+        detection_coverage: if denom == 0 {
+            1.0
+        } else {
+            detected as f64 / denom as f64
+        },
+        outcomes,
+    }
+}
+
+/// Runs a fault campaign over specific `faults` on a prepared base
+/// interpreter (shared by [`run_campaign`] and [`run_gemm_campaign`]).
+#[allow(clippy::too_many_arguments)]
+fn drive_campaign(
+    base: &Interpreter,
+    design: &AcceleratorDesign,
+    cfg: &CampaignConfig,
+    has_tmr: bool,
+    faults: &[FaultSpec],
+    golden: &RunResult,
+    abft_row_sums: &[i64],
+    abft_col_sums: &[i64],
+) -> Vec<FaultOutcome> {
+    let results = par_map_catch(faults, cfg.workers, 1, |_, fault| {
+        let mut sim = base.clone();
+        match sim.attach_faults(std::slice::from_ref(fault)) {
+            Ok(()) => {
+                let run = run_round(&mut sim, design, has_tmr);
+                classify(cfg, fault, &run, golden, abft_row_sums, abft_col_sums)
+            }
+            Err(e) => FaultOutcome {
+                fault: fault.clone(),
+                class: FaultClass::Masked,
+                detectors: Vec::new(),
+                error: Some(format!("attach failed: {e}")),
+            },
+        }
+    });
+    results
+        .into_iter()
+        .zip(faults)
+        .map(|(r, fault)| match r {
+            Ok(outcome) => outcome,
+            Err(message) => FaultOutcome {
+                fault: fault.clone(),
+                class: FaultClass::Sdc,
+                detectors: Vec::new(),
+                error: Some(format!("injected run panicked: {message}")),
+            },
+        })
+        .collect()
+}
+
+/// Output of campaign setup shared by both entry points.
+struct CampaignBase {
+    design: AcceleratorDesign,
+    flat: FlatDesign,
+    cycles: u64,
+    has_tmr: bool,
+}
+
+fn prepare(cfg: &CampaignConfig) -> Result<CampaignBase, CampaignError> {
+    let design = gemm_design(cfg)?;
+    let flat = elaborate_design(&design, design.top())?;
+    // One idle handshake cycle plus one full load/compute/drain round.
+    let cycles = 1 + design.phases().total();
+    let has_tmr = cfg.hardening.tmr_ctrl;
+    Ok(CampaignBase {
+        design,
+        flat,
+        cycles,
+        has_tmr,
+    })
+}
+
+/// Runs a generic ramp-stimulus campaign: banks filled with the counter
+/// harness ramp, `count` seeded faults sampled over every register, bank
+/// word, and controller state in the flattened design.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] if the design fails to generate, flatten, or
+/// preload.
+pub fn run_campaign(cfg: &CampaignConfig) -> Result<ResilienceReport, CampaignError> {
+    let CampaignBase {
+        design,
+        flat,
+        cycles,
+        has_tmr,
+    } = prepare(cfg)?;
+    let sites = enumerate_sites(&flat);
+    let faults = sample_faults(&sites, cfg.faults, cfg.seed, cycles);
+
+    let mut base = Interpreter::new(flat);
+    fill_input_banks(&mut base, &design)?;
+    base.poke("start", 1);
+
+    let mut golden_sim = base.clone();
+    let golden = run_round(&mut golden_sim, &design, has_tmr);
+    let outcomes = drive_campaign(&base, &design, cfg, has_tmr, &faults, &golden, &[], &[]);
+    Ok(aggregate(&design, cfg, cycles, outcomes))
+}
+
+/// Runs the real-data GEMM campaign: output-stationary `rows x cols` GEMM
+/// with seeded random matrices streamed through the top level. The golden
+/// run is cross-checked element-wise against [`tensorlib_ir`]'s reference
+/// executor before any fault is injected, and ABFT row/column checksums are
+/// verified on every harvested result when the design is hardened with
+/// ABFT.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] on setup failure or if the golden run
+/// disagrees with the reference executor.
+pub fn run_gemm_campaign(cfg: &CampaignConfig) -> Result<ResilienceReport, CampaignError> {
+    let CampaignBase {
+        design,
+        flat,
+        cycles,
+        has_tmr,
+    } = prepare(cfg)?;
+    let gemm = workloads::gemm(cfg.rows as u64, cfg.cols as u64, cfg.k);
+    let inputs = gemm.random_inputs(cfg.seed);
+    let reference = gemm
+        .execute_reference(&inputs)
+        .expect("self-generated inputs fit the kernel");
+
+    let sites = enumerate_sites(&flat);
+    let faults = sample_faults(&sites, cfg.faults, cfg.seed, cycles);
+
+    let mut base = Interpreter::new(flat);
+    load_skewed_inputs(&mut base, &design, &inputs[0], &inputs[1], cfg.k as i64)?;
+    base.poke("start", 1);
+
+    let mut golden_sim = base.clone();
+    let golden = run_round(&mut golden_sim, &design, has_tmr);
+    // The golden harvest must equal the reference execution exactly.
+    for i in 0..cfg.rows {
+        for j in 0..cfg.cols {
+            let expected = reference.get(&[i as i64, j as i64]);
+            let got = golden.c[i * cfg.cols + j];
+            if got != expected {
+                return Err(CampaignError::GoldenMismatch {
+                    row: i,
+                    col: j,
+                    expected,
+                    got,
+                });
+            }
+        }
+    }
+    // ABFT checksums from the (verified) golden result.
+    let abft_row_sums: Vec<i64> = (0..cfg.rows)
+        .map(|i| (0..cfg.cols).map(|j| golden.c[i * cfg.cols + j]).sum())
+        .collect();
+    let abft_col_sums: Vec<i64> = (0..cfg.cols)
+        .map(|j| (0..cfg.rows).map(|i| golden.c[i * cfg.cols + j]).sum())
+        .collect();
+
+    let outcomes = drive_campaign(
+        &base,
+        &design,
+        cfg,
+        has_tmr,
+        &faults,
+        &golden,
+        &abft_row_sums,
+        &abft_col_sums,
+    );
+    Ok(aggregate(&design, cfg, cycles, outcomes))
+}
+
+/// Enumerates PE accumulator registers (`*_acc` nets) of a campaign design —
+/// the datapath state ABFT protects. Used by coverage tests and the CLI's
+/// accumulator-sweep mode.
+pub fn accumulator_sites(cfg: &CampaignConfig) -> Result<Vec<String>, CampaignError> {
+    let CampaignBase { flat, .. } = prepare(cfg)?;
+    Ok(flat
+        .regs()
+        .iter()
+        .map(|r| flat.nets()[r.target].name.clone())
+        .filter(|n| n.ends_with("_acc"))
+        .collect())
+}
+
+/// Runs the GEMM campaign over an exhaustive accumulator bit-flip sweep:
+/// every `*_acc` register × every bit in `0..bits` flipped at `cycle`.
+/// This is the ABFT acceptance sweep — with ABFT on, every flip that lands
+/// while accumulation is still live must be detected.
+///
+/// # Errors
+///
+/// Same as [`run_gemm_campaign`].
+pub fn run_accumulator_sweep(
+    cfg: &CampaignConfig,
+    bits: u32,
+    cycle: u64,
+) -> Result<ResilienceReport, CampaignError> {
+    let accs = accumulator_sites(cfg)?;
+    let faults: Vec<FaultSpec> = accs
+        .iter()
+        .flat_map(|net| (0..bits).map(move |b| FaultSpec::flip(net.as_str(), b, cycle)))
+        .collect();
+    run_gemm_campaign_with_faults(cfg, &faults)
+}
+
+/// [`run_gemm_campaign`] with an explicit fault list instead of seeded
+/// sampling.
+///
+/// # Errors
+///
+/// Same as [`run_gemm_campaign`].
+pub fn run_gemm_campaign_with_faults(
+    cfg: &CampaignConfig,
+    faults: &[FaultSpec],
+) -> Result<ResilienceReport, CampaignError> {
+    let CampaignBase {
+        design,
+        flat,
+        cycles,
+        has_tmr,
+    } = prepare(cfg)?;
+    let gemm = workloads::gemm(cfg.rows as u64, cfg.cols as u64, cfg.k);
+    let inputs = gemm.random_inputs(cfg.seed);
+    let reference = gemm
+        .execute_reference(&inputs)
+        .expect("self-generated inputs fit the kernel");
+    let mut base = Interpreter::new(flat);
+    load_skewed_inputs(&mut base, &design, &inputs[0], &inputs[1], cfg.k as i64)?;
+    base.poke("start", 1);
+    let mut golden_sim = base.clone();
+    let golden = run_round(&mut golden_sim, &design, has_tmr);
+    for i in 0..cfg.rows {
+        for j in 0..cfg.cols {
+            let expected = reference.get(&[i as i64, j as i64]);
+            let got = golden.c[i * cfg.cols + j];
+            if got != expected {
+                return Err(CampaignError::GoldenMismatch {
+                    row: i,
+                    col: j,
+                    expected,
+                    got,
+                });
+            }
+        }
+    }
+    let abft_row_sums: Vec<i64> = (0..cfg.rows)
+        .map(|i| (0..cfg.cols).map(|j| golden.c[i * cfg.cols + j]).sum())
+        .collect();
+    let abft_col_sums: Vec<i64> = (0..cfg.cols)
+        .map(|j| (0..cfg.rows).map(|i| golden.c[i * cfg.cols + j]).sum())
+        .collect();
+    let outcomes = drive_campaign(
+        &base,
+        &design,
+        cfg,
+        has_tmr,
+        faults,
+        &golden,
+        &abft_row_sums,
+        &abft_col_sums,
+    );
+    Ok(aggregate(&design, cfg, cycles, outcomes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_gemm_round_matches_reference() {
+        // The campaign's own golden cross-check is the assertion: any skew
+        // or drain mis-protocol fails here with GoldenMismatch.
+        let report = run_gemm_campaign(&CampaignConfig {
+            faults: 4,
+            ..CampaignConfig::default()
+        })
+        .unwrap();
+        assert_eq!(report.faults, 4);
+        assert_eq!(report.masked + report.detected + report.sdc, 4);
+    }
+
+    #[test]
+    fn unhardened_campaign_detects_nothing() {
+        let report = run_gemm_campaign(&CampaignConfig {
+            faults: 24,
+            seed: 3,
+            ..CampaignConfig::default()
+        })
+        .unwrap();
+        assert_eq!(report.detected, 0, "no detectors on an unhardened design");
+        assert_eq!(report.hardening, "none");
+    }
+
+    #[test]
+    fn campaigns_are_seed_deterministic_across_worker_counts() {
+        let mk = |workers| {
+            run_gemm_campaign(&CampaignConfig {
+                faults: 16,
+                seed: 11,
+                hardening: Hardening::full(),
+                workers,
+                ..CampaignConfig::default()
+            })
+            .unwrap()
+        };
+        let one = mk(1);
+        let four = mk(4);
+        assert_eq!(one, four, "worker count must not change the report");
+        assert_ne!(
+            one,
+            run_gemm_campaign(&CampaignConfig {
+                faults: 16,
+                seed: 12,
+                hardening: Hardening::full(),
+                workers: 1,
+                ..CampaignConfig::default()
+            })
+            .unwrap(),
+            "different seed, different campaign"
+        );
+    }
+
+    #[test]
+    fn abft_detects_every_accumulator_flip() {
+        let cfg = CampaignConfig {
+            hardening: Hardening {
+                tmr_ctrl: false,
+                parity_banks: false,
+                abft: true,
+            },
+            ..CampaignConfig::default()
+        };
+        // Every accumulator × bits 0..8, flipped mid-accumulation: the
+        // injected delta persists into the swap capture, so ABFT checksums
+        // must catch every single one — zero silent corruptions.
+        let report = run_accumulator_sweep(&cfg, 8, 6).unwrap();
+        assert_eq!(report.faults, 16 * 8);
+        assert_eq!(report.sdc, 0, "ABFT missed a corrupting accumulator flip");
+        assert_eq!(report.masked, 0, "an accumulator flip cannot be masked");
+        assert_eq!(report.detected, 16 * 8);
+        assert_eq!(report.detection_coverage, 1.0);
+    }
+
+    #[test]
+    fn generic_ramp_campaign_runs_and_classifies_everything() {
+        let report = run_campaign(&CampaignConfig {
+            faults: 12,
+            seed: 5,
+            hardening: Hardening {
+                tmr_ctrl: true,
+                parity_banks: true,
+                abft: false,
+            },
+            workers: 2,
+            ..CampaignConfig::default()
+        })
+        .unwrap();
+        assert_eq!(report.faults, 12);
+        assert_eq!(
+            report.masked + report.detected + report.sdc,
+            12,
+            "every fault classified"
+        );
+        assert!(report.hardening.contains("tmr"));
+    }
+}

@@ -8,6 +8,7 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+cargo clippy -q --all-targets -- -D warnings
 
 # Observability battery (all are part of `cargo test` above; re-run by name).
 cargo test -q --test pe_golden
@@ -15,6 +16,12 @@ cargo test -q --test trace_observability
 cargo test -q --test proptest_pipeline
 cargo test -q -p tensorlib-hw --lib trace
 cargo test -q -p tensorlib-sim --lib trace
+
+# Fault-campaign smoke: a small seeded campaign on a fully hardened 4x4 OS
+# GEMM must classify every fault and report full detection coverage logic
+# without error (report goes to stdout; jq-free sanity grep).
+./target/release/tensorlib faults --faults 8 --seed 7 --harden full -o - \
+    | grep -q '"detection_coverage"'
 
 # Perf gate. perfgate itself enforces the trace-off overhead ceiling; with a
 # committed baseline it also gates compiled-interpreter throughput.

@@ -170,6 +170,7 @@ fn s6c_tensorlib_beats_systolic_baselines_by_about_21_percent() {
             array: ArrayConfig { rows: 10, cols: 16 },
             datatype: DataType::Fp32,
             vectorize: 8,
+            ..HwConfig::default()
         },
     )
     .unwrap();
@@ -230,6 +231,7 @@ fn s6c_placement_optimization_reaches_328_mhz() {
             array: ArrayConfig { rows: 10, cols: 16 },
             datatype: DataType::Fp32,
             vectorize: 8,
+            ..HwConfig::default()
         },
     )
     .unwrap();

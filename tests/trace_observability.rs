@@ -53,7 +53,8 @@ fn measured_counters_track_the_analytic_model_3x3() {
     let gemm = workloads::gemm(8, 8, 8);
     let conv = workloads::conv2d(4, 4, 4, 6, 3, 3);
     let mttkrp = workloads::mttkrp(4, 4, 4, 4);
-    let cases: Vec<(&str, &Kernel, [&str; 3], [[i64; 3]; 3])> = vec![
+    type Case<'a> = (&'a str, &'a Kernel, [&'a str; 3], [[i64; 3]; 3]);
+    let cases: Vec<Case> = vec![
         ("gemm/OS", &gemm, ["m", "n", "k"], OS),
         ("gemm/WS", &gemm, ["m", "n", "k"], WS),
         ("gemm/MTM", &gemm, ["m", "n", "k"], MTM),
@@ -150,7 +151,7 @@ fn vcd_round_trip_matches_the_event_ring() {
     // the ring's (cycle, value) sequence.
     for (watch, (name, _)) in signals.iter().enumerate() {
         let id = doc.id_of(name).unwrap();
-        let parsed: Vec<(u64, u64)> = doc.changes_of(&id);
+        let parsed: Vec<(u64, u64)> = doc.changes_of(id);
         let ring: Vec<(u64, u64)> = events
             .iter()
             .filter(|e| e.watch == watch)
