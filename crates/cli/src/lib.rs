@@ -33,6 +33,7 @@ use tensorlib::ir::workloads;
 use tensorlib::sim::resilience::{
     run_accumulator_sweep, run_gemm_campaign, CampaignConfig, ResilienceReport,
 };
+use tensorlib::sim::verify::{run_verify, VerifyConfig};
 use tensorlib::{Accelerator, ArrayConfig, HwConfig, Kernel, SimConfig, TraceConfig};
 
 /// A parsed command line.
@@ -136,6 +137,23 @@ pub enum Command {
         /// Output path (`-` for stdout, empty for `reports/` default).
         out: String,
     },
+    /// Run the differential fuzzing campaign (random netlists and sampled
+    /// generation pipelines through every verification oracle) and emit a
+    /// JSON report whose `total_findings` CI gates on.
+    Fuzz {
+        /// `netlist`, `pipeline`, or `both`.
+        mode: String,
+        /// First seed (inclusive).
+        seed: u64,
+        /// Seeds per enabled mode.
+        seeds: u64,
+        /// Cycles per netlist differential run.
+        cycles: u64,
+        /// Campaign worker threads (`0` = one per core).
+        workers: usize,
+        /// Output path (`-` for stdout, empty for `reports/` default).
+        out: String,
+    },
 }
 
 /// Command-line failure: bad usage or a pipeline error, with a message
@@ -163,6 +181,8 @@ usage:
   tensorlib trace    <workload> <dataflow> [--nets a,b,c] [--tiles T] [-o f.vcd]
   tensorlib faults   [--rows N] [--cols N] [--k K] [--faults N] [--seed S]
                      [--harden tmr,parity,abft] [--workers W] [--sweep-acc] [-o f.json]
+  tensorlib fuzz     [--mode netlist|pipeline|both] [--seed S] [--seeds N]
+                     [--cycles C] [--workers W] [-o f.json]
 
 workloads: gemm[:m,n,k]  batched-gemv[:m,n,k]  conv2d[:k,c,y,x,p,q]
            depthwise[:k,y,x,p,q]  mttkrp[:i,j,k,l]  ttmc[:i,j,k,l,m]
@@ -180,7 +200,16 @@ classified masked / detected / sdc against a golden fault-free run, hardened
 variants (--harden tmr, parity, abft, or full) report their detectors and
 priced area/power overhead, and --sweep-acc replaces the seeded sample with
 the exhaustive accumulator bit-flip sweep that ABFT must fully detect.
-Reports are byte-identical for any --workers count.";
+Reports are byte-identical for any --workers count.
+
+fuzz runs the differential verification campaign: netlist mode feeds random
+but valid-by-construction netlists through module validation, a Verilog
+emission lint, elaboration, and a lock-step compiled-vs-tree-walking engine
+comparison (failures are auto-shrunk to minimal repros); pipeline mode
+samples whole generation pipelines (kernel x sizes x loop selection x STT x
+hardening) and additionally checks the reference functional executor and the
+hardware counters. The JSON report's total_findings field is zero on a clean
+run, and its bytes are identical for any --workers count.";
 
 /// Parses the argument list (without the program name).
 ///
@@ -207,6 +236,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut harden = "none".to_string();
     let mut workers = 0usize;
     let mut sweep_acc = false;
+    let mut mode = "both".to_string();
+    let mut seeds = 256u64;
+    let mut cycles = 16u64;
     let rest: Vec<&String> = it.collect();
     let mut i = 0;
     while i < rest.len() {
@@ -267,6 +299,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .map_err(|_| CliError("--workers expects an integer".into()))?
             }
             "--sweep-acc" => sweep_acc = true,
+            "--mode" => mode = take_value(&mut i)?,
+            "--seeds" => {
+                seeds = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| CliError("--seeds expects an integer".into()))?
+            }
+            "--cycles" => {
+                cycles = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| CliError("--cycles expects an integer".into()))?
+            }
             _ if a.starts_with('-') => {
                 return Err(CliError(format!("unknown flag {a}\n\n{USAGE}")))
             }
@@ -326,6 +369,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             harden,
             workers,
             sweep_acc,
+            out: if out_given { out } else { String::new() },
+        }),
+        ("fuzz", 0) => Ok(Command::Fuzz {
+            mode,
+            seed,
+            seeds,
+            cycles,
+            workers,
             out: if out_given { out } else { String::new() },
         }),
         _ => Err(usage()),
@@ -753,6 +804,49 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 "resilience report",
             )
         }
+        Command::Fuzz {
+            mode,
+            seed,
+            seeds,
+            cycles,
+            workers,
+            out,
+        } => {
+            let (netlist, pipeline) = match mode.as_str() {
+                "netlist" => (true, false),
+                "pipeline" => (false, true),
+                "both" => (true, true),
+                other => {
+                    return Err(CliError(format!(
+                        "--mode must be netlist, pipeline, or both (got {other:?})"
+                    )))
+                }
+            };
+            if seeds == 0 || cycles == 0 {
+                return Err(CliError("--seeds and --cycles must be at least 1".into()));
+            }
+            let workers = if workers == 0 {
+                std::thread::available_parallelism().map_or(1, usize::from)
+            } else {
+                workers
+            };
+            let cfg = VerifyConfig {
+                seed_start: seed,
+                seeds,
+                workers,
+                cycles,
+            };
+            let report = run_verify(&cfg, netlist, pipeline);
+            let text = serde_json::to_string_pretty(&report)
+                .map_err(|err| CliError(format!("serializing report: {err}")))?
+                + "\n";
+            emit_report(
+                &out,
+                report_path("fuzz", &mode, &format!("{seed}-{seeds}"), "json"),
+                &text,
+                "fuzz report",
+            )
+        }
         Command::Explore { workload, top } => {
             let kernel = resolve_workload(&workload)?;
             let points = explore(&kernel, &ExploreOptions::default());
@@ -1035,6 +1129,68 @@ mod tests {
         assert!(parse_args(&sv(&["faults", "--seed", "banana"])).is_err());
         assert!(parse_args(&sv(&["faults", "--faults"])).is_err());
         assert!(parse_args(&sv(&["faults", "extra-positional"])).is_err());
+    }
+
+    #[test]
+    fn parse_fuzz_defaults_and_flags() {
+        assert_eq!(
+            parse_args(&sv(&["fuzz"])).unwrap(),
+            Command::Fuzz {
+                mode: "both".into(),
+                seed: 1,
+                seeds: 256,
+                cycles: 16,
+                workers: 0,
+                out: String::new(),
+            }
+        );
+        assert_eq!(
+            parse_args(&sv(&[
+                "fuzz", "--mode", "netlist", "--seed", "7", "--seeds", "99", "--cycles",
+                "8", "--workers", "3", "-o", "-",
+            ]))
+            .unwrap(),
+            Command::Fuzz {
+                mode: "netlist".into(),
+                seed: 7,
+                seeds: 99,
+                cycles: 8,
+                workers: 3,
+                out: "-".into(),
+            }
+        );
+        assert!(parse_args(&sv(&["fuzz", "--seeds", "banana"])).is_err());
+        assert!(parse_args(&sv(&["fuzz", "extra-positional"])).is_err());
+    }
+
+    #[test]
+    fn run_fuzz_reports_zero_findings_on_clean_seeds() {
+        let out = run(Command::Fuzz {
+            mode: "both".into(),
+            seed: 0,
+            seeds: 10,
+            cycles: 8,
+            workers: 2,
+            out: "-".into(),
+        })
+        .unwrap();
+        assert!(out.contains("\"total_findings\": 0"), "{out}");
+        assert!(out.contains("\"netlist\""), "{out}");
+        assert!(out.contains("\"pipeline\""), "{out}");
+    }
+
+    #[test]
+    fn run_fuzz_rejects_bad_mode() {
+        let err = run(Command::Fuzz {
+            mode: "bogus".into(),
+            seed: 0,
+            seeds: 1,
+            cycles: 1,
+            workers: 1,
+            out: "-".into(),
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("--mode"), "{err}");
     }
 
     fn faults_cmd(harden: &str, faults: usize, out: &str) -> Command {

@@ -810,6 +810,40 @@ mod tests {
     }
 
     #[test]
+    fn assign_vs_instance_output_double_drive_is_caught_at_design_level() {
+        // `Module::validate` deliberately ignores instance connections (it
+        // cannot see child port directions), so a net driven both by an
+        // assign and by a child's output port sails through per-module
+        // validation. The design-level census must catch exactly that.
+        let mut d = gemm_design([[1, 0, 0], [0, 1, 0], [1, 1, 1]]);
+        d.validate().expect("generated design is sound");
+        let top_name = d.top.clone();
+        let top = d
+            .modules
+            .iter_mut()
+            .find(|m| m.name() == top_name)
+            .unwrap();
+        // "done" is already driven by the controller instance's output.
+        let done = top
+            .nets()
+            .iter()
+            .position(|n| n.name == "done")
+            .expect("top has a done net");
+        top.assign(done, Expr::lit(0, 1));
+        assert!(
+            top.validate().is_ok(),
+            "per-module validation cannot see the instance driver"
+        );
+        match d.validate().unwrap_err() {
+            NetlistError::MultipleDrivers { module, net } => {
+                assert_eq!(module, top_name);
+                assert_eq!(net, "done");
+            }
+            other => panic!("expected MultipleDrivers, got {other}"),
+        }
+    }
+
+    #[test]
     fn tiling_is_exposed() {
         let d = gemm_design([[1, 0, 0], [0, 1, 0], [1, 1, 1]]);
         assert_eq!(d.tiling().tile_extents, [16, 16, 64]);

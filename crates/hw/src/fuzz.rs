@@ -1,0 +1,778 @@
+//! Seeded netlist fuzzing: a random-but-valid module generator, a
+//! differential oracle over the two interpreter engines, and an automatic
+//! shrinker.
+//!
+//! The generator draws width-respecting expression trees, registers, and
+//! child instances from a [`SplitMix64`] stream, producing netlists that are
+//! valid by construction (single driver per net, acyclic combinational
+//! logic, width-coherent assignments). Each generated netlist then runs
+//! through the oracle stack:
+//!
+//! 1. [`Module::validate`] on every module — the generator and the validator
+//!    keep each other honest: a rejection of a generated netlist is a bug in
+//!    one of them.
+//! 2. Verilog emission ([`crate::verilog::emit_module`]) with a structural
+//!    lint — a part-select applied to a parenthesized expression (`)[`) is
+//!    illegal Verilog and exactly the class of bug the emitter's hoisting
+//!    pass exists to prevent.
+//! 3. [`elaborate`] as a crash oracle.
+//! 4. A lock-step differential run of the tree-walking interpreter against
+//!    the compiled bytecode interpreter: identical seeded stimulus every
+//!    cycle, every flat net compared after every step.
+//!
+//! Any failure can be handed to [`shrink_netlist`], which greedily deletes
+//! assigns, registers, instances, and ports (garbage-collecting unreferenced
+//! nets and child modules) while the failure reproduces, and
+//! [`rust_repro`] renders the survivor as a paste-ready regression test.
+//!
+//! Seed discipline: every random decision derives from the one `u64` seed,
+//! so a finding is its seed — reports need carry nothing else to reproduce.
+
+use serde::Serialize;
+
+use crate::fault::SplitMix64;
+use crate::interp::{elaborate, Interpreter};
+use crate::netlist::{BinOp, Dir, Expr, Module, Net, NetId, RegDef};
+use crate::verilog::emit_module;
+
+/// Knobs for the random netlist generator and differential runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct NetlistFuzzConfig {
+    /// Maximum top-level input ports (at least 1 is always generated).
+    pub max_inputs: usize,
+    /// Maximum driven (non-input) nets in the top module.
+    pub max_driven: usize,
+    /// Maximum expression tree depth.
+    pub max_expr_depth: u32,
+    /// Maximum child-module instances.
+    pub max_instances: usize,
+    /// Cycles each differential run steps both engines.
+    pub cycles: u64,
+}
+
+impl Default for NetlistFuzzConfig {
+    fn default() -> NetlistFuzzConfig {
+        NetlistFuzzConfig {
+            max_inputs: 3,
+            max_driven: 7,
+            max_expr_depth: 3,
+            max_instances: 2,
+            cycles: 16,
+        }
+    }
+}
+
+/// Which oracle a netlist sample failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum NetlistFailureKind {
+    /// `Module::validate` rejected a generated (valid-by-construction)
+    /// netlist.
+    Validate,
+    /// Elaboration of a validated netlist failed.
+    Elaborate,
+    /// Emitted Verilog contains an illegal construct.
+    Emission,
+    /// The two interpreter engines disagreed on a net value.
+    Mismatch,
+}
+
+impl NetlistFailureKind {
+    /// Stable lower-case label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            NetlistFailureKind::Validate => "validate",
+            NetlistFailureKind::Elaborate => "elaborate",
+            NetlistFailureKind::Emission => "emission",
+            NetlistFailureKind::Mismatch => "mismatch",
+        }
+    }
+}
+
+/// A failed oracle check for one netlist sample.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct NetlistFailure {
+    /// Which oracle failed.
+    pub kind: NetlistFailureKind,
+    /// Human-readable specifics (net, cycle, values, error text).
+    pub detail: String,
+}
+
+// ---------------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------------
+
+fn rand_width(rng: &mut SplitMix64) -> u32 {
+    1 + rng.below(16) as u32
+}
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Coerces `e` (of width `from`) to exactly `to` bits, via a seeded choice
+/// of zero- or sign-extension when widths differ.
+fn coerce(rng: &mut SplitMix64, e: Expr, from: u32, to: u32) -> Expr {
+    if from == to {
+        e
+    } else if rng.below(2) == 0 {
+        e.resize(to)
+    } else {
+        e.sext(to)
+    }
+}
+
+/// Generates a random expression over `avail` (driven `(net, width)` pairs).
+/// Returns the expression and its width.
+fn gen_expr(rng: &mut SplitMix64, avail: &[(NetId, u32)], depth: u32) -> (Expr, u32) {
+    if depth == 0 || rng.below(3) == 0 {
+        // Leaf: a net read or a masked literal.
+        if !avail.is_empty() && rng.below(4) != 0 {
+            let (id, w) = avail[rng.below(avail.len() as u64) as usize];
+            return (Expr::net(id), w);
+        }
+        let w = rand_width(rng);
+        return (Expr::lit(rng.next_u64() & mask(w), w), w);
+    }
+    match rng.below(4) {
+        0 => {
+            let (e, w) = gen_expr(rng, avail, depth - 1);
+            (Expr::Not(Box::new(e)), w)
+        }
+        1 => {
+            // Resize / sign-extend of an arbitrary subexpression — the
+            // compound-operand case the Verilog emitter must hoist.
+            let (e, w) = gen_expr(rng, avail, depth - 1);
+            let to = rand_width(rng);
+            (coerce(rng, e, w, to), if w == to { w } else { to })
+        }
+        2 => {
+            let (sel, sw) = gen_expr(rng, avail, depth - 1);
+            let (a, aw) = gen_expr(rng, avail, depth - 1);
+            let (b, bw) = gen_expr(rng, avail, depth - 1);
+            let w = aw.max(bw);
+            let sel = coerce(rng, sel, sw, 1);
+            (
+                Expr::mux(sel, coerce(rng, a, aw, w), coerce(rng, b, bw, w)),
+                w,
+            )
+        }
+        _ => {
+            let op = match rng.below(8) {
+                0 => BinOp::Add,
+                1 => BinOp::Sub,
+                2 => BinOp::Mul,
+                3 => BinOp::And,
+                4 => BinOp::Or,
+                5 => BinOp::Xor,
+                6 => BinOp::Eq,
+                _ => BinOp::Lt,
+            };
+            let (a, aw) = gen_expr(rng, avail, depth - 1);
+            let (b, bw) = gen_expr(rng, avail, depth - 1);
+            let w = match op {
+                BinOp::Eq | BinOp::Lt => 1,
+                _ => aw.max(bw),
+            };
+            (Expr::Bin(op, Box::new(a), Box::new(b)), w)
+        }
+    }
+}
+
+/// Generates a random, valid-by-construction netlist for `seed`: a top
+/// module plus any child modules it instantiates. Returns the module list
+/// and the top module's name.
+///
+/// Validity invariants the generator maintains: every net has exactly one
+/// driver; combinational assigns read only nets declared (and driven)
+/// earlier, so the logic is acyclic even across instance boundaries;
+/// expression widths are coerced to their target's width; registers may read
+/// anything (they break timing paths).
+pub fn gen_netlist(seed: u64, cfg: &NetlistFuzzConfig) -> (Vec<Module>, String) {
+    let mut rng = SplitMix64::new(seed);
+    let top_name = format!("fz_top_{seed}");
+    let mut m = Module::new(&top_name);
+    let mut children: Vec<Module> = Vec::new();
+
+    let n_in = 1 + rng.below(cfg.max_inputs.max(1) as u64) as usize;
+    // Nets usable as combinational reads, in declaration (= topological)
+    // order.
+    let mut avail: Vec<(NetId, u32)> = Vec::new();
+    for i in 0..n_in {
+        let w = rand_width(&mut rng);
+        avail.push((m.input(format!("in{i}"), w), w));
+    }
+
+    let n_driven = 1 + rng.below(cfg.max_driven.max(1) as u64) as usize;
+    let mut inst_budget = cfg.max_instances;
+    for i in 0..n_driven {
+        let w = rand_width(&mut rng);
+        // The last driven net is always an output so the module is
+        // observable end to end.
+        let is_out = i + 1 == n_driven || rng.below(3) == 0;
+        let declare = |m: &mut Module| {
+            if is_out {
+                m.output(format!("n{i}"), w)
+            } else {
+                m.net(format!("n{i}"), w)
+            }
+        };
+        match rng.below(4) {
+            3 if inst_budget > 0 => {
+                // Drive via a child instance: build a small combinational
+                // child whose input widths match nets we already have.
+                inst_budget -= 1;
+                let n_cin = 1 + rng.below(2) as usize;
+                let picks: Vec<(NetId, u32)> = (0..n_cin)
+                    .map(|_| avail[rng.below(avail.len() as u64) as usize])
+                    .collect();
+                let child_name = format!("fz_child_{seed}_{}", children.len());
+                let mut c = Module::new(&child_name);
+                let mut c_avail = Vec::new();
+                for (j, (_, cw)) in picks.iter().enumerate() {
+                    c_avail.push((c.input(format!("cin{j}"), *cw), *cw));
+                }
+                let cout = c.output("cout", w);
+                let (e, ew) = gen_expr(&mut rng, &c_avail, cfg.max_expr_depth);
+                let e = coerce(&mut rng, e, ew, w);
+                c.assign(cout, e);
+                children.push(c);
+                let id = declare(&mut m);
+                let mut conns: Vec<(String, NetId)> = picks
+                    .iter()
+                    .enumerate()
+                    .map(|(j, (pid, _))| (format!("cin{j}"), *pid))
+                    .collect();
+                conns.push(("cout".into(), id));
+                m.instance(child_name, format!("u{i}"), conns);
+                avail.push((id, w));
+            }
+            2 => {
+                // A register: may read anything already declared, itself
+                // included (accumulator feedback is legal).
+                let id = declare(&mut m);
+                let mut reg_avail = avail.clone();
+                reg_avail.push((id, w));
+                let (next, nw) = gen_expr(&mut rng, &reg_avail, cfg.max_expr_depth);
+                let next = coerce(&mut rng, next, nw, w);
+                let enable = if rng.below(2) == 0 {
+                    let (e, ew) = gen_expr(&mut rng, &reg_avail, 1);
+                    Some(coerce(&mut rng, e, ew, 1))
+                } else {
+                    None
+                };
+                let init = rng.next_u64() & mask(w);
+                m.reg(id, next, enable, init);
+                avail.push((id, w));
+            }
+            _ => {
+                // A combinational assign over strictly earlier nets.
+                let (e, ew) = gen_expr(&mut rng, &avail, cfg.max_expr_depth);
+                let e = coerce(&mut rng, e, ew, w);
+                let id = declare(&mut m);
+                m.assign(id, e);
+                avail.push((id, w));
+            }
+        }
+    }
+
+    children.push(m);
+    (children, top_name)
+}
+
+// ---------------------------------------------------------------------------
+// Differential oracle
+// ---------------------------------------------------------------------------
+
+/// Runs the full oracle stack on one netlist.
+///
+/// `perturb_input` (an index into the top module's input ports) injects an
+/// artificial engine divergence: the tree-walking run sees that input's
+/// low bit flipped every cycle. It exists to exercise the mismatch path and
+/// the shrinker; real campaigns pass `None`.
+///
+/// # Errors
+///
+/// Returns the first [`NetlistFailure`] any oracle reports.
+pub fn check_netlist(
+    modules: &[Module],
+    top: &str,
+    seed: u64,
+    cycles: u64,
+    perturb_input: Option<usize>,
+) -> Result<(), NetlistFailure> {
+    for m in modules {
+        m.validate().map_err(|e| NetlistFailure {
+            kind: NetlistFailureKind::Validate,
+            detail: e.to_string(),
+        })?;
+    }
+    for m in modules {
+        let v = emit_module(m);
+        if v.contains(")[") {
+            return Err(NetlistFailure {
+                kind: NetlistFailureKind::Emission,
+                detail: format!(
+                    "module {:?} emits a part-select of a compound expression",
+                    m.name()
+                ),
+            });
+        }
+    }
+    let flat = elaborate(modules, &[], top).map_err(|e| NetlistFailure {
+        kind: NetlistFailureKind::Elaborate,
+        detail: e.to_string(),
+    })?;
+    let net_names: Vec<String> = flat.nets().iter().map(|n| n.name.clone()).collect();
+    let inputs: Vec<String> = flat
+        .ports()
+        .iter()
+        .filter(|(_, d)| *d == Dir::Input)
+        .map(|(id, _)| flat.nets()[*id].name.clone())
+        .collect();
+    let mut compiled = Interpreter::new(flat.clone());
+    let mut tree = Interpreter::new_tree_walking(flat);
+    debug_assert!(compiled.is_compiled() && !tree.is_compiled());
+
+    // Stimulus stream is decoupled from the structure stream so the same
+    // seed always drives the same values.
+    let mut rng = SplitMix64::new(seed ^ 0xD1F7_0000_0000_0001);
+    for cycle in 0..cycles {
+        for (i, name) in inputs.iter().enumerate() {
+            let v = rng.next_u64();
+            compiled.poke(name, v);
+            let tv = if perturb_input == Some(i) { v ^ 1 } else { v };
+            tree.poke(name, tv);
+        }
+        compiled.step();
+        tree.step();
+        for name in &net_names {
+            let c = compiled.peek(name);
+            let t = tree.peek(name);
+            if c != t {
+                return Err(NetlistFailure {
+                    kind: NetlistFailureKind::Mismatch,
+                    detail: format!(
+                        "net {name:?} diverged at cycle {cycle}: compiled={c} tree={t}"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Panics if the two interpreter engines (or any crash oracle) disagree on
+/// this netlist. Convenience wrapper used by committed regression tests.
+pub fn assert_engines_agree(modules: &[Module], top: &str, seed: u64, cycles: u64) {
+    if let Err(f) = check_netlist(modules, top, seed, cycles, None) {
+        panic!("{}: {}", f.kind.label(), f.detail);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shrinker
+// ---------------------------------------------------------------------------
+
+/// `(child module, instance name, connections)` — an editable [`crate::netlist::Instance`].
+type InstParts = (String, String, Vec<(String, NetId)>);
+
+/// An editable decomposition of a [`Module`] (the builder API is
+/// append-only, so shrinking reconstructs modules from parts).
+#[derive(Clone)]
+struct Parts {
+    name: String,
+    nets: Vec<Net>,
+    ports: Vec<(NetId, Dir)>,
+    assigns: Vec<(NetId, Expr)>,
+    regs: Vec<RegDef>,
+    instances: Vec<InstParts>,
+}
+
+fn to_parts(m: &Module) -> Parts {
+    Parts {
+        name: m.name().to_string(),
+        nets: m.nets().to_vec(),
+        ports: m.ports().to_vec(),
+        assigns: m.assigns().to_vec(),
+        regs: m.regs().to_vec(),
+        instances: m
+            .instances()
+            .iter()
+            .map(|i| (i.module.clone(), i.name.clone(), i.connections.clone()))
+            .collect(),
+    }
+}
+
+fn from_parts(p: &Parts) -> Module {
+    let mut m = Module::new(&p.name);
+    for (id, net) in p.nets.iter().enumerate() {
+        let port = p.ports.iter().find(|(pid, _)| *pid == id).map(|&(_, d)| d);
+        let got = match port {
+            Some(Dir::Input) => m.input(&net.name, net.width),
+            Some(Dir::Output) => m.output(&net.name, net.width),
+            None => m.net(&net.name, net.width),
+        };
+        debug_assert_eq!(got, id);
+    }
+    for (target, expr) in &p.assigns {
+        m.assign(*target, expr.clone());
+    }
+    for r in &p.regs {
+        m.reg(r.target, r.next.clone(), r.enable.clone(), r.init);
+    }
+    for (module, name, conns) in &p.instances {
+        m.instance(module.clone(), name.clone(), conns.clone());
+    }
+    m
+}
+
+fn remap_expr(e: &Expr, map: &[Option<NetId>]) -> Expr {
+    match e {
+        Expr::Const { value, width } => Expr::Const {
+            value: *value,
+            width: *width,
+        },
+        Expr::Net(id) => Expr::Net(map[*id].expect("read net survives gc")),
+        Expr::Not(x) => Expr::Not(Box::new(remap_expr(x, map))),
+        Expr::Bin(op, a, b) => Expr::Bin(
+            *op,
+            Box::new(remap_expr(a, map)),
+            Box::new(remap_expr(b, map)),
+        ),
+        Expr::Mux {
+            sel,
+            on_true,
+            on_false,
+        } => Expr::Mux {
+            sel: Box::new(remap_expr(sel, map)),
+            on_true: Box::new(remap_expr(on_true, map)),
+            on_false: Box::new(remap_expr(on_false, map)),
+        },
+        Expr::Resize(x, w) => Expr::Resize(Box::new(remap_expr(x, map)), *w),
+        Expr::SignExtend(x, w) => Expr::SignExtend(Box::new(remap_expr(x, map)), *w),
+    }
+}
+
+/// Deletes nets nothing references any more and renumbers the survivors.
+fn gc_nets(p: &mut Parts) {
+    let mut used = vec![false; p.nets.len()];
+    let mut read_somewhere = vec![false; p.nets.len()];
+    for (target, expr) in &p.assigns {
+        used[*target] = true;
+        let mut reads = Vec::new();
+        expr.collect_reads(&mut reads);
+        for r in reads {
+            used[r] = true;
+            read_somewhere[r] = true;
+        }
+    }
+    for r in &p.regs {
+        used[r.target] = true;
+        let mut reads = Vec::new();
+        r.next.collect_reads(&mut reads);
+        if let Some(e) = &r.enable {
+            e.collect_reads(&mut reads);
+        }
+        for x in reads {
+            used[x] = true;
+            read_somewhere[x] = true;
+        }
+    }
+    for (_, _, conns) in &p.instances {
+        for (_, n) in conns {
+            used[*n] = true;
+            read_somewhere[*n] = true;
+        }
+    }
+    // Output ports keep their nets only while something drives them (their
+    // driver marked them used above). Input ports survive only if read.
+    for &(id, dir) in &p.ports {
+        if dir == Dir::Input && !read_somewhere[id] {
+            used[id] = false;
+        }
+    }
+    let mut map: Vec<Option<NetId>> = vec![None; p.nets.len()];
+    let mut next = 0usize;
+    for (id, &u) in used.iter().enumerate() {
+        if u {
+            map[id] = Some(next);
+            next += 1;
+        }
+    }
+    p.nets = p
+        .nets
+        .iter()
+        .enumerate()
+        .filter(|(id, _)| used[*id])
+        .map(|(_, n)| n.clone())
+        .collect();
+    p.ports = p
+        .ports
+        .iter()
+        .filter(|(id, _)| used[*id])
+        .map(|&(id, d)| (map[id].unwrap(), d))
+        .collect();
+    for (target, expr) in &mut p.assigns {
+        *target = map[*target].expect("assign target survives gc");
+        *expr = remap_expr(expr, &map);
+    }
+    for r in &mut p.regs {
+        r.target = map[r.target].expect("reg target survives gc");
+        r.next = remap_expr(&r.next, &map);
+        r.enable = r.enable.as_ref().map(|e| remap_expr(e, &map));
+    }
+    for (_, _, conns) in &mut p.instances {
+        for (_, n) in conns {
+            *n = map[*n].expect("instance net survives gc");
+        }
+    }
+}
+
+/// Drops child modules no surviving instance references.
+fn gc_children(modules: &mut Vec<Parts>, top: &str) {
+    let referenced: std::collections::HashSet<String> = modules
+        .iter()
+        .flat_map(|p| p.instances.iter().map(|(m, _, _)| m.clone()))
+        .collect();
+    modules.retain(|p| p.name == top || referenced.contains(&p.name));
+}
+
+/// Greedily minimizes a failing netlist: one by one, tries deleting each
+/// assign, register, instance, and output port of every module (garbage
+/// collecting unreferenced nets and child modules after each deletion) and
+/// keeps any deletion under which `still_fails` holds. Loops to a fixpoint.
+///
+/// `still_fails` should reproduce the *same* failure (same oracle), not just
+/// any failure — the campaign driver pins the original failure kind.
+pub fn shrink_netlist<F>(
+    modules: &[Module],
+    top: &str,
+    still_fails: F,
+) -> (Vec<Module>, String)
+where
+    F: Fn(&[Module], &str) -> bool,
+{
+    let mut parts: Vec<Parts> = modules.iter().map(to_parts).collect();
+    let build = |parts: &[Parts]| -> Vec<Module> { parts.iter().map(from_parts).collect() };
+    loop {
+        let mut improved = false;
+        'outer: for mi in 0..parts.len() {
+            let n_assigns = parts[mi].assigns.len();
+            let n_regs = parts[mi].regs.len();
+            let n_insts = parts[mi].instances.len();
+            let n_ports = parts[mi].ports.len();
+            // Candidate deletions, coarsest first: instances, regs, assigns,
+            // then output ports.
+            for k in 0..(n_insts + n_regs + n_assigns + n_ports) {
+                let mut cand = parts.clone();
+                if k < n_insts {
+                    cand[mi].instances.remove(k);
+                } else if k < n_insts + n_regs {
+                    cand[mi].regs.remove(k - n_insts);
+                } else if k < n_insts + n_regs + n_assigns {
+                    cand[mi].assigns.remove(k - n_insts - n_regs);
+                } else {
+                    let pi = k - n_insts - n_regs - n_assigns;
+                    if cand[mi].ports[pi].1 != Dir::Output {
+                        continue;
+                    }
+                    // Deleting an output port also deletes its driver,
+                    // otherwise the gc keeps the net alive via the driver.
+                    let net = cand[mi].ports[pi].0;
+                    cand[mi].ports.remove(pi);
+                    cand[mi].assigns.retain(|(t, _)| *t != net);
+                    cand[mi].regs.retain(|r| r.target != net);
+                    cand[mi]
+                        .instances
+                        .retain(|(_, _, conns)| conns.iter().all(|(_, n)| *n != net));
+                }
+                for p in &mut cand {
+                    gc_nets(p);
+                }
+                gc_children(&mut cand, top);
+                let candidate = build(&cand);
+                if still_fails(&candidate, top) {
+                    parts = cand;
+                    improved = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (build(&parts), top.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Repro emission
+// ---------------------------------------------------------------------------
+
+fn expr_code(e: &Expr) -> String {
+    match e {
+        Expr::Const { value, width } => format!("Expr::lit({value}, {width})"),
+        Expr::Net(id) => format!("Expr::net({id})"),
+        Expr::Not(x) => format!("Expr::Not(Box::new({}))", expr_code(x)),
+        Expr::Bin(op, a, b) => format!(
+            "Expr::Bin(BinOp::{op:?}, Box::new({}), Box::new({}))",
+            expr_code(a),
+            expr_code(b)
+        ),
+        Expr::Mux {
+            sel,
+            on_true,
+            on_false,
+        } => format!(
+            "Expr::mux({}, {}, {})",
+            expr_code(sel),
+            expr_code(on_true),
+            expr_code(on_false)
+        ),
+        Expr::Resize(x, w) => format!("{}.resize({w})", expr_code(x)),
+        Expr::SignExtend(x, w) => format!("{}.sext({w})", expr_code(x)),
+    }
+}
+
+/// Renders a netlist as a paste-ready Rust regression test that rebuilds the
+/// modules through the public builder API and asserts engine agreement.
+pub fn rust_repro(modules: &[Module], top: &str, seed: u64, cycles: u64) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "#[test]");
+    let _ = writeln!(s, "fn fuzz_regression_seed_{seed}() {{");
+    let _ = writeln!(
+        s,
+        "    use tensorlib_hw::netlist::{{BinOp, Expr, Module}};"
+    );
+    let _ = writeln!(s, "    #[allow(unused_imports)] use std::boxed::Box;");
+    for (i, m) in modules.iter().enumerate() {
+        let _ = writeln!(s, "    let mut m{i} = Module::new({:?});", m.name());
+        for (id, net) in m.nets().iter().enumerate() {
+            let ctor = match m.port_dir(&net.name) {
+                Some(Dir::Input) => "input",
+                Some(Dir::Output) => "output",
+                None => "net",
+            };
+            let _ = writeln!(
+                s,
+                "    let _n{id} = m{i}.{ctor}({:?}, {});",
+                net.name, net.width
+            );
+        }
+        for (target, expr) in m.assigns() {
+            let _ = writeln!(s, "    m{i}.assign({target}, {});", expr_code(expr));
+        }
+        for r in m.regs() {
+            let en = match &r.enable {
+                Some(e) => format!("Some({})", expr_code(e)),
+                None => "None".to_string(),
+            };
+            let _ = writeln!(
+                s,
+                "    m{i}.reg({}, {}, {en}, {});",
+                r.target,
+                expr_code(&r.next),
+                r.init
+            );
+        }
+        for inst in m.instances() {
+            let conns: Vec<String> = inst
+                .connections
+                .iter()
+                .map(|(p, n)| format!("({:?}.into(), {n})", p))
+                .collect();
+            let _ = writeln!(
+                s,
+                "    m{i}.instance({:?}, {:?}, vec![{}]);",
+                inst.module,
+                inst.name,
+                conns.join(", ")
+            );
+        }
+    }
+    let list: Vec<String> = (0..modules.len()).map(|i| format!("m{i}")).collect();
+    let _ = writeln!(
+        s,
+        "    tensorlib_hw::fuzz::assert_engines_agree(&[{}], {top:?}, {seed}, {cycles});",
+        list.join(", ")
+    );
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_netlists_are_valid_and_engines_agree() {
+        let cfg = NetlistFuzzConfig::default();
+        for seed in 0..50 {
+            let (modules, top) = gen_netlist(seed, &cfg);
+            check_netlist(&modules, &top, seed, cfg.cycles, None)
+                .unwrap_or_else(|f| panic!("seed {seed}: {}: {}", f.kind.label(), f.detail));
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let cfg = NetlistFuzzConfig::default();
+        let (a, ta) = gen_netlist(42, &cfg);
+        let (b, tb) = gen_netlist(42, &cfg);
+        assert_eq!(ta, tb);
+        assert_eq!(a, b);
+        let (c, _) = gen_netlist(43, &cfg);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn perturbed_engine_is_detected_and_shrinks_small() {
+        let cfg = NetlistFuzzConfig::default();
+        // Find a seed whose sample actually propagates input 0 to an
+        // observable net (most do).
+        let mut hit = None;
+        for seed in 0..64 {
+            let (modules, top) = gen_netlist(seed, &cfg);
+            if let Err(f) = check_netlist(&modules, &top, seed, cfg.cycles, Some(0)) {
+                assert_eq!(f.kind, NetlistFailureKind::Mismatch);
+                hit = Some((seed, modules, top));
+                break;
+            }
+        }
+        let (seed, modules, top) = hit.expect("some seed must expose the injected fault");
+        let (shrunk, stop) = shrink_netlist(&modules, &top, |mods, t| {
+            matches!(
+                check_netlist(mods, t, seed, cfg.cycles, Some(0)),
+                Err(NetlistFailure {
+                    kind: NetlistFailureKind::Mismatch,
+                    ..
+                })
+            )
+        });
+        // Still failing, and small: the acceptance bar is ≤ 10 nets.
+        assert!(check_netlist(&shrunk, &stop, seed, cfg.cycles, Some(0)).is_err());
+        let total_nets: usize = shrunk.iter().map(|m| m.nets().len()).sum();
+        assert!(
+            total_nets <= 10,
+            "shrunk repro still has {total_nets} nets across {} modules",
+            shrunk.len()
+        );
+    }
+
+    #[test]
+    fn rust_repro_snippet_mentions_every_module() {
+        let cfg = NetlistFuzzConfig::default();
+        let (modules, top) = gen_netlist(7, &cfg);
+        let snippet = rust_repro(&modules, &top, 7, cfg.cycles);
+        assert!(snippet.contains("fn fuzz_regression_seed_7()"));
+        assert!(snippet.contains("assert_engines_agree"));
+        for m in &modules {
+            assert!(snippet.contains(&format!("Module::new({:?})", m.name())));
+        }
+    }
+}

@@ -42,6 +42,7 @@ pub mod array;
 pub mod ctrl;
 pub mod design;
 pub mod fault;
+pub mod fuzz;
 pub mod interp;
 pub mod mem;
 pub mod netlist;

@@ -80,13 +80,13 @@ pub enum Expr {
         /// Value when `sel` is 0.
         on_false: Box<Expr>,
     },
-    /// Zero-extension or truncation to an explicit width. The operand must be
-    /// a [`Expr::Net`] or [`Expr::Const`] (checked by [`Module::validate`])
-    /// so Verilog emission stays well-formed.
+    /// Zero-extension or truncation to an explicit width. Any operand is
+    /// allowed; Verilog emission hoists compound operands into intermediate
+    /// wires where a part-select would otherwise be illegal.
     Resize(Box<Expr>, u32),
-    /// Sign-extension (or truncation) to an explicit width. Same operand
-    /// restriction as [`Expr::Resize`]. Use this for signed datapaths — the
-    /// PE computation cell widens its operands with it.
+    /// Sign-extension (or truncation) to an explicit width. Use this for
+    /// signed datapaths — the PE computation cell widens its operands with
+    /// it.
     SignExtend(Box<Expr>, u32),
 }
 
@@ -232,11 +232,6 @@ pub enum NetlistError {
         /// A net on the cycle.
         net: String,
     },
-    /// `Resize` applied to a compound expression.
-    BadResize {
-        /// Module name.
-        module: String,
-    },
     /// An instance references an unknown module or port, or port direction
     /// conflicts with its use.
     BadInstance {
@@ -271,9 +266,6 @@ impl fmt::Display for NetlistError {
                 f,
                 "combinational cycle through net {net:?} in module {module:?}"
             ),
-            NetlistError::BadResize { module } => {
-                write!(f, "resize of a compound expression in module {module:?}")
-            }
             NetlistError::BadInstance {
                 module,
                 instance,
@@ -443,9 +435,9 @@ impl Module {
             .sum()
     }
 
-    /// Validates single-driver discipline, width agreement, resize
-    /// operands, and combinational acyclicity *within* this module.
-    /// Cross-module port checks live in
+    /// Validates single-driver discipline, width agreement, and
+    /// combinational acyclicity *within* this module. Cross-module port
+    /// checks (including instance-output drivers) live in
     /// [`crate::AcceleratorDesign::validate`].
     ///
     /// # Errors
@@ -465,9 +457,6 @@ impl Module {
         }
         for (target, expr) in &self.assigns {
             drivers[*target] += 1;
-            check_resizes(expr).map_err(|()| NetlistError::BadResize {
-                module: self.name.clone(),
-            })?;
             let got = expr.width(&self.nets);
             let expected = self.nets[*target].width;
             if got != expected {
@@ -481,9 +470,6 @@ impl Module {
         }
         for r in &self.regs {
             drivers[r.target] += 1;
-            check_resizes(&r.next).map_err(|()| NetlistError::BadResize {
-                module: self.name.clone(),
-            })?;
             let got = r.next.width(&self.nets);
             let expected = self.nets[r.target].width;
             if got != expected {
@@ -495,12 +481,12 @@ impl Module {
                 });
             }
         }
-        for inst in &self.instances {
-            // Count instance connections as potential drivers only if nothing
-            // else drives the net; real direction checking happens in the
-            // design-level pass. Here we just record them as "possible".
-            let _ = inst;
-        }
+        // Instance connections are NOT part of this census: direction is a
+        // property of the child module's ports, which this module cannot see.
+        // The design-level pass ([`crate::AcceleratorDesign::validate`])
+        // resolves child port directions and counts instance outputs as
+        // drivers, so an assign-vs-instance-output double drive is caught
+        // there.
         for (id, count) in drivers.iter().enumerate() {
             if *count > 1 {
                 return Err(NetlistError::MultipleDrivers {
@@ -570,30 +556,6 @@ fn count_expr(expr: &Expr, nets: &[Net], counts: &mut OpCounts) {
             count_expr(on_true, nets, counts);
             count_expr(on_false, nets, counts);
         }
-    }
-}
-
-fn check_resizes(expr: &Expr) -> Result<(), ()> {
-    match expr {
-        Expr::Const { .. } | Expr::Net(_) => Ok(()),
-        Expr::Not(e) => check_resizes(e),
-        Expr::Bin(_, a, b) => {
-            check_resizes(a)?;
-            check_resizes(b)
-        }
-        Expr::Mux {
-            sel,
-            on_true,
-            on_false,
-        } => {
-            check_resizes(sel)?;
-            check_resizes(on_true)?;
-            check_resizes(on_false)
-        }
-        Expr::Resize(inner, _) | Expr::SignExtend(inner, _) => match inner.as_ref() {
-            Expr::Net(_) | Expr::Const { .. } => Ok(()),
-            _ => Err(()),
-        },
     }
 }
 
@@ -677,15 +639,17 @@ mod tests {
     }
 
     #[test]
-    fn bad_resize_of_compound_expr() {
-        let mut m = Module::new("bad");
+    fn compound_resize_operands_validate() {
+        // Historically rejected to keep Verilog emission trivially legal;
+        // the emitter now hoists compound part-select operands into named
+        // wires, so these are first-class.
+        let mut m = Module::new("ok");
         let a = m.input("a", 4);
         let b = m.net("b", 8);
+        let c = m.output("c", 2);
         m.assign(b, Expr::net(a).add(Expr::net(a)).resize(8));
-        assert!(matches!(
-            m.validate().unwrap_err(),
-            NetlistError::BadResize { .. }
-        ));
+        m.assign(c, Expr::net(b).add(Expr::lit(1, 8)).sext(2));
+        m.validate().unwrap();
     }
 
     #[test]

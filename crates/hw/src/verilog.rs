@@ -4,11 +4,57 @@
 //! reset); memory banks are emitted from a behavioural template. The output
 //! is deterministic — identical designs emit byte-identical Verilog.
 
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
 use crate::design::AcceleratorDesign;
 use crate::mem::MemBank;
 use crate::netlist::{BinOp, Dir, Expr, Module};
+
+/// Collects intermediate wires for expressions that Verilog cannot
+/// part-select directly. `(a + b)[7:0]` is illegal — a part-select operand
+/// must be a simple identifier — so narrowing `Resize`/`SignExtend` of a
+/// compound expression hoists the operand into a named wire first. Naming is
+/// deterministic (`rsz_0`, `rsz_1`, … in discovery order, skipping any name
+/// the module already uses) and identical subexpressions share one wire, so
+/// emission stays byte-reproducible.
+struct Hoister {
+    used: HashSet<String>,
+    decls: Vec<(String, u32)>,
+    assigns: Vec<(String, String)>,
+    memo: HashMap<(u32, String), String>,
+    counter: usize,
+}
+
+impl Hoister {
+    fn new(m: &Module) -> Hoister {
+        Hoister {
+            used: m.nets().iter().map(|n| n.name.clone()).collect(),
+            decls: Vec::new(),
+            assigns: Vec::new(),
+            memo: HashMap::new(),
+            counter: 0,
+        }
+    }
+
+    fn hoist(&mut self, rhs: String, width: u32) -> String {
+        if let Some(name) = self.memo.get(&(width, rhs.clone())) {
+            return name.clone();
+        }
+        let name = loop {
+            let candidate = format!("rsz_{}", self.counter);
+            self.counter += 1;
+            if !self.used.contains(&candidate) {
+                break candidate;
+            }
+        };
+        self.used.insert(name.clone());
+        self.decls.push((name.clone(), width));
+        self.assigns.push((name.clone(), rhs.clone()));
+        self.memo.insert((width, rhs), name.clone());
+        name
+    }
+}
 
 /// Emits one module as Verilog.
 ///
@@ -69,22 +115,25 @@ pub fn emit_module(m: &Module) -> String {
         let kw = if reg_targets.contains(&id) { "reg" } else { "wire" };
         let _ = writeln!(s, "  {}{}{};", kw, width_decl(n.width), n.name);
     }
-    s.push('\n');
+    // The body is emitted into a scratch buffer first so hoisted wires
+    // (discovered while emitting expressions) can be declared up front.
+    let mut h = Hoister::new(m);
+    let mut body = String::new();
     // Combinational assigns.
     for (target, expr) in m.assigns() {
         let _ = writeln!(
-            s,
+            body,
             "  assign {} = {};",
             m.nets()[*target].name,
-            emit_expr(expr, m)
+            emit_expr(expr, m, &mut h)
         );
     }
     // Registers.
     for r in m.regs() {
         let name = &m.nets()[r.target].name;
-        let _ = writeln!(s, "  always @(posedge clk) begin");
+        let _ = writeln!(body, "  always @(posedge clk) begin");
         let _ = writeln!(
-            s,
+            body,
             "    if (rst) {} <= {}'d{};",
             name,
             m.nets()[r.target].width,
@@ -92,15 +141,19 @@ pub fn emit_module(m: &Module) -> String {
         );
         match &r.enable {
             Some(e) => {
-                let _ = writeln!(s, "    else if ({}) {} <= {};", emit_expr(e, m), name, {
-                    emit_expr(&r.next, m)
-                });
+                let _ = writeln!(
+                    body,
+                    "    else if ({}) {} <= {};",
+                    emit_expr(e, m, &mut h),
+                    name,
+                    emit_expr(&r.next, m, &mut h)
+                );
             }
             None => {
-                let _ = writeln!(s, "    else {} <= {};", name, emit_expr(&r.next, m));
+                let _ = writeln!(body, "    else {} <= {};", name, emit_expr(&r.next, m, &mut h));
             }
         }
-        let _ = writeln!(s, "  end");
+        let _ = writeln!(body, "  end");
     }
     // Instances.
     for inst in m.instances() {
@@ -109,10 +162,18 @@ pub fn emit_module(m: &Module) -> String {
         for (port, net) in &inst.connections {
             conns.push(format!("    .{}({})", port, m.nets()[*net].name));
         }
-        let _ = writeln!(s, "  {} {} (", inst.module, inst.name);
-        let _ = writeln!(s, "{}", conns.join(",\n"));
-        let _ = writeln!(s, "  );");
+        let _ = writeln!(body, "  {} {} (", inst.module, inst.name);
+        let _ = writeln!(body, "{}", conns.join(",\n"));
+        let _ = writeln!(body, "  );");
     }
+    for (name, width) in &h.decls {
+        let _ = writeln!(s, "  wire{}{};", width_decl(*width), name);
+    }
+    s.push('\n');
+    for (name, rhs) in &h.assigns {
+        let _ = writeln!(s, "  assign {name} = {rhs};");
+    }
+    s.push_str(&body);
     let _ = writeln!(s, "endmodule");
     s
 }
@@ -125,11 +186,33 @@ fn width_decl(width: u32) -> String {
     }
 }
 
-fn emit_expr(expr: &Expr, m: &Module) -> String {
+fn bits(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Emits `expr` with `width` part-selectable: nets pass through, constants
+/// fold to a truncated literal (literals cannot be part-selected either),
+/// anything compound is hoisted into a named wire.
+fn selectable(inner: &Expr, m: &Module, h: &mut Hoister) -> String {
+    match inner {
+        Expr::Net(_) => emit_expr(inner, m, h),
+        Expr::Const { value, width } => format!("{width}'d{}", value & bits(*width)),
+        _ => {
+            let rhs = emit_expr(inner, m, h);
+            h.hoist(rhs, inner.width(m.nets()))
+        }
+    }
+}
+
+fn emit_expr(expr: &Expr, m: &Module, h: &mut Hoister) -> String {
     match expr {
         Expr::Const { value, width } => format!("{width}'d{value}"),
         Expr::Net(id) => m.nets()[*id].name.clone(),
-        Expr::Not(e) => format!("(~{})", emit_expr(e, m)),
+        Expr::Not(e) => format!("(~{})", emit_expr(e, m, h)),
         Expr::Bin(op, a, b) => {
             let o = match op {
                 BinOp::Add => "+",
@@ -141,7 +224,7 @@ fn emit_expr(expr: &Expr, m: &Module) -> String {
                 BinOp::Eq => "==",
                 BinOp::Lt => "<",
             };
-            format!("({} {} {})", emit_expr(a, m), o, emit_expr(b, m))
+            format!("({} {} {})", emit_expr(a, m, h), o, emit_expr(b, m, h))
         }
         Expr::Mux {
             sel,
@@ -149,30 +232,48 @@ fn emit_expr(expr: &Expr, m: &Module) -> String {
             on_false,
         } => format!(
             "({} ? {} : {})",
-            emit_expr(sel, m),
-            emit_expr(on_true, m),
-            emit_expr(on_false, m)
+            emit_expr(sel, m, h),
+            emit_expr(on_true, m, h),
+            emit_expr(on_false, m, h)
         ),
         Expr::Resize(inner, w) => {
             let iw = inner.width(m.nets());
-            let inner_s = emit_expr(inner, m);
             if *w == iw {
-                inner_s
+                emit_expr(inner, m, h)
             } else if *w < iw {
-                format!("{inner_s}[{}:0]", w - 1)
+                // Part-select needs an identifier, so narrow via a hoisted
+                // wire (or fold a constant).
+                if let Expr::Const { value, .. } = inner.as_ref() {
+                    format!("{w}'d{}", value & bits(*w))
+                } else {
+                    format!("{}[{}:0]", selectable(inner, m, h), w - 1)
+                }
             } else {
-                format!("{{{{{}{{1'b0}}}}, {inner_s}}}", w - iw)
+                format!("{{{{{}{{1'b0}}}}, {}}}", w - iw, emit_expr(inner, m, h))
             }
         }
         Expr::SignExtend(inner, w) => {
             let iw = inner.width(m.nets());
-            let inner_s = emit_expr(inner, m);
             if *w == iw {
-                inner_s
+                emit_expr(inner, m, h)
             } else if *w < iw {
-                format!("{inner_s}[{}:0]", w - 1)
+                if let Expr::Const { value, .. } = inner.as_ref() {
+                    format!("{w}'d{}", value & bits(*w))
+                } else {
+                    format!("{}[{}:0]", selectable(inner, m, h), w - 1)
+                }
+            } else if let Expr::Const { value, width } = inner.as_ref() {
+                // Fold: the MSB replication below needs a part-select.
+                let v = value & bits(*width);
+                let ext = if *width > 0 && (v >> (width - 1)) & 1 == 1 {
+                    (v | !bits(*width)) & bits(*w)
+                } else {
+                    v
+                };
+                format!("{w}'d{ext}")
             } else {
-                format!("{{{{{}{{{inner_s}[{}]}}}}, {inner_s}}}", w - iw, iw - 1)
+                let name = selectable(inner, m, h);
+                format!("{{{{{}{{{name}[{}]}}}}, {name}}}", w - iw, iw - 1)
             }
         }
     }
@@ -403,6 +504,87 @@ mod tests {
         let v = emit_module(&m);
         assert!(v.contains("{{4{1'b0}}, a}"), "zero extension: {v}");
         assert!(v.contains("a[3:0]"), "truncation: {v}");
+    }
+
+    #[test]
+    fn narrowing_a_compound_operand_hoists_a_wire() {
+        // `(a + b)[3:0]` is illegal Verilog: part-select operands must be
+        // identifiers. The emitter must route the sum through a named wire.
+        let mut m = Module::new("nar");
+        let a = m.input("a", 8);
+        let b = m.input("b", 8);
+        let y = m.output("y", 4);
+        m.assign(y, Expr::net(a).add(Expr::net(b)).resize(4));
+        let v = emit_module(&m);
+        assert!(!v.contains(")["), "no part-select of a parenthesized expr: {v}");
+        assert!(v.contains("wire [7:0] rsz_0;"), "hoisted wire declared: {v}");
+        assert!(v.contains("assign rsz_0 = (a + b);"), "hoisted assign: {v}");
+        assert!(v.contains("assign y = rsz_0[3:0];"), "narrow via the wire: {v}");
+    }
+
+    #[test]
+    fn sign_extending_a_mux_operand_hoists_a_wire() {
+        let mut m = Module::new("sx");
+        let s = m.input("s", 1);
+        let a = m.input("a", 8);
+        let b = m.input("b", 8);
+        let y = m.output("y", 12);
+        m.assign(y, Expr::mux(Expr::net(s), Expr::net(a), Expr::net(b)).sext(12));
+        let v = emit_module(&m);
+        assert!(!v.contains(")["), "no part-select of a parenthesized expr: {v}");
+        assert!(v.contains("assign rsz_0 = (s ? a : b);"), "hoisted mux: {v}");
+        // MSB replication and the concatenated value both use the wire.
+        assert!(v.contains("{{4{rsz_0[7]}}, rsz_0}"), "sign extension: {v}");
+    }
+
+    #[test]
+    fn narrowing_sign_extend_of_a_bin_operand_hoists_a_wire() {
+        let mut m = Module::new("nsx");
+        let a = m.input("a", 8);
+        let y = m.output("y", 4);
+        m.assign(y, Expr::net(a).add(Expr::net(a)).sext(4));
+        let v = emit_module(&m);
+        assert!(v.contains("assign rsz_0 = (a + a);"), "{v}");
+        assert!(v.contains("assign y = rsz_0[3:0];"), "{v}");
+    }
+
+    #[test]
+    fn identical_hoisted_subexpressions_share_one_wire() {
+        let mut m = Module::new("share");
+        let a = m.input("a", 8);
+        let y = m.output("y", 4);
+        let z = m.output("z", 4);
+        m.assign(y, Expr::net(a).add(Expr::lit(1, 8)).resize(4));
+        m.assign(z, Expr::net(a).add(Expr::lit(1, 8)).resize(4));
+        let v = emit_module(&m);
+        assert_eq!(v.matches("assign rsz_0 = ").count(), 1, "{v}");
+        assert!(!v.contains("rsz_1"), "memoized, not duplicated: {v}");
+    }
+
+    #[test]
+    fn hoist_names_skip_existing_nets() {
+        let mut m = Module::new("clash");
+        let a = m.input("a", 8);
+        let taken = m.net("rsz_0", 8);
+        m.assign(taken, Expr::net(a));
+        let y = m.output("y", 4);
+        m.assign(y, Expr::net(a).add(Expr::net(a)).resize(4));
+        let v = emit_module(&m);
+        assert!(v.contains("assign rsz_1 = (a + a);"), "{v}");
+    }
+
+    #[test]
+    fn constant_resizes_fold_instead_of_part_selecting() {
+        // `8'd200[3:0]` is just as illegal as `(a+b)[3:0]`.
+        let mut m = Module::new("cf");
+        let y = m.output("y", 4);
+        let z = m.output("z", 8);
+        m.assign(y, Expr::lit(200, 8).resize(4));
+        // 4'b1001 sign-extended to 8 bits = 8'd249.
+        m.assign(z, Expr::lit(9, 4).sext(8));
+        let v = emit_module(&m);
+        assert!(v.contains("assign y = 4'd8;"), "200 & 0xF == 8: {v}");
+        assert!(v.contains("assign z = 8'd249;"), "sign-extended literal: {v}");
     }
 
     #[test]

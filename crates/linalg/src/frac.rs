@@ -239,24 +239,49 @@ impl Ord for Frac {
     }
 }
 
+/// Overflow-checked `i128` helpers: debug builds would panic on their own,
+/// but release builds silently wrap, which breaks the type's documented
+/// "arithmetic panics on overflow" contract. Every product/sum feeding
+/// [`Frac::new`] goes through these.
+fn ck_mul(a: i128, b: i128) -> i128 {
+    a.checked_mul(b)
+        .unwrap_or_else(|| panic!("Frac arithmetic overflowed i128 ({a} * {b})"))
+}
+
+fn ck_add(a: i128, b: i128) -> i128 {
+    a.checked_add(b)
+        .unwrap_or_else(|| panic!("Frac arithmetic overflowed i128 ({a} + {b})"))
+}
+
+fn ck_sub(a: i128, b: i128) -> i128 {
+    a.checked_sub(b)
+        .unwrap_or_else(|| panic!("Frac arithmetic overflowed i128 ({a} - {b})"))
+}
+
 impl Add for Frac {
     type Output = Frac;
     fn add(self, rhs: Frac) -> Frac {
-        Frac::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+        Frac::new(
+            ck_add(ck_mul(self.num, rhs.den), ck_mul(rhs.num, self.den)),
+            ck_mul(self.den, rhs.den),
+        )
     }
 }
 
 impl Sub for Frac {
     type Output = Frac;
     fn sub(self, rhs: Frac) -> Frac {
-        Frac::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+        Frac::new(
+            ck_sub(ck_mul(self.num, rhs.den), ck_mul(rhs.num, self.den)),
+            ck_mul(self.den, rhs.den),
+        )
     }
 }
 
 impl Mul for Frac {
     type Output = Frac;
     fn mul(self, rhs: Frac) -> Frac {
-        Frac::new(self.num * rhs.num, self.den * rhs.den)
+        Frac::new(ck_mul(self.num, rhs.num), ck_mul(self.den, rhs.den))
     }
 }
 
@@ -264,7 +289,7 @@ impl Div for Frac {
     type Output = Frac;
     fn div(self, rhs: Frac) -> Frac {
         assert!(rhs.num != 0, "division by zero fraction");
-        Frac::new(self.num * rhs.den, self.den * rhs.num)
+        Frac::new(ck_mul(self.num, rhs.den), ck_mul(self.den, rhs.num))
     }
 }
 
@@ -412,5 +437,51 @@ mod tests {
     #[test]
     fn lossy_f64() {
         assert!((Frac::new(1, 4).to_f64() - 0.25).abs() < 1e-12);
+    }
+
+    /// Meaningful in release builds too: the raw `*`/`+` operators would
+    /// wrap silently there (no debug overflow checks), violating the
+    /// documented panic-on-overflow contract. `checked_*` must panic with
+    /// the explicit message in every profile.
+    #[test]
+    fn arithmetic_panics_on_overflow_in_all_profiles() {
+        use std::panic::catch_unwind;
+
+        let huge = Frac::from(i128::MAX / 2 + 1);
+        let cases: [(&str, Box<dyn Fn() + std::panic::UnwindSafe>); 4] = [
+            ("add", Box::new(move || drop(huge + huge))),
+            (
+                "sub",
+                Box::new(|| drop(Frac::from(i128::MIN + 1) - Frac::from(2i128))),
+            ),
+            ("mul", Box::new(move || drop(huge * huge))),
+            ("div", Box::new(move || drop(huge / huge.recip()))),
+        ];
+        for (op, f) in cases {
+            let err = catch_unwind(f).expect_err(op);
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(
+                msg.contains("Frac arithmetic overflowed i128"),
+                "{op}: wrong panic message: {msg:?}"
+            );
+        }
+
+        // Accumulator forms delegate to the binary ops and must share the
+        // contract.
+        assert!(catch_unwind(move || {
+            let mut x = huge;
+            x += huge;
+        })
+        .is_err());
+        assert!(catch_unwind(move || [huge, huge].into_iter().sum::<Frac>()).is_err());
+        assert!(
+            catch_unwind(move || [huge, huge].into_iter().product::<Frac>()).is_err()
+        );
+
+        // Well-formed small values are unaffected.
+        assert_eq!(Frac::new(1, 3) + Frac::new(1, 6), Frac::new(1, 2));
     }
 }

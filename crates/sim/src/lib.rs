@@ -53,8 +53,10 @@ pub mod functional;
 pub mod perf;
 pub mod resilience;
 pub mod trace;
+pub mod verify;
 
 pub use config::{SimConfig, SimReport};
 pub use functional::{simulate_budgeted, FunctionalRun, SimError};
 pub use resilience::{CampaignConfig, CampaignError, FaultClass, ResilienceReport};
 pub use trace::{InterpreterStats, MeasuredRun, MeasureError, TraceConfig};
+pub use verify::{run_verify, VerifyConfig, VerifyReport};

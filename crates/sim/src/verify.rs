@@ -1,0 +1,618 @@
+//! Differential verification campaigns over seeded random inputs.
+//!
+//! Two fuzzing modes share one report format:
+//!
+//! - **Netlist mode** drives [`tensorlib_hw::fuzz`]: random-but-valid
+//!   netlists through `Module::validate`, Verilog-emission linting,
+//!   elaboration, and a lock-step compiled-vs-tree-walking differential run.
+//! - **Pipeline mode** samples whole generation pipelines — kernel × tile
+//!   sizes × loop selection × STT × hardening variant — and runs each
+//!   surviving design through a deeper oracle stack: design-level
+//!   validation, elaboration, the reference functional executor, and a full
+//!   controller round executed by both interpreter engines with every
+//!   output port, detector, and hardware counter compared.
+//!
+//! Samples the pipeline legitimately cannot build (singular STT, non-
+//! neighbour reuse, over-budget runs) count as *rejected*, not findings —
+//! a finding always means two parts of the system disagree about an input
+//! both accepted.
+//!
+//! Campaigns parallelize over [`tensorlib_linalg::par`] with per-seed panic
+//! isolation. Findings are keyed by seed and reported in seed order, and the
+//! report deliberately omits the worker count, so the serialized report is
+//! byte-identical for any `workers` setting — a property CI asserts.
+
+use serde::Serialize;
+use tensorlib_dataflow::{Dataflow, LoopSelection, Stt};
+use tensorlib_hw::design::{generate, AcceleratorDesign, HwConfig};
+use tensorlib_hw::fault::{Hardening, SplitMix64};
+use tensorlib_hw::fuzz::{
+    check_netlist, gen_netlist, rust_repro, shrink_netlist, NetlistFuzzConfig,
+};
+use tensorlib_hw::interp::{elaborate_design, Interpreter};
+use tensorlib_hw::trace::TraceConfig;
+use tensorlib_hw::{ArrayConfig, HwError};
+use tensorlib_ir::{workloads, Kernel};
+use tensorlib_linalg::par::par_map_catch;
+
+use crate::functional::{simulate_budgeted, SimError};
+use crate::trace::fill_input_banks;
+
+/// Campaign parameters shared by both fuzzing modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct VerifyConfig {
+    /// First seed (inclusive).
+    pub seed_start: u64,
+    /// Number of seeds per enabled mode.
+    pub seeds: u64,
+    /// Worker threads. Never copied into [`VerifyReport`], so any value
+    /// yields the same report bytes.
+    pub workers: usize,
+    /// Cycles per netlist differential run.
+    pub cycles: u64,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> VerifyConfig {
+        VerifyConfig {
+            seed_start: 0,
+            seeds: 100,
+            workers: 1,
+            cycles: 16,
+        }
+    }
+}
+
+/// One surviving disagreement, minimized where a shrinker exists.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Finding {
+    /// `"netlist"` or `"pipeline"`.
+    pub mode: String,
+    /// The seed that produced it (sufficient to reproduce the run).
+    pub seed: u64,
+    /// Failing oracle: `validate`, `emission`, `elaborate`, `functional`,
+    /// `mismatch`, or `panic`.
+    pub kind: String,
+    /// Human-readable specifics.
+    pub detail: String,
+    /// Total nets across the shrunk netlist's modules (netlist mode).
+    pub shrunk_nets: Option<usize>,
+    /// The shrunk netlist, serialized as JSON (netlist mode).
+    pub modules_json: Option<String>,
+    /// Paste-ready Rust regression test (netlist mode).
+    pub rust_snippet: Option<String>,
+    /// The sampled pipeline, for pipeline-mode findings.
+    pub pipeline: Option<PipelineSample>,
+}
+
+/// Per-mode campaign tallies.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ModeReport {
+    /// Seeds executed.
+    pub seeds_run: u64,
+    /// Samples the pipeline legitimately rejected (pipeline mode only).
+    pub rejected: u64,
+    /// Surviving disagreements, in seed order.
+    pub findings: Vec<Finding>,
+}
+
+/// The full campaign report. Serialization is byte-stable for a given
+/// `(seed_start, seeds, cycles)` regardless of worker count.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct VerifyReport {
+    /// First seed (inclusive).
+    pub seed_start: u64,
+    /// Seeds per enabled mode.
+    pub seeds: u64,
+    /// Cycles per netlist differential run.
+    pub cycles: u64,
+    /// Netlist-mode results (absent if the mode was skipped).
+    pub netlist: Option<ModeReport>,
+    /// Pipeline-mode results (absent if the mode was skipped).
+    pub pipeline: Option<ModeReport>,
+    /// Finding count across both modes — CI gates on this being zero.
+    pub total_findings: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Netlist mode
+// ---------------------------------------------------------------------------
+
+fn netlist_finding(seed: u64, cfg: &VerifyConfig) -> Option<Finding> {
+    let gen_cfg = NetlistFuzzConfig {
+        cycles: cfg.cycles,
+        ..NetlistFuzzConfig::default()
+    };
+    let (modules, top) = gen_netlist(seed, &gen_cfg);
+    let failure = match check_netlist(&modules, &top, seed, cfg.cycles, None) {
+        Ok(()) => return None,
+        Err(f) => f,
+    };
+    // Shrink while the *same* oracle keeps failing, so the minimized repro
+    // demonstrates the original bug and not a different one.
+    let kind = failure.kind;
+    let (shrunk, stop) = shrink_netlist(&modules, &top, |mods, t| {
+        matches!(check_netlist(mods, t, seed, cfg.cycles, None),
+                 Err(f) if f.kind == kind)
+    });
+    let detail = check_netlist(&shrunk, &stop, seed, cfg.cycles, None)
+        .err()
+        .map_or(failure.detail, |f| f.detail);
+    Some(Finding {
+        mode: "netlist".into(),
+        seed,
+        kind: kind.label().into(),
+        detail,
+        shrunk_nets: Some(shrunk.iter().map(|m| m.nets().len()).sum()),
+        modules_json: serde_json::to_string(&shrunk).ok(),
+        rust_snippet: Some(rust_repro(&shrunk, &stop, seed, cfg.cycles)),
+        pipeline: None,
+    })
+}
+
+/// Runs the netlist-mode campaign: `cfg.seeds` random netlists through the
+/// full [`tensorlib_hw::fuzz`] oracle stack, shrinking every failure.
+pub fn run_netlist_campaign(cfg: &VerifyConfig) -> ModeReport {
+    let seeds: Vec<u64> = (cfg.seed_start..cfg.seed_start + cfg.seeds).collect();
+    let results = par_map_catch(&seeds, cfg.workers.max(1), 8, |_, &seed| {
+        netlist_finding(seed, cfg)
+    });
+    collect_findings(cfg.seeds, 0, seeds, results)
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline mode
+// ---------------------------------------------------------------------------
+
+/// A sampled point in the generation pipeline's input space.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct PipelineSample {
+    /// Workload family.
+    pub kernel: String,
+    /// Loop extents, in the kernel constructor's argument order.
+    pub dims: Vec<u64>,
+    /// The `(x1, x2, x3)` loop-name selection.
+    pub selection: [String; 3],
+    /// STT rows.
+    pub stt: [[i64; 3]; 3],
+    /// PE-array rows.
+    pub rows: usize,
+    /// PE-array columns.
+    pub cols: usize,
+    /// Hardening variant, in [`Hardening::parse`] syntax (empty = none).
+    pub hardening: String,
+}
+
+fn build_kernel(s: &PipelineSample) -> Kernel {
+    let d = &s.dims;
+    match s.kernel.as_str() {
+        "gemm" => workloads::gemm(d[0], d[1], d[2]),
+        "batched_gemv" => workloads::batched_gemv(d[0], d[1], d[2]),
+        "conv2d" => workloads::conv2d(d[0], d[1], d[2], d[3], d[4], d[5]),
+        "depthwise_conv" => workloads::depthwise_conv(d[0], d[1], d[2], d[3], d[4]),
+        "mttkrp" => workloads::mttkrp(d[0], d[1], d[2], d[3]),
+        _ => workloads::ttmc(d[0], d[1], d[2], d[3], d[4]),
+    }
+}
+
+/// Draws a pipeline sample for `seed`. Every field derives from the seed
+/// alone, so the sample (and everything downstream of it) is reproducible
+/// from the report.
+pub fn sample_pipeline(seed: u64) -> PipelineSample {
+    fn dim(rng: &mut SplitMix64, lo: u64, hi: u64) -> u64 {
+        lo + rng.below(hi - lo + 1)
+    }
+    let mut rng = SplitMix64::new(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let r = &mut rng;
+    let (kernel, dims): (&str, Vec<u64>) = match r.below(6) {
+        0 => ("gemm", vec![dim(r, 2, 4), dim(r, 2, 4), dim(r, 2, 6)]),
+        1 => ("batched_gemv", vec![dim(r, 2, 4), dim(r, 2, 4), dim(r, 2, 4)]),
+        2 => (
+            "conv2d",
+            vec![dim(r, 2, 3), dim(r, 2, 3), dim(r, 3, 4), dim(r, 3, 4), 2, 2],
+        ),
+        3 => (
+            "depthwise_conv",
+            vec![dim(r, 2, 3), dim(r, 3, 4), dim(r, 3, 4), 2, 2],
+        ),
+        4 => (
+            "mttkrp",
+            vec![dim(r, 2, 3), dim(r, 2, 3), dim(r, 2, 3), dim(r, 2, 3)],
+        ),
+        _ => (
+            "ttmc",
+            vec![
+                dim(r, 2, 3),
+                dim(r, 2, 3),
+                dim(r, 2, 3),
+                dim(r, 2, 3),
+                dim(r, 2, 3),
+            ],
+        ),
+    };
+    let k = build_kernel(&PipelineSample {
+        kernel: kernel.into(),
+        dims: dims.clone(),
+        selection: [String::new(), String::new(), String::new()],
+        stt: [[0; 3]; 3],
+        rows: 0,
+        cols: 0,
+        hardening: String::new(),
+    });
+    // A random ordered 3-subset of the kernel's loop names.
+    let names: Vec<String> = k
+        .loop_nest()
+        .names()
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+    let mut pool: Vec<String> = names;
+    let mut selection: Vec<String> = Vec::new();
+    for _ in 0..3 {
+        let i = rng.below(pool.len() as u64) as usize;
+        selection.push(pool.remove(i));
+    }
+    // Known-good STT menu (systolic, stationary, skewed) plus a random
+    // small-entry matrix; singular draws are rejected downstream.
+    let stt = match rng.below(6) {
+        0 => [[1, 0, 0], [0, 1, 0], [1, 1, 1]],
+        1 => [[0, 0, 1], [0, 1, 0], [1, 1, 1]],
+        2 => [[0, 1, 0], [0, 0, 1], [1, 0, 0]],
+        3 => [[1, -1, 0], [0, 1, 0], [0, 0, 1]],
+        4 => [[1, 1, 0], [0, 0, 1], [0, 1, 0]],
+        _ => {
+            let mut m = [[0i64; 3]; 3];
+            for row in &mut m {
+                for v in row.iter_mut() {
+                    *v = rng.below(3) as i64 - 1;
+                }
+            }
+            m
+        }
+    };
+    let rows = if rng.below(2) == 0 { 2 } else { 4 };
+    let cols = if rng.below(2) == 0 { 2 } else { 4 };
+    let hardening = match rng.below(5) {
+        0 => "",
+        1 => "tmr",
+        2 => "parity",
+        3 => "abft",
+        _ => "tmr,parity,abft",
+    };
+    PipelineSample {
+        kernel: kernel.into(),
+        dims,
+        selection: [
+            selection[0].clone(),
+            selection[1].clone(),
+            selection[2].clone(),
+        ],
+        stt,
+        rows,
+        cols,
+        hardening: hardening.into(),
+    }
+}
+
+enum PipelineOutcome {
+    Clean,
+    Rejected,
+    Failed { kind: String, detail: String },
+}
+
+/// Builds the sampled design, or classifies why it can't be built.
+fn build_design(s: &PipelineSample) -> Result<(Kernel, AcceleratorDesign), PipelineOutcome> {
+    let kernel = build_kernel(s);
+    let sel = [
+        s.selection[0].as_str(),
+        s.selection[1].as_str(),
+        s.selection[2].as_str(),
+    ];
+    // Selection and STT rejections are the sampler's own dice coming up
+    // invalid — not findings.
+    let Ok(selection) = LoopSelection::by_names(&kernel, sel) else {
+        return Err(PipelineOutcome::Rejected);
+    };
+    let Ok(stt) = Stt::from_rows(s.stt) else {
+        return Err(PipelineOutcome::Rejected);
+    };
+    let Ok(df) = Dataflow::analyze(&kernel, selection, stt) else {
+        return Err(PipelineOutcome::Rejected);
+    };
+    let hardening = Hardening::parse(&s.hardening).expect("menu variants parse");
+    let cfg = HwConfig {
+        array: ArrayConfig {
+            rows: s.rows,
+            cols: s.cols,
+        },
+        hardening,
+        ..HwConfig::default()
+    };
+    match generate(&df, &cfg) {
+        Ok(d) => Ok((kernel, d)),
+        // The interconnect templates legitimately refuse far-hop reuse;
+        // anything else out of `generate` is a generator bug.
+        Err(HwError::NonNeighborReuse { .. }) => Err(PipelineOutcome::Rejected),
+        Err(e) => Err(PipelineOutcome::Failed {
+            kind: "generate".into(),
+            detail: e.to_string(),
+        }),
+    }
+}
+
+/// Runs one controller round on both engines, comparing every output port,
+/// detector, and the full hardware-counter block.
+fn differential_round(design: &AcceleratorDesign) -> Result<(), (String, String)> {
+    let flat = elaborate_design(design, design.top())
+        .map_err(|e| ("elaborate".to_string(), e.to_string()))?;
+    let cfg = TraceConfig::counters_only();
+    let mut fast = Interpreter::with_trace(flat.clone(), &cfg)
+        .map_err(|e| ("trace".to_string(), e.to_string()))?;
+    let mut slow = Interpreter::new_tree_walking(flat);
+    slow.attach_trace(&cfg)
+        .map_err(|e| ("trace".to_string(), e.to_string()))?;
+    for sim in [&mut fast, &mut slow] {
+        fill_input_banks(sim, design).map_err(|e| ("load".to_string(), e.to_string()))?;
+        sim.poke("start", 1);
+    }
+    let phases = design.phases();
+    let pre = 1 + phases.total() + phases.load_cycles + phases.compute_cycles;
+    let has_tmr = design.config().hardening.tmr_ctrl;
+    let watched: Vec<String> = {
+        let mut w = vec!["done".to_string()];
+        if has_tmr {
+            w.push("tmr_mismatch".to_string());
+        }
+        for (bi, b) in design.bank_bindings().iter().enumerate() {
+            if !b.port.kind.is_input() {
+                w.push(format!("result_{bi}"));
+            }
+        }
+        w
+    };
+    let mismatch = |cycle: u64, name: &str, f: u64, s: u64| {
+        (
+            "mismatch".to_string(),
+            format!("port {name:?} diverged at cycle {cycle}: compiled={f} tree={s}"),
+        )
+    };
+    for cycle in 0..pre {
+        fast.step();
+        slow.step();
+        for name in &watched {
+            let (f, s) = (fast.peek(name), slow.peek(name));
+            if f != s {
+                return Err(mismatch(cycle, name, f, s));
+            }
+        }
+    }
+    // Drain the result banks through the readback ports on both engines.
+    for (bi, b) in design.bank_bindings().iter().enumerate() {
+        if !b.port.kind.is_input() {
+            fast.poke(&format!("readback_{bi}"), 1);
+            slow.poke(&format!("readback_{bi}"), 1);
+        }
+    }
+    for d in 0..design.config().array.rows as u64 {
+        fast.step();
+        slow.step();
+        for name in &watched {
+            let (f, s) = (fast.peek(name), slow.peek(name));
+            if f != s {
+                return Err(mismatch(pre + d, name, f, s));
+            }
+        }
+    }
+    if fast.parity_error_count() != slow.parity_error_count() {
+        return Err((
+            "mismatch".to_string(),
+            format!(
+                "parity counters diverged: compiled={} tree={}",
+                fast.parity_error_count(),
+                slow.parity_error_count()
+            ),
+        ));
+    }
+    if fast.stats() != slow.stats() {
+        let render = |s: Option<&tensorlib_hw::trace::InterpreterStats>| {
+            s.and_then(|s| serde_json::to_string(s).ok())
+                .unwrap_or_else(|| "none".to_string())
+        };
+        return Err((
+            "mismatch".to_string(),
+            format!(
+                "hardware counters diverged: compiled={} tree={}",
+                render(fast.stats()),
+                render(slow.stats())
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn pipeline_outcome(seed: u64) -> PipelineOutcome {
+    let sample = sample_pipeline(seed);
+    let (kernel, design) = match build_design(&sample) {
+        Ok(x) => x,
+        Err(o) => return o,
+    };
+    if let Err(e) = design.validate() {
+        return PipelineOutcome::Failed {
+            kind: "validate".into(),
+            detail: e.to_string(),
+        };
+    }
+    // Reference functional executor as an end-to-end oracle: the design must
+    // reproduce the kernel's reference output exactly.
+    match simulate_budgeted(&design, &kernel, seed, Some(1 << 22)) {
+        Ok(run) => debug_assert!(run.matches_reference),
+        Err(SimError::CycleBudgetExceeded { .. }) => return PipelineOutcome::Rejected,
+        Err(e) => {
+            return PipelineOutcome::Failed {
+                kind: "functional".into(),
+                detail: e.to_string(),
+            }
+        }
+    }
+    match differential_round(&design) {
+        Ok(()) => PipelineOutcome::Clean,
+        Err((kind, detail)) => PipelineOutcome::Failed { kind, detail },
+    }
+}
+
+/// Runs the pipeline-mode campaign: `cfg.seeds` sampled generation
+/// pipelines, each through design validation, the reference functional
+/// executor, and a dual-engine controller round.
+pub fn run_pipeline_campaign(cfg: &VerifyConfig) -> ModeReport {
+    let seeds: Vec<u64> = (cfg.seed_start..cfg.seed_start + cfg.seeds).collect();
+    let results = par_map_catch(&seeds, cfg.workers.max(1), 4, |_, &seed| {
+        match pipeline_outcome(seed) {
+            PipelineOutcome::Clean => (false, None),
+            PipelineOutcome::Rejected => (true, None),
+            PipelineOutcome::Failed { kind, detail } => (
+                false,
+                Some(Finding {
+                    mode: "pipeline".into(),
+                    seed,
+                    kind,
+                    detail,
+                    shrunk_nets: None,
+                    modules_json: None,
+                    rust_snippet: None,
+                    pipeline: Some(sample_pipeline(seed)),
+                }),
+            ),
+        }
+    });
+    let mut rejected = 0u64;
+    let mut findings = Vec::new();
+    for (i, r) in results.into_iter().enumerate() {
+        match r {
+            Ok((true, _)) => rejected += 1,
+            Ok((false, Some(f))) => findings.push(f),
+            Ok((false, None)) => {}
+            Err(panic_msg) => findings.push(panic_finding("pipeline", seeds[i], panic_msg)),
+        }
+    }
+    ModeReport {
+        seeds_run: cfg.seeds,
+        rejected,
+        findings,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report assembly
+// ---------------------------------------------------------------------------
+
+fn panic_finding(mode: &str, seed: u64, msg: String) -> Finding {
+    Finding {
+        mode: mode.into(),
+        seed,
+        kind: "panic".into(),
+        detail: msg,
+        shrunk_nets: None,
+        modules_json: None,
+        rust_snippet: None,
+        pipeline: None,
+    }
+}
+
+fn collect_findings(
+    seeds_run: u64,
+    rejected: u64,
+    seeds: Vec<u64>,
+    results: Vec<Result<Option<Finding>, String>>,
+) -> ModeReport {
+    let mut findings = Vec::new();
+    for (i, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(Some(f)) => findings.push(f),
+            Ok(None) => {}
+            Err(panic_msg) => findings.push(panic_finding("netlist", seeds[i], panic_msg)),
+        }
+    }
+    ModeReport {
+        seeds_run,
+        rejected,
+        findings,
+    }
+}
+
+/// Runs the requested campaign modes and assembles the final report.
+pub fn run_verify(
+    cfg: &VerifyConfig,
+    netlist: bool,
+    pipeline: bool,
+) -> VerifyReport {
+    let netlist = netlist.then(|| run_netlist_campaign(cfg));
+    let pipeline = pipeline.then(|| run_pipeline_campaign(cfg));
+    let total_findings = netlist.as_ref().map_or(0, |m| m.findings.len())
+        + pipeline.as_ref().map_or(0, |m| m.findings.len());
+    VerifyReport {
+        seed_start: cfg.seed_start,
+        seeds: cfg.seeds,
+        cycles: cfg.cycles,
+        netlist,
+        pipeline,
+        total_findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netlist_campaign_is_clean_on_default_seeds() {
+        let cfg = VerifyConfig {
+            seeds: 40,
+            ..VerifyConfig::default()
+        };
+        let report = run_netlist_campaign(&cfg);
+        assert_eq!(report.seeds_run, 40);
+        assert!(
+            report.findings.is_empty(),
+            "unexpected findings: {:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn pipeline_campaign_is_clean_and_not_all_rejected() {
+        let cfg = VerifyConfig {
+            seeds: 25,
+            workers: 2,
+            ..VerifyConfig::default()
+        };
+        let report = run_pipeline_campaign(&cfg);
+        assert!(
+            report.findings.is_empty(),
+            "unexpected findings: {:?}",
+            report.findings
+        );
+        assert!(
+            report.rejected < report.seeds_run,
+            "every sample was rejected — the sampler menu is broken"
+        );
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        assert_eq!(sample_pipeline(9), sample_pipeline(9));
+        assert_ne!(sample_pipeline(9), sample_pipeline(10));
+    }
+
+    #[test]
+    fn reports_are_byte_identical_across_worker_counts() {
+        let mut one = VerifyConfig {
+            seeds: 12,
+            workers: 1,
+            ..VerifyConfig::default()
+        };
+        let a = serde_json::to_string(&run_verify(&one, true, true)).unwrap();
+        one.workers = 4;
+        let b = serde_json::to_string(&run_verify(&one, true, true)).unwrap();
+        assert_eq!(a, b);
+    }
+}

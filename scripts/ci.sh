@@ -14,6 +14,7 @@ cargo clippy -q --all-targets -- -D warnings
 cargo test -q --test pe_golden
 cargo test -q --test trace_observability
 cargo test -q --test proptest_pipeline
+cargo test -q --test fuzz_regressions
 cargo test -q -p tensorlib-hw --lib trace
 cargo test -q -p tensorlib-sim --lib trace
 
@@ -22,6 +23,13 @@ cargo test -q -p tensorlib-sim --lib trace
 # without error (report goes to stdout; jq-free sanity grep).
 ./target/release/tensorlib faults --faults 8 --seed 7 --harden full -o - \
     | grep -q '"detection_coverage"'
+
+# Differential-fuzz smoke: a bounded fixed-seed campaign in both modes must
+# survive every oracle (engine differential, emission lint, validators,
+# functional executor) with zero findings. The report is byte-deterministic
+# for any worker count, so the grep is stable.
+./target/release/tensorlib fuzz --mode both --seed 0 --seeds 200 -o - \
+    | grep -q '"total_findings": 0'
 
 # Perf gate. perfgate itself enforces the trace-off overhead ceiling; with a
 # committed baseline it also gates compiled-interpreter throughput.
