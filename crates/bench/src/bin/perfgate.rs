@@ -38,13 +38,45 @@ const TRACE_OFF_OVERHEAD_CEILING_PCT: f64 = 3.0;
 /// must stay under this ceiling.
 const FAULT_ARMED_OVERHEAD_CEILING_PCT: f64 = 3.0;
 
+/// Framework observability (`tensorlib_obs`) must be pay-for-use as well:
+/// with recording disabled, the instrumentation left in the pipeline may
+/// cost at most this much of a sweep's wall-time.
+const OBS_DISABLED_OVERHEAD_CEILING_PCT: f64 = 3.0;
+
 #[derive(Serialize)]
 struct PerfGateReport {
+    schema_version: u32,
     host_cores: usize,
     interpreter: InterpReport,
     trace_overhead: TraceOverheadReport,
     fault_overhead: FaultOverheadReport,
+    obs_overhead: ObsOverheadReport,
     explore: ExploreReport,
+}
+
+#[derive(Serialize)]
+struct ObsOverheadReport {
+    scenario: String,
+    /// Cost of one disabled [`tensorlib_obs::span`] call in nanoseconds —
+    /// the per-hook price every instrumented function pays when recording
+    /// is off (one relaxed atomic load).
+    disabled_span_ns: f64,
+    /// Spans a profiled run of the scenario records — i.e. how many times
+    /// the disabled-mode check actually runs per sweep.
+    spans_recorded: usize,
+    /// Sweep wall-time with recording disabled (the normal configuration).
+    disabled_seconds: f64,
+    /// Sweep wall-time with recording enabled (spans + metrics captured).
+    enabled_seconds: f64,
+    /// Measured slowdown of the enabled sweep vs disabled (informational —
+    /// enabling tracing is allowed to cost something).
+    enabled_overhead_pct: f64,
+    /// Estimated disabled-mode overhead, gated at
+    /// [`OBS_DISABLED_OVERHEAD_CEILING_PCT`]: `spans_recorded ×
+    /// disabled_span_ns` as a share of the disabled wall-time. A direct
+    /// A/B against an uninstrumented build is impossible (the hooks are
+    /// compiled in), so the gate bounds the total time spent in hooks.
+    disabled_estimated_overhead_pct: f64,
 }
 
 #[derive(Serialize)]
@@ -246,6 +278,61 @@ fn bench_fault_overhead() -> FaultOverheadReport {
     }
 }
 
+/// Measures the observability hooks both ways: the nanosecond price of one
+/// disabled hook (a tight microbenchmark), and a disabled-vs-enabled A/B of
+/// a serial GEMM-16 sweep. Runs are interleaved best-of-3, and the enabled
+/// runs double as a determinism check: recording must not change results.
+fn bench_obs_overhead() -> ObsOverheadReport {
+    tensorlib_obs::disable();
+    let iters = 4_000_000u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let guard = tensorlib_obs::span("perfgate.noop");
+        std::hint::black_box(&guard);
+    }
+    let disabled_span_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+
+    let kernel = workloads::gemm(16, 16, 16);
+    let opts = ExploreOptions {
+        workers: 1,
+        ..ExploreOptions::default()
+    };
+    let mut disabled_best = f64::INFINITY;
+    let mut enabled_best = f64::INFINITY;
+    let mut spans_recorded = 0usize;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let plain = explore(&kernel, &opts);
+        disabled_best = disabled_best.min(start.elapsed().as_secs_f64());
+
+        tensorlib_obs::enable();
+        let start = Instant::now();
+        let profiled = explore(&kernel, &opts);
+        enabled_best = enabled_best.min(start.elapsed().as_secs_f64());
+        let session = tensorlib_obs::drain();
+        tensorlib_obs::disable();
+        spans_recorded = session.spans.len();
+
+        assert_eq!(plain.len(), profiled.len(), "recording changed results");
+        assert!(
+            plain.iter().zip(&profiled).all(|(a, b)| {
+                a.name == b.name && a.performance.total_cycles == b.performance.total_cycles
+            }),
+            "recording changed result ordering"
+        );
+    }
+    let hook_seconds = spans_recorded as f64 * disabled_span_ns * 1e-9;
+    ObsOverheadReport {
+        scenario: "GEMM-16 serial sweep".into(),
+        disabled_span_ns,
+        spans_recorded,
+        disabled_seconds: disabled_best,
+        enabled_seconds: enabled_best,
+        enabled_overhead_pct: (enabled_best / disabled_best - 1.0) * 100.0,
+        disabled_estimated_overhead_pct: hook_seconds / disabled_best * 100.0,
+    }
+}
+
 fn bench_explore(host_cores: usize) -> ExploreReport {
     let kernel = workloads::gemm(32, 32, 32);
     let serial_opts = ExploreOptions {
@@ -317,6 +404,7 @@ fn main() {
     let interpreter = bench_interpreter();
     let trace_overhead = bench_trace_overhead();
     let fault_overhead = bench_fault_overhead();
+    let obs_overhead = bench_obs_overhead();
     let explore_report = bench_explore(host_cores);
 
     let mut table = TextTable::new(vec!["metric", "value"]);
@@ -346,6 +434,18 @@ fn main() {
         format!("{:+.2}%", fault_overhead.armed_overhead_pct),
     ]);
     table.row(vec![
+        "obs disabled span (ns)".into(),
+        format!("{:.2}", obs_overhead.disabled_span_ns),
+    ]);
+    table.row(vec![
+        "obs disabled overhead (est)".into(),
+        format!("{:+.3}%", obs_overhead.disabled_estimated_overhead_pct),
+    ]);
+    table.row(vec![
+        "obs enabled overhead".into(),
+        format!("{:+.2}%", obs_overhead.enabled_overhead_pct),
+    ]);
+    table.row(vec![
         "explore serial (s)".into(),
         format!("{:.2}", explore_report.serial_seconds),
     ]);
@@ -360,10 +460,12 @@ fn main() {
     println!("{table}");
 
     let report = PerfGateReport {
+        schema_version: tensorlib_obs::SCHEMA_VERSION,
         host_cores,
         interpreter,
         trace_overhead,
         fault_overhead,
+        obs_overhead,
         explore: explore_report,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
@@ -393,6 +495,17 @@ fn main() {
         "fault-armed gate passed: {armed_pct:+.2}% (ceiling {FAULT_ARMED_OVERHEAD_CEILING_PCT}%)"
     );
 
+    let obs_pct = report.obs_overhead.disabled_estimated_overhead_pct;
+    if obs_pct >= OBS_DISABLED_OVERHEAD_CEILING_PCT {
+        eprintln!(
+            "FAIL: disabled observability hooks cost ~{obs_pct:.3}% (ceiling {OBS_DISABLED_OVERHEAD_CEILING_PCT}%)"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "obs-disabled gate passed: ~{obs_pct:+.3}% (ceiling {OBS_DISABLED_OVERHEAD_CEILING_PCT}%)"
+    );
+
     if let Some(path) = baseline_path {
         let Ok(baseline) = std::fs::read_to_string(&path) else {
             eprintln!(
@@ -401,6 +514,16 @@ fn main() {
             );
             return;
         };
+        // Never compare against a report written by a *newer* schema — the
+        // numbers may not mean what this binary thinks they mean. A baseline
+        // predating schema stamps is accepted as version 0.
+        match tensorlib_obs::check_schema_version(&baseline) {
+            Ok(_) | Err(tensorlib_obs::SchemaError::Missing) => {}
+            Err(err @ tensorlib_obs::SchemaError::TooNew { .. }) => {
+                eprintln!("FAIL: baseline {}: {err}", path.display());
+                std::process::exit(1);
+            }
+        }
         let Some(base_rate) = extract_number(&baseline, "compiled_cycles_per_sec") else {
             eprintln!(
                 "warning: baseline {} has no compiled_cycles_per_sec; skipping regression gate",

@@ -13,10 +13,17 @@
 //! tensorlib trace    <workload> <dataflow> [--nets a,b,c] [--tiles T] [-o f.vcd]
 //! tensorlib faults   [--rows N] [--cols N] [--k K] [--faults N] [--seed S]
 //!                    [--harden tmr,parity,abft] [--workers W] [--sweep-acc] [-o f.json]
+//! tensorlib profile  <workload> [--top N] [--rows N] [--cols N] [--workers W] [-o f.trace.json]
 //! ```
 //!
 //! Workloads take optional sizes after a colon: `gemm:64,64,64`,
 //! `conv2d:64,64,56,56,3,3`, `mttkrp:32,32,32,32`, …
+//!
+//! A global `--profile <out.trace.json>` flag (any command, any position)
+//! records framework spans during the run and writes a Chrome Trace Event
+//! file next to the command's normal output; it never changes what the
+//! command computes. Every JSON report carries a `schema_version` and a
+//! run-provenance manifest (see [`tensorlib_obs::Provenance`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,7 +33,7 @@ use std::fmt;
 use tensorlib::cost::{hardening_overhead, Activity, HardeningOverhead};
 use tensorlib::dataflow::dse::{find_named, DseConfig};
 use tensorlib::dataflow::{Dataflow, LoopSelection, Stt};
-use tensorlib::explore::{explore, ExploreOptions};
+use tensorlib::explore::{explore_outcome, ExploreOptions};
 use tensorlib::hw::design::generate;
 use tensorlib::hw::fault::Hardening;
 use tensorlib::ir::workloads;
@@ -35,6 +42,7 @@ use tensorlib::sim::resilience::{
 };
 use tensorlib::sim::verify::{run_verify, VerifyConfig};
 use tensorlib::{Accelerator, ArrayConfig, HwConfig, Kernel, SimConfig, TraceConfig};
+use tensorlib_obs::{Provenance, SCHEMA_VERSION};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +86,26 @@ pub enum Command {
         workload: String,
         /// How many designs to print.
         top: usize,
+        /// JSON report path (`-` for stdout JSON, empty for the text table).
+        out: String,
+    },
+    /// Run a profiled design-space sweep (functional verification on, so
+    /// the trace covers every pipeline phase), print the per-phase wall-time
+    /// breakdown, and write a Chrome Trace Event file plus a folded-stack
+    /// flamegraph sibling.
+    Profile {
+        /// Workload spec.
+        workload: String,
+        /// How many designs to list in the breakdown.
+        top: usize,
+        /// PE array rows.
+        rows: usize,
+        /// PE array columns.
+        cols: usize,
+        /// Worker threads (`0` = one per core).
+        workers: usize,
+        /// Trace output path (`-` for stdout, empty for `reports/` default).
+        out: String,
     },
     /// Run the generated netlist with hardware counters attached and emit a
     /// JSON stats report (measured counters + analytic cross-check).
@@ -176,13 +204,20 @@ usage:
   tensorlib analyze  <workload> <dataflow>
   tensorlib generate <workload> <dataflow> [-o out.v] [--rows N] [--cols N]
   tensorlib simulate <workload> <dataflow> [--rows N] [--cols N]
-  tensorlib explore  <workload> [--top N]
+  tensorlib explore  <workload> [--top N] [-o f.json]
   tensorlib stats    <workload> <dataflow> [--rows N] [--cols N] [--tiles T] [-o f.json]
   tensorlib trace    <workload> <dataflow> [--nets a,b,c] [--tiles T] [-o f.vcd]
   tensorlib faults   [--rows N] [--cols N] [--k K] [--faults N] [--seed S]
                      [--harden tmr,parity,abft] [--workers W] [--sweep-acc] [-o f.json]
   tensorlib fuzz     [--mode netlist|pipeline|both] [--seed S] [--seeds N]
                      [--cycles C] [--workers W] [-o f.json]
+  tensorlib profile  <workload> [--top N] [--rows N] [--cols N] [--workers W]
+                     [-o f.trace.json]
+
+global flags (any command):
+  --profile <f.trace.json>   record framework spans during the run and write
+                             a Chrome Trace Event file (open in Perfetto or
+                             chrome://tracing); never changes results
 
 workloads: gemm[:m,n,k]  batched-gemv[:m,n,k]  conv2d[:k,c,y,x,p,q]
            depthwise[:k,y,x,p,q]  mttkrp[:i,j,k,l]  ttmc[:i,j,k,l,m]
@@ -209,7 +244,15 @@ comparison (failures are auto-shrunk to minimal repros); pipeline mode
 samples whole generation pipelines (kernel x sizes x loop selection x STT x
 hardening) and additionally checks the reference functional executor and the
 hardware counters. The JSON report's total_findings field is zero on a clean
-run, and its bytes are identical for any --workers count.";
+run, and its campaign results are identical for any --workers count (the
+provenance block records the requested workers).
+
+profile sweeps the workload's design space with functional verification on,
+prints a per-phase wall-time breakdown (STT enumeration, classification,
+elaboration, bytecode compile, simulation, cost), and writes a Chrome Trace
+Event file plus a .folded flamegraph sibling. Every JSON report embeds a
+schema_version and a run-provenance manifest (seeds, command echo, per-phase
+wall times, worker count, package version).";
 
 /// Parses the argument list (without the program name).
 ///
@@ -339,6 +382,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         ("explore", 1) => Ok(Command::Explore {
             workload: positional[0].clone(),
             top,
+            out: if out_given { out } else { String::new() },
+        }),
+        // Profile defaults to a small array: the sweep runs the functional
+        // simulator on every point, and 4x4 keeps that tractable.
+        ("profile", 1) => Ok(Command::Profile {
+            workload: positional[0].clone(),
+            top,
+            rows: if rows_given { rows } else { 4 },
+            cols: if cols_given { cols } else { 4 },
+            workers,
+            out: if out_given { out } else { String::new() },
         }),
         ("stats", 2) => Ok(Command::Stats {
             workload: positional[0].clone(),
@@ -381,6 +435,47 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         }),
         _ => Err(usage()),
     }
+}
+
+/// A fully parsed invocation: the command plus global flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// `--profile <path>`: record framework spans during the run and write a
+    /// Chrome Trace Event file there afterwards.
+    pub profile: Option<String>,
+    /// The command itself.
+    pub command: Command,
+    /// The raw argument echo, recorded in report provenance.
+    pub echo: String,
+}
+
+/// Parses the argument list (without the program name), extracting global
+/// flags (`--profile <path>`) before command parsing. This is what `main`
+/// calls; [`parse_args`] stays available for command-only parsing.
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a usage message on malformed input.
+pub fn parse_invocation(args: &[String]) -> Result<Invocation, CliError> {
+    let mut profile = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--profile" {
+            i += 1;
+            profile = Some(args.get(i).cloned().ok_or_else(|| {
+                CliError("--profile needs a trace output path".to_string())
+            })?);
+        } else {
+            rest.push(args[i].clone());
+        }
+        i += 1;
+    }
+    Ok(Invocation {
+        profile,
+        command: parse_args(&rest)?,
+        echo: args.join(" "),
+    })
 }
 
 /// Resolves a workload spec like `gemm:64,64,64` to a kernel.
@@ -476,6 +571,8 @@ struct StatsSummary {
 /// The JSON document `tensorlib stats` emits.
 #[derive(serde::Serialize)]
 struct StatsReport {
+    schema_version: u32,
+    provenance: Provenance,
     workload: String,
     dataflow: String,
     rows: usize,
@@ -491,11 +588,65 @@ struct StatsReport {
 /// area/power overhead of the protection.
 #[derive(serde::Serialize)]
 struct FaultsReportDoc {
+    schema_version: u32,
+    provenance: Provenance,
     config: CampaignConfig,
     /// `seeded` or `accumulator-sweep`.
     mode: String,
     report: ResilienceReport,
     hardening_overhead: Option<HardeningOverhead>,
+}
+
+/// The JSON document `tensorlib fuzz` emits: the verification campaign
+/// report under a provenance envelope.
+#[derive(serde::Serialize)]
+struct FuzzReportDoc {
+    schema_version: u32,
+    provenance: Provenance,
+    report: tensorlib::sim::verify::VerifyReport,
+}
+
+/// One row of the `tensorlib explore -o` JSON report (the full
+/// [`tensorlib::explore::DesignPoint`] is too heavy to serialize per point).
+#[derive(serde::Serialize)]
+struct ExplorePointRow {
+    name: String,
+    letters: String,
+    total_cycles: u64,
+    normalized_perf: f64,
+    power_mw: f64,
+    area_mm2: f64,
+}
+
+/// The JSON document `tensorlib explore -o` emits.
+#[derive(serde::Serialize)]
+struct ExploreReportDoc {
+    schema_version: u32,
+    provenance: Provenance,
+    workload: String,
+    implementable_designs: usize,
+    errors: usize,
+    skipped: usize,
+    top: Vec<ExplorePointRow>,
+}
+
+/// Builds the provenance manifest every JSON report embeds. Phase wall
+/// times come from the live span recorder when a `--profile` run has it
+/// enabled; otherwise only the `total` entry (measured around the command)
+/// is present.
+fn provenance_for(command_echo: &str, seeds: Vec<u64>, workers: usize, total_us: u64) -> Provenance {
+    let mut p = Provenance::new(command_echo);
+    p.seeds = seeds;
+    p.workers = workers;
+    if tensorlib_obs::is_enabled() {
+        p.phase_wall_times_us = tensorlib_obs::snapshot()
+            .phase_totals()
+            .into_iter()
+            .map(|(name, (_count, total))| (name, total))
+            .collect();
+    }
+    p.phase_wall_times_us.insert("total".to_string(), total_us);
+    p
 }
 
 /// Default report path for `stats`/`trace`: `reports/<kind>_<workload>_<dataflow>.<ext>`
@@ -626,6 +777,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             if tiles == 0 {
                 return Err(CliError("--tiles must be at least 1".into()));
             }
+            let t0 = std::time::Instant::now();
             let kernel = resolve_workload(&workload)?;
             let df = find_named(&kernel, &dataflow, &DseConfig::default())
                 .map_err(|err| e(&err))?;
@@ -646,6 +798,13 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             .map_err(|err| e(&err))?;
             let s = &measured.stats;
             let report = StatsReport {
+                schema_version: SCHEMA_VERSION,
+                provenance: provenance_for(
+                    &format!("stats {workload} {dataflow} --rows {rows} --cols {cols} --tiles {tiles}"),
+                    Vec::new(),
+                    1,
+                    t0.elapsed().as_micros() as u64,
+                ),
                 workload: workload.clone(),
                 dataflow: dataflow.clone(),
                 rows,
@@ -739,6 +898,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             if !sweep_acc && faults == 0 {
                 return Err(CliError("--faults must be at least 1".into()));
             }
+            let t0 = std::time::Instant::now();
             let hardening = Hardening::parse(&harden).map_err(CliError)?;
             let cfg = CampaignConfig {
                 rows,
@@ -784,6 +944,15 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 None
             };
             let doc = FaultsReportDoc {
+                schema_version: SCHEMA_VERSION,
+                provenance: provenance_for(
+                    &format!(
+                        "faults --rows {rows} --cols {cols} --k {k} --seed {seed} --harden {hardening}"
+                    ),
+                    vec![seed],
+                    cfg.workers,
+                    t0.elapsed().as_micros() as u64,
+                ),
                 config: cfg,
                 mode,
                 report,
@@ -825,6 +994,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             if seeds == 0 || cycles == 0 {
                 return Err(CliError("--seeds and --cycles must be at least 1".into()));
             }
+            let t0 = std::time::Instant::now();
             let workers = if workers == 0 {
                 std::thread::available_parallelism().map_or(1, usize::from)
             } else {
@@ -837,7 +1007,17 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 cycles,
             };
             let report = run_verify(&cfg, netlist, pipeline);
-            let text = serde_json::to_string_pretty(&report)
+            let doc = FuzzReportDoc {
+                schema_version: SCHEMA_VERSION,
+                provenance: provenance_for(
+                    &format!("fuzz --mode {mode} --seed {seed} --seeds {seeds} --cycles {cycles}"),
+                    vec![seed],
+                    workers,
+                    t0.elapsed().as_micros() as u64,
+                ),
+                report,
+            };
+            let text = serde_json::to_string_pretty(&doc)
                 .map_err(|err| CliError(format!("serializing report: {err}")))?
                 + "\n";
             emit_report(
@@ -847,28 +1027,222 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 "fuzz report",
             )
         }
-        Command::Explore { workload, top } => {
+        Command::Explore { workload, top, out } => {
+            let t0 = std::time::Instant::now();
             let kernel = resolve_workload(&workload)?;
-            let points = explore(&kernel, &ExploreOptions::default());
-            let mut s = format!(
-                "{}: {} implementable designs (fastest {top}):\n",
-                kernel.name(),
-                points.len()
+            let outcome = explore_outcome(&kernel, &ExploreOptions::default());
+            let points = &outcome.points;
+            if out.is_empty() {
+                let mut s = format!(
+                    "{}: {} implementable designs (fastest {top}):\n",
+                    kernel.name(),
+                    points.len()
+                );
+                let mut seen = std::collections::HashSet::new();
+                for p in points
+                    .iter()
+                    .filter(|p| seen.insert(p.name.clone()))
+                    .take(top)
+                {
+                    s.push_str(&format!(
+                        "  {:14} {:>12} cycles  {:6.1} mW  {:.3} mm2\n",
+                        p.name, p.performance.total_cycles, p.asic.power_mw, p.asic.area_mm2
+                    ));
+                }
+                return Ok(s);
+            }
+            let doc = ExploreReportDoc {
+                schema_version: SCHEMA_VERSION,
+                provenance: provenance_for(
+                    &format!("explore {workload} --top {top}"),
+                    Vec::new(),
+                    ExploreOptions::default().workers.max(1),
+                    t0.elapsed().as_micros() as u64,
+                ),
+                workload: workload.clone(),
+                implementable_designs: points.len(),
+                errors: outcome.errors.len(),
+                skipped: outcome.skipped,
+                top: points
+                    .iter()
+                    .take(top)
+                    .map(|p| ExplorePointRow {
+                        name: p.name.clone(),
+                        letters: p.letters.clone(),
+                        total_cycles: p.performance.total_cycles,
+                        normalized_perf: p.performance.normalized_perf,
+                        power_mw: p.asic.power_mw,
+                        area_mm2: p.asic.area_mm2,
+                    })
+                    .collect(),
+            };
+            let text = serde_json::to_string_pretty(&doc)
+                .map_err(|err| CliError(format!("serializing report: {err}")))?
+                + "\n";
+            emit_report(
+                &out,
+                report_path("explore", &workload, "sweep", "json"),
+                &text,
+                "explore report",
+            )
+        }
+        Command::Profile {
+            workload,
+            top,
+            rows,
+            cols,
+            workers,
+            out,
+        } => {
+            let t0 = std::time::Instant::now();
+            let kernel = resolve_workload(&workload)?;
+            // Profile the full pipeline: enumeration, classification,
+            // elaboration, bytecode compile, functional simulation, cost.
+            let opts = ExploreOptions {
+                hw: HwConfig {
+                    array: ArrayConfig { rows, cols },
+                    ..HwConfig::default()
+                },
+                workers,
+                functional_verify: true,
+                ..ExploreOptions::default()
+            };
+            let was_enabled = tensorlib_obs::is_enabled();
+            tensorlib_obs::enable();
+            let outcome = explore_outcome(&kernel, &opts);
+            // The sweep's functional verifier is a behavioural model; the
+            // netlist-flattening and bytecode-compilation phases only run in
+            // the cycle-accurate interpreter. Deep-measure the fastest point
+            // so the trace covers those too.
+            if let Some(best) = outcome.points.first() {
+                let measured = generate(&best.dataflow, &opts.hw).map_err(|err| e(&err)).and_then(
+                    |design| {
+                        tensorlib::sim::trace::measure(&design, &TraceConfig::counters_only(), 1)
+                            .map_err(|err| e(&err))
+                    },
+                );
+                if let Err(err) = measured {
+                    if !was_enabled {
+                        tensorlib_obs::disable();
+                    }
+                    return Err(err);
+                }
+            }
+            let session = tensorlib_obs::drain();
+            if !was_enabled {
+                tensorlib_obs::disable();
+            }
+            let provenance = provenance_from_session(
+                &session,
+                &format!("profile {workload} --rows {rows} --cols {cols}"),
+                vec![42],
+                workers.max(1),
+                t0.elapsed().as_micros() as u64,
             );
-            let mut seen = std::collections::HashSet::new();
-            for p in points
-                .iter()
-                .filter(|p| seen.insert(p.name.clone()))
-                .take(top)
-            {
-                s.push_str(&format!(
-                    "  {:14} {:>12} cycles  {:6.1} mW  {:.3} mm2\n",
-                    p.name, p.performance.total_cycles, p.asic.power_mw, p.asic.area_mm2
+            let mut table = format!(
+                "profiled {}: {} points, {} errors, {} skipped\n\n\
+                 {:<28} {:>8} {:>12} {:>10}\n",
+                kernel.name(),
+                outcome.points.len(),
+                outcome.errors.len(),
+                outcome.skipped,
+                "phase",
+                "count",
+                "total_us",
+                "mean_us",
+            );
+            for (phase, (count, total_us)) in session.phase_totals().into_iter().take(top.max(1)) {
+                table.push_str(&format!(
+                    "{:<28} {:>8} {:>12} {:>10}\n",
+                    phase,
+                    count,
+                    total_us,
+                    total_us / count.max(1),
                 ));
             }
-            Ok(s)
+            for (name, value) in &session.metrics.counters {
+                table.push_str(&format!("counter {name} = {value}\n"));
+            }
+            let trace = session.to_chrome_trace(Some(&provenance));
+            let msg = emit_report(
+                &out,
+                report_path("profile", &workload, "sweep", "trace.json"),
+                &trace,
+                "Chrome trace",
+            )?;
+            // A folded-stacks sibling rides along for flamegraph tooling
+            // whenever the trace goes to a file.
+            let mut folded_note = String::new();
+            if out != "-" {
+                let trace_path = if out.is_empty() {
+                    report_path("profile", &workload, "sweep", "trace.json")
+                } else {
+                    out.clone()
+                };
+                let folded_path = format!("{}.folded", trace_path.trim_end_matches(".trace.json"));
+                std::fs::write(&folded_path, session.to_folded())
+                    .map_err(|err| CliError(format!("writing {folded_path}: {err}")))?;
+                folded_note = format!("wrote folded stacks to {folded_path}\n");
+            }
+            Ok(format!("{table}\n{msg}{folded_note}"))
         }
     }
+}
+
+/// [`provenance_for`], but reading phase wall times out of an already-drained
+/// [`tensorlib_obs::Session`] instead of the live recorder.
+fn provenance_from_session(
+    session: &tensorlib_obs::Session,
+    command_echo: &str,
+    seeds: Vec<u64>,
+    workers: usize,
+    total_us: u64,
+) -> Provenance {
+    let mut p = Provenance::new(command_echo);
+    p.seeds = seeds;
+    p.workers = workers;
+    p.phase_wall_times_us = session
+        .phase_totals()
+        .into_iter()
+        .map(|(name, (_count, total))| (name, total))
+        .collect();
+    p.phase_wall_times_us.insert("total".to_string(), total_us);
+    p
+}
+
+/// Runs a parsed invocation: the command itself, plus (when the global
+/// `--profile <out.trace.json>` flag was given) a span-tracing session
+/// around it whose Chrome trace — with the run's provenance embedded — is
+/// written to the requested path. The flag never changes what the command
+/// computes; see the module docs.
+///
+/// # Errors
+///
+/// Returns [`CliError`] when the command fails or the trace cannot be
+/// written.
+pub fn run_invocation(inv: Invocation) -> Result<String, CliError> {
+    let Some(trace_path) = inv.profile else {
+        return run(inv.command);
+    };
+    let t0 = std::time::Instant::now();
+    let was_enabled = tensorlib_obs::is_enabled();
+    tensorlib_obs::enable();
+    let result = run(inv.command);
+    let session = tensorlib_obs::drain();
+    if !was_enabled {
+        tensorlib_obs::disable();
+    }
+    let output = result?;
+    let provenance = provenance_from_session(
+        &session,
+        &inv.echo,
+        Vec::new(),
+        1,
+        t0.elapsed().as_micros() as u64,
+    );
+    let trace = session.to_chrome_trace(Some(&provenance));
+    let note = emit_report(&trace_path, String::new(), &trace, "profile trace")?;
+    Ok(format!("{output}{note}"))
 }
 
 #[cfg(test)]
@@ -906,9 +1280,50 @@ mod tests {
             parse_args(&sv(&["explore", "gemm", "--top", "3"])).unwrap(),
             Command::Explore {
                 workload: "gemm".into(),
-                top: 3
+                top: 3,
+                out: String::new()
             }
         );
+        assert_eq!(
+            parse_args(&sv(&["explore", "gemm", "-o", "sweep.json"])).unwrap(),
+            Command::Explore {
+                workload: "gemm".into(),
+                top: 10,
+                out: "sweep.json".into()
+            }
+        );
+        assert_eq!(
+            parse_args(&sv(&["profile", "gemm", "--workers", "2", "-o", "-"])).unwrap(),
+            Command::Profile {
+                workload: "gemm".into(),
+                top: 10,
+                rows: 4,
+                cols: 4,
+                workers: 2,
+                out: "-".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parse_invocation_extracts_global_profile_flag() {
+        let inv = parse_invocation(&sv(&["--profile", "run.trace.json", "workloads"])).unwrap();
+        assert_eq!(inv.profile.as_deref(), Some("run.trace.json"));
+        assert_eq!(inv.command, Command::Workloads);
+        assert_eq!(inv.echo, "--profile run.trace.json workloads");
+
+        // The flag may appear anywhere, including after the command.
+        let inv = parse_invocation(&sv(&["workloads", "--profile", "t.json"])).unwrap();
+        assert_eq!(inv.profile.as_deref(), Some("t.json"));
+        assert_eq!(inv.command, Command::Workloads);
+
+        // Without the flag, nothing changes.
+        let inv = parse_invocation(&sv(&["workloads"])).unwrap();
+        assert_eq!(inv.profile, None);
+
+        // A dangling --profile is a usage error.
+        let err = parse_invocation(&sv(&["workloads", "--profile"])).unwrap_err();
+        assert!(err.to_string().contains("--profile"), "{err}");
     }
 
     #[test]
@@ -1273,5 +1688,144 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.to_string().contains("ZZZ-XXX"));
+    }
+
+    #[test]
+    fn reports_carry_schema_version_and_provenance() {
+        let stats = run(Command::Stats {
+            workload: "gemm:4,4,4".into(),
+            dataflow: "MNK-SST".into(),
+            rows: 4,
+            cols: 4,
+            tiles: 1,
+            out: "-".into(),
+        })
+        .unwrap();
+        let fuzz = run(Command::Fuzz {
+            mode: "netlist".into(),
+            seed: 3,
+            seeds: 4,
+            cycles: 8,
+            workers: 1,
+            out: "-".into(),
+        })
+        .unwrap();
+        let faults = run(faults_cmd("none", 4, "-")).unwrap();
+        for (name, doc) in [("stats", &stats), ("fuzz", &fuzz), ("faults", &faults)] {
+            for needle in [
+                "\"schema_version\": 1",
+                "\"provenance\"",
+                "\"generator\": \"tensorlib\"",
+                "\"pkg_version\"",
+                "\"phase_wall_times_us\"",
+                "\"total\"",
+            ] {
+                assert!(doc.contains(needle), "{name} report missing {needle}:\n{doc}");
+            }
+            // Every emitted document passes the reader-side schema check.
+            assert_eq!(tensorlib_obs::check_schema_version(doc).unwrap(), 1, "{name}");
+        }
+        // The campaign seeds land in the provenance block, machine-readably.
+        let seeds_of = |doc: &str| {
+            let v = tensorlib_obs::json::parse(doc).unwrap();
+            v.get("provenance")
+                .and_then(|p| p.get("seeds"))
+                .and_then(|s| s.as_array().map(|a| a.iter().filter_map(|x| x.as_u64()).collect::<Vec<_>>()))
+                .unwrap()
+        };
+        assert_eq!(seeds_of(&fuzz), vec![3]);
+        assert_eq!(seeds_of(&faults), vec![1]);
+    }
+
+    /// Serializes the tests below that flip the process-wide recording
+    /// switch, so their sessions never observe each other's spans.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn run_explore_json_report_lists_top_points() {
+        let out = run(Command::Explore {
+            workload: "gemm:4,4,4".into(),
+            top: 3,
+            out: "-".into(),
+        })
+        .unwrap();
+        for needle in [
+            "\"schema_version\": 1",
+            "\"implementable_designs\"",
+            "\"total_cycles\"",
+            "\"normalized_perf\"",
+            "\"area_mm2\"",
+        ] {
+            assert!(out.contains(needle), "missing {needle}:\n{out}");
+        }
+    }
+
+    #[test]
+    fn run_profile_emits_phase_table_and_trace() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let dir = std::env::temp_dir().join(format!("tl_profile_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("p.trace.json");
+        let out = run(Command::Profile {
+            workload: "gemm:2,2,2".into(),
+            top: 50,
+            rows: 2,
+            cols: 2,
+            workers: 1,
+            out: trace_path.to_str().unwrap().into(),
+        })
+        .unwrap();
+        assert!(!tensorlib_obs::is_enabled(), "profile must restore disabled state");
+        for phase in [
+            "dse.stt_enumeration",
+            "dse.classification",
+            "hw.elaboration",
+            "hw.flatten",
+            "hw.bytecode_compile",
+            "sim.functional",
+            "sim.measure",
+            "sim.cost_model",
+        ] {
+            assert!(out.contains(phase), "phase table missing {phase}:\n{out}");
+        }
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.contains("\"traceEvents\""), "{trace_path:?} not a trace");
+        assert!(trace.contains("\"provenance\""));
+        assert_eq!(tensorlib_obs::check_schema_version(&trace).unwrap(), 1);
+        let folded = std::fs::read_to_string(dir.join("p.folded")).unwrap();
+        assert!(folded.contains("explore"), "folded stacks empty:\n{folded}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_invocation_global_profile_writes_trace_and_keeps_output() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let dir = std::env::temp_dir().join(format!("tl_inv_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("stats.trace.json");
+        let args = sv(&[
+            "--profile",
+            trace_path.to_str().unwrap(),
+            "stats",
+            "gemm:4,4,4",
+            "MNK-SST",
+            "--rows",
+            "4",
+            "--cols",
+            "4",
+            "-o",
+            "-",
+        ]);
+        let inv = parse_invocation(&args).unwrap();
+        let out = run_invocation(inv).unwrap();
+        assert!(!tensorlib_obs::is_enabled(), "--profile must restore disabled state");
+        // The command's own output is unchanged and the note rides along.
+        assert!(out.contains("\"cycles\""), "{out}");
+        assert!(out.contains("wrote profile trace"), "{out}");
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.contains("hw.elaboration"), "trace missing spans:\n{trace}");
+        // The provenance echoes the full argument vector.
+        assert!(trace.contains("stats gemm:4,4,4 MNK-SST"), "{trace}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -3,7 +3,7 @@
 
 use std::process::ExitCode;
 
-use tensorlib_cli::{parse_args, run};
+use tensorlib_cli::{parse_invocation, run_invocation};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -11,7 +11,7 @@ fn main() -> ExitCode {
         println!("{}", tensorlib_cli::USAGE);
         return ExitCode::SUCCESS;
     }
-    match parse_args(&args).and_then(run) {
+    match parse_invocation(&args).and_then(run_invocation) {
         Ok(out) => {
             print!("{out}");
             ExitCode::SUCCESS

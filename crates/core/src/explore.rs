@@ -192,6 +192,7 @@ pub fn explore(kernel: &Kernel, opts: &ExploreOptions) -> Vec<DesignPoint> {
 /// ([`tensorlib_linalg::par::par_map_catch`]) and both `points` and `errors`
 /// are byte-identical for any worker count.
 pub fn explore_outcome(kernel: &Kernel, opts: &ExploreOptions) -> ExploreOutcome {
+    let _span = tensorlib_obs::span("explore");
     let candidates = design_space(kernel, &opts.dse);
     // An empty variant list means "whatever the base config carries";
     // otherwise every candidate is scored once per hardening variant.
@@ -207,8 +208,18 @@ pub fn explore_outcome(kernel: &Kernel, opts: &ExploreOptions) -> ExploreOutcome
     // Scoring a candidate (hardware generation + cycle model + cost model)
     // is orders of magnitude heavier than the queue bookkeeping, so small
     // chunks keep the pool balanced.
+    tensorlib_obs::counter_add("explore.jobs", jobs.len() as u64);
     let scored = par_map_catch(&jobs, opts.workers, 4, |_, &(df, h)| {
-        score(kernel, opts, df, h)
+        let _point_span = tensorlib_obs::span("explore.point");
+        let t0 = tensorlib_obs::is_enabled().then(tensorlib_obs::now_micros);
+        let result = score(kernel, opts, df, h);
+        if let Some(t0) = t0 {
+            tensorlib_obs::hist_record(
+                "explore.point_us",
+                tensorlib_obs::now_micros().saturating_sub(t0),
+            );
+        }
+        result
     });
     let mut points = Vec::new();
     let mut errors = Vec::new();
@@ -224,6 +235,9 @@ pub fn explore_outcome(kernel: &Kernel, opts: &ExploreOptions) -> ExploreOutcome
             }),
         }
     }
+    tensorlib_obs::counter_add("explore.points", points.len() as u64);
+    tensorlib_obs::counter_add("explore.errors", errors.len() as u64);
+    tensorlib_obs::counter_add("explore.skipped", skipped as u64);
     // `scored` is in enumeration order, so this stable sort reproduces the
     // serial implementation's output exactly, ties and all.
     points.sort_by(|a, b| {

@@ -83,6 +83,7 @@ pub struct AsicReport {
 /// # Ok::<(), tensorlib_dataflow::DataflowError>(())
 /// ```
 pub fn asic_cost(design: &AcceleratorDesign, activity: &Activity) -> AsicReport {
+    let _span = tensorlib_obs::span("cost.asic");
     let s = design.summary();
     let dt = design.config().datatype;
     let mul_scale = k::mul_scale(dt.bits(), dt.is_float());

@@ -71,6 +71,7 @@ impl Default for DseConfig {
 /// assert!(all.len() > 1000);
 /// ```
 pub fn enumerate_stt(config: &DseConfig) -> Vec<Stt> {
+    let _span = tensorlib_obs::span("dse.stt_enumeration");
     let c = config.max_coeff;
     let span = (2 * c + 1) as usize;
     let total = span.pow(9);
@@ -90,6 +91,7 @@ pub fn enumerate_stt(config: &DseConfig) -> Vec<Stt> {
             }
         }
     }
+    tensorlib_obs::counter_add("dse.stt_candidates", out.len() as u64);
     out
 }
 
@@ -139,6 +141,7 @@ pub fn enumerate_selections(
 /// Panics if `config.selections` is invalid for the kernel (use
 /// [`enumerate_selections`] directly for fallible handling).
 pub fn design_space(kernel: &Kernel, config: &DseConfig) -> Vec<Dataflow> {
+    let _span = tensorlib_obs::span("dse.design_space");
     let selections =
         enumerate_selections(kernel, config).expect("valid DSE selections for kernel");
     let matrices = enumerate_stt(config);
@@ -163,6 +166,7 @@ pub fn design_space(kernel: &Kernel, config: &DseConfig) -> Vec<Dataflow> {
         // preserves enumeration order, so the first-occurrence dedup and the
         // `max_designs` cap below keep exactly the serial semantics for any
         // worker count.
+        let _sel_span = tensorlib_obs::span("dse.classification");
         let classified = par_map_indexed(&matrices, config.workers, 128, |_, stt| {
             let t_mat = stt.to_mat();
             let flows: Vec<TensorFlow> = bases
@@ -177,15 +181,20 @@ pub fn design_space(kernel: &Kernel, config: &DseConfig) -> Vec<Dataflow> {
             let sig = df.signature();
             (sig, df)
         });
+        let before = out.len();
         for (sig, df) in classified {
             if seen.insert(sig) {
                 out.push(df);
                 if out.len() >= config.max_designs {
+                    tensorlib_obs::counter_add("dse.classified", matrices.len() as u64);
+                    tensorlib_obs::counter_add("dse.unique_designs", (out.len() - before) as u64);
                     out.sort_by_key(Dataflow::name);
                     return out;
                 }
             }
         }
+        tensorlib_obs::counter_add("dse.classified", matrices.len() as u64);
+        tensorlib_obs::counter_add("dse.unique_designs", (out.len() - before) as u64);
     }
     out.sort_by_key(Dataflow::name);
     out
@@ -220,6 +229,7 @@ pub fn find_named(
     name: &str,
     config: &DseConfig,
 ) -> Result<Dataflow, DataflowError> {
+    let _span = tensorlib_obs::span("dse.find_named");
     let (tag, letters) = name
         .split_once('-')
         .ok_or_else(|| DataflowError::BadName(name.to_string()))?;

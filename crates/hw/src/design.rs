@@ -359,6 +359,7 @@ pub const STREAM_PIPELINE_LATENCY: u64 = 2;
 /// Returns [`HwError`] if the dataflow's reuse steps cannot be wired
 /// (non-neighbour `dp`) or the array is degenerate.
 pub fn generate(dataflow: &Dataflow, cfg: &HwConfig) -> Result<AcceleratorDesign, HwError> {
+    let _span = tensorlib_obs::span("hw.elaboration");
     let mut name = format!(
         "{}_{}",
         dataflow.kernel_name().to_lowercase().replace('-', "_"),

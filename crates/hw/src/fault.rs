@@ -485,40 +485,10 @@ pub fn sample_faults(sites: &FaultSites, count: usize, seed: u64, max_cycle: u64
     out
 }
 
-/// A tiny deterministic PRNG (Steele et al.'s splitmix64), used for fault
-/// sampling so campaigns are reproducible from a single `u64` seed without
-/// pulling an RNG dependency into `tensorlib-hw`.
-#[derive(Debug, Clone)]
-pub struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    /// Seeds the stream.
-    pub fn new(seed: u64) -> SplitMix64 {
-        SplitMix64 { state: seed }
-    }
-
-    /// The next 64-bit draw.
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// A draw uniform-ish in `0..n` (modulo reduction — fine for fault-site
-    /// sampling, where `n` is tiny relative to 2^64).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n == 0`.
-    pub fn below(&mut self, n: u64) -> u64 {
-        assert!(n > 0, "empty draw range");
-        self.next_u64() % n
-    }
-}
+/// The shared deterministic PRNG used for fault sampling, re-exported from
+/// [`tensorlib_linalg::rng`] (its output stream is golden-vector-pinned
+/// there) so existing `fault::SplitMix64` imports keep working.
+pub use tensorlib_linalg::rng::SplitMix64;
 
 #[cfg(test)]
 mod tests {

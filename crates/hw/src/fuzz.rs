@@ -30,7 +30,7 @@
 
 use serde::Serialize;
 
-use crate::fault::SplitMix64;
+use tensorlib_linalg::rng::SplitMix64;
 use crate::interp::{elaborate, Interpreter};
 use crate::netlist::{BinOp, Dir, Expr, Module, Net, NetId, RegDef};
 use crate::verilog::emit_module;

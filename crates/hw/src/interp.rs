@@ -147,6 +147,7 @@ pub fn elaborate(
     banks: &[MemBank],
     top: &str,
 ) -> Result<FlatDesign, ElaborateError> {
+    let _span = tensorlib_obs::span("hw.flatten");
     let by_name: HashMap<&str, &Module> = modules.iter().map(|m| (m.name(), m)).collect();
     let bank_by_name: HashMap<String, &MemBank> =
         banks.iter().map(|b| (b.module_name(), b)).collect();
@@ -182,6 +183,9 @@ pub fn elaborate(
 
     // Topological order over combinational assigns.
     flat.topo = topo_order(&flat);
+    tensorlib_obs::counter_add("hw.flat_nets", flat.nets.len() as u64);
+    tensorlib_obs::counter_add("hw.flat_assigns", flat.assigns.len() as u64);
+    tensorlib_obs::hist_record("hw.design_nets", flat.nets.len() as u64);
     Ok(flat)
 }
 
@@ -565,6 +569,11 @@ struct Compiled {
 }
 
 impl Compiled {
+    /// Total instructions across the settle and register streams.
+    fn op_count(&self) -> usize {
+        self.settle_code.len() + self.reg_code.len()
+    }
+
     fn build(flat: &FlatDesign) -> Compiled {
         let mut resolve: Vec<u32> = (0..flat.nets.len() as u32).collect();
         let mut settle_code = Vec::new();
@@ -1005,7 +1014,12 @@ impl Interpreter {
         for &(id, _) in &flat.ports {
             port_by_name.entry(flat.nets[id].name.clone()).or_insert(id);
         }
-        let compiled = compile.then(|| Compiled::build(&flat));
+        let compiled = compile.then(|| {
+            let _span = tensorlib_obs::span("hw.bytecode_compile");
+            let compiled = Compiled::build(&flat);
+            tensorlib_obs::counter_add("hw.bytecode_ops", compiled.op_count() as u64);
+            compiled
+        });
         let n_regs = flat.regs.len();
         let bank_parity = flat
             .banks

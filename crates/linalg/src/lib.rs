@@ -35,6 +35,7 @@
 mod frac;
 mod mat;
 pub mod par;
+pub mod rng;
 mod solve;
 
 pub use frac::{Frac, ParseFracError};

@@ -11,7 +11,12 @@
 //! produce regardless of worker count or scheduling.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Monotonic pool id stamped onto worker-thread labels while profiling, so
+/// spans from successive pools that reuse `w00`, `w01`, … stay
+/// distinguishable (and sortable) in a trace.
+static POOL_GENERATION: AtomicU64 = AtomicU64::new(0);
 
 /// Resolves a requested worker count: `0` means one worker per available
 /// core; the result is clamped to `[1, items]` so empty or tiny inputs never
@@ -34,6 +39,14 @@ pub fn effective_workers(requested: usize, items: usize) -> usize {
 /// behaviour, which keeps single-threaded callers allocation- and
 /// determinism-identical to a plain iterator chain.
 ///
+/// While `tensorlib_obs` recording is enabled the pool switches from the
+/// atomic cursor to round-robin chunk assignment (worker `w` takes chunks
+/// `w, w + workers, …`), labels each worker thread `w00`, `w01`, … by pool
+/// slot, and records pool/chunk/worker-utilization metrics. Because pieces
+/// are stitched back into input order either way, the *results* are
+/// identical with profiling on or off — only the span→thread assignment
+/// becomes scheduling-independent, which is what makes traces diffable.
+///
 /// # Panics
 ///
 /// Propagates a panic from `f` (the scope joins all workers first).
@@ -54,28 +67,79 @@ where
 {
     let workers = effective_workers(workers, items.len());
     if workers <= 1 {
+        let _serial = tensorlib_obs::span("par.serial");
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let chunk = chunk.max(1);
+    let profiled = tensorlib_obs::is_enabled();
+    let generation = if profiled {
+        POOL_GENERATION.fetch_add(1, Ordering::Relaxed) + 1
+    } else {
+        0
+    };
+    let _pool_span = tensorlib_obs::span("par.pool");
+    if profiled {
+        tensorlib_obs::counter_add("par.pools", 1);
+        tensorlib_obs::gauge_max("par.workers", workers as u64);
+    }
     let cursor = AtomicUsize::new(0);
+    let cursor = &cursor;
+    let f = &f;
     let mut pieces: Vec<(usize, Vec<U>)> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                scope.spawn(move || {
+                    if profiled {
+                        tensorlib_obs::set_thread_context(&format!("w{w:02}"), generation);
+                    }
                     let mut local: Vec<(usize, Vec<U>)> = Vec::new();
-                    loop {
-                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= items.len() {
-                            break;
+                    {
+                        let _worker_span = tensorlib_obs::span("par.worker");
+                        let mut busy_us = 0u64;
+                        // While profiling, chunk assignment is round-robin by
+                        // pool slot instead of first-come atomic, so which
+                        // worker runs which item never depends on scheduler
+                        // timing.
+                        let mut next_rr = w;
+                        loop {
+                            let start = if profiled {
+                                let start = next_rr * chunk;
+                                next_rr += workers;
+                                start
+                            } else {
+                                cursor.fetch_add(chunk, Ordering::Relaxed)
+                            };
+                            if start >= items.len() {
+                                break;
+                            }
+                            let end = (start + chunk).min(items.len());
+                            let t0 = profiled.then(tensorlib_obs::now_micros);
+                            let mapped = items[start..end]
+                                .iter()
+                                .enumerate()
+                                .map(|(k, t)| f(start + k, t))
+                                .collect();
+                            if let Some(t0) = t0 {
+                                let dur = tensorlib_obs::now_micros().saturating_sub(t0);
+                                busy_us += dur;
+                                tensorlib_obs::hist_record("par.chunk_us", dur);
+                                tensorlib_obs::counter_add("par.chunks", 1);
+                                tensorlib_obs::counter_add("par.items", (end - start) as u64);
+                            }
+                            local.push((start, mapped));
                         }
-                        let end = (start + chunk).min(items.len());
-                        let mapped = items[start..end]
-                            .iter()
-                            .enumerate()
-                            .map(|(k, t)| f(start + k, t))
-                            .collect();
-                        local.push((start, mapped));
+                        if profiled {
+                            tensorlib_obs::hist_record("par.worker_busy_us", busy_us);
+                        }
+                    }
+                    // Scoped threads may outlive the scope's wait (their TLS
+                    // destructors run after the closure returns), so the
+                    // recorder must be flushed here, not left to the Drop
+                    // backstop — otherwise a drain right after this map
+                    // could miss worker spans.
+                    if profiled {
+                        tensorlib_obs::flush_thread();
                     }
                     local
                 })
@@ -209,6 +273,22 @@ mod tests {
         assert_eq!(got[1], Err("boom 2".to_string()));
         let clean = par_map_catch(&[5, 6], 2, 1, |_, &x: &i32| x + 1);
         assert_eq!(clean, vec![Ok(6), Ok(7)]);
+    }
+
+    #[test]
+    fn profiled_round_robin_matches_unprofiled_results() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        tensorlib_obs::enable();
+        let profiled = par_map_indexed(&items, 4, 5, |_, &x| x * 3 + 1);
+        tensorlib_obs::disable();
+        let plain = par_map_indexed(&items, 4, 5, |_, &x| x * 3 + 1);
+        assert_eq!(profiled, expect);
+        assert_eq!(plain, expect);
+        let session = tensorlib_obs::drain();
+        assert!(session.metrics.counters["par.chunks"] >= 52);
+        assert_eq!(session.metrics.counters["par.items"], 257);
+        assert!(session.spans.iter().any(|s| s.thread == "w00"));
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! The workspace's one deterministic PRNG.
+//!
+//! Fault sampling, netlist fuzzing, and verification campaigns all need
+//! reproducible streams from a single `u64` seed without pulling an RNG
+//! dependency into the hardware crates. They previously each carried their
+//! own copy of this generator; it lives here once, and its output stream is
+//! pinned by a golden-vector test so recorded campaign seeds (fuzz corpora,
+//! resilience reports) keep meaning the same draws forever.
+
+/// A tiny deterministic PRNG (Steele et al.'s splitmix64).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the stream.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A draw uniform-ish in `0..n` (modulo reduction — fine for site
+    /// sampling, where `n` is tiny relative to 2^64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty draw range");
+        self.next_u64() % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The output stream is pinned against the published splitmix64
+    /// reference vectors (seed 0 starts 0xE220A8397B1DCDAF). If this test
+    /// fails, every recorded campaign seed in the repo changes meaning.
+    #[test]
+    fn golden_vectors_pin_the_stream() {
+        let draw4 = |seed: u64| {
+            let mut r = SplitMix64::new(seed);
+            [r.next_u64(), r.next_u64(), r.next_u64(), r.next_u64()]
+        };
+        assert_eq!(
+            draw4(0),
+            [
+                16294208416658607535,
+                7960286522194355700,
+                487617019471545679,
+                17909611376780542444,
+            ]
+        );
+        assert_eq!(
+            draw4(42),
+            [
+                13679457532755275413,
+                2949826092126892291,
+                5139283748462763858,
+                6349198060258255764,
+            ]
+        );
+        assert_eq!(
+            draw4(0xDEAD_BEEF),
+            [
+                5395234354446855067,
+                16021672434157553954,
+                153047824787635229,
+                8387618351419058064,
+            ]
+        );
+    }
+
+    #[test]
+    fn below_stays_in_range_and_is_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            let x = a.below(13);
+            assert!(x < 13);
+            assert_eq!(x, b.below(13));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty draw range")]
+    fn below_zero_panics() {
+        SplitMix64::new(1).below(0);
+    }
+}

@@ -1,0 +1,28 @@
+//! The process-wide monotonic clock all spans share.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Microseconds since the first call in this process (the *trace epoch*).
+///
+/// Built on [`Instant`], so it is monotonic and immune to wall-clock steps.
+/// Every span start/duration is expressed on this one timeline, which is
+/// what Chrome Trace's `ts` field expects.
+pub fn now_micros() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_micros();
+        let b = now_micros();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,438 @@
+//! The recording core: enable/disable switch, thread-local span stacks and
+//! metric shards, RAII span guards, and the global collector.
+//!
+//! Hot-path contract: every public entry point checks [`is_enabled`] (one
+//! relaxed atomic load) *before* touching thread-local storage, the clock,
+//! or the allocator. When recording is disabled each call is a branch and a
+//! return.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::clock::now_micros;
+use crate::metrics::{LocalMetrics, MetricsSnapshot};
+use crate::session::{FinishedSpan, Session};
+
+/// The global recording switch. Relaxed is enough: we only need the flag
+/// value itself, never ordering against other memory.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Recording-session epoch, bumped on each off→on transition of [`enable`].
+/// Long-lived threads (the main thread in particular) reset their per-thread
+/// sequence counter when they first record in a new session, so a repeat run
+/// in the same process produces the same `seq` values as the first.
+static SESSION_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Spans and metric shards flushed from finished threads (and from explicit
+/// [`snapshot`]/[`drain`] calls). Only touched on flush — never on the span
+/// hot path.
+static COLLECTOR: Mutex<Collected> = Mutex::new(Collected::new());
+
+struct Collected {
+    spans: Vec<FinishedSpan>,
+    metrics: MetricsSnapshot,
+}
+
+impl Collected {
+    const fn new() -> Collected {
+        Collected {
+            spans: Vec::new(),
+            metrics: MetricsSnapshot {
+                counters: std::collections::BTreeMap::new(),
+                gauges: std::collections::BTreeMap::new(),
+                histograms: std::collections::BTreeMap::new(),
+            },
+        }
+    }
+}
+
+/// A span still on some thread's stack.
+struct OpenSpan {
+    name: &'static str,
+    /// Semicolon-joined path from the stack root, e.g. `explore;explore.point`.
+    path: String,
+    start_us: u64,
+    seq: u64,
+    /// Index in the stack when opened (0 = root).
+    depth: u32,
+}
+
+/// Per-thread recording state. Flushed into [`COLLECTOR`] on drop so spans
+/// from scoped worker threads survive the thread's exit.
+struct ThreadBuf {
+    /// Stable label used as the Chrome Trace thread name. Defaults to `main`
+    /// on unnamed threads; worker pools set `w00`, `w01`, … by pool slot.
+    label: String,
+    /// Pool generation stamped by [`set_thread_context`]; distinguishes
+    /// successive pools that reuse the same labels.
+    generation: u64,
+    /// [`SESSION_EPOCH`] value `next_seq` belongs to.
+    session: u64,
+    next_seq: u64,
+    stack: Vec<OpenSpan>,
+    done: Vec<FinishedSpan>,
+    metrics: LocalMetrics,
+}
+
+impl ThreadBuf {
+    fn new() -> ThreadBuf {
+        let label = std::thread::current()
+            .name()
+            .filter(|n| !n.is_empty())
+            .unwrap_or("main")
+            .to_string();
+        ThreadBuf {
+            label,
+            generation: 0,
+            session: 0,
+            next_seq: 0,
+            stack: Vec::new(),
+            done: Vec::new(),
+            metrics: LocalMetrics::default(),
+        }
+    }
+
+    fn flush_into(&mut self, collected: &mut Collected) {
+        collected.spans.append(&mut self.done);
+        if !self.metrics.is_empty() {
+            collected.metrics.absorb(&self.metrics);
+            self.metrics = LocalMetrics::default();
+        }
+    }
+}
+
+impl Drop for ThreadBuf {
+    fn drop(&mut self) {
+        if self.done.is_empty() && self.metrics.is_empty() {
+            return;
+        }
+        if let Ok(mut collected) = COLLECTOR.lock() {
+            self.flush_into(&mut collected);
+        }
+    }
+}
+
+thread_local! {
+    static BUF: RefCell<ThreadBuf> = RefCell::new(ThreadBuf::new());
+}
+
+/// Turns recording on. Until [`disable`], spans and metrics are captured.
+///
+/// Each off→on transition starts a new recording session: per-thread span
+/// sequence numbers restart at 0, so an identical run repeated in the same
+/// process emits an identical (timestamp-scrubbed) trace.
+pub fn enable() {
+    if !ENABLED.swap(true, Ordering::Relaxed) {
+        SESSION_EPOCH.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Turns recording off. Already-captured data stays until [`drain`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether recording is on — one relaxed atomic load.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Labels the current thread for trace emission and stamps its pool
+/// generation. Worker pools call this once per thread with a slot-stable
+/// label (`w00`, `w01`, …) so traces never depend on OS thread ids.
+pub fn set_thread_context(label: &str, generation: u64) {
+    if !is_enabled() {
+        return;
+    }
+    BUF.with(|buf| {
+        let mut b = buf.borrow_mut();
+        b.label = label.to_string();
+        b.generation = generation;
+    });
+}
+
+/// RAII guard for one span: opened by [`span`], closed (and recorded) when
+/// dropped. Nothing is recorded if recording was off when the span opened.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct SpanGuard {
+    armed: bool,
+}
+
+/// Opens a hierarchical span named `name` on this thread's stack.
+///
+/// The returned guard records the span on drop. When recording is disabled
+/// this is one atomic load and an inert guard.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard { armed: false };
+    }
+    let start_us = now_micros();
+    BUF.with(|buf| {
+        let mut b = buf.borrow_mut();
+        let epoch = SESSION_EPOCH.load(Ordering::Relaxed);
+        if b.session != epoch {
+            b.session = epoch;
+            b.next_seq = 0;
+        }
+        let path = match b.stack.last() {
+            Some(parent) => format!("{};{}", parent.path, name),
+            None => name.to_string(),
+        };
+        let seq = b.next_seq;
+        b.next_seq += 1;
+        let depth = b.stack.len() as u32;
+        b.stack.push(OpenSpan {
+            name,
+            path,
+            start_us,
+            seq,
+            depth,
+        });
+    });
+    SpanGuard { armed: true }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let end_us = now_micros();
+        // try_with: survive TLS teardown if a guard outlives the buffer.
+        let _ = BUF.try_with(|buf| {
+            let mut b = buf.borrow_mut();
+            let Some(open) = b.stack.pop() else { return };
+            let finished = FinishedSpan {
+                name: open.name.to_string(),
+                path: open.path,
+                thread: b.label.clone(),
+                generation: b.generation,
+                seq: open.seq,
+                depth: open.depth,
+                start_us: open.start_us,
+                dur_us: end_us.saturating_sub(open.start_us),
+            };
+            b.done.push(finished);
+        });
+    }
+}
+
+/// Adds `delta` to the counter `name` (thread-local; merged by sum).
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    BUF.with(|buf| {
+        *buf.borrow_mut().metrics.counters.entry(name).or_insert(0) += delta;
+    });
+}
+
+/// Raises the high-watermark gauge `name` to at least `value` (merged by max).
+#[inline]
+pub fn gauge_max(name: &'static str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    BUF.with(|buf| {
+        let mut b = buf.borrow_mut();
+        let e = b.metrics.gauges.entry(name).or_insert(0);
+        *e = (*e).max(value);
+    });
+}
+
+/// Records `value` into the log2-bucketed histogram `name`.
+#[inline]
+pub fn hist_record(name: &'static str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    BUF.with(|buf| {
+        buf.borrow_mut()
+            .metrics
+            .hists
+            .entry(name)
+            .or_insert_with(crate::metrics::Histogram::new)
+            .record(value);
+    });
+}
+
+/// Flushes the current thread's finished spans and metric shard into the
+/// global collector.
+///
+/// Worker threads MUST call this before returning from their closure when
+/// they run under [`std::thread::scope`]: the scope waits for closures to
+/// *finish*, not for the threads to fully exit, so the TLS-destructor
+/// backstop flush can land after the spawning thread has already resumed —
+/// and after it drained. (Plain [`std::thread::JoinHandle::join`] does wait
+/// for thread exit, so joined threads may rely on the backstop.) No-op when
+/// the thread has recorded nothing.
+pub fn flush_thread() {
+    BUF.with(|buf| {
+        let mut b = buf.borrow_mut();
+        if b.done.is_empty() && b.metrics.is_empty() {
+            return;
+        }
+        if let Ok(mut collected) = COLLECTOR.lock() {
+            b.flush_into(&mut collected);
+        }
+    });
+}
+
+/// Collects everything recorded so far into a [`Session`] without clearing.
+///
+/// Flushes the calling thread's buffer first; worker threads flush via
+/// [`flush_thread`] before their closure returns (scoped pools), or via the
+/// TLS-destructor backstop when fully joined.
+pub fn snapshot() -> Session {
+    let mut collected = COLLECTOR.lock().expect("obs collector poisoned");
+    BUF.with(|buf| buf.borrow_mut().flush_into(&mut collected));
+    let mut session = Session {
+        spans: collected.spans.clone(),
+        metrics: collected.metrics.clone(),
+    };
+    session.sort();
+    session
+}
+
+/// Collects everything recorded so far and clears the recorder.
+pub fn drain() -> Session {
+    let mut collected = COLLECTOR.lock().expect("obs collector poisoned");
+    BUF.with(|buf| buf.borrow_mut().flush_into(&mut collected));
+    let mut session = Session {
+        spans: std::mem::take(&mut collected.spans),
+        metrics: std::mem::take(&mut collected.metrics),
+    };
+    session.sort();
+    session
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Span/metric tests share the process-global recorder; serialize them.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_recording_captures_nothing() {
+        let _x = exclusive();
+        disable();
+        let _ = drain();
+        {
+            let _s = span("ignored");
+            counter_add("ignored", 1);
+            hist_record("ignored", 7);
+            gauge_max("ignored", 9);
+        }
+        let session = drain();
+        assert!(session.spans.is_empty());
+        assert!(session.metrics.counters.is_empty());
+        assert!(session.metrics.histograms.is_empty());
+        assert!(session.metrics.gauges.is_empty());
+    }
+
+    #[test]
+    fn nested_spans_record_paths_and_depths() {
+        let _x = exclusive();
+        disable();
+        let _ = drain();
+        enable();
+        {
+            let _a = span("outer");
+            {
+                let _b = span("inner");
+            }
+            let _c = span("sibling");
+        }
+        disable();
+        let session = drain();
+        assert_eq!(session.spans.len(), 3);
+        let by_name = |n: &str| session.spans.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("outer").path, "outer");
+        assert_eq!(by_name("outer").depth, 0);
+        assert_eq!(by_name("inner").path, "outer;inner");
+        assert_eq!(by_name("inner").depth, 1);
+        assert_eq!(by_name("sibling").path, "outer;sibling");
+        // Ends are ordered: inner closed before outer.
+        let outer = by_name("outer");
+        let inner = by_name("inner");
+        assert!(inner.start_us >= outer.start_us);
+        assert!(inner.start_us + inner.dur_us <= outer.start_us + outer.dur_us);
+    }
+
+    #[test]
+    fn scoped_worker_spans_land_via_explicit_flush() {
+        let _x = exclusive();
+        disable();
+        let _ = drain();
+        enable();
+        std::thread::scope(|scope| {
+            for slot in 0..2u64 {
+                scope.spawn(move || {
+                    set_thread_context(&format!("w{slot:02}"), 7);
+                    {
+                        let _s = span("work");
+                        counter_add("jobs", 1);
+                    }
+                    flush_thread();
+                });
+            }
+        });
+        disable();
+        let session = drain();
+        assert_eq!(session.spans.len(), 2);
+        let mut threads: Vec<&str> = session.spans.iter().map(|s| s.thread.as_str()).collect();
+        threads.sort_unstable();
+        assert_eq!(threads, ["w00", "w01"]);
+        assert!(session.spans.iter().all(|s| s.generation == 7));
+        assert_eq!(session.metrics.counters["jobs"], 2);
+    }
+
+    #[test]
+    fn joined_thread_spans_flush_on_thread_exit() {
+        let _x = exclusive();
+        disable();
+        let _ = drain();
+        enable();
+        // A plain join() waits for full thread exit, including the
+        // TLS-destructor backstop flush — no explicit flush needed.
+        std::thread::spawn(|| {
+            set_thread_context("w00", 3);
+            let _s = span("work");
+        })
+        .join()
+        .unwrap();
+        disable();
+        let session = drain();
+        assert_eq!(session.spans.len(), 1);
+        assert_eq!(session.spans[0].thread, "w00");
+        assert_eq!(session.spans[0].generation, 3);
+    }
+
+    #[test]
+    fn drain_clears_and_snapshot_preserves() {
+        let _x = exclusive();
+        disable();
+        let _ = drain();
+        enable();
+        {
+            let _s = span("once");
+        }
+        let snap = snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        let snap2 = snapshot();
+        assert_eq!(snap2.spans.len(), 1, "snapshot must not clear");
+        let drained = drain();
+        disable();
+        assert_eq!(drained.spans.len(), 1);
+        assert!(drain().spans.is_empty(), "drain must clear");
+    }
+}

@@ -138,6 +138,8 @@ pub fn simulate_budgeted(
     seed: u64,
     cycle_budget: Option<u64>,
 ) -> Result<FunctionalRun, SimError> {
+    let _span = tensorlib_obs::span("sim.functional");
+    tensorlib_obs::counter_add("sim.functional_runs", 1);
     if design.dataflow().kernel_name() != kernel.name() {
         return Err(SimError::KernelMismatch {
             design_kernel: design.dataflow().kernel_name().to_string(),

@@ -35,6 +35,7 @@ use crate::{SimConfig, SimReport};
 ///
 /// See the crate-level example in [`crate`].
 pub fn estimate(design: &AcceleratorDesign, kernel: &Kernel, cfg: &SimConfig) -> SimReport {
+    let _span = tensorlib_obs::span("sim.cost_model");
     assert_eq!(
         design.dataflow().kernel_name(),
         kernel.name(),

@@ -423,6 +423,8 @@ fn drive_campaign(
     abft_row_sums: &[i64],
     abft_col_sums: &[i64],
 ) -> Vec<FaultOutcome> {
+    let _span = tensorlib_obs::span("sim.fault_injection");
+    tensorlib_obs::counter_add("sim.faults_injected", faults.len() as u64);
     let results = par_map_catch(faults, cfg.workers, 1, |_, fault| {
         let mut sim = base.clone();
         match sim.attach_faults(std::slice::from_ref(fault)) {
@@ -484,6 +486,7 @@ fn prepare(cfg: &CampaignConfig) -> Result<CampaignBase, CampaignError> {
 /// Returns [`CampaignError`] if the design fails to generate, flatten, or
 /// preload.
 pub fn run_campaign(cfg: &CampaignConfig) -> Result<ResilienceReport, CampaignError> {
+    let _span = tensorlib_obs::span("sim.resilience_campaign");
     let CampaignBase {
         design,
         flat,
@@ -498,7 +501,10 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<ResilienceReport, CampaignEr
     base.poke("start", 1);
 
     let mut golden_sim = base.clone();
-    let golden = run_round(&mut golden_sim, &design, has_tmr);
+    let golden = {
+        let _golden_span = tensorlib_obs::span("sim.golden_run");
+        run_round(&mut golden_sim, &design, has_tmr)
+    };
     let outcomes = drive_campaign(&base, &design, cfg, has_tmr, &faults, &golden, &[], &[]);
     Ok(aggregate(&design, cfg, cycles, outcomes))
 }
@@ -515,6 +521,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<ResilienceReport, CampaignEr
 /// Returns [`CampaignError`] on setup failure or if the golden run
 /// disagrees with the reference executor.
 pub fn run_gemm_campaign(cfg: &CampaignConfig) -> Result<ResilienceReport, CampaignError> {
+    let _span = tensorlib_obs::span("sim.resilience_campaign");
     let CampaignBase {
         design,
         flat,
@@ -535,7 +542,10 @@ pub fn run_gemm_campaign(cfg: &CampaignConfig) -> Result<ResilienceReport, Campa
     base.poke("start", 1);
 
     let mut golden_sim = base.clone();
-    let golden = run_round(&mut golden_sim, &design, has_tmr);
+    let golden = {
+        let _golden_span = tensorlib_obs::span("sim.golden_run");
+        run_round(&mut golden_sim, &design, has_tmr)
+    };
     // The golden harvest must equal the reference execution exactly.
     for i in 0..cfg.rows {
         for j in 0..cfg.cols {
@@ -631,7 +641,10 @@ pub fn run_gemm_campaign_with_faults(
     load_skewed_inputs(&mut base, &design, &inputs[0], &inputs[1], cfg.k as i64)?;
     base.poke("start", 1);
     let mut golden_sim = base.clone();
-    let golden = run_round(&mut golden_sim, &design, has_tmr);
+    let golden = {
+        let _golden_span = tensorlib_obs::span("sim.golden_run");
+        run_round(&mut golden_sim, &design, has_tmr)
+    };
     for i in 0..cfg.rows {
         for j in 0..cfg.cols {
             let expected = reference.get(&[i as i64, j as i64]);

@@ -113,6 +113,7 @@ pub fn measure(
     cfg: &TraceConfig,
     tiles: u64,
 ) -> Result<MeasuredRun, MeasureError> {
+    let _span = tensorlib_obs::span("sim.measure");
     let flat = elaborate_design(design, design.top())?;
     let mut sim = Interpreter::with_trace(flat, cfg)?;
     fill_input_banks(&mut sim, design)?;

@@ -25,7 +25,8 @@
 use serde::Serialize;
 use tensorlib_dataflow::{Dataflow, LoopSelection, Stt};
 use tensorlib_hw::design::{generate, AcceleratorDesign, HwConfig};
-use tensorlib_hw::fault::{Hardening, SplitMix64};
+use tensorlib_hw::fault::Hardening;
+use tensorlib_linalg::rng::SplitMix64;
 use tensorlib_hw::fuzz::{
     check_netlist, gen_netlist, rust_repro, shrink_netlist, NetlistFuzzConfig,
 };
@@ -153,6 +154,7 @@ fn netlist_finding(seed: u64, cfg: &VerifyConfig) -> Option<Finding> {
 /// Runs the netlist-mode campaign: `cfg.seeds` random netlists through the
 /// full [`tensorlib_hw::fuzz`] oracle stack, shrinking every failure.
 pub fn run_netlist_campaign(cfg: &VerifyConfig) -> ModeReport {
+    let _span = tensorlib_obs::span("verify.netlist_campaign");
     let seeds: Vec<u64> = (cfg.seed_start..cfg.seed_start + cfg.seeds).collect();
     let results = par_map_catch(&seeds, cfg.workers.max(1), 8, |_, &seed| {
         netlist_finding(seed, cfg)
@@ -464,6 +466,7 @@ fn pipeline_outcome(seed: u64) -> PipelineOutcome {
 /// pipelines, each through design validation, the reference functional
 /// executor, and a dual-engine controller round.
 pub fn run_pipeline_campaign(cfg: &VerifyConfig) -> ModeReport {
+    let _span = tensorlib_obs::span("verify.pipeline_campaign");
     let seeds: Vec<u64> = (cfg.seed_start..cfg.seed_start + cfg.seeds).collect();
     let results = par_map_catch(&seeds, cfg.workers.max(1), 4, |_, &seed| {
         match pipeline_outcome(seed) {

@@ -13,6 +13,7 @@ cargo clippy -q --all-targets -- -D warnings
 # Observability battery (all are part of `cargo test` above; re-run by name).
 cargo test -q --test pe_golden
 cargo test -q --test trace_observability
+cargo test -q --test observability
 cargo test -q --test proptest_pipeline
 cargo test -q --test fuzz_regressions
 cargo test -q -p tensorlib-hw --lib trace
@@ -30,6 +31,23 @@ cargo test -q -p tensorlib-sim --lib trace
 # for any worker count, so the grep is stable.
 ./target/release/tensorlib fuzz --mode both --seed 0 --seeds 200 -o - \
     | grep -q '"total_findings": 0'
+
+# Framework-observability smoke: a profiled sweep must emit a Chrome trace
+# that covers the whole generation pipeline (enumeration through cost) and
+# carries the versioned provenance manifest; ordinary JSON reports must
+# carry provenance too.
+profile_dir=$(mktemp -d)
+./target/release/tensorlib profile gemm:4,4,4 --workers 2 \
+    -o "$profile_dir/p.trace.json" >/dev/null
+for needle in '"traceEvents"' '"schema_version"' '"provenance"' \
+    dse.stt_enumeration dse.classification hw.elaboration hw.bytecode_compile \
+    sim.functional sim.measure cost.asic; do
+    grep -q "$needle" "$profile_dir/p.trace.json"
+done
+test -s "$profile_dir/p.folded"
+./target/release/tensorlib stats gemm:4,4,4 MNK-SST --rows 4 --cols 4 -o - \
+    | grep -q '"provenance"'
+rm -rf "$profile_dir"
 
 # Perf gate. perfgate itself enforces the trace-off overhead ceiling; with a
 # committed baseline it also gates compiled-interpreter throughput.

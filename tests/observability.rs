@@ -1,0 +1,148 @@
+//! Framework observability (`tensorlib-obs`) end-to-end:
+//!
+//! - recording spans/metrics must never change what the pipeline computes —
+//!   an [`explore`] sweep returns byte-identical results with tracing on or
+//!   off, at any worker count;
+//! - two identical profiled runs produce byte-identical Chrome traces once
+//!   timestamps are scrubbed (stable thread labels, deterministic
+//!   round-robin scheduling, sorted emission);
+//! - the exported trace is well-formed Chrome Trace Event JSON covering the
+//!   pipeline phases, and it round-trips through the crate's own parser.
+//!
+//! The recording switch is process-global, so every test here serializes on
+//! [`OBS_LOCK`].
+
+use std::sync::Mutex;
+
+use tensorlib::explore::{explore_outcome, ExploreOptions};
+use tensorlib::ir::workloads;
+use tensorlib_obs::json;
+
+/// Serializes tests that flip the process-global recording switch.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn opts(workers: usize) -> ExploreOptions {
+    ExploreOptions {
+        // A small array keeps the per-point functional simulation cheap —
+        // these tests run seven full sweeps.
+        hw: tensorlib::HwConfig {
+            array: tensorlib::ArrayConfig { rows: 4, cols: 4 },
+            ..tensorlib::HwConfig::default()
+        },
+        workers,
+        functional_verify: true,
+        ..ExploreOptions::default()
+    }
+}
+
+/// Serializes a sweep's observable result (every scored field) to JSON so
+/// "identical results" is a byte comparison, not a field sample.
+fn outcome_json(kernel: &tensorlib::Kernel, options: &ExploreOptions) -> String {
+    serde_json::to_string(&explore_outcome(kernel, options)).expect("serialize outcome")
+}
+
+#[test]
+fn explore_results_identical_with_tracing_on_and_off() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    tensorlib_obs::disable();
+    let kernel = workloads::gemm(4, 4, 4);
+    for workers in [1, 4] {
+        let plain = outcome_json(&kernel, &opts(workers));
+
+        tensorlib_obs::enable();
+        let profiled = outcome_json(&kernel, &opts(workers));
+        let session = tensorlib_obs::drain();
+        tensorlib_obs::disable();
+
+        assert_eq!(
+            plain, profiled,
+            "recording changed sweep results at {workers} workers"
+        );
+        assert!(
+            !session.spans.is_empty(),
+            "profiled sweep recorded no spans at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn profiled_runs_are_byte_identical_modulo_timestamps() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    tensorlib_obs::disable();
+    let kernel = workloads::gemm(4, 4, 4);
+    let mut traces = Vec::new();
+    for _ in 0..2 {
+        tensorlib_obs::enable();
+        let outcome = explore_outcome(&kernel, &opts(3));
+        let mut session = tensorlib_obs::drain();
+        tensorlib_obs::disable();
+        assert!(!outcome.points.is_empty());
+        session.scrub_timestamps();
+        traces.push((session.to_chrome_trace(None), session.to_folded()));
+    }
+    assert_eq!(
+        traces[0].0, traces[1].0,
+        "two identical profiled runs diverged in their Chrome trace"
+    );
+    // Folded stacks aggregate scrubbed (zero) durations — still required to
+    // carry the same path set in the same order.
+    assert_eq!(traces[0].1, traces[1].1);
+}
+
+#[test]
+fn sweep_trace_is_well_formed_and_covers_the_pipeline() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    tensorlib_obs::disable();
+    tensorlib_obs::enable();
+    let outcome = explore_outcome(&workloads::gemm(4, 4, 4), &opts(2));
+    let session = tensorlib_obs::drain();
+    tensorlib_obs::disable();
+    assert!(!outcome.points.is_empty());
+
+    let trace = session.to_chrome_trace(None);
+    let doc = json::parse(&trace).expect("trace must parse as JSON");
+    assert_eq!(
+        doc.get("schema_version").and_then(json::Value::as_u64),
+        Some(u64::from(tensorlib_obs::SCHEMA_VERSION))
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(json::Value::as_array)
+        .expect("traceEvents array");
+    let span_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(json::Value::as_str) == Some("X"))
+        .map(|e| e.get("name").and_then(json::Value::as_str).unwrap())
+        .collect();
+    assert_eq!(span_names.len(), session.spans.len(), "one X event per span");
+    for phase in [
+        "dse.stt_enumeration",
+        "dse.classification",
+        "hw.elaboration",
+        "sim.functional",
+        "sim.cost_model",
+        "cost.asic",
+        "explore.point",
+        "par.pool",
+    ] {
+        assert!(
+            span_names.contains(&phase),
+            "trace missing pipeline phase {phase}; got {span_names:?}"
+        );
+    }
+    // Worker threads appear under their stable labels.
+    let thread_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(json::Value::as_str) == Some("M"))
+        .map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(json::Value::as_str)
+                .unwrap()
+        })
+        .collect();
+    assert!(
+        thread_names.contains(&"w00") && thread_names.contains(&"w01"),
+        "stable worker labels missing: {thread_names:?}"
+    );
+}
