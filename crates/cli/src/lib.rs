@@ -12,7 +12,10 @@
 //! tensorlib stats    <workload> <dataflow> [--rows N] [--cols N] [--tiles T] [-o f.json]
 //! tensorlib trace    <workload> <dataflow> [--nets a,b,c] [--tiles T] [-o f.vcd]
 //! tensorlib faults   [--rows N] [--cols N] [--k K] [--faults N] [--seed S]
-//!                    [--harden tmr,parity,abft] [--workers W] [--sweep-acc] [-o f.json]
+//!                    [--harden tmr,parity,abft] [--workers W] [--lanes L]
+//!                    [--sweep-acc] [-o f.json]
+//! tensorlib fuzz     [--mode netlist|pipeline|both] [--seed S] [--seeds N]
+//!                    [--cycles C] [--workers W] [--lanes L] [-o f.json]
 //! tensorlib profile  <workload> [--top N] [--rows N] [--cols N] [--workers W] [-o f.trace.json]
 //! ```
 //!
@@ -159,6 +162,9 @@ pub enum Command {
         harden: String,
         /// Campaign worker threads (`0` = one per core).
         workers: usize,
+        /// Simulation lanes per bytecode pass (`1` = scalar engine; wider
+        /// lanes retire one fault site per lane per pass).
+        lanes: usize,
         /// Run the exhaustive accumulator bit-flip sweep (the ABFT
         /// acceptance campaign) instead of seeded sampling.
         sweep_acc: bool,
@@ -179,6 +185,8 @@ pub enum Command {
         cycles: u64,
         /// Campaign worker threads (`0` = one per core).
         workers: usize,
+        /// Lane width of the batched-engine oracle (`1` = scalar-only).
+        lanes: usize,
         /// Output path (`-` for stdout, empty for `reports/` default).
         out: String,
     },
@@ -208,9 +216,10 @@ usage:
   tensorlib stats    <workload> <dataflow> [--rows N] [--cols N] [--tiles T] [-o f.json]
   tensorlib trace    <workload> <dataflow> [--nets a,b,c] [--tiles T] [-o f.vcd]
   tensorlib faults   [--rows N] [--cols N] [--k K] [--faults N] [--seed S]
-                     [--harden tmr,parity,abft] [--workers W] [--sweep-acc] [-o f.json]
+                     [--harden tmr,parity,abft] [--workers W] [--lanes L]
+                     [--sweep-acc] [-o f.json]
   tensorlib fuzz     [--mode netlist|pipeline|both] [--seed S] [--seeds N]
-                     [--cycles C] [--workers W] [-o f.json]
+                     [--cycles C] [--workers W] [--lanes L] [-o f.json]
   tensorlib profile  <workload> [--top N] [--rows N] [--cols N] [--workers W]
                      [-o f.trace.json]
 
@@ -235,7 +244,9 @@ classified masked / detected / sdc against a golden fault-free run, hardened
 variants (--harden tmr, parity, abft, or full) report their detectors and
 priced area/power overhead, and --sweep-acc replaces the seeded sample with
 the exhaustive accumulator bit-flip sweep that ABFT must fully detect.
-Reports are byte-identical for any --workers count.
+--lanes L > 1 retires L fault sites per batched bytecode pass (the
+struct-of-arrays lane engine); reports are byte-identical for any --workers
+count and any --lanes width.
 
 fuzz runs the differential verification campaign: netlist mode feeds random
 but valid-by-construction netlists through module validation, a Verilog
@@ -243,9 +254,12 @@ emission lint, elaboration, and a lock-step compiled-vs-tree-walking engine
 comparison (failures are auto-shrunk to minimal repros); pipeline mode
 samples whole generation pipelines (kernel x sizes x loop selection x STT x
 hardening) and additionally checks the reference functional executor and the
-hardware counters. The JSON report's total_findings field is zero on a clean
-run, and its campaign results are identical for any --workers count (the
-provenance block records the requested workers).
+hardware counters. --lanes L > 1 additionally runs the lane-batched engine
+against L independent scalar references (per-lane stimulus in netlist mode,
+per-lane bank images in pipeline mode). The JSON report's total_findings
+field is zero on a clean run, and its campaign results are identical for any
+--workers count and --lanes width (the provenance block records the
+requested workers).
 
 profile sweeps the workload's design space with functional verification on,
 prints a per-phase wall-time breakdown (STT enumeration, classification,
@@ -278,6 +292,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut seed = 1u64;
     let mut harden = "none".to_string();
     let mut workers = 0usize;
+    let mut lanes = 1usize;
     let mut sweep_acc = false;
     let mut mode = "both".to_string();
     let mut seeds = 256u64;
@@ -340,6 +355,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 workers = take_value(&mut i)?
                     .parse()
                     .map_err(|_| CliError("--workers expects an integer".into()))?
+            }
+            "--lanes" => {
+                lanes = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| CliError("--lanes expects an integer".into()))?;
+                if lanes == 0 {
+                    return Err(CliError("--lanes must be at least 1".into()));
+                }
             }
             "--sweep-acc" => sweep_acc = true,
             "--mode" => mode = take_value(&mut i)?,
@@ -422,6 +445,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             seed,
             harden,
             workers,
+            lanes,
             sweep_acc,
             out: if out_given { out } else { String::new() },
         }),
@@ -431,6 +455,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             seeds,
             cycles,
             workers,
+            lanes,
             out: if out_given { out } else { String::new() },
         }),
         _ => Err(usage()),
@@ -889,6 +914,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             seed,
             harden,
             workers,
+            lanes,
             sweep_acc,
             out,
         } => {
@@ -908,6 +934,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 seed,
                 hardening,
                 workers,
+                lanes,
             };
             let (mode, report) = if sweep_acc {
                 // Flip every accumulator bit 0..8 mid-accumulation: half-way
@@ -979,6 +1006,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             seeds,
             cycles,
             workers,
+            lanes,
             out,
         } => {
             let (netlist, pipeline) = match mode.as_str() {
@@ -1005,6 +1033,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 seeds,
                 workers,
                 cycles,
+                lanes,
             };
             let report = run_verify(&cfg, netlist, pipeline);
             let doc = FuzzReportDoc {
@@ -1517,6 +1546,7 @@ mod tests {
                 seed: 1,
                 harden: "none".into(),
                 workers: 0,
+                lanes: 1,
                 sweep_acc: false,
                 out: String::new(),
             }
@@ -1524,7 +1554,8 @@ mod tests {
         assert_eq!(
             parse_args(&sv(&[
                 "faults", "--rows", "16", "--cols", "8", "--k", "6", "--faults", "12",
-                "--seed", "9", "--harden", "tmr,parity", "--workers", "2", "--sweep-acc",
+                "--seed", "9", "--harden", "tmr,parity", "--workers", "2", "--lanes", "8",
+                "--sweep-acc",
                 "-o", "-",
             ]))
             .unwrap(),
@@ -1536,6 +1567,7 @@ mod tests {
                 seed: 9,
                 harden: "tmr,parity".into(),
                 workers: 2,
+                lanes: 8,
                 sweep_acc: true,
                 out: "-".into(),
             }
@@ -1556,13 +1588,14 @@ mod tests {
                 seeds: 256,
                 cycles: 16,
                 workers: 0,
+                lanes: 1,
                 out: String::new(),
             }
         );
         assert_eq!(
             parse_args(&sv(&[
                 "fuzz", "--mode", "netlist", "--seed", "7", "--seeds", "99", "--cycles",
-                "8", "--workers", "3", "-o", "-",
+                "8", "--workers", "3", "--lanes", "16", "-o", "-",
             ]))
             .unwrap(),
             Command::Fuzz {
@@ -1571,6 +1604,7 @@ mod tests {
                 seeds: 99,
                 cycles: 8,
                 workers: 3,
+                lanes: 16,
                 out: "-".into(),
             }
         );
@@ -1586,6 +1620,7 @@ mod tests {
             seeds: 10,
             cycles: 8,
             workers: 2,
+            lanes: 4,
             out: "-".into(),
         })
         .unwrap();
@@ -1602,6 +1637,7 @@ mod tests {
             seeds: 1,
             cycles: 1,
             workers: 1,
+            lanes: 1,
             out: "-".into(),
         })
         .unwrap_err();
@@ -1617,6 +1653,7 @@ mod tests {
             seed: 1,
             harden: harden.into(),
             workers: 1,
+            lanes: 1,
             sweep_acc: false,
             out: out.into(),
         }
@@ -1654,6 +1691,7 @@ mod tests {
             seed: 1,
             harden: "none".into(),
             workers: 1,
+            lanes: 1,
             sweep_acc: false,
             out: "-".into(),
         })
@@ -1707,6 +1745,7 @@ mod tests {
             seeds: 4,
             cycles: 8,
             workers: 1,
+            lanes: 1,
             out: "-".into(),
         })
         .unwrap();

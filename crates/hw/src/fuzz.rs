@@ -31,6 +31,7 @@
 use serde::Serialize;
 
 use tensorlib_linalg::rng::SplitMix64;
+use crate::batch::BatchSim;
 use crate::interp::{elaborate, Interpreter};
 use crate::netlist::{BinOp, Dir, Expr, Module, Net, NetId, RegDef};
 use crate::verilog::emit_module;
@@ -74,6 +75,8 @@ pub enum NetlistFailureKind {
     Emission,
     /// The two interpreter engines disagreed on a net value.
     Mismatch,
+    /// The lane-batched engine disagreed with a scalar reference lane.
+    BatchMismatch,
 }
 
 impl NetlistFailureKind {
@@ -84,6 +87,7 @@ impl NetlistFailureKind {
             NetlistFailureKind::Elaborate => "elaborate",
             NetlistFailureKind::Emission => "emission",
             NetlistFailureKind::Mismatch => "mismatch",
+            NetlistFailureKind::BatchMismatch => "batch_mismatch",
         }
     }
 }
@@ -365,10 +369,91 @@ pub fn check_netlist(
     Ok(())
 }
 
-/// Panics if the two interpreter engines (or any crash oracle) disagree on
-/// this netlist. Convenience wrapper used by committed regression tests.
+/// Lane count [`assert_engines_agree`] uses for its built-in batched oracle:
+/// wide enough to exercise real lane divergence, cheap enough for
+/// per-regression-test use.
+pub const DEFAULT_ORACLE_LANES: usize = 4;
+
+/// Lane-vs-scalar differential oracle: runs one [`BatchSim`] of `lanes`
+/// lanes against `lanes` independent scalar [`Interpreter`]s, each lane
+/// driven by its own seeded stimulus stream (lane 0's stream is exactly the
+/// scalar campaign stream for `seed`, so scalar findings reproduce on lane
+/// 0). Every flat net is compared on every lane after every cycle.
+///
+/// # Errors
+///
+/// Returns a [`NetlistFailureKind::BatchMismatch`] failure naming the net,
+/// lane, and cycle of the first divergence (or an
+/// [`NetlistFailureKind::Elaborate`] failure if the netlist does not
+/// elaborate).
+pub fn check_batch_netlist(
+    modules: &[Module],
+    top: &str,
+    seed: u64,
+    cycles: u64,
+    lanes: usize,
+) -> Result<(), NetlistFailure> {
+    let flat = elaborate(modules, &[], top).map_err(|e| NetlistFailure {
+        kind: NetlistFailureKind::Elaborate,
+        detail: e.to_string(),
+    })?;
+    let net_names: Vec<String> = flat.nets().iter().map(|n| n.name.clone()).collect();
+    let inputs: Vec<String> = flat
+        .ports()
+        .iter()
+        .filter(|(_, d)| *d == Dir::Input)
+        .map(|(id, _)| flat.nets()[*id].name.clone())
+        .collect();
+    let mut refs: Vec<Interpreter> = (0..lanes).map(|_| Interpreter::new(flat.clone())).collect();
+    let mut batch = BatchSim::new(flat, lanes);
+    let mut rngs: Vec<SplitMix64> = (0..lanes)
+        .map(|l| SplitMix64::new(seed.wrapping_add(l as u64) ^ 0xD1F7_0000_0000_0001))
+        .collect();
+    let mut vals = vec![vec![0u64; lanes]; inputs.len()];
+    for cycle in 0..cycles {
+        for (i, name) in inputs.iter().enumerate() {
+            for (l, r) in refs.iter_mut().enumerate() {
+                vals[i][l] = rngs[l].next_u64();
+                r.poke(name, vals[i][l]);
+            }
+        }
+        batch.poke_lanes_many(
+            inputs
+                .iter()
+                .zip(&vals)
+                .map(|(n, v)| (n.as_str(), v.as_slice())),
+        );
+        batch.step();
+        for r in &mut refs {
+            r.step();
+        }
+        for name in &net_names {
+            for (l, r) in refs.iter().enumerate() {
+                let b = batch.peek_lane(name, l);
+                let s = r.peek(name);
+                if b != s {
+                    return Err(NetlistFailure {
+                        kind: NetlistFailureKind::BatchMismatch,
+                        detail: format!(
+                            "net {name:?} diverged at cycle {cycle} lane {l}: batch={b} scalar={s}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Panics if the two scalar interpreter engines (or any crash oracle)
+/// disagree on this netlist, or if the lane-batched engine diverges from a
+/// scalar reference on any flat net on any of [`DEFAULT_ORACLE_LANES`]
+/// stimulus lanes in any cycle. Convenience wrapper used by committed
+/// regression tests.
 pub fn assert_engines_agree(modules: &[Module], top: &str, seed: u64, cycles: u64) {
-    if let Err(f) = check_netlist(modules, top, seed, cycles, None) {
+    if let Err(f) = check_netlist(modules, top, seed, cycles, None)
+        .and_then(|()| check_batch_netlist(modules, top, seed, cycles, DEFAULT_ORACLE_LANES))
+    {
         panic!("{}: {}", f.kind.label(), f.detail);
     }
 }

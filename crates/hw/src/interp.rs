@@ -343,7 +343,7 @@ fn topo_order(flat: &FlatDesign) -> Vec<usize> {
     order
 }
 
-fn mask(value: u64, width: u32) -> u64 {
+pub(crate) fn mask(value: u64, width: u32) -> u64 {
     if width >= 64 {
         value
     } else {
@@ -351,7 +351,7 @@ fn mask(value: u64, width: u32) -> u64 {
     }
 }
 
-fn sign_extend(value: u64, from: u32, to: u32) -> u64 {
+pub(crate) fn sign_extend(value: u64, from: u32, to: u32) -> u64 {
     let v = mask(value, from);
     if from == 0 || from >= 64 {
         return mask(v, to);
@@ -367,7 +367,7 @@ fn sign_extend(value: u64, from: u32, to: u32) -> u64 {
 
 /// Returns the bitmask selecting the low `width` bits (`u64::MAX` for widths
 /// of 64 and above, `0` for width 0 — matching [`mask`]).
-fn width_mask(width: u32) -> u64 {
+pub(crate) fn width_mask(width: u32) -> u64 {
     if width >= 64 {
         u64::MAX
     } else {
@@ -381,7 +381,7 @@ fn width_mask(width: u32) -> u64 {
 /// parameters are folded in at compile time so evaluation is a single linear
 /// pass with no tree recursion and no per-node width re-derivation.
 #[derive(Debug, Clone, Copy)]
-enum Instr {
+pub(crate) enum Instr {
     /// Push a pre-masked literal.
     Const(u64),
     /// Push the current value of a net.
@@ -457,7 +457,7 @@ enum Instr {
 /// arithmetic wraps then masks to the max operand width, logical ops need no
 /// mask (operands are already in range), comparisons produce a 1-bit flag.
 #[inline]
-fn bin_eval(op: BinOp, va: u64, vb: u64, mask: u64) -> u64 {
+pub(crate) fn bin_eval(op: BinOp, va: u64, vb: u64, mask: u64) -> u64 {
     match op {
         BinOp::Add => va.wrapping_add(vb) & mask,
         BinOp::Sub => va.wrapping_sub(vb) & mask,
@@ -539,11 +539,11 @@ fn peephole(seg: &mut Vec<Instr>) {
 /// Bank port nets with alias resolution applied (the compiled step samples
 /// through these instead of the raw [`FlatBank`] nets).
 #[derive(Debug, Clone, Copy)]
-struct CompiledBankNets {
-    en: u32,
-    wen: u32,
-    wdata: u32,
-    buf_sel: Option<u32>,
+pub(crate) struct CompiledBankNets {
+    pub(crate) en: u32,
+    pub(crate) wen: u32,
+    pub(crate) wdata: u32,
+    pub(crate) buf_sel: Option<u32>,
 }
 
 /// The one-time lowering of a [`FlatDesign`]'s expressions into linear
@@ -556,16 +556,16 @@ struct CompiledBankNets {
 /// read of `dst` — including [`Interpreter::peek`], bank port sampling, and
 /// downstream expressions — is redirected to `src` through `resolve`.
 #[derive(Debug, Clone)]
-struct Compiled {
-    settle_code: Vec<Instr>,
-    reg_code: Vec<Instr>,
+pub(crate) struct Compiled {
+    pub(crate) settle_code: Vec<Instr>,
+    pub(crate) reg_code: Vec<Instr>,
     /// Read-forwarding map: `resolve[n]` is the net whose value slot holds
     /// `n`'s value (identity for non-aliased nets).
-    resolve: Vec<u32>,
+    pub(crate) resolve: Vec<u32>,
     /// Register targets in `FlatDesign::regs` order (compact commit loop).
-    reg_targets: Vec<u32>,
+    pub(crate) reg_targets: Vec<u32>,
     /// Alias-resolved bank port nets, parallel to `FlatDesign::banks`.
-    bank_nets: Vec<CompiledBankNets>,
+    pub(crate) bank_nets: Vec<CompiledBankNets>,
 }
 
 impl Compiled {
@@ -574,7 +574,7 @@ impl Compiled {
         self.settle_code.len() + self.reg_code.len()
     }
 
-    fn build(flat: &FlatDesign) -> Compiled {
+    pub(crate) fn build(flat: &FlatDesign) -> Compiled {
         let mut resolve: Vec<u32> = (0..flat.nets.len() as u32).collect();
         let mut settle_code = Vec::new();
         let mut seg = Vec::new();
@@ -730,6 +730,129 @@ fn lower_onto(expr: &Expr, nets: &[Net], resolve: &[u32], code: &mut Vec<Instr>)
                 to_mask: width_mask(*w),
             });
             *w
+        }
+    }
+}
+
+/// One [`FaultSpec`] resolved against a flat netlist: the canonical value
+/// slot, register index, or bank storage word the interpreter engines act
+/// on. Shared by the scalar [`Interpreter::attach_faults`] and the
+/// lane-batched engine ([`crate::batch::BatchSim`]) so both resolve specs —
+/// and reject invalid ones — identically.
+pub(crate) enum ResolvedFault {
+    Stuck(StuckForce),
+    Flip(SlotFlip),
+    Bank(BankWordFlip),
+    Hold(RegHold),
+}
+
+/// Resolves one fault spec against `flat`. `resolve` is the compiled
+/// engine's alias-resolution map when running compiled (stuck-at targets are
+/// canonicalized through it), `None` on the tree-walking path.
+pub(crate) fn resolve_fault_spec(
+    spec: &FaultSpec,
+    flat: &FlatDesign,
+    resolve: Option<&[u32]>,
+    net_by_name: &HashMap<String, NetId>,
+) -> Result<ResolvedFault, HwError> {
+    let lookup = |name: &str| -> Result<NetId, HwError> {
+        net_by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| HwError::UnknownNet { net: name.into() })
+    };
+    let read_slot = |id: NetId| -> usize {
+        match resolve {
+            Some(r) => r[id] as usize,
+            None => id,
+        }
+    };
+    match &spec.kind {
+        FaultKind::StuckAt { bit, value } => {
+            let id = lookup(&spec.target)?;
+            let width = flat.nets[id].width;
+            if *bit >= width {
+                return Err(HwError::FaultBitOutOfRange {
+                    net: spec.target.clone(),
+                    bit: *bit,
+                    width,
+                });
+            }
+            let m = 1u64 << bit;
+            Ok(ResolvedFault::Stuck(StuckForce {
+                slot: read_slot(id) as u32,
+                or_mask: if *value { m } else { 0 },
+                and_mask: if *value { u64::MAX } else { !m },
+            }))
+        }
+        FaultKind::TransientFlip { bit, cycle } => {
+            let id = lookup(&spec.target)?;
+            let width = flat.nets[id].width;
+            if *bit >= width {
+                return Err(HwError::FaultBitOutOfRange {
+                    net: spec.target.clone(),
+                    bit: *bit,
+                    width,
+                });
+            }
+            if !flat.regs.iter().any(|r| r.target == id) {
+                return Err(HwError::NotARegister {
+                    net: spec.target.clone(),
+                });
+            }
+            Ok(ResolvedFault::Flip(SlotFlip {
+                cycle: *cycle,
+                slot: id,
+                xor: 1u64 << bit,
+            }))
+        }
+        FaultKind::BankFlip { word, bit, cycle } => {
+            let bank = flat
+                .banks
+                .iter()
+                .position(|b| b.name == spec.target)
+                .ok_or_else(|| HwError::UnknownNet {
+                    net: spec.target.clone(),
+                })?;
+            let spec_bank = &flat.banks[bank].spec;
+            let mult = if spec_bank.is_double_buffered() { 2 } else { 1 };
+            let capacity = (spec_bank.words() * mult) as usize;
+            if *word >= capacity {
+                return Err(HwError::FaultWordOutOfRange {
+                    bank: spec.target.clone(),
+                    word: *word,
+                    capacity,
+                });
+            }
+            let width = spec_bank.width();
+            if *bit >= width {
+                return Err(HwError::FaultBitOutOfRange {
+                    net: spec.target.clone(),
+                    bit: *bit,
+                    width,
+                });
+            }
+            Ok(ResolvedFault::Bank(BankWordFlip {
+                cycle: *cycle,
+                bank,
+                word: *word,
+                xor: 1u64 << bit,
+            }))
+        }
+        FaultKind::DropTransition { cycle } => {
+            let id = lookup(&spec.target)?;
+            let reg = flat
+                .regs
+                .iter()
+                .position(|r| r.target == id)
+                .ok_or_else(|| HwError::NotARegister {
+                    net: spec.target.clone(),
+                })?;
+            Ok(ResolvedFault::Hold(RegHold {
+                cycle: *cycle,
+                reg,
+                target: id,
+            }))
         }
     }
 }
@@ -946,17 +1069,17 @@ struct BankOp {
 /// bit-identical by construction and by test.
 #[derive(Debug, Clone)]
 pub struct Interpreter {
-    flat: FlatDesign,
-    compiled: Option<Compiled>,
-    values: Vec<u64>,
-    bank_mem: Vec<Vec<u64>>,
-    bank_raddr: Vec<u64>,
-    bank_waddr: Vec<u64>,
-    bank_rdata: Vec<u64>,
+    pub(crate) flat: FlatDesign,
+    pub(crate) compiled: Option<Compiled>,
+    pub(crate) values: Vec<u64>,
+    pub(crate) bank_mem: Vec<Vec<u64>>,
+    pub(crate) bank_raddr: Vec<u64>,
+    pub(crate) bank_waddr: Vec<u64>,
+    pub(crate) bank_rdata: Vec<u64>,
     /// First-occurrence name → net index (peeks are O(1), not O(nets)).
-    net_by_name: HashMap<String, NetId>,
+    pub(crate) net_by_name: HashMap<String, NetId>,
     /// First-occurrence port name → net index.
-    port_by_name: HashMap<String, NetId>,
+    pub(crate) port_by_name: HashMap<String, NetId>,
     /// Reusable operand stack for the compiled evaluator.
     stack: Vec<u64>,
     /// Reusable register-sample buffer for [`Interpreter::step`] (disabled
@@ -972,14 +1095,14 @@ pub struct Interpreter {
     trace: Option<Box<TraceState>>,
     /// Fault-injection layer (`None` unless attached — same pay-for-use
     /// shape as `trace`).
-    faults: Option<Box<FaultState>>,
+    pub(crate) faults: Option<Box<FaultState>>,
     /// Behavioural parity bookkeeping, parallel to `bank_mem` (`None` for
     /// banks without parity protection). Stores the expected parity of each
     /// word, refreshed on every write and checked on every read.
-    bank_parity: Vec<Option<Vec<u8>>>,
+    pub(crate) bank_parity: Vec<Option<Vec<u8>>>,
     /// Sticky per-bank parity-mismatch counters (only ever advanced for
     /// parity-protected banks).
-    parity_errors: Vec<u64>,
+    pub(crate) parity_errors: Vec<u64>,
 }
 
 impl Interpreter {
@@ -1149,94 +1272,13 @@ impl Interpreter {
             specs: faults.to_vec(),
             ..FaultState::default()
         };
+        let resolve = self.compiled.as_ref().map(|c| c.resolve.as_slice());
         for spec in faults {
-            match &spec.kind {
-                FaultKind::StuckAt { bit, value } => {
-                    let id = self.lookup_net(&spec.target)?;
-                    let width = self.flat.nets[id].width;
-                    if *bit >= width {
-                        return Err(HwError::FaultBitOutOfRange {
-                            net: spec.target.clone(),
-                            bit: *bit,
-                            width,
-                        });
-                    }
-                    let m = 1u64 << bit;
-                    state.stuck.push(StuckForce {
-                        slot: self.read_slot(id) as u32,
-                        or_mask: if *value { m } else { 0 },
-                        and_mask: if *value { u64::MAX } else { !m },
-                    });
-                }
-                FaultKind::TransientFlip { bit, cycle } => {
-                    let id = self.lookup_net(&spec.target)?;
-                    let width = self.flat.nets[id].width;
-                    if *bit >= width {
-                        return Err(HwError::FaultBitOutOfRange {
-                            net: spec.target.clone(),
-                            bit: *bit,
-                            width,
-                        });
-                    }
-                    if !self.flat.regs.iter().any(|r| r.target == id) {
-                        return Err(HwError::NotARegister {
-                            net: spec.target.clone(),
-                        });
-                    }
-                    state.flips.push(SlotFlip {
-                        cycle: *cycle,
-                        slot: id,
-                        xor: 1u64 << bit,
-                    });
-                }
-                FaultKind::BankFlip { word, bit, cycle } => {
-                    let bank = self
-                        .flat
-                        .banks
-                        .iter()
-                        .position(|b| b.name == spec.target)
-                        .ok_or_else(|| HwError::UnknownNet {
-                            net: spec.target.clone(),
-                        })?;
-                    let capacity = self.bank_mem[bank].len();
-                    if *word >= capacity {
-                        return Err(HwError::FaultWordOutOfRange {
-                            bank: spec.target.clone(),
-                            word: *word,
-                            capacity,
-                        });
-                    }
-                    let width = self.flat.banks[bank].spec.width();
-                    if *bit >= width {
-                        return Err(HwError::FaultBitOutOfRange {
-                            net: spec.target.clone(),
-                            bit: *bit,
-                            width,
-                        });
-                    }
-                    state.bank_flips.push(BankWordFlip {
-                        cycle: *cycle,
-                        bank,
-                        word: *word,
-                        xor: 1u64 << bit,
-                    });
-                }
-                FaultKind::DropTransition { cycle } => {
-                    let id = self.lookup_net(&spec.target)?;
-                    let reg = self
-                        .flat
-                        .regs
-                        .iter()
-                        .position(|r| r.target == id)
-                        .ok_or_else(|| HwError::NotARegister {
-                            net: spec.target.clone(),
-                        })?;
-                    state.holds.push(RegHold {
-                        cycle: *cycle,
-                        reg,
-                        target: id,
-                    });
-                }
+            match resolve_fault_spec(spec, &self.flat, resolve, &self.net_by_name)? {
+                ResolvedFault::Stuck(s) => state.stuck.push(s),
+                ResolvedFault::Flip(f) => state.flips.push(f),
+                ResolvedFault::Bank(b) => state.bank_flips.push(b),
+                ResolvedFault::Hold(h) => state.holds.push(h),
             }
         }
         self.faults = Some(Box::new(state));
@@ -1280,13 +1322,6 @@ impl Interpreter {
     /// Panics if `bank` is out of range (see [`Interpreter::bank_count`]).
     pub fn bank_words(&self, bank: usize) -> &[u64] {
         &self.bank_mem[bank]
-    }
-
-    fn lookup_net(&self, name: &str) -> Result<NetId, HwError> {
-        self.net_by_name
-            .get(name)
-            .copied()
-            .ok_or_else(|| HwError::UnknownNet { net: name.into() })
     }
 
     /// Sets a top-level input port and resettles combinational logic.
@@ -1478,6 +1513,11 @@ impl Interpreter {
     /// slot (covering inputs, register state, and bank read data, which no
     /// assignment recomputes), then the evaluators re-force after each store
     /// so forced bits survive recomputation of combinational targets.
+    ///
+    /// When the attached faults carry no stuck-ats (transient flips and
+    /// holds only — the common armed-campaign shape), the re-forcing is a
+    /// no-op by construction, so the plain settle stream runs instead and
+    /// an armed-but-idle fault layer costs nothing per settle.
     fn settle_faulty(&mut self) {
         let f = self.faults.take().expect("settle_faulty requires faults");
         for s in &f.stuck {
@@ -1485,6 +1525,14 @@ impl Interpreter {
             self.values[s.slot as usize] = (v | s.or_mask) & s.and_mask;
         }
         match &self.compiled {
+            Some(compiled) if f.stuck.is_empty() => {
+                exec_stream(
+                    &compiled.settle_code,
+                    &mut self.values,
+                    &mut self.stack,
+                    &mut self.next_regs,
+                );
+            }
             Some(compiled) => {
                 exec_stream_impl::<true>(
                     &compiled.settle_code,
@@ -1500,7 +1548,9 @@ impl Interpreter {
                     let w = self.flat.nets[*target].width;
                     self.values[*target] =
                         mask(eval_expr(expr, &self.flat.nets, &self.values), w);
-                    reforce(&f.stuck, *target as u32, &mut self.values);
+                    if !f.stuck.is_empty() {
+                        reforce(&f.stuck, *target as u32, &mut self.values);
+                    }
                 }
             }
         }

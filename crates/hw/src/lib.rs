@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod array;
+pub mod batch;
 pub mod ctrl;
 pub mod design;
 pub mod fault;

@@ -27,6 +27,7 @@ use std::fmt;
 
 use serde::Serialize;
 use tensorlib_dataflow::{Dataflow, LoopSelection, Stt};
+use tensorlib_hw::batch::BatchSim;
 use tensorlib_hw::design::{generate, AcceleratorDesign, HwConfig};
 use tensorlib_hw::fault::{enumerate_sites, sample_faults, FaultSpec, Hardening};
 use tensorlib_hw::interp::{elaborate_design, ElaborateError, FlatDesign, Interpreter};
@@ -74,6 +75,13 @@ pub struct CampaignConfig {
     pub hardening: Hardening,
     /// Worker threads (`0` = one per core).
     pub workers: usize,
+    /// Simulation lanes per bytecode pass: `1` runs the scalar engine; `> 1`
+    /// chunks the fault list into lane groups and retires each group in one
+    /// batched pass ([`tensorlib_hw::batch::BatchSim`]). Reports are
+    /// byte-identical for any lane width, so this field — like `workers` —
+    /// is never serialized.
+    #[serde(skip)]
+    pub lanes: usize,
 }
 
 impl Default for CampaignConfig {
@@ -86,6 +94,7 @@ impl Default for CampaignConfig {
             seed: 1,
             hardening: Hardening::none(),
             workers: 1,
+            lanes: 1,
         }
     }
 }
@@ -274,6 +283,70 @@ fn run_round(sim: &mut Interpreter, design: &AcceleratorDesign, has_tmr: bool) -
     }
 }
 
+/// [`run_round`] for a lane batch: one controller round advanced on every
+/// lane simultaneously, harvested per lane. Stimulus (readback pokes) is
+/// broadcast; divergence comes from the per-lane faults already attached.
+/// Lane `l`'s [`RunResult`] is bit-identical to a scalar [`run_round`] of an
+/// interpreter carrying lane `l`'s faults.
+fn run_round_batch(
+    sim: &mut BatchSim,
+    design: &AcceleratorDesign,
+    has_tmr: bool,
+) -> Vec<RunResult> {
+    let lanes = sim.lanes();
+    let phases = design.phases();
+    let pre = 1 + phases.total() + phases.load_cycles + phases.compute_cycles;
+    let mut tmr_seen = vec![false; lanes];
+    for _ in 0..pre {
+        sim.step();
+        if has_tmr {
+            for (l, seen) in tmr_seen.iter_mut().enumerate() {
+                if sim.peek_lane("tmr_mismatch", l) != 0 {
+                    *seen = true;
+                }
+            }
+        }
+    }
+    let rows = design.config().array.rows;
+    let cols = design.config().array.cols;
+    let out_banks: Vec<usize> = design
+        .bank_bindings()
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| !b.port.kind.is_input())
+        .map(|(bi, _)| bi)
+        .collect();
+    for &bi in &out_banks {
+        sim.poke(&format!("readback_{bi}"), 1);
+    }
+    let mut c = vec![vec![0i64; rows * cols]; lanes];
+    for d in 0..rows {
+        sim.step();
+        if has_tmr {
+            for (l, seen) in tmr_seen.iter_mut().enumerate() {
+                if sim.peek_lane("tmr_mismatch", l) != 0 {
+                    *seen = true;
+                }
+            }
+        }
+        let row = rows - 1 - d;
+        for (j, &bi) in out_banks.iter().enumerate() {
+            let name = format!("result_{bi}");
+            for (l, lane_c) in c.iter_mut().enumerate() {
+                lane_c[row * cols + j] = sim.peek_signed_lane(&name, l);
+            }
+        }
+    }
+    c.into_iter()
+        .enumerate()
+        .map(|(l, c)| RunResult {
+            c,
+            tmr_seen: tmr_seen[l],
+            parity_errors: sim.parity_error_count_lane(l),
+        })
+        .collect()
+}
+
 /// Preloads the top-level input banks with the skewed systolic schedule for
 /// `a` and `b`, so the free-running controller round computes exact GEMM.
 fn load_skewed_inputs(
@@ -425,6 +498,18 @@ fn drive_campaign(
 ) -> Vec<FaultOutcome> {
     let _span = tensorlib_obs::span("sim.fault_injection");
     tensorlib_obs::counter_add("sim.faults_injected", faults.len() as u64);
+    if cfg.lanes > 1 {
+        return drive_campaign_batched(
+            base,
+            design,
+            cfg,
+            has_tmr,
+            faults,
+            golden,
+            abft_row_sums,
+            abft_col_sums,
+        );
+    }
     let results = par_map_catch(faults, cfg.workers, 1, |_, fault| {
         let mut sim = base.clone();
         match sim.attach_faults(std::slice::from_ref(fault)) {
@@ -451,6 +536,66 @@ fn drive_campaign(
                 detectors: Vec::new(),
                 error: Some(format!("injected run panicked: {message}")),
             },
+        })
+        .collect()
+}
+
+/// The lane-batched campaign drive: the fault list is chunked into lane
+/// groups *before* the worker pool, each group broadcast onto a
+/// [`BatchSim`] with one fault per lane, and one batched round retires the
+/// whole group. Outcomes stay in fault order and — because every lane is
+/// bit-identical to its scalar counterpart — the assembled report is
+/// byte-identical to the scalar path's for any lane width and worker count.
+/// (The one divergence, shared with the scalar path's per-fault panic
+/// isolation: a panic poisons its whole lane group, so *which* faults carry
+/// a panic error can differ. Clean campaigns are unaffected.)
+#[allow(clippy::too_many_arguments)]
+fn drive_campaign_batched(
+    base: &Interpreter,
+    design: &AcceleratorDesign,
+    cfg: &CampaignConfig,
+    has_tmr: bool,
+    faults: &[FaultSpec],
+    golden: &RunResult,
+    abft_row_sums: &[i64],
+    abft_col_sums: &[i64],
+) -> Vec<FaultOutcome> {
+    let chunks: Vec<&[FaultSpec]> = faults.chunks(cfg.lanes).collect();
+    let results = par_map_catch(&chunks, cfg.workers, 1, |_, chunk| {
+        let mut sim = BatchSim::from_scalar(base, chunk.len());
+        let per_lane: Vec<Vec<FaultSpec>> =
+            chunk.iter().map(|f| vec![f.clone()]).collect();
+        let attach = sim.attach_lane_faults(&per_lane);
+        let runs = run_round_batch(&mut sim, design, has_tmr);
+        chunk
+            .iter()
+            .zip(attach)
+            .zip(runs)
+            .map(|((fault, att), run)| match att {
+                Ok(()) => classify(cfg, fault, &run, golden, abft_row_sums, abft_col_sums),
+                Err(e) => FaultOutcome {
+                    fault: fault.clone(),
+                    class: FaultClass::Masked,
+                    detectors: Vec::new(),
+                    error: Some(format!("attach failed: {e}")),
+                },
+            })
+            .collect::<Vec<FaultOutcome>>()
+    });
+    results
+        .into_iter()
+        .zip(&chunks)
+        .flat_map(|(r, chunk)| match r {
+            Ok(outcomes) => outcomes,
+            Err(message) => chunk
+                .iter()
+                .map(|fault| FaultOutcome {
+                    fault: fault.clone(),
+                    class: FaultClass::Sdc,
+                    detectors: Vec::new(),
+                    error: Some(format!("injected run panicked: {message}")),
+                })
+                .collect(),
         })
         .collect()
 }
@@ -734,6 +879,27 @@ mod tests {
             .unwrap(),
             "different seed, different campaign"
         );
+    }
+
+    #[test]
+    fn batched_campaign_report_is_byte_identical_to_scalar() {
+        let mk = |lanes| {
+            run_gemm_campaign(&CampaignConfig {
+                faults: 20,
+                seed: 11,
+                hardening: Hardening::full(),
+                lanes,
+                ..CampaignConfig::default()
+            })
+            .unwrap()
+        };
+        let scalar = serde_json::to_string(&mk(1)).unwrap();
+        // A lane width that divides the fault count, one that doesn't, and
+        // one wider than the whole campaign.
+        for lanes in [4, 7, 64] {
+            let batched = serde_json::to_string(&mk(lanes)).unwrap();
+            assert_eq!(scalar, batched, "lanes={lanes} changed the report bytes");
+        }
     }
 
     #[test]

@@ -27,8 +27,10 @@ use tensorlib_dataflow::{Dataflow, LoopSelection, Stt};
 use tensorlib_hw::design::{generate, AcceleratorDesign, HwConfig};
 use tensorlib_hw::fault::Hardening;
 use tensorlib_linalg::rng::SplitMix64;
+use tensorlib_hw::batch::BatchSim;
 use tensorlib_hw::fuzz::{
-    check_netlist, gen_netlist, rust_repro, shrink_netlist, NetlistFuzzConfig,
+    check_batch_netlist, check_netlist, gen_netlist, rust_repro, shrink_netlist,
+    NetlistFuzzConfig,
 };
 use tensorlib_hw::interp::{elaborate_design, Interpreter};
 use tensorlib_hw::trace::TraceConfig;
@@ -51,6 +53,14 @@ pub struct VerifyConfig {
     pub workers: usize,
     /// Cycles per netlist differential run.
     pub cycles: u64,
+    /// Lane width of the batched-engine oracle
+    /// ([`tensorlib_hw::fuzz::check_batch_netlist`] in netlist mode, a
+    /// batched controller round in pipeline mode). Every lane is compared
+    /// against its own scalar reference, so — like `workers` — the value is
+    /// never serialized and a clean campaign's report is byte-identical for
+    /// any lane width.
+    #[serde(skip)]
+    pub lanes: usize,
 }
 
 impl Default for VerifyConfig {
@@ -60,6 +70,7 @@ impl Default for VerifyConfig {
             seeds: 100,
             workers: 1,
             cycles: 16,
+            lanes: 1,
         }
     }
 }
@@ -125,7 +136,14 @@ fn netlist_finding(seed: u64, cfg: &VerifyConfig) -> Option<Finding> {
         ..NetlistFuzzConfig::default()
     };
     let (modules, top) = gen_netlist(seed, &gen_cfg);
-    let failure = match check_netlist(&modules, &top, seed, cfg.cycles, None) {
+    // Full scalar oracle stack, then the lane-vs-scalar batched oracle
+    // (lane 0 replays the scalar stimulus; extra lanes add fresh streams).
+    let lanes = cfg.lanes.max(1);
+    let check = |mods: &[tensorlib_hw::netlist::Module], t: &str| {
+        check_netlist(mods, t, seed, cfg.cycles, None)
+            .and_then(|()| check_batch_netlist(mods, t, seed, cfg.cycles, lanes))
+    };
+    let failure = match check(&modules, &top) {
         Ok(()) => return None,
         Err(f) => f,
     };
@@ -133,10 +151,9 @@ fn netlist_finding(seed: u64, cfg: &VerifyConfig) -> Option<Finding> {
     // demonstrates the original bug and not a different one.
     let kind = failure.kind;
     let (shrunk, stop) = shrink_netlist(&modules, &top, |mods, t| {
-        matches!(check_netlist(mods, t, seed, cfg.cycles, None),
-                 Err(f) if f.kind == kind)
+        matches!(check(mods, t), Err(f) if f.kind == kind)
     });
-    let detail = check_netlist(&shrunk, &stop, seed, cfg.cycles, None)
+    let detail = check(&shrunk, &stop)
         .err()
         .map_or(failure.detail, |f| f.detail);
     Some(Finding {
@@ -432,7 +449,104 @@ fn differential_round(design: &AcceleratorDesign) -> Result<(), (String, String)
     Ok(())
 }
 
-fn pipeline_outcome(seed: u64) -> PipelineOutcome {
+/// Pipeline-mode lane oracle: runs one controller round on a
+/// [`BatchSim`] whose lanes carry *different* bank images (lane-salted
+/// ramps) against per-lane scalar references, comparing every watched port
+/// on every lane every cycle plus the per-lane parity counters. This is the
+/// batched engine's pipeline-sampler integration: real generated designs,
+/// per-lane stimulus divergence.
+fn batched_round(design: &AcceleratorDesign, lanes: usize) -> Result<(), (String, String)> {
+    let load_err = |e: HwError| ("load".to_string(), e.to_string());
+    let flat = elaborate_design(design, design.top())
+        .map_err(|e| ("elaborate".to_string(), e.to_string()))?;
+    let mut refs: Vec<Interpreter> =
+        (0..lanes).map(|_| Interpreter::new(flat.clone())).collect();
+    let mut batch = BatchSim::new(flat, lanes);
+    for (bi, binding) in design.bank_bindings().iter().enumerate() {
+        if !binding.port.kind.is_input() {
+            continue;
+        }
+        let bank = design
+            .mem_banks()
+            .iter()
+            .find(|b| b.module_name() == binding.bank_module)
+            .expect("binding references a planned bank");
+        let mult = if bank.is_double_buffered() { 2 } else { 1 };
+        let cap = (bank.words() * mult) as usize;
+        for (l, r) in refs.iter_mut().enumerate() {
+            // Lane-salted ramp: lane 0 is the scalar campaign fill, each
+            // further lane a shifted stream, so lanes genuinely diverge.
+            let words: Vec<u64> = (0..cap)
+                .map(|i| ((i as u64 + 13 * l as u64) % 97) + 1)
+                .collect();
+            batch.load_bank_lane(bi, l, &words).map_err(load_err)?;
+            r.load_bank(bi, &words).map_err(load_err)?;
+        }
+    }
+    batch.poke("start", 1);
+    for r in &mut refs {
+        r.poke("start", 1);
+    }
+    let phases = design.phases();
+    let pre = 1 + phases.total() + phases.load_cycles + phases.compute_cycles;
+    let has_tmr = design.config().hardening.tmr_ctrl;
+    let mut watched = vec!["done".to_string()];
+    if has_tmr {
+        watched.push("tmr_mismatch".to_string());
+    }
+    let out_banks: Vec<usize> = design
+        .bank_bindings()
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| !b.port.kind.is_input())
+        .map(|(bi, _)| bi)
+        .collect();
+    for &bi in &out_banks {
+        watched.push(format!("result_{bi}"));
+    }
+    let mismatch = |cycle: u64, name: &str, lane: usize, b: u64, s: u64| {
+        (
+            "batch_mismatch".to_string(),
+            format!("port {name:?} diverged at cycle {cycle} lane {lane}: batch={b} scalar={s}"),
+        )
+    };
+    let rows = design.config().array.rows as u64;
+    for cycle in 0..pre + rows {
+        if cycle == pre {
+            for &bi in &out_banks {
+                let port = format!("readback_{bi}");
+                batch.poke(&port, 1);
+                for r in &mut refs {
+                    r.poke(&port, 1);
+                }
+            }
+        }
+        batch.step();
+        for r in &mut refs {
+            r.step();
+        }
+        for name in &watched {
+            for (l, r) in refs.iter().enumerate() {
+                let (b, s) = (batch.peek_lane(name, l), r.peek(name));
+                if b != s {
+                    return Err(mismatch(cycle, name, l, b, s));
+                }
+            }
+        }
+    }
+    for (l, r) in refs.iter().enumerate() {
+        let (b, s) = (batch.parity_error_count_lane(l), r.parity_error_count());
+        if b != s {
+            return Err((
+                "batch_mismatch".to_string(),
+                format!("parity counters diverged on lane {l}: batch={b} scalar={s}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn pipeline_outcome(seed: u64, lanes: usize) -> PipelineOutcome {
     let sample = sample_pipeline(seed);
     let (kernel, design) = match build_design(&sample) {
         Ok(x) => x,
@@ -456,10 +570,15 @@ fn pipeline_outcome(seed: u64) -> PipelineOutcome {
             }
         }
     }
-    match differential_round(&design) {
-        Ok(()) => PipelineOutcome::Clean,
-        Err((kind, detail)) => PipelineOutcome::Failed { kind, detail },
+    if let Err((kind, detail)) = differential_round(&design) {
+        return PipelineOutcome::Failed { kind, detail };
     }
+    if lanes > 1 {
+        if let Err((kind, detail)) = batched_round(&design, lanes) {
+            return PipelineOutcome::Failed { kind, detail };
+        }
+    }
+    PipelineOutcome::Clean
 }
 
 /// Runs the pipeline-mode campaign: `cfg.seeds` sampled generation
@@ -469,7 +588,7 @@ pub fn run_pipeline_campaign(cfg: &VerifyConfig) -> ModeReport {
     let _span = tensorlib_obs::span("verify.pipeline_campaign");
     let seeds: Vec<u64> = (cfg.seed_start..cfg.seed_start + cfg.seeds).collect();
     let results = par_map_catch(&seeds, cfg.workers.max(1), 4, |_, &seed| {
-        match pipeline_outcome(seed) {
+        match pipeline_outcome(seed, cfg.lanes) {
             PipelineOutcome::Clean => (false, None),
             PipelineOutcome::Rejected => (true, None),
             PipelineOutcome::Failed { kind, detail } => (

@@ -2,7 +2,8 @@
 # Tier-1 CI: release build, the full test suite, the observability battery
 # (named individually so a failure is attributable at a glance), then the
 # performance gate — interpreter-throughput regression vs the committed
-# BENCH_perfgate.json baseline plus the <3% trace-off overhead ceiling.
+# BENCH_perfgate.json baseline, the pay-for-use overhead ceilings, and the
+# batched-engine (batch_sim) throughput floor.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,6 +31,20 @@ cargo test -q -p tensorlib-sim --lib trace
 # functional executor) with zero findings. The report is byte-deterministic
 # for any worker count, so the grep is stable.
 ./target/release/tensorlib fuzz --mode both --seed 0 --seeds 200 -o - \
+    | grep -q '"total_findings": 0'
+
+# Batched-engine smokes: the same campaigns through the lane engine. Reports
+# are byte-identical to scalar for any --lanes width, so the same greps (and
+# a direct byte comparison for the fault campaign) must hold. The provenance
+# wall-time block is the one legitimately nondeterministic part of a CLI
+# report, so it is stripped before the comparison.
+./target/release/tensorlib faults --faults 8 --seed 7 --harden full -o - \
+    | sed '/"phase_wall_times_us"/,/}/d' > /tmp/ci_faults_scalar.json
+./target/release/tensorlib faults --faults 8 --seed 7 --harden full --lanes 8 -o - \
+    | sed '/"phase_wall_times_us"/,/}/d' > /tmp/ci_faults_lanes.json
+cmp /tmp/ci_faults_scalar.json /tmp/ci_faults_lanes.json
+rm -f /tmp/ci_faults_scalar.json /tmp/ci_faults_lanes.json
+./target/release/tensorlib fuzz --mode netlist --seed 0 --seeds 50 --lanes 8 -o - \
     | grep -q '"total_findings": 0'
 
 # Framework-observability smoke: a profiled sweep must emit a Chrome trace

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Performance gate: build, run the test suite, then benchmark the evaluation
-# hot path. Fails if compiled-interpreter throughput regresses more than 20%
-# against the committed BENCH_perfgate.json baseline (skips the gate with a
-# warning when no baseline is committed). Regenerates BENCH_perfgate.json.
+# hot path. perfgate enforces the pay-for-use overhead ceilings (trace-off,
+# fault-armed, obs-disabled), the batch_sim floor (the 64-lane batched engine
+# must retire >=4x scalar fault-campaign throughput), and — on multi-core
+# hosts only — the parallel-explore speedup floor. Fails if compiled
+# interpreter throughput regresses more than 20% against the committed
+# BENCH_perfgate.json baseline (skips that gate with a warning when no
+# baseline is committed). Regenerates BENCH_perfgate.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -129,6 +129,7 @@ fn fuzz_reports_are_byte_identical_across_worker_counts() {
         seeds: 15,
         workers: 1,
         cycles: 8,
+        lanes: 1,
     };
     let one = serde_json::to_string_pretty(&run_verify(&cfg, true, true)).unwrap();
     cfg.workers = 4;

@@ -22,6 +22,7 @@ fn campaign_json_is_byte_identical_across_worker_counts() {
         seed: 11,
         hardening: Hardening::full(),
         workers: 1,
+        lanes: 1,
     };
     let serial = run_gemm_campaign(&base).expect("campaign runs");
     assert_eq!(serial.outcomes.len(), 24);

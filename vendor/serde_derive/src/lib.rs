@@ -6,6 +6,11 @@
 //! variants — by walking the raw token stream (no `syn`/`quote`, which are
 //! unreachable in this offline build environment).
 //!
+//! The one field attribute supported is `#[serde(skip)]` on named struct
+//! fields: the field is omitted from the serialized map, matching upstream
+//! behaviour (the workspace never deserializes, so skip-on-deserialize needs
+//! no default handling).
+//!
 //! The generated `Serialize` impls produce the `serde::Content` value model;
 //! `serde_json` renders that model with upstream-compatible JSON shapes
 //! (field-order maps for structs, externally tagged enums).
@@ -13,7 +18,7 @@
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize` by emitting a field-wise `to_content` impl.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let body = match &item.shape {
@@ -91,7 +96,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 
 /// Derives the marker trait `serde::Deserialize` (no methods; see the
 /// `serde` stub's docs).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     format!("impl serde::Deserialize for {} {{}}", item.name)
@@ -164,17 +169,22 @@ fn parse_item(input: TokenStream) -> Item {
 }
 
 /// Skips `#[...]` attributes (incl. doc comments) and a `pub`/`pub(...)`
-/// visibility prefix.
+/// visibility prefix. Returns `true` if any skipped attribute was
+/// `#[serde(skip)]`.
 fn skip_attrs_and_vis<I: Iterator<Item = TokenTree>>(
     tokens: &mut std::iter::Peekable<I>,
-) {
+) -> bool {
+    let mut serde_skip = false;
     loop {
         match tokens.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 tokens.next();
                 match tokens.next() {
                     Some(TokenTree::Group(g))
-                        if g.delimiter() == Delimiter::Bracket => {}
+                        if g.delimiter() == Delimiter::Bracket =>
+                    {
+                        serde_skip |= is_serde_skip(g.stream());
+                    }
                     other => panic!("malformed attribute: {other:?}"),
                 }
             }
@@ -187,8 +197,23 @@ fn skip_attrs_and_vis<I: Iterator<Item = TokenTree>>(
                     tokens.next();
                 }
             }
-            _ => return,
+            _ => return serde_skip,
         }
+    }
+}
+
+/// Recognizes the content of a `#[serde(skip)]` attribute: the ident
+/// `serde` followed by a parenthesized group whose sole token is `skip`.
+fn is_serde_skip(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)]
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            matches!(inner.as_slice(), [TokenTree::Ident(i)] if i.to_string() == "skip")
+        }
+        _ => false,
     }
 }
 
@@ -224,11 +249,11 @@ fn count_top_level_fields(stream: TokenStream) -> usize {
 fn parse_named_fields(stream: TokenStream) -> Vec<String> {
     split_top_level_commas(stream)
         .into_iter()
-        .map(|part| {
+        .filter_map(|part| {
             let mut it = part.into_iter().peekable();
-            skip_attrs_and_vis(&mut it);
+            let skip = skip_attrs_and_vis(&mut it);
             match it.next() {
-                Some(TokenTree::Ident(i)) => i.to_string(),
+                Some(TokenTree::Ident(i)) => (!skip).then(|| i.to_string()),
                 other => panic!("expected field name, got {other:?}"),
             }
         })
