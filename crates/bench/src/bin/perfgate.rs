@@ -59,6 +59,28 @@ const BATCH_SIM_SPEEDUP_FLOOR: f64 = 4.0;
 /// where 1.0× is expected and the gate is meaningless.
 const EXPLORE_SPEEDUP_FLOOR: f64 = 1.15;
 
+/// The netlist optimizer must remove at least this fraction of the compiled
+/// bytecode ops-per-cycle on the redundancy-bearing reference design — the
+/// TMR-hardened 4×4 GEMM the fault campaigns run, where the controller
+/// logic the rewrite passes target is replicated three times. (The plain
+/// design is reported beside it, ungated: the generator's RTL is already
+/// tight, so its reduction is structurally smaller.)
+const OPT_OP_REDUCTION_FLOOR_PCT: f64 = 10.0;
+
+/// ... and must pay for itself: the one-time pipeline wall time may cost at
+/// most this fraction of a single reference measurement run on the design
+/// it optimized ([`OPT_REFERENCE_CYCLES`] cycles). Every additional cycle
+/// simulated afterwards is pure profit.
+const OPT_COMPILE_OVERHEAD_CEILING_PCT: f64 = 5.0;
+
+/// Simulated cycles in the opt section's reference run (the amortization
+/// denominator — roughly one short fault-campaign's worth of stepping).
+const OPT_REFERENCE_CYCLES: u64 = 65_536;
+
+/// Lock-step cycles over which the optimized and unoptimized hardened
+/// designs must produce identical outputs on every port.
+const OPT_EQUIV_CYCLES: u64 = 4_096;
+
 /// Timed work quanta taken per configuration; reported rates and ratios
 /// are *medians* across quanta. The previous best-of-5 × 150ms-window
 /// scheme let scheduler and frequency noise swing comparisons wholesale —
@@ -106,6 +128,33 @@ struct PerfGateReport {
     batch_sim: BatchSimReport,
     obs_overhead: ObsOverheadReport,
     explore: ExploreReport,
+    opt: OptReport,
+}
+
+#[derive(Serialize)]
+struct OptReport {
+    scenario: String,
+    /// Plain 4×4 OS GEMM compiled bytecode ops per cycle, before/after the
+    /// optimizer. Informational (see [`OPT_OP_REDUCTION_FLOOR_PCT`]).
+    plain_pre_ops: usize,
+    plain_post_ops: usize,
+    plain_op_reduction_pct: f64,
+    /// TMR-hardened reference — the gated numbers.
+    hardened_pre_ops: usize,
+    hardened_post_ops: usize,
+    hardened_op_reduction_pct: f64,
+    /// Median wall time of the full rewrite pipeline on the hardened
+    /// reference design.
+    optimize_seconds: f64,
+    /// Wall time of one [`OPT_REFERENCE_CYCLES`]-cycle measurement run on
+    /// the optimized design.
+    reference_run_seconds: f64,
+    /// `100 × optimize_seconds / reference_run_seconds`, gated at
+    /// [`OPT_COMPILE_OVERHEAD_CEILING_PCT`].
+    compile_overhead_pct: f64,
+    /// Whether the optimized and unoptimized designs agreed on every output
+    /// port for [`OPT_EQUIV_CYCLES`] lock-step cycles.
+    outputs_identical: bool,
 }
 
 #[derive(Serialize)]
@@ -613,6 +662,130 @@ fn extract_number(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Generates the 4×4 OS GEMM accelerator, optionally TMR-hardened.
+fn gemm_reference(tmr: bool) -> tensorlib::hw::design::AcceleratorDesign {
+    use tensorlib::hw::fault::Hardening;
+    let gemm = workloads::gemm(4, 4, 4);
+    let sel = LoopSelection::by_names(&gemm, ["m", "n", "k"]).expect("gemm loops");
+    let df = Dataflow::analyze(&gemm, sel, Stt::output_stationary()).expect("SST dataflow");
+    generate(
+        &df,
+        &HwConfig {
+            array: ArrayConfig { rows: 4, cols: 4 },
+            hardening: Hardening {
+                tmr_ctrl: tmr,
+                ..Hardening::none()
+            },
+            ..HwConfig::default()
+        },
+    )
+    .expect("generate 4x4 GEMM")
+}
+
+/// The optimizer section: op-count reduction on the plain and hardened
+/// reference designs, the pipeline's own wall time amortized against one
+/// reference run, and a lock-step output-equivalence check.
+fn bench_opt() -> OptReport {
+    use tensorlib::hw::interp::flat_op_count;
+    use tensorlib::hw::netlist::Dir;
+    use tensorlib::hw::opt::OptOptions;
+
+    let ops_of = |design: &tensorlib::hw::design::AcceleratorDesign| {
+        flat_op_count(&elaborate_design(design, design.top()).expect("elaborates"))
+    };
+    let reduction =
+        |pre: usize, post: usize| 100.0 * (pre as f64 - post as f64) / pre as f64;
+
+    let plain = gemm_reference(false);
+    let mut plain_opt = plain.clone();
+    plain_opt.optimize(&OptOptions::default());
+    let (plain_pre_ops, plain_post_ops) = (ops_of(&plain), ops_of(&plain_opt));
+
+    let hardened = gemm_reference(true);
+    // Median pipeline wall time over interleaved runs (same rationale as the
+    // rate benchmarks: reject scheduler outliers).
+    let mut opt_times: Vec<f64> = (0..15)
+        .map(|_| {
+            let mut d = hardened.clone();
+            let start = Instant::now();
+            d.optimize(&OptOptions::default());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    let optimize_seconds = median(&mut opt_times);
+    let mut hardened_opt = hardened.clone();
+    hardened_opt.optimize(&OptOptions::default());
+    let (hardened_pre_ops, hardened_post_ops) = (ops_of(&hardened), ops_of(&hardened_opt));
+
+    // Lock-step equivalence on every output port, deterministic stimulus.
+    let flat_pre = elaborate_design(&hardened, hardened.top()).expect("pre elaborates");
+    let flat_post =
+        elaborate_design(&hardened_opt, hardened_opt.top()).expect("post elaborates");
+    let inputs: Vec<String> = flat_pre
+        .ports()
+        .iter()
+        .filter(|(_, d)| *d == Dir::Input)
+        .map(|(id, _)| flat_pre.nets()[*id].name.clone())
+        .collect();
+    let outputs: Vec<String> = flat_pre
+        .ports()
+        .iter()
+        .filter(|(_, d)| *d == Dir::Output)
+        .map(|(id, _)| flat_pre.nets()[*id].name.clone())
+        .collect();
+    let mut pre_sim = Interpreter::new(flat_pre);
+    let mut post_sim = Interpreter::new(flat_post.clone());
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let mut outputs_identical = true;
+    'equiv: for _ in 0..OPT_EQUIV_CYCLES {
+        for name in &inputs {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            pre_sim.poke(name, state);
+            post_sim.poke(name, state);
+        }
+        pre_sim.step();
+        post_sim.step();
+        for name in &outputs {
+            if pre_sim.peek(name) != post_sim.peek(name) {
+                outputs_identical = false;
+                break 'equiv;
+            }
+        }
+    }
+
+    // The amortization denominator: one reference measurement run on the
+    // optimized design.
+    let mut ref_sim = Interpreter::new(flat_post);
+    let start = Instant::now();
+    for _ in 0..OPT_REFERENCE_CYCLES {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if let Some(first) = inputs.first() {
+            ref_sim.poke(first, state);
+        }
+        ref_sim.step();
+    }
+    let reference_run_seconds = start.elapsed().as_secs_f64();
+    std::hint::black_box(outputs.first().map(|n| ref_sim.peek(n)));
+
+    OptReport {
+        scenario: "4x4 output-stationary GEMM (MNK-SST), plain + TMR-hardened".into(),
+        plain_pre_ops,
+        plain_post_ops,
+        plain_op_reduction_pct: reduction(plain_pre_ops, plain_post_ops),
+        hardened_pre_ops,
+        hardened_post_ops,
+        hardened_op_reduction_pct: reduction(hardened_pre_ops, hardened_post_ops),
+        optimize_seconds,
+        reference_run_seconds,
+        compile_overhead_pct: 100.0 * optimize_seconds / reference_run_seconds,
+        outputs_identical,
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut baseline_path: Option<PathBuf> = None;
@@ -639,6 +812,7 @@ fn main() {
     let batch_sim = bench_batch_sim();
     let obs_overhead = bench_obs_overhead();
     let explore_report = bench_explore(host_cores);
+    let opt_report = bench_opt();
 
     let mut table = TextTable::new(vec!["metric", "value"]);
     table.row(vec!["host cores".into(), host_cores.to_string()]);
@@ -702,6 +876,32 @@ fn main() {
         "explore speedup".into(),
         format!("{:.2}x", explore_report.speedup),
     ]);
+    table.row(vec![
+        "opt plain GEMM (ops/cycle)".into(),
+        format!(
+            "{} -> {} ({:.1}%)",
+            opt_report.plain_pre_ops,
+            opt_report.plain_post_ops,
+            opt_report.plain_op_reduction_pct
+        ),
+    ]);
+    table.row(vec![
+        "opt TMR GEMM (ops/cycle)".into(),
+        format!(
+            "{} -> {} ({:.1}%)",
+            opt_report.hardened_pre_ops,
+            opt_report.hardened_post_ops,
+            opt_report.hardened_op_reduction_pct
+        ),
+    ]);
+    table.row(vec![
+        "opt pipeline wall (ms)".into(),
+        format!("{:.2}", opt_report.optimize_seconds * 1e3),
+    ]);
+    table.row(vec![
+        "opt compile overhead".into(),
+        format!("{:.2}%", opt_report.compile_overhead_pct),
+    ]);
     println!("{table}");
 
     let report = PerfGateReport {
@@ -713,6 +913,7 @@ fn main() {
         batch_sim,
         obs_overhead,
         explore: explore_report,
+        opt: opt_report,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     let out = repo_root().join("BENCH_perfgate.json");
@@ -781,6 +982,35 @@ fn main() {
     }
     println!(
         "obs-disabled gate passed: ~{obs_pct:+.3}% (ceiling {OBS_DISABLED_OVERHEAD_CEILING_PCT}%)"
+    );
+
+    if !report.opt.outputs_identical {
+        eprintln!(
+            "FAIL: optimized hardened GEMM diverged from the unoptimized design \
+             within {OPT_EQUIV_CYCLES} lock-step cycles"
+        );
+        std::process::exit(1);
+    }
+    let opt_red = report.opt.hardened_op_reduction_pct;
+    if opt_red < OPT_OP_REDUCTION_FLOOR_PCT {
+        eprintln!(
+            "FAIL: optimizer removes only {opt_red:.1}% of the hardened reference's \
+             bytecode ops (floor {OPT_OP_REDUCTION_FLOOR_PCT}%)"
+        );
+        std::process::exit(1);
+    }
+    let opt_overhead = report.opt.compile_overhead_pct;
+    if opt_overhead >= OPT_COMPILE_OVERHEAD_CEILING_PCT {
+        eprintln!(
+            "FAIL: optimizer wall time is {opt_overhead:.2}% of a reference run \
+             (ceiling {OPT_COMPILE_OVERHEAD_CEILING_PCT}%)"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "opt gate passed: {opt_red:.1}% op reduction (floor {OPT_OP_REDUCTION_FLOOR_PCT}%), \
+         outputs identical over {OPT_EQUIV_CYCLES} cycles, \
+         {opt_overhead:.2}% compile overhead (ceiling {OPT_COMPILE_OVERHEAD_CEILING_PCT}%)"
     );
 
     if let Some(path) = baseline_path {

@@ -71,6 +71,9 @@ pub enum Command {
         rows: usize,
         /// PE array columns.
         cols: usize,
+        /// Run the netlist optimizer before emission (`--opt=off` emits the
+        /// raw generated netlist byte-identically to older releases).
+        opt: bool,
     },
     /// Verify bit-exactly and report performance.
     Simulate {
@@ -123,6 +126,9 @@ pub enum Command {
         cols: usize,
         /// Controller rounds to measure.
         tiles: u64,
+        /// Run the netlist optimizer before measuring; the report then
+        /// carries the pre/post size census.
+        opt: bool,
         /// Output path (`-` for stdout, empty for `reports/` default).
         out: String,
     },
@@ -140,6 +146,9 @@ pub enum Command {
         tiles: u64,
         /// Comma-separated top-level nets to watch.
         nets: String,
+        /// Run the netlist optimizer before tracing (watched nets survive
+        /// optimization by the pass pipeline's preservation contract).
+        opt: bool,
         /// Output path (`-` for stdout, empty for `reports/` default).
         out: String,
     },
@@ -168,6 +177,10 @@ pub enum Command {
         /// Run the exhaustive accumulator bit-flip sweep (the ABFT
         /// acceptance campaign) instead of seeded sampling.
         sweep_acc: bool,
+        /// Optimize the campaign design before injecting faults. The pass
+        /// pipeline preserves every register, so classification counts are
+        /// byte-identical either way (CI asserts exactly that).
+        opt: bool,
         /// Output path (`-` for stdout, empty for `reports/` default).
         out: String,
     },
@@ -187,6 +200,9 @@ pub enum Command {
         workers: usize,
         /// Lane width of the batched-engine oracle (`1` = scalar-only).
         lanes: usize,
+        /// Chain the optimizer equivalence oracle (optimized-vs-unoptimized
+        /// lock-step) into both fuzz modes.
+        opt: bool,
         /// Output path (`-` for stdout, empty for `reports/` default).
         out: String,
     },
@@ -211,15 +227,19 @@ usage:
   tensorlib workloads
   tensorlib analyze  <workload> <dataflow>
   tensorlib generate <workload> <dataflow> [-o out.v] [--rows N] [--cols N]
+                     [--opt on|off]
   tensorlib simulate <workload> <dataflow> [--rows N] [--cols N]
   tensorlib explore  <workload> [--top N] [-o f.json]
-  tensorlib stats    <workload> <dataflow> [--rows N] [--cols N] [--tiles T] [-o f.json]
-  tensorlib trace    <workload> <dataflow> [--nets a,b,c] [--tiles T] [-o f.vcd]
+  tensorlib stats    <workload> <dataflow> [--rows N] [--cols N] [--tiles T]
+                     [--opt on|off] [-o f.json]
+  tensorlib trace    <workload> <dataflow> [--nets a,b,c] [--tiles T]
+                     [--opt on|off] [-o f.vcd]
   tensorlib faults   [--rows N] [--cols N] [--k K] [--faults N] [--seed S]
                      [--harden tmr,parity,abft] [--workers W] [--lanes L]
-                     [--sweep-acc] [-o f.json]
+                     [--sweep-acc] [--opt on|off] [-o f.json]
   tensorlib fuzz     [--mode netlist|pipeline|both] [--seed S] [--seeds N]
-                     [--cycles C] [--workers W] [--lanes L] [-o f.json]
+                     [--cycles C] [--workers W] [--lanes L] [--opt on|off]
+                     [-o f.json]
   tensorlib profile  <workload> [--top N] [--rows N] [--cols N] [--workers W]
                      [-o f.trace.json]
 
@@ -227,6 +247,14 @@ global flags (any command):
   --profile <f.trace.json>   record framework spans during the run and write
                              a Chrome Trace Event file (open in Perfetto or
                              chrome://tracing); never changes results
+
+--opt on|off (default on) runs the semantics-preserving netlist rewrite
+pipeline (constant folding, peepholes, reduction-tree rebalancing, shared
+subexpressions, dead-logic GC) before emission, measurement, fault
+injection, or fuzzing; --opt=off is the escape hatch that reproduces the
+raw generated netlist byte-for-byte. Optimization never renames nets or
+drops ports/registers, so stats counters, traces, and fault classifications
+are identical either way.
 
 workloads: gemm[:m,n,k]  batched-gemv[:m,n,k]  conv2d[:k,c,y,x,p,q]
            depthwise[:k,y,x,p,q]  mttkrp[:i,j,k,l]  ttmc[:i,j,k,l,m]
@@ -297,6 +325,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut mode = "both".to_string();
     let mut seeds = 256u64;
     let mut cycles = 16u64;
+    let mut opt = true;
+    let parse_opt = |v: &str| -> Result<bool, CliError> {
+        match v {
+            "on" => Ok(true),
+            "off" => Ok(false),
+            other => Err(CliError(format!(
+                "--opt expects on or off (got {other:?})"
+            ))),
+        }
+    };
     let rest: Vec<&String> = it.collect();
     let mut i = 0;
     while i < rest.len() {
@@ -365,6 +403,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 }
             }
             "--sweep-acc" => sweep_acc = true,
+            "--opt" => opt = parse_opt(&take_value(&mut i)?)?,
+            _ if a.starts_with("--opt=") => opt = parse_opt(&a["--opt=".len()..])?,
             "--mode" => mode = take_value(&mut i)?,
             "--seeds" => {
                 seeds = take_value(&mut i)?
@@ -395,6 +435,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             out,
             rows,
             cols,
+            opt,
         }),
         ("simulate", 2) => Ok(Command::Simulate {
             workload: positional[0].clone(),
@@ -423,6 +464,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             rows,
             cols,
             tiles,
+            opt,
             out: if out_given { out } else { String::new() },
         }),
         ("trace", 2) => Ok(Command::Trace {
@@ -432,6 +474,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             cols,
             tiles,
             nets,
+            opt,
             out: if out_given { out } else { String::new() },
         }),
         // Campaigns clone one interpreter per fault, so the faults default
@@ -447,6 +490,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             workers,
             lanes,
             sweep_acc,
+            opt,
             out: if out_given { out } else { String::new() },
         }),
         ("fuzz", 0) => Ok(Command::Fuzz {
@@ -456,6 +500,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             cycles,
             workers,
             lanes,
+            opt,
             out: if out_given { out } else { String::new() },
         }),
         _ => Err(usage()),
@@ -606,6 +651,8 @@ struct StatsReport {
     summary: StatsSummary,
     stats: tensorlib::InterpreterStats,
     cross_check: tensorlib::sim::perf::ModelCrossCheck,
+    /// Pre/post netlist size census when the optimizer ran (`--opt=on`).
+    opt: Option<tensorlib::hw::opt::OptStats>,
 }
 
 /// The JSON document `tensorlib faults` emits: the campaign parameters, the
@@ -744,6 +791,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             out,
             rows,
             cols,
+            opt,
         } => {
             let kernel = resolve_workload(&workload)?;
             let df = find_named(&kernel, &dataflow, &DseConfig::default())
@@ -752,8 +800,12 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 array: ArrayConfig { rows, cols },
                 ..HwConfig::default()
             };
-            let design = generate(&df, &cfg).map_err(|err| e(&err))?;
+            let mut design = generate(&df, &cfg).map_err(|err| e(&err))?;
             design.validate().map_err(|err| e(&err))?;
+            if opt {
+                design.optimize(&tensorlib::hw::opt::OptOptions::default());
+                design.validate().map_err(|err| e(&err))?;
+            }
             let verilog = tensorlib::hw::verilog::emit_design(&design);
             if out == "-" {
                 Ok(verilog)
@@ -797,6 +849,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             rows,
             cols,
             tiles,
+            opt,
             out,
         } => {
             if tiles == 0 {
@@ -810,7 +863,9 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 array: ArrayConfig { rows, cols },
                 ..HwConfig::default()
             };
-            let design = generate(&df, &cfg).map_err(|err| e(&err))?;
+            let mut design = generate(&df, &cfg).map_err(|err| e(&err))?;
+            let opt_stats = opt
+                .then(|| design.optimize(&tensorlib::hw::opt::OptOptions::default()));
             let measured =
                 tensorlib::sim::trace::measure(&design, &TraceConfig::counters_only(), tiles)
                     .map_err(|err| e(&err))?;
@@ -844,6 +899,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 },
                 stats: s.clone(),
                 cross_check: cross,
+                opt: opt_stats,
             };
             let text = serde_json::to_string_pretty(&report)
                 .map_err(|err| CliError(format!("serializing report: {err}")))?
@@ -862,6 +918,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             cols,
             tiles,
             nets,
+            opt,
             out,
         } => {
             if tiles == 0 {
@@ -874,7 +931,10 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 array: ArrayConfig { rows, cols },
                 ..HwConfig::default()
             };
-            let design = generate(&df, &cfg).map_err(|err| e(&err))?;
+            let mut design = generate(&df, &cfg).map_err(|err| e(&err))?;
+            if opt {
+                design.optimize(&tensorlib::hw::opt::OptOptions::default());
+            }
             let watch: Vec<String> = if nets.is_empty() {
                 ["en", "swap", "done"].iter().map(|s| s.to_string()).collect()
             } else {
@@ -916,6 +976,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             workers,
             lanes,
             sweep_acc,
+            opt,
             out,
         } => {
             if rows == 0 || cols == 0 || k == 0 {
@@ -935,6 +996,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 hardening,
                 workers,
                 lanes,
+                opt,
             };
             let (mode, report) = if sweep_acc {
                 // Flip every accumulator bit 0..8 mid-accumulation: half-way
@@ -1007,6 +1069,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             cycles,
             workers,
             lanes,
+            opt,
             out,
         } => {
             let (netlist, pipeline) = match mode.as_str() {
@@ -1034,6 +1097,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 workers,
                 cycles,
                 lanes,
+                opt,
             };
             let report = run_verify(&cfg, netlist, pipeline);
             let doc = FuzzReportDoc {
@@ -1302,9 +1366,27 @@ mod tests {
                 dataflow: "MNK-SST".into(),
                 out: "x.v".into(),
                 rows: 4,
-                cols: 8
+                cols: 8,
+                opt: true,
             }
         );
+        // Both --opt spellings parse; bad values are errors.
+        assert_eq!(
+            parse_args(&sv(&["generate", "gemm", "MNK-SST", "--opt=off"])).unwrap(),
+            Command::Generate {
+                workload: "gemm".into(),
+                dataflow: "MNK-SST".into(),
+                out: "-".into(),
+                rows: 16,
+                cols: 16,
+                opt: false,
+            }
+        );
+        assert_eq!(
+            parse_args(&sv(&["generate", "gemm", "MNK-SST", "--opt", "off"])).unwrap(),
+            parse_args(&sv(&["generate", "gemm", "MNK-SST", "--opt=off"])).unwrap(),
+        );
+        assert!(parse_args(&sv(&["generate", "gemm", "MNK-SST", "--opt=maybe"])).is_err());
         assert_eq!(
             parse_args(&sv(&["explore", "gemm", "--top", "3"])).unwrap(),
             Command::Explore {
@@ -1413,6 +1495,7 @@ mod tests {
             out: "-".into(),
             rows: 2,
             cols: 2,
+            opt: true,
         })
         .unwrap();
         assert!(out.contains("endmodule"));
@@ -1432,6 +1515,7 @@ mod tests {
                 rows: 4,
                 cols: 4,
                 tiles: 3,
+                opt: true,
                 out: String::new()
             }
         );
@@ -1445,6 +1529,7 @@ mod tests {
                 cols: 16,
                 tiles: 2,
                 nets: "en,swap".into(),
+                opt: true,
                 out: "-".into()
             }
         );
@@ -1478,6 +1563,7 @@ mod tests {
             rows: 4,
             cols: 4,
             tiles: 2,
+            opt: true,
             out: "-".into(),
         })
         .unwrap();
@@ -1509,6 +1595,7 @@ mod tests {
             cols: 4,
             tiles: 1,
             nets: "en,swap,done".into(),
+            opt: true,
             out: "-".into(),
         })
         .unwrap();
@@ -1528,6 +1615,7 @@ mod tests {
             cols: 4,
             tiles: 1,
             nets: "no_such_net".into(),
+            opt: true,
             out: "-".into(),
         })
         .unwrap_err();
@@ -1548,6 +1636,7 @@ mod tests {
                 workers: 0,
                 lanes: 1,
                 sweep_acc: false,
+                opt: true,
                 out: String::new(),
             }
         );
@@ -1555,7 +1644,7 @@ mod tests {
             parse_args(&sv(&[
                 "faults", "--rows", "16", "--cols", "8", "--k", "6", "--faults", "12",
                 "--seed", "9", "--harden", "tmr,parity", "--workers", "2", "--lanes", "8",
-                "--sweep-acc",
+                "--sweep-acc", "--opt=off",
                 "-o", "-",
             ]))
             .unwrap(),
@@ -1569,6 +1658,7 @@ mod tests {
                 workers: 2,
                 lanes: 8,
                 sweep_acc: true,
+                opt: false,
                 out: "-".into(),
             }
         );
@@ -1589,13 +1679,14 @@ mod tests {
                 cycles: 16,
                 workers: 0,
                 lanes: 1,
+                opt: true,
                 out: String::new(),
             }
         );
         assert_eq!(
             parse_args(&sv(&[
                 "fuzz", "--mode", "netlist", "--seed", "7", "--seeds", "99", "--cycles",
-                "8", "--workers", "3", "--lanes", "16", "-o", "-",
+                "8", "--workers", "3", "--lanes", "16", "--opt", "off", "-o", "-",
             ]))
             .unwrap(),
             Command::Fuzz {
@@ -1605,6 +1696,7 @@ mod tests {
                 cycles: 8,
                 workers: 3,
                 lanes: 16,
+                opt: false,
                 out: "-".into(),
             }
         );
@@ -1621,6 +1713,7 @@ mod tests {
             cycles: 8,
             workers: 2,
             lanes: 4,
+            opt: true,
             out: "-".into(),
         })
         .unwrap();
@@ -1638,6 +1731,7 @@ mod tests {
             cycles: 1,
             workers: 1,
             lanes: 1,
+            opt: true,
             out: "-".into(),
         })
         .unwrap_err();
@@ -1655,6 +1749,7 @@ mod tests {
             workers: 1,
             lanes: 1,
             sweep_acc: false,
+            opt: true,
             out: out.into(),
         }
     }
@@ -1693,6 +1788,7 @@ mod tests {
             workers: 1,
             lanes: 1,
             sweep_acc: false,
+            opt: true,
             out: "-".into(),
         })
         .unwrap_err();
@@ -1736,6 +1832,7 @@ mod tests {
             rows: 4,
             cols: 4,
             tiles: 1,
+            opt: true,
             out: "-".into(),
         })
         .unwrap();
@@ -1746,6 +1843,7 @@ mod tests {
             cycles: 8,
             workers: 1,
             lanes: 1,
+            opt: true,
             out: "-".into(),
         })
         .unwrap();

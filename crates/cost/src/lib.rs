@@ -22,7 +22,9 @@ pub mod asic;
 pub mod calibration;
 pub mod fpga;
 pub mod hardening;
+pub mod opt_report;
 
 pub use asic::{asic_cost, Activity, AsicReport};
 pub use fpga::{fpga_cost, FpgaDevice, FpgaReport};
 pub use hardening::{hardening_overhead, HardeningOverhead};
+pub use opt_report::{opt_cost_report, OptCostReport};

@@ -1,0 +1,108 @@
+//! Pre/post optimization deltas in cost-report form.
+//!
+//! The netlist rewrite pipeline ([`tensorlib_hw::opt`]) returns a raw
+//! [`OptStats`] census; this module derives the headline percentages a cost
+//! report wants next to area/power numbers: op/net/expression reduction and
+//! the critical-path depth delta (the proxy for combinational timing the
+//! rebalancing pass targets).
+
+use serde::Serialize;
+use tensorlib_hw::opt::{NetlistStats, OptStats};
+
+/// Headline optimization deltas, derived once from an [`OptStats`] census so
+/// report readers do not have to re-compute percentages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct OptCostReport {
+    /// Census before the pipeline ran.
+    pub pre: NetlistStats,
+    /// Census after the pipeline ran.
+    pub post: NetlistStats,
+    /// Percentage of estimated compiled-bytecode instructions removed.
+    pub op_reduction_pct: f64,
+    /// Percentage of nets removed — negative when subexpression sharing
+    /// added more `cse_*` nets than GC collected.
+    pub net_reduction_pct: f64,
+    /// Percentage of expression-tree nodes removed.
+    pub expr_reduction_pct: f64,
+    /// Levels shaved off the worst per-module combinational path (0 when
+    /// the pipeline did not shorten it).
+    pub depth_reduction: u32,
+}
+
+fn pct(pre: usize, post: usize) -> f64 {
+    if pre == 0 {
+        0.0
+    } else {
+        100.0 * (pre as f64 - post as f64) / pre as f64
+    }
+}
+
+/// Derives the report from a pipeline census.
+#[must_use]
+pub fn opt_cost_report(stats: &OptStats) -> OptCostReport {
+    OptCostReport {
+        pre: stats.pre,
+        post: stats.post,
+        op_reduction_pct: stats.op_reduction_pct(),
+        net_reduction_pct: pct(stats.pre.nets, stats.post.nets),
+        expr_reduction_pct: pct(stats.pre.expr_nodes, stats.post.expr_nodes),
+        depth_reduction: stats
+            .pre
+            .critical_path_depth
+            .saturating_sub(stats.post.critical_path_depth),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensorlib_dataflow::{Dataflow, LoopSelection, Stt};
+    use tensorlib_hw::design::{generate, HwConfig};
+    use tensorlib_hw::opt::OptOptions;
+    use tensorlib_hw::ArrayConfig;
+    use tensorlib_ir::workloads;
+
+    #[test]
+    fn report_derives_reductions_from_a_real_design() {
+        let gemm = workloads::gemm(4, 4, 4);
+        let sel = LoopSelection::by_names(&gemm, ["m", "n", "k"]).unwrap();
+        let df = Dataflow::analyze(&gemm, sel, Stt::output_stationary()).unwrap();
+        let mut design = generate(
+            &df,
+            &HwConfig {
+                array: ArrayConfig::square(4),
+                ..HwConfig::default()
+            },
+        )
+        .unwrap();
+        let stats = design.optimize(&OptOptions::default());
+        let report = opt_cost_report(&stats);
+        // Sharing is cost-gated on the compiled lowering, so the op estimate
+        // is monotone even when CSE adds nets.
+        assert!(report.post.lowered_ops <= report.pre.lowered_ops);
+        assert!(report.op_reduction_pct >= 0.0);
+        assert_eq!(
+            report.depth_reduction,
+            report
+                .pre
+                .critical_path_depth
+                .saturating_sub(report.post.critical_path_depth)
+        );
+        // The derived percentages must agree with the raw census.
+        let expect = 100.0 * (report.pre.nets as f64 - report.post.nets as f64)
+            / report.pre.nets as f64;
+        assert!((report.net_reduction_pct - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_census_yields_zero_percentages() {
+        let stats = OptStats {
+            pre: NetlistStats::default(),
+            post: NetlistStats::default(),
+        };
+        let report = opt_cost_report(&stats);
+        assert_eq!(report.op_reduction_pct, 0.0);
+        assert_eq!(report.net_reduction_pct, 0.0);
+        assert_eq!(report.depth_reduction, 0);
+    }
+}

@@ -216,6 +216,18 @@ impl AcceleratorDesign {
         &self.summary
     }
 
+    /// Runs the [`crate::opt`] rewrite pipeline over every module in place
+    /// and returns the pre/post census. Ports, registers, instances, and
+    /// net names are preserved (see the optimizer's preservation contract),
+    /// so traces, fault campaigns, and testbenches observe an identical
+    /// interface; the [`ResourceSummary`] census is computed at generation
+    /// time from the template structure and is deliberately left untouched.
+    pub fn optimize(&mut self, opts: &crate::opt::OptOptions) -> crate::opt::OptStats {
+        let (modules, stats) = crate::opt::optimize_netlist(&self.modules, &self.top, opts);
+        self.modules = modules;
+        stats
+    }
+
     /// Validates the whole design: per-module structural checks plus
     /// cross-module instance checking (module existence, port existence,
     /// width agreement, and a full driver census including instance outputs).

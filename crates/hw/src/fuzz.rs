@@ -33,7 +33,8 @@ use serde::Serialize;
 use tensorlib_linalg::rng::SplitMix64;
 use crate::batch::BatchSim;
 use crate::interp::{elaborate, Interpreter};
-use crate::netlist::{BinOp, Dir, Expr, Module, Net, NetId, RegDef};
+use crate::netlist::{BinOp, Dir, Expr, Module, NetId};
+use crate::opt::{self, gc_children, gc_nets, GcPorts, OptOptions, Parts};
 use crate::verilog::emit_module;
 
 /// Knobs for the random netlist generator and differential runner.
@@ -77,6 +78,10 @@ pub enum NetlistFailureKind {
     Mismatch,
     /// The lane-batched engine disagreed with a scalar reference lane.
     BatchMismatch,
+    /// The optimized netlist misbehaved: it failed validation, emission, or
+    /// elaboration, or any engine running it diverged from the unoptimized
+    /// reference on a top-level output.
+    OptMismatch,
 }
 
 impl NetlistFailureKind {
@@ -88,6 +93,7 @@ impl NetlistFailureKind {
             NetlistFailureKind::Emission => "emission",
             NetlistFailureKind::Mismatch => "mismatch",
             NetlistFailureKind::BatchMismatch => "batch_mismatch",
+            NetlistFailureKind::OptMismatch => "opt_mismatch",
         }
     }
 }
@@ -445,14 +451,132 @@ pub fn check_batch_netlist(
     Ok(())
 }
 
+/// Opt-vs-unoptimized lock-step differential oracle: runs the full
+/// [`crate::opt`] pipeline over the netlist, then proves the result
+/// behaviourally identical to the original.
+///
+/// The optimized netlist must itself pass validation, the `)[` emission
+/// lint, and elaboration; then three engines run lock-step under identical
+/// seeded stimulus — the compiled interpreter on the *unoptimized* flat
+/// design as the reference, plus the compiled and tree-walking interpreters
+/// on the optimized one — comparing every top-level output port after every
+/// cycle. (Internal nets are fair game for the optimizer to collapse;
+/// ports are the preserved interface.) Finally the lane-batched oracle
+/// re-runs the optimized netlist across `lanes` stimulus lanes.
+///
+/// # Errors
+///
+/// Returns a [`NetlistFailureKind::OptMismatch`] failure describing the
+/// first divergence, or an [`NetlistFailureKind::Elaborate`] failure if the
+/// *original* netlist does not elaborate (a generator bug, not an optimizer
+/// bug).
+pub fn check_opt_netlist(
+    modules: &[Module],
+    top: &str,
+    seed: u64,
+    cycles: u64,
+    lanes: usize,
+) -> Result<(), NetlistFailure> {
+    check_opt_netlist_with(modules, top, seed, cycles, lanes, &OptOptions::default())
+}
+
+/// [`check_opt_netlist`] with an explicit pass selection, so each rewrite
+/// pass can be proven semantics-preserving in isolation (the per-pass
+/// property tests run one pass at a time over hundreds of generator seeds).
+///
+/// # Errors
+///
+/// Same contract as [`check_opt_netlist`].
+pub fn check_opt_netlist_with(
+    modules: &[Module],
+    top: &str,
+    seed: u64,
+    cycles: u64,
+    lanes: usize,
+    opts: &OptOptions,
+) -> Result<(), NetlistFailure> {
+    let (opt_modules, _) = opt::optimize_netlist(modules, top, opts);
+    for m in &opt_modules {
+        m.validate().map_err(|e| NetlistFailure {
+            kind: NetlistFailureKind::OptMismatch,
+            detail: format!("optimized module {:?} fails validation: {e}", m.name()),
+        })?;
+        let v = emit_module(m);
+        if v.contains(")[") {
+            return Err(NetlistFailure {
+                kind: NetlistFailureKind::OptMismatch,
+                detail: format!(
+                    "optimized module {:?} emits a part-select of a compound expression",
+                    m.name()
+                ),
+            });
+        }
+    }
+    let flat_ref = elaborate(modules, &[], top).map_err(|e| NetlistFailure {
+        kind: NetlistFailureKind::Elaborate,
+        detail: e.to_string(),
+    })?;
+    let flat_opt = elaborate(&opt_modules, &[], top).map_err(|e| NetlistFailure {
+        kind: NetlistFailureKind::OptMismatch,
+        detail: format!("optimized netlist fails elaboration: {e}"),
+    })?;
+    let inputs: Vec<String> = flat_ref
+        .ports()
+        .iter()
+        .filter(|(_, d)| *d == Dir::Input)
+        .map(|(id, _)| flat_ref.nets()[*id].name.clone())
+        .collect();
+    let outputs: Vec<String> = flat_ref
+        .ports()
+        .iter()
+        .filter(|(_, d)| *d == Dir::Output)
+        .map(|(id, _)| flat_ref.nets()[*id].name.clone())
+        .collect();
+    let mut reference = Interpreter::new(flat_ref);
+    let mut optimized = Interpreter::new(flat_opt.clone());
+    let mut opt_tree = Interpreter::new_tree_walking(flat_opt);
+    let mut rng = SplitMix64::new(seed ^ 0xD1F7_0000_0000_0001);
+    for cycle in 0..cycles {
+        for name in &inputs {
+            let v = rng.next_u64();
+            reference.poke(name, v);
+            optimized.poke(name, v);
+            opt_tree.poke(name, v);
+        }
+        reference.step();
+        optimized.step();
+        opt_tree.step();
+        for name in &outputs {
+            let r = reference.peek(name);
+            let o = optimized.peek(name);
+            let t = opt_tree.peek(name);
+            if o != r || t != r {
+                return Err(NetlistFailure {
+                    kind: NetlistFailureKind::OptMismatch,
+                    detail: format!(
+                        "output {name:?} diverged at cycle {cycle}: \
+                         unoptimized={r} optimized={o} optimized_tree={t}"
+                    ),
+                });
+            }
+        }
+    }
+    check_batch_netlist(&opt_modules, top, seed, cycles, lanes).map_err(|f| NetlistFailure {
+        kind: NetlistFailureKind::OptMismatch,
+        detail: format!("optimized netlist failed the batch oracle: {}", f.detail),
+    })
+}
+
 /// Panics if the two scalar interpreter engines (or any crash oracle)
-/// disagree on this netlist, or if the lane-batched engine diverges from a
+/// disagree on this netlist, if the lane-batched engine diverges from a
 /// scalar reference on any flat net on any of [`DEFAULT_ORACLE_LANES`]
-/// stimulus lanes in any cycle. Convenience wrapper used by committed
-/// regression tests.
+/// stimulus lanes in any cycle, or if the optimization pipeline changes any
+/// observable output ([`check_opt_netlist`]). Convenience wrapper used by
+/// committed regression tests.
 pub fn assert_engines_agree(modules: &[Module], top: &str, seed: u64, cycles: u64) {
     if let Err(f) = check_netlist(modules, top, seed, cycles, None)
         .and_then(|()| check_batch_netlist(modules, top, seed, cycles, DEFAULT_ORACLE_LANES))
+        .and_then(|()| check_opt_netlist(modules, top, seed, cycles, DEFAULT_ORACLE_LANES))
     {
         panic!("{}: {}", f.kind.label(), f.detail);
     }
@@ -462,169 +586,11 @@ pub fn assert_engines_agree(modules: &[Module], top: &str, seed: u64, cycles: u6
 // Shrinker
 // ---------------------------------------------------------------------------
 
-/// `(child module, instance name, connections)` — an editable [`crate::netlist::Instance`].
-type InstParts = (String, String, Vec<(String, NetId)>);
-
-/// An editable decomposition of a [`Module`] (the builder API is
-/// append-only, so shrinking reconstructs modules from parts).
-#[derive(Clone)]
-struct Parts {
-    name: String,
-    nets: Vec<Net>,
-    ports: Vec<(NetId, Dir)>,
-    assigns: Vec<(NetId, Expr)>,
-    regs: Vec<RegDef>,
-    instances: Vec<InstParts>,
-}
-
-fn to_parts(m: &Module) -> Parts {
-    Parts {
-        name: m.name().to_string(),
-        nets: m.nets().to_vec(),
-        ports: m.ports().to_vec(),
-        assigns: m.assigns().to_vec(),
-        regs: m.regs().to_vec(),
-        instances: m
-            .instances()
-            .iter()
-            .map(|i| (i.module.clone(), i.name.clone(), i.connections.clone()))
-            .collect(),
-    }
-}
-
-fn from_parts(p: &Parts) -> Module {
-    let mut m = Module::new(&p.name);
-    for (id, net) in p.nets.iter().enumerate() {
-        let port = p.ports.iter().find(|(pid, _)| *pid == id).map(|&(_, d)| d);
-        let got = match port {
-            Some(Dir::Input) => m.input(&net.name, net.width),
-            Some(Dir::Output) => m.output(&net.name, net.width),
-            None => m.net(&net.name, net.width),
-        };
-        debug_assert_eq!(got, id);
-    }
-    for (target, expr) in &p.assigns {
-        m.assign(*target, expr.clone());
-    }
-    for r in &p.regs {
-        m.reg(r.target, r.next.clone(), r.enable.clone(), r.init);
-    }
-    for (module, name, conns) in &p.instances {
-        m.instance(module.clone(), name.clone(), conns.clone());
-    }
-    m
-}
-
-fn remap_expr(e: &Expr, map: &[Option<NetId>]) -> Expr {
-    match e {
-        Expr::Const { value, width } => Expr::Const {
-            value: *value,
-            width: *width,
-        },
-        Expr::Net(id) => Expr::Net(map[*id].expect("read net survives gc")),
-        Expr::Not(x) => Expr::Not(Box::new(remap_expr(x, map))),
-        Expr::Bin(op, a, b) => Expr::Bin(
-            *op,
-            Box::new(remap_expr(a, map)),
-            Box::new(remap_expr(b, map)),
-        ),
-        Expr::Mux {
-            sel,
-            on_true,
-            on_false,
-        } => Expr::Mux {
-            sel: Box::new(remap_expr(sel, map)),
-            on_true: Box::new(remap_expr(on_true, map)),
-            on_false: Box::new(remap_expr(on_false, map)),
-        },
-        Expr::Resize(x, w) => Expr::Resize(Box::new(remap_expr(x, map)), *w),
-        Expr::SignExtend(x, w) => Expr::SignExtend(Box::new(remap_expr(x, map)), *w),
-    }
-}
-
-/// Deletes nets nothing references any more and renumbers the survivors.
-fn gc_nets(p: &mut Parts) {
-    let mut used = vec![false; p.nets.len()];
-    let mut read_somewhere = vec![false; p.nets.len()];
-    for (target, expr) in &p.assigns {
-        used[*target] = true;
-        let mut reads = Vec::new();
-        expr.collect_reads(&mut reads);
-        for r in reads {
-            used[r] = true;
-            read_somewhere[r] = true;
-        }
-    }
-    for r in &p.regs {
-        used[r.target] = true;
-        let mut reads = Vec::new();
-        r.next.collect_reads(&mut reads);
-        if let Some(e) = &r.enable {
-            e.collect_reads(&mut reads);
-        }
-        for x in reads {
-            used[x] = true;
-            read_somewhere[x] = true;
-        }
-    }
-    for (_, _, conns) in &p.instances {
-        for (_, n) in conns {
-            used[*n] = true;
-            read_somewhere[*n] = true;
-        }
-    }
-    // Output ports keep their nets only while something drives them (their
-    // driver marked them used above). Input ports survive only if read.
-    for &(id, dir) in &p.ports {
-        if dir == Dir::Input && !read_somewhere[id] {
-            used[id] = false;
-        }
-    }
-    let mut map: Vec<Option<NetId>> = vec![None; p.nets.len()];
-    let mut next = 0usize;
-    for (id, &u) in used.iter().enumerate() {
-        if u {
-            map[id] = Some(next);
-            next += 1;
-        }
-    }
-    p.nets = p
-        .nets
-        .iter()
-        .enumerate()
-        .filter(|(id, _)| used[*id])
-        .map(|(_, n)| n.clone())
-        .collect();
-    p.ports = p
-        .ports
-        .iter()
-        .filter(|(id, _)| used[*id])
-        .map(|&(id, d)| (map[id].unwrap(), d))
-        .collect();
-    for (target, expr) in &mut p.assigns {
-        *target = map[*target].expect("assign target survives gc");
-        *expr = remap_expr(expr, &map);
-    }
-    for r in &mut p.regs {
-        r.target = map[r.target].expect("reg target survives gc");
-        r.next = remap_expr(&r.next, &map);
-        r.enable = r.enable.as_ref().map(|e| remap_expr(e, &map));
-    }
-    for (_, _, conns) in &mut p.instances {
-        for (_, n) in conns {
-            *n = map[*n].expect("instance net survives gc");
-        }
-    }
-}
-
-/// Drops child modules no surviving instance references.
-fn gc_children(modules: &mut Vec<Parts>, top: &str) {
-    let referenced: std::collections::HashSet<String> = modules
-        .iter()
-        .flat_map(|p| p.instances.iter().map(|(m, _, _)| m.clone()))
-        .collect();
-    modules.retain(|p| p.name == top || referenced.contains(&p.name));
-}
+// The editable module decomposition (`Parts`, `to_parts`, `from_parts`) and
+// the dead-net / dead-child GC now live in `crate::opt` — the optimizer's
+// GC pass and the shrinker share one implementation (the shrinker runs it
+// in `GcPorts::PruneUnreadInputs` mode, which additionally drops input
+// ports nothing reads).
 
 /// Greedily minimizes a failing netlist: one by one, tries deleting each
 /// assign, register, instance, and output port of every module (garbage
@@ -641,8 +607,9 @@ pub fn shrink_netlist<F>(
 where
     F: Fn(&[Module], &str) -> bool,
 {
-    let mut parts: Vec<Parts> = modules.iter().map(to_parts).collect();
-    let build = |parts: &[Parts]| -> Vec<Module> { parts.iter().map(from_parts).collect() };
+    let mut parts: Vec<Parts> = modules.iter().map(opt::to_parts).collect();
+    let build =
+        |parts: &[Parts]| -> Vec<Module> { parts.iter().map(opt::from_parts).collect() };
     loop {
         let mut improved = false;
         'outer: for mi in 0..parts.len() {
@@ -676,7 +643,7 @@ where
                         .retain(|(_, _, conns)| conns.iter().all(|(_, n)| *n != net));
                 }
                 for p in &mut cand {
-                    gc_nets(p);
+                    gc_nets(p, GcPorts::PruneUnreadInputs);
                 }
                 gc_children(&mut cand, top);
                 let candidate = build(&cand);

@@ -475,7 +475,7 @@ pub(crate) fn bin_eval(op: BinOp, va: u64, vb: u64, mask: u64) -> u64 {
 /// a binary op, three `Load`s feeding a mux) into superinstructions. Postfix
 /// guarantees consecutive `Load`s are exactly the consumer's top-of-stack
 /// operands, so each rewrite is semantics-preserving.
-fn peephole(seg: &mut Vec<Instr>) {
+pub(crate) fn peephole(seg: &mut Vec<Instr>) {
     let mut out = Vec::with_capacity(seg.len());
     for ins in seg.drain(..) {
         match ins {
@@ -570,7 +570,7 @@ pub(crate) struct Compiled {
 
 impl Compiled {
     /// Total instructions across the settle and register streams.
-    fn op_count(&self) -> usize {
+    pub(crate) fn op_count(&self) -> usize {
         self.settle_code.len() + self.reg_code.len()
     }
 
@@ -672,7 +672,7 @@ impl Compiled {
 /// Recursive lowering helper; returns the expression's width. Net reads go
 /// through `resolve` so alias-eliminated wires load straight from their
 /// source slot.
-fn lower_onto(expr: &Expr, nets: &[Net], resolve: &[u32], code: &mut Vec<Instr>) -> u32 {
+pub(crate) fn lower_onto(expr: &Expr, nets: &[Net], resolve: &[u32], code: &mut Vec<Instr>) -> u32 {
     match expr {
         Expr::Const { value, width } => {
             code.push(Instr::Const(mask(*value, *width)));
@@ -732,6 +732,15 @@ fn lower_onto(expr: &Expr, nets: &[Net], resolve: &[u32], code: &mut Vec<Instr>)
             *w
         }
     }
+}
+
+/// Exact compiled-bytecode instruction count for a flat design: the number
+/// of instructions [`Interpreter::new`] (and the lane-batched engine) would
+/// execute per settle + register-sample pass, after alias elimination and
+/// peephole fusion. This is the metric the optimizer's pre/post reports and
+/// the performance gate's `opt` section are pinned against.
+pub fn flat_op_count(flat: &FlatDesign) -> usize {
+    Compiled::build(flat).op_count()
 }
 
 /// One [`FaultSpec`] resolved against a flat netlist: the canonical value

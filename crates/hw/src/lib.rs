@@ -47,6 +47,7 @@ pub mod fuzz;
 pub mod interp;
 pub mod mem;
 pub mod netlist;
+pub mod opt;
 pub mod pe;
 pub mod tiling;
 pub mod trace;

@@ -82,6 +82,13 @@ pub struct CampaignConfig {
     /// is never serialized.
     #[serde(skip)]
     pub lanes: usize,
+    /// Run the netlist optimizer over the generated design before
+    /// elaborating it. Optimization preserves every port and register
+    /// (name, order, width, init), so fault-site enumeration and report
+    /// bytes are identical either way — which is exactly what the CI
+    /// `--opt=off` vs `--opt=on` byte-compare asserts. Never serialized.
+    #[serde(skip)]
+    pub opt: bool,
 }
 
 impl Default for CampaignConfig {
@@ -95,6 +102,7 @@ impl Default for CampaignConfig {
             hardening: Hardening::none(),
             workers: 1,
             lanes: 1,
+            opt: true,
         }
     }
 }
@@ -609,7 +617,10 @@ struct CampaignBase {
 }
 
 fn prepare(cfg: &CampaignConfig) -> Result<CampaignBase, CampaignError> {
-    let design = gemm_design(cfg)?;
+    let mut design = gemm_design(cfg)?;
+    if cfg.opt {
+        design.optimize(&tensorlib_hw::opt::OptOptions::default());
+    }
     let flat = elaborate_design(&design, design.top())?;
     // One idle handshake cycle plus one full load/compute/drain round.
     let cycles = 1 + design.phases().total();

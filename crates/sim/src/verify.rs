@@ -29,8 +29,8 @@ use tensorlib_hw::fault::Hardening;
 use tensorlib_linalg::rng::SplitMix64;
 use tensorlib_hw::batch::BatchSim;
 use tensorlib_hw::fuzz::{
-    check_batch_netlist, check_netlist, gen_netlist, rust_repro, shrink_netlist,
-    NetlistFuzzConfig,
+    check_batch_netlist, check_netlist, check_opt_netlist, gen_netlist, rust_repro,
+    shrink_netlist, NetlistFuzzConfig,
 };
 use tensorlib_hw::interp::{elaborate_design, Interpreter};
 use tensorlib_hw::trace::TraceConfig;
@@ -61,6 +61,13 @@ pub struct VerifyConfig {
     /// any lane width.
     #[serde(skip)]
     pub lanes: usize,
+    /// Whether the opt-vs-unoptimized differential oracle
+    /// ([`tensorlib_hw::fuzz::check_opt_netlist`]) runs on every netlist
+    /// seed. Like `lanes`, an extra oracle on the same seeds: never
+    /// serialized, so a clean campaign's report stays byte-identical with
+    /// the axis on or off.
+    #[serde(skip)]
+    pub opt: bool,
 }
 
 impl Default for VerifyConfig {
@@ -71,6 +78,7 @@ impl Default for VerifyConfig {
             workers: 1,
             cycles: 16,
             lanes: 1,
+            opt: true,
         }
     }
 }
@@ -139,9 +147,17 @@ fn netlist_finding(seed: u64, cfg: &VerifyConfig) -> Option<Finding> {
     // Full scalar oracle stack, then the lane-vs-scalar batched oracle
     // (lane 0 replays the scalar stimulus; extra lanes add fresh streams).
     let lanes = cfg.lanes.max(1);
+    let opt = cfg.opt;
     let check = |mods: &[tensorlib_hw::netlist::Module], t: &str| {
         check_netlist(mods, t, seed, cfg.cycles, None)
             .and_then(|()| check_batch_netlist(mods, t, seed, cfg.cycles, lanes))
+            .and_then(|()| {
+                if opt {
+                    check_opt_netlist(mods, t, seed, cfg.cycles, lanes)
+                } else {
+                    Ok(())
+                }
+            })
     };
     let failure = match check(&modules, &top) {
         Ok(()) => return None,
@@ -546,7 +562,7 @@ fn batched_round(design: &AcceleratorDesign, lanes: usize) -> Result<(), (String
     Ok(())
 }
 
-fn pipeline_outcome(seed: u64, lanes: usize) -> PipelineOutcome {
+fn pipeline_outcome(seed: u64, lanes: usize, opt: bool) -> PipelineOutcome {
     let sample = sample_pipeline(seed);
     let (kernel, design) = match build_design(&sample) {
         Ok(x) => x,
@@ -578,7 +594,81 @@ fn pipeline_outcome(seed: u64, lanes: usize) -> PipelineOutcome {
             return PipelineOutcome::Failed { kind, detail };
         }
     }
+    if opt {
+        if let Err((kind, detail)) = opt_round(&design) {
+            return PipelineOutcome::Failed { kind, detail };
+        }
+    }
     PipelineOutcome::Clean
+}
+
+/// Pipeline-mode opt axis: runs the [`tensorlib_hw::opt`] pipeline over the
+/// sampled design and proves the result behaviourally identical on a full
+/// controller round — the optimized design must validate, and a compiled
+/// interpreter running it must match a compiled interpreter running the
+/// unoptimized design on every watched output port every cycle (including
+/// the readback drain) plus the parity counters.
+fn opt_round(design: &AcceleratorDesign) -> Result<(), (String, String)> {
+    let opt_err = |detail: String| ("opt_mismatch".to_string(), detail);
+    let mut opt_design = design.clone();
+    opt_design.optimize(&tensorlib_hw::opt::OptOptions::default());
+    opt_design
+        .validate()
+        .map_err(|e| opt_err(format!("optimized design fails validation: {e}")))?;
+    let flat_ref = elaborate_design(design, design.top())
+        .map_err(|e| ("elaborate".to_string(), e.to_string()))?;
+    let flat_opt = elaborate_design(&opt_design, opt_design.top())
+        .map_err(|e| opt_err(format!("optimized design fails elaboration: {e}")))?;
+    let mut reference = Interpreter::new(flat_ref);
+    let mut optimized = Interpreter::new(flat_opt);
+    for sim in [&mut reference, &mut optimized] {
+        fill_input_banks(sim, design).map_err(|e| ("load".to_string(), e.to_string()))?;
+        sim.poke("start", 1);
+    }
+    let phases = design.phases();
+    let pre = 1 + phases.total() + phases.load_cycles + phases.compute_cycles;
+    let mut watched = vec!["done".to_string()];
+    if design.config().hardening.tmr_ctrl {
+        watched.push("tmr_mismatch".to_string());
+    }
+    let out_banks: Vec<usize> = design
+        .bank_bindings()
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| !b.port.kind.is_input())
+        .map(|(bi, _)| bi)
+        .collect();
+    for &bi in &out_banks {
+        watched.push(format!("result_{bi}"));
+    }
+    let rows = design.config().array.rows as u64;
+    for cycle in 0..pre + rows {
+        if cycle == pre {
+            for &bi in &out_banks {
+                let port = format!("readback_{bi}");
+                reference.poke(&port, 1);
+                optimized.poke(&port, 1);
+            }
+        }
+        reference.step();
+        optimized.step();
+        for name in &watched {
+            let (r, o) = (reference.peek(name), optimized.peek(name));
+            if r != o {
+                return Err(opt_err(format!(
+                    "port {name:?} diverged at cycle {cycle}: unoptimized={r} optimized={o}"
+                )));
+            }
+        }
+    }
+    if reference.parity_error_count() != optimized.parity_error_count() {
+        return Err(opt_err(format!(
+            "parity counters diverged: unoptimized={} optimized={}",
+            reference.parity_error_count(),
+            optimized.parity_error_count()
+        )));
+    }
+    Ok(())
 }
 
 /// Runs the pipeline-mode campaign: `cfg.seeds` sampled generation
@@ -588,7 +678,7 @@ pub fn run_pipeline_campaign(cfg: &VerifyConfig) -> ModeReport {
     let _span = tensorlib_obs::span("verify.pipeline_campaign");
     let seeds: Vec<u64> = (cfg.seed_start..cfg.seed_start + cfg.seeds).collect();
     let results = par_map_catch(&seeds, cfg.workers.max(1), 4, |_, &seed| {
-        match pipeline_outcome(seed, cfg.lanes) {
+        match pipeline_outcome(seed, cfg.lanes, cfg.opt) {
             PipelineOutcome::Clean => (false, None),
             PipelineOutcome::Rejected => (true, None),
             PipelineOutcome::Failed { kind, detail } => (

@@ -47,6 +47,24 @@ rm -f /tmp/ci_faults_scalar.json /tmp/ci_faults_lanes.json
 ./target/release/tensorlib fuzz --mode netlist --seed 0 --seeds 50 --lanes 8 -o - \
     | grep -q '"total_findings": 0'
 
+# Optimizer smokes. First, 200 netlist-fuzz seeds with the opt-vs-unoptimized
+# lock-step oracle explicitly armed: every generated netlist is optimized and
+# the optimized form must agree bit-for-bit with the original on all three
+# engines plus the emission lint.
+./target/release/tensorlib fuzz --mode netlist --seed 0 --seeds 200 --opt on -o - \
+    | grep -q '"total_findings": 0'
+# Second, the same fault campaign with the optimizer on and off must classify
+# identically — optimization preserves every port and register, so the fault
+# site list and every per-fault outcome are byte-identical (wall times are
+# the one nondeterministic block).
+./target/release/tensorlib faults --faults 8 --seed 7 --harden full --opt on -o - \
+    | sed '/"phase_wall_times_us"/,/}/d' > /tmp/ci_faults_opt_on.json
+./target/release/tensorlib faults --faults 8 --seed 7 --harden full --opt off -o - \
+    | sed '/"phase_wall_times_us"/,/}/d' > /tmp/ci_faults_opt_off.json
+cmp /tmp/ci_faults_opt_on.json /tmp/ci_faults_opt_off.json
+grep -q '"masked"' /tmp/ci_faults_opt_on.json
+rm -f /tmp/ci_faults_opt_on.json /tmp/ci_faults_opt_off.json
+
 # Framework-observability smoke: a profiled sweep must emit a Chrome trace
 # that covers the whole generation pipeline (enumeration through cost) and
 # carries the versioned provenance manifest; ordinary JSON reports must

@@ -9,10 +9,11 @@
 //! any worker count.
 
 use tensorlib::hw::fuzz::{
-    check_netlist, gen_netlist, shrink_netlist, NetlistFailure, NetlistFailureKind,
-    NetlistFuzzConfig,
+    check_netlist, check_opt_netlist, gen_netlist, shrink_netlist, NetlistFailure,
+    NetlistFailureKind, NetlistFuzzConfig,
 };
 use tensorlib::hw::netlist::{Expr, Module};
+use tensorlib::hw::opt::{optimize_netlist, OptOptions};
 use tensorlib::hw::verilog::emit_module;
 use tensorlib::sim::verify::{run_verify, VerifyConfig};
 
@@ -46,6 +47,31 @@ fn fuzz_regression_compound_sign_extend_widen() {
     let v = emit_module(&m);
     assert!(!v.contains(")["), "illegal part-select re-emerged:\n{v}");
     tensorlib_hw::fuzz::assert_engines_agree(&[m], "shrunk_sext", 0, 16);
+}
+
+/// The shrunk part-select repro, pushed through the *full* optimizer
+/// pipeline: the optimized form must stay bit-identical to the original
+/// under the lock-step oracle, must still emit legal Verilog, and — because
+/// `add(…).resize(…)` of two inputs is irreducible — must keep the repro's
+/// shape rather than folding it away. Pins the interaction between shrunk
+/// findings and the optimizer so a rewrite bug can never "fix" a repro by
+/// deleting it.
+#[test]
+fn shrunk_repro_survives_the_full_opt_pipeline() {
+    let mut m = Module::new("shrunk_resize");
+    let a = m.input("a", 8);
+    let b = m.input("b", 8);
+    let y = m.output("y", 4);
+    m.assign(y, Expr::net(a).add(Expr::net(b)).resize(4));
+    let modules = vec![m];
+    check_opt_netlist(&modules, "shrunk_resize", 7, 16, 2)
+        .expect("optimizer diverged on the pinned repro");
+    let (optimized, stats) =
+        optimize_netlist(&modules, "shrunk_resize", &OptOptions::default());
+    assert_eq!(stats.post.nets, 3, "repro shape changed: {:?}", optimized[0]);
+    let v = emit_module(&optimized[0]);
+    assert!(!v.contains(")["), "optimizer re-introduced the part-select:\n{v}");
+    tensorlib_hw::fuzz::assert_engines_agree(&optimized, "shrunk_resize", 0, 16);
 }
 
 /// The module-level driver census deliberately cannot see instance-output
@@ -130,6 +156,7 @@ fn fuzz_reports_are_byte_identical_across_worker_counts() {
         workers: 1,
         cycles: 8,
         lanes: 1,
+        opt: true,
     };
     let one = serde_json::to_string_pretty(&run_verify(&cfg, true, true)).unwrap();
     cfg.workers = 4;

@@ -1,0 +1,249 @@
+//! Per-pass property battery for the netlist optimizer.
+//!
+//! Each rewrite pass runs *in isolation* (`OptOptions { <pass>: true,
+//! ..OptOptions::none() }`) over 200 fuzz-generator seeds, and every
+//! optimized netlist is proven bit-identical to the original by the
+//! three-engine lock-step oracle (compiled reference on the unoptimized
+//! netlist, compiled + tree-walking on the optimized one, then the 64-lane
+//! batch engine). On top of equivalence, each pass carries its own
+//! structural invariant:
+//!
+//! * fold leaves no fully-constant operator application behind,
+//! * GC leaves no unreferenced net behind,
+//! * rebalancing bounds reduction-chain depth by `⌈log₂ n⌉`,
+//! * CSE never increases the compiled-bytecode cost estimate.
+
+use tensorlib_hw::fuzz::{check_opt_netlist_with, gen_netlist, NetlistFuzzConfig};
+use tensorlib_hw::netlist::{Expr, Module};
+use tensorlib_hw::opt::{
+    critical_path_depth, module_lowered_ops, optimize_netlist, OptOptions,
+};
+
+const SEEDS: u64 = 200;
+const ORACLE_LANES: usize = 2;
+
+/// Runs one pass configuration over the seed window, checking equivalence
+/// and a per-module invariant on the optimized output.
+fn battery(opts: OptOptions, label: &str, invariant: impl Fn(&Module)) {
+    let cfg = NetlistFuzzConfig::default();
+    for seed in 0..SEEDS {
+        let (modules, top) = gen_netlist(seed, &cfg);
+        check_opt_netlist_with(&modules, &top, seed, cfg.cycles, ORACLE_LANES, &opts)
+            .unwrap_or_else(|f| panic!("{label}: seed {seed} diverged: {f:?}"));
+        let (optimized, _) = optimize_netlist(&modules, &top, &opts);
+        for m in &optimized {
+            invariant(m);
+        }
+    }
+}
+
+fn each_expr(m: &Module, mut f: impl FnMut(&Expr)) {
+    fn walk(e: &Expr, f: &mut impl FnMut(&Expr)) {
+        f(e);
+        match e {
+            Expr::Const { .. } | Expr::Net(_) => {}
+            Expr::Not(a) | Expr::Resize(a, _) | Expr::SignExtend(a, _) => walk(a, f),
+            Expr::Bin(_, a, b) => {
+                walk(a, f);
+                walk(b, f);
+            }
+            Expr::Mux {
+                sel,
+                on_true,
+                on_false,
+            } => {
+                walk(sel, f);
+                walk(on_true, f);
+                walk(on_false, f);
+            }
+        }
+    }
+    for (_, e) in m.assigns() {
+        walk(e, &mut f);
+    }
+    for r in m.regs() {
+        walk(&r.next, &mut f);
+        if let Some(en) = &r.enable {
+            walk(en, &mut f);
+        }
+    }
+}
+
+/// Constant folding in isolation: equivalent, and no operator application
+/// whose operands are all literals survives (those are exactly the shapes
+/// the fold rules erase unconditionally).
+#[test]
+fn fold_is_equivalent_and_leaves_no_constant_operations() {
+    let opts = OptOptions {
+        fold: true,
+        ..OptOptions::none()
+    };
+    battery(opts, "fold", |m| {
+        each_expr(m, |e| {
+            let is_const = |x: &Expr| matches!(x, Expr::Const { .. });
+            let leftover = match e {
+                Expr::Not(a) | Expr::Resize(a, _) | Expr::SignExtend(a, _) => is_const(a),
+                Expr::Bin(_, a, b) => is_const(a) && is_const(b),
+                _ => false,
+            };
+            assert!(
+                !leftover,
+                "module {:?} kept a foldable constant expression: {e:?}",
+                m.name()
+            );
+        });
+    });
+}
+
+/// Peepholes in isolation: equivalent, and no mux with identical branches
+/// survives (the one peephole that needs no masking precondition).
+#[test]
+fn peephole_is_equivalent_and_collapses_trivial_muxes() {
+    let opts = OptOptions {
+        peephole: true,
+        ..OptOptions::none()
+    };
+    battery(opts, "peephole", |m| {
+        each_expr(m, |e| {
+            if let Expr::Mux {
+                on_true, on_false, ..
+            } = e
+            {
+                assert!(
+                    on_true != on_false,
+                    "module {:?} kept mux(s, x, x): {e:?}",
+                    m.name()
+                );
+            }
+        });
+    });
+}
+
+/// Rebalancing in isolation over the fuzz corpus: pure equivalence (the
+/// depth bound is proven on explicit chains below, where `n` is known).
+#[test]
+fn rebalance_is_equivalent_on_fuzzed_netlists() {
+    let opts = OptOptions {
+        rebalance: true,
+        ..OptOptions::none()
+    };
+    battery(opts, "rebalance", |_| {});
+}
+
+/// CSE in isolation: equivalent, and the compiled-bytecode cost estimate
+/// never goes up (every hoist is gated on that exact model).
+#[test]
+fn cse_is_equivalent_and_never_costs_ops() {
+    let opts = OptOptions {
+        cse: true,
+        ..OptOptions::none()
+    };
+    let cfg = NetlistFuzzConfig::default();
+    for seed in 0..SEEDS {
+        let (modules, top) = gen_netlist(seed, &cfg);
+        check_opt_netlist_with(&modules, &top, seed, cfg.cycles, ORACLE_LANES, &opts)
+            .unwrap_or_else(|f| panic!("cse: seed {seed} diverged: {f:?}"));
+        let (optimized, _) = optimize_netlist(&modules, &top, &opts);
+        for (pre, post) in modules.iter().zip(&optimized) {
+            assert!(
+                module_lowered_ops(post) <= module_lowered_ops(pre),
+                "cse raised the op estimate in {:?} on seed {seed}: {} -> {}",
+                pre.name(),
+                module_lowered_ops(pre),
+                module_lowered_ops(post)
+            );
+        }
+    }
+}
+
+/// GC in isolation: equivalent, and every surviving net is referenced — as
+/// a port, a driven target, a read, a register, or an instance connection.
+#[test]
+fn gc_is_equivalent_and_leaves_no_unreferenced_nets() {
+    let opts = OptOptions {
+        gc: true,
+        ..OptOptions::none()
+    };
+    battery(opts, "gc", |m| {
+        let mut referenced = vec![false; m.nets().len()];
+        let mut reads = Vec::new();
+        for (id, _) in m.ports() {
+            referenced[*id] = true;
+        }
+        for (target, e) in m.assigns() {
+            referenced[*target] = true;
+            e.collect_reads(&mut reads);
+        }
+        for r in m.regs() {
+            referenced[r.target] = true;
+            r.next.collect_reads(&mut reads);
+            if let Some(en) = &r.enable {
+                en.collect_reads(&mut reads);
+            }
+        }
+        for id in reads {
+            referenced[id] = true;
+        }
+        for inst in m.instances() {
+            for (_, id) in &inst.connections {
+                referenced[*id] = true;
+            }
+        }
+        for (id, is_ref) in referenced.iter().enumerate() {
+            assert!(
+                is_ref,
+                "module {:?} kept unreferenced net {:?}",
+                m.name(),
+                m.nets()[id].name
+            );
+        }
+    });
+}
+
+/// The full default pipeline is also equivalent over the same window — the
+/// composed passes must not interfere with each other.
+#[test]
+fn full_pipeline_is_equivalent_over_the_seed_window() {
+    battery(OptOptions::default(), "full", |_| {});
+}
+
+/// The depth bound the rebalancer promises: an `n`-leaf same-width chain
+/// optimizes to depth `⌈log₂ n⌉` for every shape from 2 to 33 leaves, for
+/// an associative operator (`xor`) and a width-uniform modular one (`add`).
+#[test]
+fn rebalanced_chains_meet_the_log2_depth_bound() {
+    for op in ["xor", "add"] {
+        for n in 2usize..=33 {
+            let mut m = Module::new("chain");
+            let inputs: Vec<_> = (0..n)
+                .map(|i| m.input(format!("i{i}"), 8))
+                .collect();
+            let y = m.output("y", 8);
+            let mut acc = Expr::net(inputs[0]);
+            for &id in &inputs[1..] {
+                acc = match op {
+                    "xor" => Expr::Bin(
+                        tensorlib_hw::netlist::BinOp::Xor,
+                        Box::new(acc),
+                        Box::new(Expr::net(id)),
+                    ),
+                    _ => acc.add(Expr::net(id)),
+                };
+            }
+            m.assign(y, acc);
+            assert_eq!(critical_path_depth(&m), (n - 1) as u32);
+            let opts = OptOptions {
+                rebalance: true,
+                ..OptOptions::none()
+            };
+            let (optimized, _) = optimize_netlist(&[m.clone()], "chain", &opts);
+            let depth = critical_path_depth(&optimized[0]);
+            let bound = (n as f64).log2().ceil() as u32;
+            assert!(
+                depth <= bound,
+                "{op} chain of {n} leaves rebalanced to depth {depth}, bound {bound}"
+            );
+            tensorlib_hw::fuzz::assert_engines_agree(&optimized, "chain", n as u64, 8);
+        }
+    }
+}

@@ -23,6 +23,7 @@ fn campaign_json_is_byte_identical_across_worker_counts() {
         hardening: Hardening::full(),
         workers: 1,
         lanes: 1,
+        opt: true,
     };
     let serial = run_gemm_campaign(&base).expect("campaign runs");
     assert_eq!(serial.outcomes.len(), 24);
