@@ -98,7 +98,9 @@ pub fn reports_dir() -> PathBuf {
 pub fn dump_json<T: serde::Serialize>(name: &str, value: &T) -> PathBuf {
     let path = reports_dir().join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value).expect("report serializes");
-    std::fs::write(&path, json).expect("report file is writable");
+    // Atomic (tmp + fsync + rename): a crash mid-dump never leaves a
+    // truncated report where a previous run's good one stood.
+    tensorlib_obs::atomic_write(&path, json.as_bytes()).expect("report file is writable");
     path
 }
 

@@ -32,20 +32,27 @@
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::path::PathBuf;
+use std::time::Duration;
 
 use tensorlib::cost::{hardening_overhead, Activity, HardeningOverhead};
 use tensorlib::dataflow::dse::{find_named, DseConfig};
 use tensorlib::dataflow::{Dataflow, LoopSelection, Stt};
-use tensorlib::explore::{explore_outcome, ExploreOptions};
+use tensorlib::explore::{explore_durable, explore_outcome, ExploreOptions};
 use tensorlib::hw::design::generate;
 use tensorlib::hw::fault::Hardening;
 use tensorlib::ir::workloads;
 use tensorlib::sim::resilience::{
-    run_accumulator_sweep, run_gemm_campaign, CampaignConfig, ResilienceReport,
+    run_accumulator_sweep_durable, run_gemm_campaign_durable, CampaignConfig, ResilienceReport,
 };
-use tensorlib::sim::verify::{run_verify, VerifyConfig};
+use tensorlib::sim::verify::{run_verify_durable, VerifyConfig};
+use tensorlib::sim::{DurabilityOptions, RunStats};
 use tensorlib::{Accelerator, ArrayConfig, HwConfig, Kernel, SimConfig, TraceConfig};
-use tensorlib_obs::{Provenance, SCHEMA_VERSION};
+use tensorlib_obs::{atomic_write, JournalProvenance, Provenance, SCHEMA_VERSION};
+
+/// The process-wide SIGINT latch campaigns drain on; `main` installs it for
+/// `--resume` runs and maps a latched interrupt to exit code 130.
+pub use tensorlib::sim::interrupt;
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +99,10 @@ pub enum Command {
         workload: String,
         /// How many designs to print.
         top: usize,
+        /// Journal directory for crash-safe resume (`--resume`).
+        resume: Option<String>,
+        /// Per-chunk watchdog budget in seconds (`--chunk-timeout`).
+        chunk_timeout: Option<u64>,
         /// JSON report path (`-` for stdout JSON, empty for the text table).
         out: String,
     },
@@ -181,6 +192,10 @@ pub enum Command {
         /// pipeline preserves every register, so classification counts are
         /// byte-identical either way (CI asserts exactly that).
         opt: bool,
+        /// Journal directory for crash-safe resume (`--resume`).
+        resume: Option<String>,
+        /// Per-chunk watchdog budget in seconds (`--chunk-timeout`).
+        chunk_timeout: Option<u64>,
         /// Output path (`-` for stdout, empty for `reports/` default).
         out: String,
     },
@@ -203,6 +218,10 @@ pub enum Command {
         /// Chain the optimizer equivalence oracle (optimized-vs-unoptimized
         /// lock-step) into both fuzz modes.
         opt: bool,
+        /// Journal directory for crash-safe resume (`--resume`).
+        resume: Option<String>,
+        /// Per-chunk watchdog budget in seconds (`--chunk-timeout`).
+        chunk_timeout: Option<u64>,
         /// Output path (`-` for stdout, empty for `reports/` default).
         out: String,
     },
@@ -229,17 +248,19 @@ usage:
   tensorlib generate <workload> <dataflow> [-o out.v] [--rows N] [--cols N]
                      [--opt on|off]
   tensorlib simulate <workload> <dataflow> [--rows N] [--cols N]
-  tensorlib explore  <workload> [--top N] [-o f.json]
+  tensorlib explore  <workload> [--top N] [--resume DIR] [--chunk-timeout S]
+                     [-o f.json]
   tensorlib stats    <workload> <dataflow> [--rows N] [--cols N] [--tiles T]
                      [--opt on|off] [-o f.json]
   tensorlib trace    <workload> <dataflow> [--nets a,b,c] [--tiles T]
                      [--opt on|off] [-o f.vcd]
   tensorlib faults   [--rows N] [--cols N] [--k K] [--faults N] [--seed S]
                      [--harden tmr,parity,abft] [--workers W] [--lanes L]
-                     [--sweep-acc] [--opt on|off] [-o f.json]
+                     [--sweep-acc] [--opt on|off] [--resume DIR]
+                     [--chunk-timeout S] [-o f.json]
   tensorlib fuzz     [--mode netlist|pipeline|both] [--seed S] [--seeds N]
                      [--cycles C] [--workers W] [--lanes L] [--opt on|off]
-                     [-o f.json]
+                     [--resume DIR] [--chunk-timeout S] [-o f.json]
   tensorlib profile  <workload> [--top N] [--rows N] [--cols N] [--workers W]
                      [-o f.trace.json]
 
@@ -289,6 +310,21 @@ field is zero on a clean run, and its campaign results are identical for any
 --workers count and --lanes width (the provenance block records the
 requested workers).
 
+faults, fuzz, and explore are resumable campaigns. --resume DIR journals
+every completed work chunk to DIR/campaign.journal (append-only,
+length-prefixed, checksummed; a torn tail from a crash is truncated on
+reopen) and replays finished chunks on restart, so a campaign killed
+mid-run and re-invoked with the same arguments plus the same --resume DIR
+finishes the remaining work and emits a byte-identical report. The journal
+is keyed to a hash of the campaign config: pointing --resume at a journal
+recorded under different arguments fails loudly instead of silently
+restarting. --chunk-timeout S arms a per-chunk wall-clock watchdog that
+demotes work not started before the budget expires to typed degraded
+entries (tallied in the report) instead of hanging the campaign. Ctrl-C
+drains the in-flight chunk, flushes the journal, and still writes a valid
+partial report with \"interrupted\": true plus resume instructions; the
+process then exits with code 130 (a second Ctrl-C kills immediately).
+
 profile sweeps the workload's design space with functional verification on,
 prints a per-phase wall-time breakdown (STT enumeration, classification,
 elaboration, bytecode compile, simulation, cost), and writes a Chrome Trace
@@ -326,6 +362,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut seeds = 256u64;
     let mut cycles = 16u64;
     let mut opt = true;
+    let mut resume: Option<String> = None;
+    let mut chunk_timeout: Option<u64> = None;
     let parse_opt = |v: &str| -> Result<bool, CliError> {
         match v {
             "on" => Ok(true),
@@ -354,12 +392,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 rows = take_value(&mut i)?
                     .parse()
                     .map_err(|_| CliError("--rows expects an integer".into()))?;
+                if rows == 0 {
+                    return Err(CliError("--rows must be at least 1".into()));
+                }
                 rows_given = true;
             }
             "--cols" => {
                 cols = take_value(&mut i)?
                     .parse()
                     .map_err(|_| CliError("--cols expects an integer".into()))?;
+                if cols == 0 {
+                    return Err(CliError("--cols must be at least 1".into()));
+                }
                 cols_given = true;
             }
             "--top" => {
@@ -376,7 +420,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--k" => {
                 k = take_value(&mut i)?
                     .parse()
-                    .map_err(|_| CliError("--k expects an integer".into()))?
+                    .map_err(|_| CliError("--k expects an integer".into()))?;
+                if k == 0 {
+                    return Err(CliError("--k must be at least 1".into()));
+                }
             }
             "--faults" => {
                 faults = take_value(&mut i)?
@@ -392,14 +439,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--workers" => {
                 workers = take_value(&mut i)?
                     .parse()
-                    .map_err(|_| CliError("--workers expects an integer".into()))?
+                    .map_err(|_| CliError("--workers expects an integer".into()))?;
+                if workers == 0 {
+                    return Err(CliError(
+                        "--workers must be at least 1 (omit the flag for one worker per core)"
+                            .into(),
+                    ));
+                }
             }
             "--lanes" => {
                 lanes = take_value(&mut i)?
                     .parse()
                     .map_err(|_| CliError("--lanes expects an integer".into()))?;
-                if lanes == 0 {
-                    return Err(CliError("--lanes must be at least 1".into()));
+                if lanes == 0 || lanes > 64 {
+                    return Err(CliError(format!(
+                        "--lanes must be between 1 and 64 (the batched engine packs 64 \
+                         lanes per bytecode pass; got {lanes})"
+                    )));
                 }
             }
             "--sweep-acc" => sweep_acc = true,
@@ -409,12 +465,40 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--seeds" => {
                 seeds = take_value(&mut i)?
                     .parse()
-                    .map_err(|_| CliError("--seeds expects an integer".into()))?
+                    .map_err(|_| CliError("--seeds expects an integer".into()))?;
+                if seeds == 0 {
+                    return Err(CliError(
+                        "--seeds must be at least 1 (a zero-seed campaign runs nothing)".into(),
+                    ));
+                }
             }
             "--cycles" => {
                 cycles = take_value(&mut i)?
                     .parse()
-                    .map_err(|_| CliError("--cycles expects an integer".into()))?
+                    .map_err(|_| CliError("--cycles expects an integer".into()))?;
+                if cycles == 0 {
+                    return Err(CliError("--cycles must be at least 1".into()));
+                }
+            }
+            "--resume" => {
+                let dir = take_value(&mut i)?;
+                if dir.is_empty() {
+                    return Err(CliError("--resume needs a journal directory".into()));
+                }
+                resume = Some(dir);
+            }
+            "--chunk-timeout" => {
+                let secs: u64 = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| CliError("--chunk-timeout expects whole seconds".into()))?;
+                if secs == 0 {
+                    return Err(CliError(
+                        "--chunk-timeout must be at least 1 second (omit the flag to \
+                         disable the watchdog)"
+                            .into(),
+                    ));
+                }
+                chunk_timeout = Some(secs);
             }
             _ if a.starts_with('-') => {
                 return Err(CliError(format!("unknown flag {a}\n\n{USAGE}")))
@@ -446,6 +530,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         ("explore", 1) => Ok(Command::Explore {
             workload: positional[0].clone(),
             top,
+            resume,
+            chunk_timeout,
             out: if out_given { out } else { String::new() },
         }),
         // Profile defaults to a small array: the sweep runs the functional
@@ -480,19 +566,30 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         // Campaigns clone one interpreter per fault, so the faults default
         // array is the small 4x4 campaign rather than the 16x16 generator
         // default.
-        ("faults", 0) => Ok(Command::Faults {
-            rows: if rows_given { rows } else { 4 },
-            cols: if cols_given { cols } else { 4 },
-            k,
-            faults,
-            seed,
-            harden,
-            workers,
-            lanes,
-            sweep_acc,
-            opt,
-            out: if out_given { out } else { String::new() },
-        }),
+        ("faults", 0) => {
+            if !sweep_acc && faults == 0 {
+                return Err(CliError(
+                    "--faults must be at least 1 (or pass --sweep-acc for the \
+                     exhaustive accumulator sweep)"
+                        .into(),
+                ));
+            }
+            Ok(Command::Faults {
+                rows: if rows_given { rows } else { 4 },
+                cols: if cols_given { cols } else { 4 },
+                k,
+                faults,
+                seed,
+                harden,
+                workers,
+                lanes,
+                sweep_acc,
+                opt,
+                resume,
+                chunk_timeout,
+                out: if out_given { out } else { String::new() },
+            })
+        }
         ("fuzz", 0) => Ok(Command::Fuzz {
             mode,
             seed,
@@ -501,6 +598,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             workers,
             lanes,
             opt,
+            resume,
+            chunk_timeout,
             out: if out_given { out } else { String::new() },
         }),
         _ => Err(usage()),
@@ -667,6 +766,11 @@ struct FaultsReportDoc {
     mode: String,
     report: ResilienceReport,
     hardening_overhead: Option<HardeningOverhead>,
+    /// `true` when the campaign was interrupted (SIGINT) after draining the
+    /// in-flight chunk: the report above is valid but partial.
+    interrupted: bool,
+    /// Operator instructions for finishing an interrupted campaign.
+    resume_hint: Option<String>,
 }
 
 /// The JSON document `tensorlib fuzz` emits: the verification campaign
@@ -676,6 +780,11 @@ struct FuzzReportDoc {
     schema_version: u32,
     provenance: Provenance,
     report: tensorlib::sim::verify::VerifyReport,
+    /// `true` when the campaign was interrupted (SIGINT) after draining the
+    /// in-flight chunk: the report above is valid but partial.
+    interrupted: bool,
+    /// Operator instructions for finishing an interrupted campaign.
+    resume_hint: Option<String>,
 }
 
 /// One row of the `tensorlib explore -o` JSON report (the full
@@ -699,7 +808,14 @@ struct ExploreReportDoc {
     implementable_designs: usize,
     errors: usize,
     skipped: usize,
+    /// Candidates demoted by the per-chunk watchdog (`--chunk-timeout`).
+    degraded: u64,
     top: Vec<ExplorePointRow>,
+    /// `true` when the sweep was interrupted (SIGINT) after draining the
+    /// in-flight chunk: the report above is valid but partial.
+    interrupted: bool,
+    /// Operator instructions for finishing an interrupted sweep.
+    resume_hint: Option<String>,
 }
 
 /// Builds the provenance manifest every JSON report embeds. Phase wall
@@ -719,6 +835,38 @@ fn provenance_for(command_echo: &str, seeds: Vec<u64>, workers: usize, total_us:
     }
     p.phase_wall_times_us.insert("total".to_string(), total_us);
     p
+}
+
+/// Builds campaign durability options from the shared `--resume` /
+/// `--chunk-timeout` flags. Both absent means the inert legacy path.
+fn durability_from(resume: &Option<String>, chunk_timeout: Option<u64>) -> DurabilityOptions {
+    DurabilityOptions {
+        dir: resume.as_ref().map(PathBuf::from),
+        chunk_timeout: chunk_timeout.map(Duration::from_secs),
+        ..DurabilityOptions::default()
+    }
+}
+
+/// The provenance `journal` block for a `--resume` run: which directory the
+/// journal lives in and how much of the campaign was replayed versus
+/// executed. `None` (serialized `"journal": null`) on non-journaled runs.
+fn journal_provenance(resume: &Option<String>, stats: &RunStats) -> Option<JournalProvenance> {
+    resume.as_ref().map(|dir| JournalProvenance {
+        dir: dir.clone(),
+        chunks_total: stats.chunks_total,
+        chunks_replayed: stats.chunks_replayed,
+        chunks_executed: stats.chunks_executed,
+    })
+}
+
+/// Operator-facing resume instructions embedded in an interrupted report.
+fn resume_hint_for(stats: &RunStats, resume: &Option<String>) -> Option<String> {
+    stats.interrupted.then(|| match resume {
+        Some(dir) => format!(
+            "campaign interrupted; re-run the same command with --resume {dir} to finish"
+        ),
+        None => "campaign interrupted before completion".to_string(),
+    })
 }
 
 /// Default report path for `stats`/`trace`: `reports/<kind>_<workload>_<dataflow>.<ext>`
@@ -759,7 +907,10 @@ fn emit_report(
                 .map_err(|err| CliError(format!("creating {}: {err}", parent.display())))?;
         }
     }
-    std::fs::write(&path, text).map_err(|err| CliError(format!("writing {path}: {err}")))?;
+    // Atomic (tmp + fsync + rename): a reader — or a crash mid-write — never
+    // sees a half-written report where a previous run's good one stood.
+    atomic_write(&path, text.as_bytes())
+        .map_err(|err| CliError(format!("writing {path}: {err}")))?;
     Ok(format!("wrote {what} to {path}\n"))
 }
 
@@ -810,7 +961,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             if out == "-" {
                 Ok(verilog)
             } else {
-                std::fs::write(&out, &verilog)
+                atomic_write(&out, verilog.as_bytes())
                     .map_err(|err| CliError(format!("writing {out}: {err}")))?;
                 Ok(format!(
                     "wrote {out}: {} lines, top module {}\n",
@@ -977,6 +1128,8 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             lanes,
             sweep_acc,
             opt,
+            resume,
+            chunk_timeout,
             out,
         } => {
             if rows == 0 || cols == 0 || k == 0 {
@@ -998,7 +1151,8 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 lanes,
                 opt,
             };
-            let (mode, report) = if sweep_acc {
+            let durability = durability_from(&resume, chunk_timeout);
+            let (mode, (report, stats)) = if sweep_acc {
                 // Flip every accumulator bit 0..8 mid-accumulation: half-way
                 // through the compute phase (t-extent = k plus the skew in
                 // each direction, plus the streaming-pipeline tail), after
@@ -1007,12 +1161,13 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 let cycle = 1 + compute / 2;
                 (
                     "accumulator-sweep".to_string(),
-                    run_accumulator_sweep(&cfg, 8, cycle).map_err(|err| e(&err))?,
+                    run_accumulator_sweep_durable(&cfg, 8, cycle, &durability)
+                        .map_err(|err| e(&err))?,
                 )
             } else {
                 (
                     "seeded".to_string(),
-                    run_gemm_campaign(&cfg).map_err(|err| e(&err))?,
+                    run_gemm_campaign_durable(&cfg, &durability).map_err(|err| e(&err))?,
                 )
             };
             let hardening_cost = if hardening.is_any() {
@@ -1032,20 +1187,24 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             } else {
                 None
             };
+            let mut provenance = provenance_for(
+                &format!(
+                    "faults --rows {rows} --cols {cols} --k {k} --seed {seed} --harden {hardening}"
+                ),
+                vec![seed],
+                cfg.workers,
+                t0.elapsed().as_micros() as u64,
+            );
+            provenance.journal = journal_provenance(&resume, &stats);
             let doc = FaultsReportDoc {
                 schema_version: SCHEMA_VERSION,
-                provenance: provenance_for(
-                    &format!(
-                        "faults --rows {rows} --cols {cols} --k {k} --seed {seed} --harden {hardening}"
-                    ),
-                    vec![seed],
-                    cfg.workers,
-                    t0.elapsed().as_micros() as u64,
-                ),
+                provenance,
                 config: cfg,
                 mode,
                 report,
                 hardening_overhead: hardening_cost,
+                interrupted: stats.interrupted,
+                resume_hint: resume_hint_for(&stats, &resume),
             };
             let text = serde_json::to_string_pretty(&doc)
                 .map_err(|err| CliError(format!("serializing report: {err}")))?
@@ -1070,6 +1229,8 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             workers,
             lanes,
             opt,
+            resume,
+            chunk_timeout,
             out,
         } => {
             let (netlist, pipeline) = match mode.as_str() {
@@ -1099,16 +1260,22 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 lanes,
                 opt,
             };
-            let report = run_verify(&cfg, netlist, pipeline);
+            let durability = durability_from(&resume, chunk_timeout);
+            let (report, stats) =
+                run_verify_durable(&cfg, netlist, pipeline, &durability).map_err(|err| e(&err))?;
+            let mut provenance = provenance_for(
+                &format!("fuzz --mode {mode} --seed {seed} --seeds {seeds} --cycles {cycles}"),
+                vec![seed],
+                workers,
+                t0.elapsed().as_micros() as u64,
+            );
+            provenance.journal = journal_provenance(&resume, &stats);
             let doc = FuzzReportDoc {
                 schema_version: SCHEMA_VERSION,
-                provenance: provenance_for(
-                    &format!("fuzz --mode {mode} --seed {seed} --seeds {seeds} --cycles {cycles}"),
-                    vec![seed],
-                    workers,
-                    t0.elapsed().as_micros() as u64,
-                ),
+                provenance,
                 report,
+                interrupted: stats.interrupted,
+                resume_hint: resume_hint_for(&stats, &resume),
             };
             let text = serde_json::to_string_pretty(&doc)
                 .map_err(|err| CliError(format!("serializing report: {err}")))?
@@ -1120,54 +1287,75 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 "fuzz report",
             )
         }
-        Command::Explore { workload, top, out } => {
+        Command::Explore {
+            workload,
+            top,
+            resume,
+            chunk_timeout,
+            out,
+        } => {
             let t0 = std::time::Instant::now();
             let kernel = resolve_workload(&workload)?;
-            let outcome = explore_outcome(&kernel, &ExploreOptions::default());
-            let points = &outcome.points;
+            let durability = durability_from(&resume, chunk_timeout);
+            let (sweep, stats) = explore_durable(&kernel, &ExploreOptions::default(), &durability)
+                .map_err(|err| e(&err))?;
             if out.is_empty() {
                 let mut s = format!(
                     "{}: {} implementable designs (fastest {top}):\n",
                     kernel.name(),
-                    points.len()
+                    sweep.rows.len()
                 );
                 let mut seen = std::collections::HashSet::new();
-                for p in points
+                for r in sweep
+                    .rows
                     .iter()
-                    .filter(|p| seen.insert(p.name.clone()))
+                    .filter(|r| seen.insert(r.name.clone()))
                     .take(top)
                 {
                     s.push_str(&format!(
                         "  {:14} {:>12} cycles  {:6.1} mW  {:.3} mm2\n",
-                        p.name, p.performance.total_cycles, p.asic.power_mw, p.asic.area_mm2
+                        r.name, r.total_cycles, r.power_mw, r.area_mm2
                     ));
+                }
+                if stats.interrupted {
+                    s.push_str("interrupted: partial sweep");
+                    if let Some(dir) = &resume {
+                        s.push_str(&format!("; re-run with --resume {dir} to finish"));
+                    }
+                    s.push('\n');
                 }
                 return Ok(s);
             }
+            let mut provenance = provenance_for(
+                &format!("explore {workload} --top {top}"),
+                Vec::new(),
+                ExploreOptions::default().workers.max(1),
+                t0.elapsed().as_micros() as u64,
+            );
+            provenance.journal = journal_provenance(&resume, &stats);
             let doc = ExploreReportDoc {
                 schema_version: SCHEMA_VERSION,
-                provenance: provenance_for(
-                    &format!("explore {workload} --top {top}"),
-                    Vec::new(),
-                    ExploreOptions::default().workers.max(1),
-                    t0.elapsed().as_micros() as u64,
-                ),
+                provenance,
                 workload: workload.clone(),
-                implementable_designs: points.len(),
-                errors: outcome.errors.len(),
-                skipped: outcome.skipped,
-                top: points
+                implementable_designs: sweep.rows.len(),
+                errors: sweep.errors.len(),
+                skipped: sweep.skipped as usize,
+                degraded: sweep.degraded,
+                top: sweep
+                    .rows
                     .iter()
                     .take(top)
-                    .map(|p| ExplorePointRow {
-                        name: p.name.clone(),
-                        letters: p.letters.clone(),
-                        total_cycles: p.performance.total_cycles,
-                        normalized_perf: p.performance.normalized_perf,
-                        power_mw: p.asic.power_mw,
-                        area_mm2: p.asic.area_mm2,
+                    .map(|r| ExplorePointRow {
+                        name: r.name.clone(),
+                        letters: r.letters.clone(),
+                        total_cycles: r.total_cycles,
+                        normalized_perf: r.normalized_perf,
+                        power_mw: r.power_mw,
+                        area_mm2: r.area_mm2,
                     })
                     .collect(),
+                interrupted: stats.interrupted,
+                resume_hint: resume_hint_for(&stats, &resume),
             };
             let text = serde_json::to_string_pretty(&doc)
                 .map_err(|err| CliError(format!("serializing report: {err}")))?
@@ -1273,7 +1461,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                     out.clone()
                 };
                 let folded_path = format!("{}.folded", trace_path.trim_end_matches(".trace.json"));
-                std::fs::write(&folded_path, session.to_folded())
+                atomic_write(&folded_path, session.to_folded().as_bytes())
                     .map_err(|err| CliError(format!("writing {folded_path}: {err}")))?;
                 folded_note = format!("wrote folded stacks to {folded_path}\n");
             }
@@ -1301,6 +1489,18 @@ fn provenance_from_session(
         .collect();
     p.phase_wall_times_us.insert("total".to_string(), total_us);
     p
+}
+
+/// Whether `main` should install the process-wide SIGINT latch before
+/// running: only journaled campaigns (`--resume`) drain-and-flush on
+/// Ctrl-C; every other command keeps the default kill-immediately behavior.
+pub fn wants_interrupt_latch(cmd: &Command) -> bool {
+    matches!(
+        cmd,
+        Command::Faults { resume: Some(_), .. }
+            | Command::Fuzz { resume: Some(_), .. }
+            | Command::Explore { resume: Some(_), .. }
+    )
 }
 
 /// Runs a parsed invocation: the command itself, plus (when the global
@@ -1392,6 +1592,8 @@ mod tests {
             Command::Explore {
                 workload: "gemm".into(),
                 top: 3,
+                resume: None,
+                chunk_timeout: None,
                 out: String::new()
             }
         );
@@ -1400,6 +1602,8 @@ mod tests {
             Command::Explore {
                 workload: "gemm".into(),
                 top: 10,
+                resume: None,
+                chunk_timeout: None,
                 out: "sweep.json".into()
             }
         );
@@ -1637,6 +1841,8 @@ mod tests {
                 lanes: 1,
                 sweep_acc: false,
                 opt: true,
+                resume: None,
+                chunk_timeout: None,
                 out: String::new(),
             }
         );
@@ -1659,6 +1865,8 @@ mod tests {
                 lanes: 8,
                 sweep_acc: true,
                 opt: false,
+                resume: None,
+                chunk_timeout: None,
                 out: "-".into(),
             }
         );
@@ -1680,6 +1888,8 @@ mod tests {
                 workers: 0,
                 lanes: 1,
                 opt: true,
+                resume: None,
+                chunk_timeout: None,
                 out: String::new(),
             }
         );
@@ -1697,6 +1907,8 @@ mod tests {
                 workers: 3,
                 lanes: 16,
                 opt: false,
+                resume: None,
+                chunk_timeout: None,
                 out: "-".into(),
             }
         );
@@ -1714,6 +1926,8 @@ mod tests {
             workers: 2,
             lanes: 4,
             opt: true,
+            resume: None,
+            chunk_timeout: None,
             out: "-".into(),
         })
         .unwrap();
@@ -1732,6 +1946,8 @@ mod tests {
             workers: 1,
             lanes: 1,
             opt: true,
+            resume: None,
+            chunk_timeout: None,
             out: "-".into(),
         })
         .unwrap_err();
@@ -1750,8 +1966,122 @@ mod tests {
             lanes: 1,
             sweep_acc: false,
             opt: true,
+            resume: None,
+            chunk_timeout: None,
             out: out.into(),
         }
+    }
+
+    #[test]
+    fn parse_campaign_durability_flags() {
+        match parse_args(&sv(&["faults", "--resume", "j/dir", "--chunk-timeout", "30"])).unwrap() {
+            Command::Faults {
+                resume,
+                chunk_timeout,
+                ..
+            } => {
+                assert_eq!(resume.as_deref(), Some("j/dir"));
+                assert_eq!(chunk_timeout, Some(30));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // The SIGINT drain latch is armed exactly when a journal exists to
+        // flush: --resume arms it, --chunk-timeout alone does not.
+        assert!(wants_interrupt_latch(
+            &parse_args(&sv(&["fuzz", "--resume", "j"])).unwrap()
+        ));
+        assert!(!wants_interrupt_latch(
+            &parse_args(&sv(&["explore", "gemm", "--chunk-timeout", "5"])).unwrap()
+        ));
+        assert!(!wants_interrupt_latch(&Command::Workloads));
+    }
+
+    #[test]
+    fn parse_rejects_nonsense_campaign_arguments_up_front() {
+        for (args, needle) in [
+            (vec!["fuzz", "--workers", "0"], "--workers"),
+            (vec!["fuzz", "--lanes", "0"], "--lanes"),
+            (vec!["fuzz", "--lanes", "70"], "between 1 and 64"),
+            (vec!["fuzz", "--seeds", "0"], "--seeds"),
+            (vec!["fuzz", "--cycles", "0"], "--cycles"),
+            (vec!["faults", "--faults", "0"], "--faults"),
+            (vec!["faults", "--k", "0"], "--k"),
+            (vec!["faults", "--rows", "0"], "--rows"),
+            (vec!["faults", "--cols", "0"], "--cols"),
+            (vec!["faults", "--chunk-timeout", "0"], "--chunk-timeout"),
+            (vec!["faults", "--resume", ""], "--resume"),
+        ] {
+            let err = parse_args(&sv(&args)).unwrap_err();
+            assert!(err.to_string().contains(needle), "{args:?}: {err}");
+        }
+        // --faults 0 is only an error for the seeded campaign; with
+        // --sweep-acc the sample count is unused.
+        assert!(parse_args(&sv(&["faults", "--faults", "0", "--sweep-acc"])).is_ok());
+    }
+
+    #[test]
+    fn run_faults_resume_with_drifted_config_fails_loudly() {
+        let dir = std::env::temp_dir().join(format!("tl_cli_drift_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cmd = |seed: u64| Command::Faults {
+            rows: 4,
+            cols: 4,
+            k: 4,
+            faults: 6,
+            seed,
+            harden: "none".into(),
+            workers: 1,
+            lanes: 1,
+            sweep_acc: false,
+            opt: true,
+            resume: Some(dir.to_str().unwrap().into()),
+            chunk_timeout: None,
+            out: "-".into(),
+        };
+        let clean = run(cmd(1)).unwrap();
+        assert!(clean.contains("\"interrupted\": false"), "{clean}");
+        assert!(clean.contains("\"journal\": {"), "{clean}");
+        // Same --resume dir, different campaign: a loud refusal, never a
+        // silent restart.
+        let err = run(cmd(2)).unwrap_err();
+        assert!(
+            err.to_string().contains("different campaign config"),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_faults_journaled_report_matches_legacy_body() {
+        let dir = std::env::temp_dir().join(format!("tl_cli_journal_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journaled = run(Command::Faults {
+            rows: 4,
+            cols: 4,
+            k: 4,
+            faults: 6,
+            seed: 1,
+            harden: "full".into(),
+            workers: 1,
+            lanes: 1,
+            sweep_acc: false,
+            opt: true,
+            resume: Some(dir.to_str().unwrap().into()),
+            chunk_timeout: None,
+            out: "-".into(),
+        })
+        .unwrap();
+        let legacy = run(faults_cmd("full", 6, "-")).unwrap();
+        // The campaign body (config + report) is byte-identical; only the
+        // provenance journal block and wall times differ.
+        let body_of = |doc: &str| {
+            let v = tensorlib_obs::json::parse(doc).unwrap();
+            format!("{:?}|{:?}", v.get("config"), v.get("report"))
+        };
+        assert_eq!(body_of(&journaled), body_of(&legacy));
+        assert!(journaled.contains("\"chunks_executed\""), "{journaled}");
+        assert!(legacy.contains("\"journal\": null"), "{legacy}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -1789,6 +2119,8 @@ mod tests {
             lanes: 1,
             sweep_acc: false,
             opt: true,
+            resume: None,
+            chunk_timeout: None,
             out: "-".into(),
         })
         .unwrap_err();
@@ -1844,6 +2176,8 @@ mod tests {
             workers: 1,
             lanes: 1,
             opt: true,
+            resume: None,
+            chunk_timeout: None,
             out: "-".into(),
         })
         .unwrap();
@@ -1883,6 +2217,8 @@ mod tests {
         let out = run(Command::Explore {
             workload: "gemm:4,4,4".into(),
             top: 3,
+            resume: None,
+            chunk_timeout: None,
             out: "-".into(),
         })
         .unwrap();

@@ -3,7 +3,7 @@
 
 use std::process::ExitCode;
 
-use tensorlib_cli::{parse_invocation, run_invocation};
+use tensorlib_cli::{parse_invocation, run_invocation, wants_interrupt_latch};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -11,10 +11,29 @@ fn main() -> ExitCode {
         println!("{}", tensorlib_cli::USAGE);
         return ExitCode::SUCCESS;
     }
-    match parse_invocation(&args).and_then(run_invocation) {
+    let inv = match parse_invocation(&args) {
+        Ok(inv) => inv,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Journaled campaigns turn the first Ctrl-C into a drain-and-flush (the
+    // partial report is still written, marked interrupted); a second Ctrl-C
+    // falls back to the default handler and kills the process.
+    if wants_interrupt_latch(&inv.command) {
+        tensorlib_cli::interrupt::install();
+    }
+    match run_invocation(inv) {
         Ok(out) => {
             print!("{out}");
-            ExitCode::SUCCESS
+            if tensorlib_cli::interrupt::interrupted() {
+                // Conventional "terminated by SIGINT" code, so scripts can
+                // tell a drained partial run from a clean completion.
+                ExitCode::from(130)
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");

@@ -1,6 +1,7 @@
 //! Design-space exploration: sweep every dataflow, score each design.
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use serde::Serialize;
 use tensorlib_cost::{asic_cost, Activity, AsicReport};
@@ -9,7 +10,11 @@ use tensorlib_dataflow::Dataflow;
 use tensorlib_hw::design::{generate, HwConfig};
 use tensorlib_hw::fault::Hardening;
 use tensorlib_ir::Kernel;
-use tensorlib_linalg::par::par_map_catch;
+use tensorlib_linalg::par::{
+    panic_message, par_map_catch, par_map_catch_ctl, CatchOutcome, MapControl,
+};
+use tensorlib_obs::json::Value;
+use tensorlib_sim::journal::{self, DurabilityOptions, JournalError, RunStats};
 use tensorlib_sim::{functional, perf, SimConfig, SimError, SimReport};
 
 /// One scored point of the design space.
@@ -341,6 +346,291 @@ pub fn pareto_power_area(points: &[DesignPoint]) -> Vec<&DesignPoint> {
     frontier
 }
 
+// ---------------------------------------------------------------------------
+// Durable (journaled) sweeps
+// ---------------------------------------------------------------------------
+
+/// One scored design point, reduced to the fields a sweep report plots.
+/// This is what durable sweeps journal per candidate: unlike
+/// [`DesignPoint`] it round-trips losslessly through the replay decoder, and
+/// it is all the Figure 6-style scatter needs.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ExploreRow {
+    /// Paper-style dataflow name with hardening suffix.
+    pub name: String,
+    /// Per-tensor letters.
+    pub letters: String,
+    /// Estimated end-to-end cycles.
+    pub total_cycles: u64,
+    /// Achieved / peak throughput.
+    pub normalized_perf: f64,
+    /// ASIC power at the configured activity.
+    pub power_mw: f64,
+    /// ASIC area.
+    pub area_mm2: f64,
+}
+
+impl ExploreRow {
+    fn from_point(p: &DesignPoint) -> ExploreRow {
+        ExploreRow {
+            name: p.name.clone(),
+            letters: p.letters.clone(),
+            total_cycles: p.performance.total_cycles,
+            normalized_perf: p.performance.normalized_perf,
+            power_mw: p.asic.power_mw,
+            area_mm2: p.asic.area_mm2,
+        }
+    }
+}
+
+/// A durable sweep's full accounting: reduced rows plus typed failures,
+/// demotions, and skips. Byte-stable for a given kernel and options
+/// regardless of worker count, chunking, or crash/resume history.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ExploreSweepReport {
+    /// Scored candidates, sorted by total cycles (fastest first, ties by
+    /// name) — the same order [`explore`] returns points in.
+    pub rows: Vec<ExploreRow>,
+    /// Candidates that failed to score, in enumeration order.
+    pub errors: Vec<PointError>,
+    /// Candidates whose reuse pattern the templates cannot wire (expected).
+    pub skipped: u64,
+    /// Candidates demoted by the per-chunk watchdog before they could run.
+    pub degraded: u64,
+}
+
+impl ExploreSweepReport {
+    fn from_outcome(o: ExploreOutcome) -> ExploreSweepReport {
+        ExploreSweepReport {
+            rows: o.points.iter().map(ExploreRow::from_point).collect(),
+            errors: o.errors,
+            skipped: o.skipped as u64,
+            degraded: 0,
+        }
+    }
+}
+
+/// One journal chunk's worth of sweep results, in enumeration order.
+#[derive(Serialize)]
+struct ExploreChunk {
+    rows: Vec<ExploreRow>,
+    errors: Vec<PointError>,
+    skipped: u64,
+    degraded: u64,
+}
+
+/// Scores `jobs` under the durability policy: chunk-wide watchdog deadline
+/// (late candidates demote to `degraded`), bounded serial retries for
+/// panicking candidates before the panic is quarantined as a typed
+/// [`PointError::Panicked`], and the chaos hook for fault-injection tests.
+fn run_explore_chunk(
+    kernel: &Kernel,
+    opts: &ExploreOptions,
+    jobs: &[(&Dataflow, Hardening)],
+    durability: &DurabilityOptions,
+) -> ExploreChunk {
+    let ctl = MapControl {
+        deadline: durability.chunk_deadline(),
+        cancel: None,
+    };
+    let run_job = |df: &Dataflow, h: Hardening| {
+        durability.chaos_check(&point_name(df, h));
+        score(kernel, opts, df, h)
+    };
+    let scored = par_map_catch_ctl(jobs, opts.workers, 4, ctl, |_, &(df, h)| run_job(df, h));
+    let mut out = ExploreChunk {
+        rows: Vec::new(),
+        errors: Vec::new(),
+        skipped: 0,
+        degraded: 0,
+    };
+    for (r, &(df, h)) in scored.into_iter().zip(jobs) {
+        let resolved = match r {
+            CatchOutcome::Skipped => {
+                out.degraded += 1;
+                continue;
+            }
+            CatchOutcome::Done(x) => Some(x),
+            CatchOutcome::Panicked(first) => {
+                let attempts = durability.panic_attempts();
+                let mut msg = first;
+                let mut retried = None;
+                for _ in 1..attempts {
+                    match catch_unwind(AssertUnwindSafe(|| run_job(df, h))) {
+                        Ok(x) => {
+                            retried = Some(x);
+                            break;
+                        }
+                        Err(payload) => msg = panic_message(payload),
+                    }
+                }
+                if retried.is_none() {
+                    let message = if attempts > 1 {
+                        format!("quarantined after {attempts} attempts: {msg}")
+                    } else {
+                        msg
+                    };
+                    out.errors.push(PointError::Panicked {
+                        name: point_name(df, h),
+                        message,
+                    });
+                }
+                retried
+            }
+        };
+        match resolved {
+            Some(Some(Ok(point))) => out.rows.push(ExploreRow::from_point(&point)),
+            Some(Some(Err(e))) => out.errors.push(e),
+            Some(None) => out.skipped += 1,
+            None => {}
+        }
+    }
+    out
+}
+
+fn decode_row(v: &Value) -> Result<ExploreRow, String> {
+    Ok(ExploreRow {
+        name: journal::field_str(v, "name")?.to_string(),
+        letters: journal::field_str(v, "letters")?.to_string(),
+        total_cycles: journal::field_u64(v, "total_cycles")?,
+        normalized_perf: journal::field_f64(v, "normalized_perf")?,
+        power_mw: journal::field_f64(v, "power_mw")?,
+        area_mm2: journal::field_f64(v, "area_mm2")?,
+    })
+}
+
+fn decode_point_error(v: &Value) -> Result<PointError, String> {
+    let entries = v
+        .as_object()
+        .ok_or_else(|| "point error is not an object".to_string())?;
+    let (tag, body) = entries
+        .first()
+        .ok_or_else(|| "point error object is empty".to_string())?;
+    match tag.as_str() {
+        "Panicked" => Ok(PointError::Panicked {
+            name: journal::field_str(body, "name")?.to_string(),
+            message: journal::field_str(body, "message")?.to_string(),
+        }),
+        "BudgetExceeded" => Ok(PointError::BudgetExceeded {
+            name: journal::field_str(body, "name")?.to_string(),
+            budget: journal::field_u64(body, "budget")?,
+            needed: journal::field_u64(body, "needed")?,
+        }),
+        "Functional" => Ok(PointError::Functional {
+            name: journal::field_str(body, "name")?.to_string(),
+            message: journal::field_str(body, "message")?.to_string(),
+        }),
+        other => Err(format!("unknown point error tag `{other}`")),
+    }
+}
+
+/// Decodes one journaled chunk payload. Inverse of
+/// `serde_json::to_string(&ExploreChunk)`.
+fn decode_explore_chunk(payload: &str) -> Result<(Vec<ExploreRow>, Vec<PointError>, u64, u64), String> {
+    let doc = tensorlib_obs::json::parse(payload)?;
+    Ok((
+        journal::field_array(&doc, "rows")?
+            .iter()
+            .map(decode_row)
+            .collect::<Result<Vec<ExploreRow>, String>>()?,
+        journal::field_array(&doc, "errors")?
+            .iter()
+            .map(decode_point_error)
+            .collect::<Result<Vec<PointError>, String>>()?,
+        journal::field_u64(&doc, "skipped")?,
+        journal::field_u64(&doc, "degraded")?,
+    ))
+}
+
+/// Canonical config string for journal keying: the kernel and every option
+/// that shapes the result, with the worker count zeroed (resuming with a
+/// different `--workers` is legal — sweeps are worker-count-independent)
+/// and the test-only chaos hook excluded.
+fn canonical_explore_config(kernel: &Kernel, opts: &ExploreOptions, jobs: usize) -> String {
+    let canon = ExploreOptions {
+        workers: 0,
+        chaos_panic_names: Vec::new(),
+        ..opts.clone()
+    };
+    format!("{kernel:?}|{canon:?}|jobs={jobs}")
+}
+
+/// [`explore_outcome`] with campaign durability: the enumerated candidate
+/// list is split into deterministic chunks, completed chunks are journaled
+/// to `durability.dir` (when set) and replayed on resume, the per-chunk
+/// watchdog demotes late candidates to the `degraded` tally, panicking
+/// candidates are retried then quarantined as [`PointError::Panicked`], and
+/// an interrupt drains the in-flight chunk before returning a partial (but
+/// valid and resumable) report with `stats.interrupted` set.
+///
+/// With inert options this scores exactly like [`explore_outcome`], reduced
+/// to [`ExploreRow`]s.
+///
+/// # Errors
+///
+/// [`JournalError`] for journal open/append/decode failures — including a
+/// `--resume` directory whose journal belongs to a different config.
+pub fn explore_durable(
+    kernel: &Kernel,
+    opts: &ExploreOptions,
+    durability: &DurabilityOptions,
+) -> Result<(ExploreSweepReport, RunStats), JournalError> {
+    if durability.is_inert() {
+        return Ok((
+            ExploreSweepReport::from_outcome(explore_outcome(kernel, opts)),
+            RunStats::default(),
+        ));
+    }
+    let _span = tensorlib_obs::span("explore.durable");
+    let candidates = design_space(kernel, &opts.dse);
+    let variants: Vec<Hardening> = if opts.hardening_variants.is_empty() {
+        vec![opts.hw.hardening]
+    } else {
+        opts.hardening_variants.clone()
+    };
+    let jobs: Vec<(&Dataflow, Hardening)> = candidates
+        .iter()
+        .flat_map(|df| variants.iter().map(move |&h| (df, h)))
+        .collect();
+    let chunk_size = durability.chunk_size.unwrap_or(32).max(1);
+    let total = jobs.len().div_ceil(chunk_size);
+    let hash = journal::config_hash(
+        "explore",
+        chunk_size,
+        total,
+        &canonical_explore_config(kernel, opts, jobs.len()),
+    );
+    let (slots, stats) = journal::run_chunked(durability, hash, total, |i| {
+        let lo = i * chunk_size;
+        let hi = (lo + chunk_size).min(jobs.len());
+        let chunk = run_explore_chunk(kernel, opts, &jobs[lo..hi], durability);
+        serde_json::to_string(&chunk).expect("explore chunk serializes")
+    })?;
+    let mut report = ExploreSweepReport {
+        rows: Vec::new(),
+        errors: Vec::new(),
+        skipped: 0,
+        degraded: 0,
+    };
+    for slot in &slots {
+        // Completed chunks are always a prefix (the executor runs missing
+        // chunks in ascending order), so the first hole ends the report.
+        let Some(payload) = slot else { break };
+        let (rows, errors, skipped, degraded) =
+            decode_explore_chunk(payload).map_err(JournalError::Decode)?;
+        report.rows.extend(rows);
+        report.errors.extend(errors);
+        report.skipped += skipped;
+        report.degraded += degraded;
+    }
+    // Chunks concatenate in enumeration order; this stable sort reproduces
+    // the legacy sweep's fastest-first ordering exactly, ties and all.
+    report
+        .rows
+        .sort_by(|a, b| a.total_cycles.cmp(&b.total_cycles).then_with(|| a.name.cmp(&b.name)));
+    Ok((report, stats))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +701,109 @@ mod tests {
             points.iter().filter(|p| p.hardening.is_any()).count(),
             points.len() / 2
         );
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("tl_explore_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn durable_inert_path_matches_legacy_reduction() {
+        let k = workloads::gemm(16, 16, 16);
+        let opts = ExploreOptions::default();
+        let legacy = ExploreSweepReport::from_outcome(explore_outcome(&k, &opts));
+        let (durable, stats) = explore_durable(&k, &opts, &DurabilityOptions::default()).unwrap();
+        assert_eq!(durable, legacy);
+        assert_eq!(stats, RunStats::default());
+        assert!(!durable.rows.is_empty());
+    }
+
+    #[test]
+    fn durable_journaled_resume_is_byte_identical() {
+        let k = workloads::gemm(16, 16, 16);
+        let opts = ExploreOptions::default();
+        let single = serde_json::to_string(&ExploreSweepReport::from_outcome(explore_outcome(
+            &k, &opts,
+        )))
+        .unwrap();
+        let dir = tmpdir("resume");
+        let durability = DurabilityOptions {
+            chunk_size: Some(25),
+            ..DurabilityOptions::with_dir(&dir)
+        };
+        let (full, stats) = explore_durable(&k, &opts, &durability).unwrap();
+        assert_eq!(serde_json::to_string(&full).unwrap(), single);
+        assert!(stats.chunks_total >= 2, "sweep should span several chunks");
+        assert_eq!(stats.chunks_executed, stats.chunks_total);
+
+        // Simulate a crash mid-append: tear bytes off the journal tail, then
+        // resume. The torn record re-executes; everything else replays.
+        let journal_path = dir.join(journal::JOURNAL_FILE);
+        let bytes = std::fs::read(&journal_path).unwrap();
+        std::fs::write(&journal_path, &bytes[..bytes.len() - 7]).unwrap();
+        let (resumed, stats) = explore_durable(&k, &opts, &durability).unwrap();
+        assert_eq!(serde_json::to_string(&resumed).unwrap(), single);
+        assert_eq!(stats.chunks_executed, 1, "only the torn chunk re-runs");
+        assert_eq!(stats.chunks_replayed, stats.chunks_total - 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_watchdog_degrades_instead_of_stalling() {
+        let k = workloads::gemm(16, 16, 16);
+        let opts = ExploreOptions::default();
+        let durability = DurabilityOptions {
+            chunk_timeout: Some(std::time::Duration::ZERO),
+            chunk_size: Some(64),
+            ..DurabilityOptions::default()
+        };
+        let (report, _) = explore_durable(&k, &opts, &durability).unwrap();
+        assert!(report.rows.is_empty());
+        assert!(report.errors.is_empty());
+        assert_eq!(report.skipped, 0);
+        assert!(report.degraded > 0, "expired deadline degrades every candidate");
+    }
+
+    #[test]
+    fn durable_panicking_candidate_is_quarantined() {
+        let k = workloads::gemm(16, 16, 16);
+        let opts = ExploreOptions::default();
+        let clean = ExploreSweepReport::from_outcome(explore_outcome(&k, &opts));
+        let victim = clean.rows[0].name.clone();
+        let durability = DurabilityOptions {
+            panic_retries: 1,
+            chaos_panic_targets: vec![victim.clone()],
+            ..DurabilityOptions::default()
+        };
+        let (report, _) = explore_durable(&k, &opts, &durability).unwrap();
+        let quarantined: Vec<&PointError> = report
+            .errors
+            .iter()
+            .filter(|e| matches!(e, PointError::Panicked { .. }))
+            .collect();
+        assert!(!quarantined.is_empty());
+        let PointError::Panicked { name, message } = quarantined[0] else {
+            unreachable!()
+        };
+        assert!(name.contains(&victim));
+        assert!(message.contains("quarantined after 2 attempts"));
+        assert!(message.contains("chaos hook tripped"));
+        // The sweep completed around the quarantine: every non-chaos row
+        // matches the clean run.
+        let surviving: Vec<&ExploreRow> = report
+            .rows
+            .iter()
+            .filter(|r| !r.name.contains(&victim))
+            .collect();
+        let clean_rows: Vec<&ExploreRow> = clean
+            .rows
+            .iter()
+            .filter(|r| !r.name.contains(&victim))
+            .collect();
+        assert_eq!(surviving, clean_rows);
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! produce regardless of worker count or scheduling.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Monotonic pool id stamped onto worker-thread labels while profiling, so
 /// spans from successive pools that reuse `w00`, `w01`, … stay
@@ -158,8 +159,10 @@ where
 }
 
 /// Renders a caught panic payload as the `&str`/`String` message panics
-/// carry, or a placeholder for exotic payload types.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+/// carry, or a placeholder for exotic payload types. Public so campaign
+/// runners doing their own serial retry of a panicked item can render the
+/// payload the same way the parallel map does.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -210,6 +213,107 @@ where
     // (which would race with other threads).
     par_map_indexed(items, workers, chunk, |i, t| {
         catch_unwind(AssertUnwindSafe(|| f(i, t))).map_err(panic_message)
+    })
+}
+
+/// External controls for a cancellable/deadlined [`par_map_catch_ctl`] run.
+///
+/// Both knobs default to "off"; a default `MapControl` makes
+/// `par_map_catch_ctl` behave exactly like [`par_map_catch`] (modulo the
+/// `CatchOutcome` wrapper). The deadline and the cancellation flag are
+/// checked *between* items, never mid-item: an in-flight item always runs to
+/// completion ("drain" semantics), which is what keeps campaign chunks
+/// either fully computed or fully skipped.
+#[derive(Default, Clone, Copy)]
+pub struct MapControl<'a> {
+    /// Items not yet started once this instant passes are skipped.
+    pub deadline: Option<Instant>,
+    /// Items not yet started once this flag is set are skipped.
+    pub cancel: Option<&'a AtomicBool>,
+}
+
+impl MapControl<'_> {
+    /// True once the deadline has passed or the cancel flag is set.
+    pub fn tripped(&self) -> bool {
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        if let Some(c) = self.cancel {
+            if c.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Per-item outcome of a [`par_map_catch_ctl`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatchOutcome<U> {
+    /// The item ran to completion.
+    Done(U),
+    /// The item panicked; the payload message is captured.
+    Panicked(String),
+    /// The item was never started because the deadline passed or the run
+    /// was cancelled first.
+    Skipped,
+}
+
+impl<U> CatchOutcome<U> {
+    /// The completed value, if this item finished.
+    pub fn done(self) -> Option<U> {
+        match self {
+            CatchOutcome::Done(u) => Some(u),
+            _ => None,
+        }
+    }
+}
+
+/// Like [`par_map_catch`], but with a deadline and a cancellation token
+/// checked before each item starts. Tripped controls turn not-yet-started
+/// items into [`CatchOutcome::Skipped`] — in input order, for any worker
+/// count — while items already in flight finish normally.
+///
+/// This is the campaign-runner primitive: a watchdog deadline demotes a
+/// blown-budget chunk to a typed `Skipped`/degraded outcome instead of
+/// stalling the sweep, and a SIGINT token drains in-flight work instead of
+/// tearing it down.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::{Duration, Instant};
+/// use tensorlib_linalg::par::{par_map_catch_ctl, CatchOutcome, MapControl};
+///
+/// let expired = MapControl {
+///     deadline: Some(Instant::now() - Duration::from_secs(1)),
+///     cancel: None,
+/// };
+/// let out = par_map_catch_ctl(&[1u64, 2], 1, 1, expired, |_, &x| x);
+/// assert_eq!(out, vec![CatchOutcome::Skipped, CatchOutcome::Skipped]);
+/// ```
+pub fn par_map_catch_ctl<T, U, F>(
+    items: &[T],
+    workers: usize,
+    chunk: usize,
+    ctl: MapControl<'_>,
+    f: F,
+) -> Vec<CatchOutcome<U>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_indexed(items, workers, chunk, |i, t| {
+        if ctl.tripped() {
+            return CatchOutcome::Skipped;
+        }
+        match catch_unwind(AssertUnwindSafe(|| f(i, t))) {
+            Ok(u) => CatchOutcome::Done(u),
+            Err(payload) => CatchOutcome::Panicked(panic_message(payload)),
+        }
     })
 }
 
@@ -289,6 +393,57 @@ mod tests {
         assert!(session.metrics.counters["par.chunks"] >= 52);
         assert_eq!(session.metrics.counters["par.items"], 257);
         assert!(session.spans.iter().any(|s| s.thread == "w00"));
+    }
+
+    #[test]
+    fn ctl_default_matches_catch_semantics() {
+        let items: Vec<u64> = (0..50).collect();
+        for workers in [1, 2, 8] {
+            let got = par_map_catch_ctl(&items, workers, 3, MapControl::default(), |_, &x| {
+                assert!(x != 13, "bad luck");
+                x + 1
+            });
+            for (i, r) in got.iter().enumerate() {
+                if i == 13 {
+                    assert_eq!(r, &CatchOutcome::Panicked("bad luck".to_string()));
+                } else {
+                    assert_eq!(r, &CatchOutcome::Done(i as u64 + 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ctl_cancel_skips_unstarted_items() {
+        let flag = AtomicBool::new(false);
+        let items: Vec<u64> = (0..100).collect();
+        let ctl = MapControl {
+            deadline: None,
+            cancel: Some(&flag),
+        };
+        // Cancel after the third item: with one worker and chunk 1 the order
+        // is serial, so everything after the trigger item is Skipped.
+        let got = par_map_catch_ctl(&items, 1, 1, ctl, |i, &x| {
+            if i == 2 {
+                flag.store(true, Ordering::Relaxed);
+            }
+            x
+        });
+        assert_eq!(got[0], CatchOutcome::Done(0));
+        assert_eq!(got[2], CatchOutcome::Done(2));
+        for r in &got[3..] {
+            assert_eq!(r, &CatchOutcome::Skipped);
+        }
+    }
+
+    #[test]
+    fn ctl_expired_deadline_skips_everything() {
+        let ctl = MapControl {
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            cancel: None,
+        };
+        let got = par_map_catch_ctl(&[1u8, 2, 3], 2, 1, ctl, |_, &x| x);
+        assert_eq!(got, vec![CatchOutcome::Skipped; 3]);
     }
 
     #[test]

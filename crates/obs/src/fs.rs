@@ -1,0 +1,86 @@
+//! Crash-safe filesystem helpers shared by every report writer.
+//!
+//! A report written with a plain `std::fs::write` can be left truncated if
+//! the process dies mid-write — a half-JSON file that downstream tooling
+//! then chokes on. [`atomic_write`] gives every writer the standard
+//! tmp-file/fsync/rename discipline: readers observe either the old
+//! contents or the complete new contents, never a torn intermediate.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically: the data goes to `<path>.tmp` in
+/// the same directory, is fsynced, and is renamed over `path`. The rename
+/// is atomic on POSIX filesystems, so a crash at any point leaves either
+/// the previous file or the complete new one. The containing directory is
+/// fsynced best-effort afterwards so the rename itself is durable.
+///
+/// # Errors
+///
+/// Any I/O failure from create, write, sync, or rename, with the temp file
+/// cleaned up on the way out.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let tmp = {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".tmp");
+        std::path::PathBuf::from(os)
+    };
+    let result = (|| {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return result;
+    }
+    // Durability of the rename needs the directory entry flushed too; not
+    // being able to open the directory (exotic filesystems) is not a torn
+    // write, so this half is best-effort.
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("tl_obs_fs_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces_without_leaving_tmp() {
+        let dir = tmpdir("basic");
+        let path = dir.join("report.json");
+        atomic_write(&path, b"{\"v\": 1}").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"v\": 1}");
+        atomic_write(&path, b"{\"v\": 2}").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"v\": 2}");
+        assert!(!dir.join("report.json.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failure_cleans_up_tmp_file() {
+        let dir = tmpdir("fail");
+        let path = dir.join("no_such_subdir").join("report.json");
+        assert!(atomic_write(&path, b"x").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

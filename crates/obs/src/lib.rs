@@ -71,6 +71,7 @@
 #![warn(missing_docs)]
 
 mod clock;
+pub mod fs;
 pub mod json;
 mod manifest;
 mod metrics;
@@ -78,8 +79,10 @@ mod session;
 mod span;
 
 pub use clock::now_micros;
+pub use fs::atomic_write;
 pub use manifest::{
-    check_schema_version, extract_schema_version, Provenance, SchemaError, SCHEMA_VERSION,
+    check_schema_version, extract_schema_version, JournalProvenance, Provenance, SchemaError,
+    SCHEMA_VERSION,
 };
 pub use metrics::{Histogram, MetricsSnapshot, HIST_BUCKETS};
 pub use session::{FinishedSpan, Session};

@@ -38,6 +38,23 @@ impl std::fmt::Display for SchemaError {
     }
 }
 
+/// Journal/resume provenance for a durably-run campaign: which journal the
+/// run wrote, and how much of the work was replayed from a previous run
+/// versus executed fresh. Lives in [`Provenance`] — never in the report
+/// body — because replay counts legitimately differ between a clean run and
+/// a crash/resume run whose *results* are byte-identical.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct JournalProvenance {
+    /// Directory holding the campaign journal (`--resume <dir>`).
+    pub dir: String,
+    /// Deterministic work units the campaign was chunked into.
+    pub chunks_total: usize,
+    /// Chunks whose results were replayed from the journal.
+    pub chunks_replayed: usize,
+    /// Chunks executed (and appended to the journal) by this run.
+    pub chunks_executed: usize,
+}
+
 /// The manifest embedded in every JSON report the CLI writes: enough to
 /// reproduce the run and to account for where its wall time went.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
@@ -54,6 +71,11 @@ pub struct Provenance {
     pub workers: usize,
     /// Host parallelism available at run time.
     pub host_cores: usize,
+    /// Journal/resume accounting for durably-run campaigns (`null` for
+    /// ordinary runs). Like `phase_wall_times_us`, this block is the
+    /// legitimately run-dependent part of an otherwise byte-deterministic
+    /// report, so byte-comparisons strip it.
+    pub journal: Option<JournalProvenance>,
     /// Inclusive wall time per instrumented phase, microseconds.
     pub phase_wall_times_us: BTreeMap<String, u64>,
 }
@@ -69,6 +91,7 @@ impl Provenance {
             seeds: Vec::new(),
             workers: 0,
             host_cores: std::thread::available_parallelism().map_or(1, usize::from),
+            journal: None,
             phase_wall_times_us: BTreeMap::new(),
         }
     }

@@ -1,0 +1,90 @@
+//! Process-wide SIGINT latch for graceful campaign draining.
+//!
+//! The CLI installs this handler only for journaled campaign runs
+//! (`--resume`): the first Ctrl-C sets a flag that the chunked campaign
+//! loop checks between chunks — the in-flight chunk drains to completion,
+//! the journal is flushed, and a valid partial report marked
+//! `interrupted: true` is written with resume instructions. The handler
+//! then restores the default disposition, so a second Ctrl-C hard-kills
+//! the process the way an impatient operator expects.
+//!
+//! The handler body is async-signal-safe: one atomic store plus one
+//! `signal(2)` call, no allocation, no locking. This module carries the
+//! only `allow(unsafe_code)` in the workspace — a two-line libc `signal`
+//! binding; everything else in the crate is `deny(unsafe_code)`.
+//!
+//! Tests never touch this global latch: campaign entry points accept a
+//! local `Arc<AtomicBool>` via
+//! [`DurabilityOptions::interrupt`](crate::DurabilityOptions), so parallel
+//! tests cannot race each other through process state. [`trigger`] and
+//! [`reset`] exist for single-process smoke use, not for test isolation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sys {
+    use super::{Ordering, INTERRUPTED};
+
+    const SIGINT: i32 = 2;
+    /// `SIG_DFL` is the null handler pointer on every POSIX platform.
+    const SIG_DFL: usize = 0;
+
+    #[allow(unsafe_code)]
+    extern "C" {
+        /// POSIX `signal(2)`. Adequate here: one signal, one process-wide
+        /// latch, no need for `sigaction` flags.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_sig: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+        // Restore the default disposition so a second Ctrl-C kills the
+        // process instead of being latched again. Both the store above and
+        // this call are async-signal-safe.
+        #[allow(unsafe_code)]
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+
+    pub fn install() {
+        #[allow(unsafe_code)]
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    /// SIGINT latching is a POSIX feature; elsewhere Ctrl-C keeps its
+    /// default process-killing behaviour and campaigns rely on the journal
+    /// alone for durability.
+    pub fn install() {}
+}
+
+/// Arms the SIGINT latch: the next Ctrl-C sets the interrupted flag and
+/// restores the default handler (so a second Ctrl-C hard-kills). Call once
+/// from the CLI before starting a journaled campaign; never from library
+/// code or tests.
+pub fn install() {
+    sys::install();
+}
+
+/// True once SIGINT has been received (or [`trigger`] called) in this
+/// process.
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Sets the latch as if SIGINT had arrived. For single-process smoke use.
+pub fn trigger() {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Clears the latch. For single-process smoke use.
+pub fn reset() {
+    INTERRUPTED.store(false, Ordering::SeqCst);
+}

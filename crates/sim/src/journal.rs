@@ -1,0 +1,687 @@
+//! Crash-safe campaign journaling: deterministic chunking, append-only
+//! checkpoint records, and exact resume.
+//!
+//! Every campaign in the workspace (resilience fault sweeps, fuzz seed
+//! sweeps, explore design-point sweeps) is byte-deterministic: the same
+//! config produces the same report for any `--workers`×`--lanes`. That
+//! contract makes *exact* crash/resume possible — if the campaign is split
+//! into deterministic work units and each unit's result is persisted as it
+//! completes, a restarted run can replay the finished units and recompute
+//! only the missing ones, producing a report byte-identical to an
+//! uninterrupted run.
+//!
+//! # Journal format
+//!
+//! One file, `campaign.journal`, inside the `--resume` directory:
+//!
+//! ```text
+//! header (24 bytes):
+//!   magic        8 bytes  b"TLJRNL01"
+//!   version      u32 LE   currently 1
+//!   config_hash  u64 LE   FNV-1a of the canonicalized campaign config
+//!   total_chunks u32 LE   number of work units in this campaign
+//! record (repeated):
+//!   chunk_index  u32 LE
+//!   payload_len  u32 LE
+//!   checksum     u64 LE   FNV-1a of the payload bytes
+//!   payload      payload_len bytes (compact JSON of the chunk result)
+//! ```
+//!
+//! Records are appended with an fsync each, so a completed chunk survives
+//! `kill -9`. On open, the reader walks the records and truncates the file
+//! at the first torn or corrupt one (short header, short record, checksum
+//! mismatch, out-of-range index, non-UTF-8 payload) — a crash mid-append
+//! costs exactly the chunk that was being written, never the journal.
+//!
+//! # Chunk keying
+//!
+//! The header's `config_hash` covers the campaign kind, the chunk size, the
+//! total chunk count, and a canonical serialization of the config with
+//! run-irrelevant knobs (worker count) zeroed. Resuming with a config whose
+//! hash differs — different seed, different design, different `--lanes`
+//! (lane width determines chunk boundaries) — fails loudly with
+//! [`JournalError::ConfigMismatch`] rather than silently restarting or,
+//! worse, splicing chunks from two different campaigns into one report.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Journal file name inside the `--resume` directory.
+pub const JOURNAL_FILE: &str = "campaign.journal";
+
+const MAGIC: &[u8; 8] = b"TLJRNL01";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 24;
+const RECORD_HEADER_LEN: usize = 16;
+
+/// FNV-1a 64-bit hash — the checksum for journal records and the campaign
+/// config fingerprint. Stable across platforms and releases by definition.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprints a campaign for journal compatibility: the campaign kind
+/// (`"faults"`, `"fuzz"`, `"explore"`), the chunk geometry, and a canonical
+/// config serialization with run-irrelevant knobs (worker count) zeroed.
+/// Two configs share a journal iff they would produce identical chunk
+/// results at identical chunk indices.
+pub fn config_hash(kind: &str, chunk_size: usize, total_chunks: usize, canonical: &str) -> u64 {
+    let input = format!("{kind}|v{VERSION}|chunk={chunk_size}|total={total_chunks}|{canonical}");
+    fnv1a64(input.as_bytes())
+}
+
+/// A journal open/append failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// Filesystem failure reading or writing the journal.
+    Io(String),
+    /// The file at the journal path is not a campaign journal.
+    BadMagic,
+    /// The journal was written by an incompatible format version.
+    BadVersion {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// A journaled chunk payload that passed its checksum failed to decode
+    /// back into typed results — version drift between the writer and this
+    /// reader.
+    Decode(String),
+    /// The journal belongs to a different campaign configuration. Resuming
+    /// it would splice results from two different campaigns into one
+    /// report, so this is a hard error — never a silent restart.
+    ConfigMismatch {
+        /// Hash of the current campaign config.
+        expected_hash: u64,
+        /// Hash stored in the journal header.
+        found_hash: u64,
+        /// Chunk count of the current campaign.
+        expected_chunks: u32,
+        /// Chunk count stored in the journal header.
+        found_chunks: u32,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Decode(e) => write!(
+                f,
+                "journal record failed to decode ({e}); the journal was likely \
+                 written by a different build — pass a fresh --resume directory"
+            ),
+            JournalError::BadMagic => write!(
+                f,
+                "resume directory holds a file that is not a campaign journal \
+                 (bad magic); pass a fresh directory"
+            ),
+            JournalError::BadVersion { found } => write!(
+                f,
+                "journal format version {found} is not supported by this build \
+                 (expected {VERSION})"
+            ),
+            JournalError::ConfigMismatch {
+                expected_hash,
+                found_hash,
+                expected_chunks,
+                found_chunks,
+            } => write!(
+                f,
+                "journal was written for a different campaign config \
+                 (journal hash {found_hash:#018x} over {found_chunks} chunks, current \
+                 config hash {expected_hash:#018x} over {expected_chunks} chunks); \
+                 refusing to resume — rerun with the original arguments or pass a \
+                 fresh --resume directory"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+fn io_err(e: std::io::Error) -> JournalError {
+    JournalError::Io(e.to_string())
+}
+
+/// An open campaign journal: the chunk results recovered from disk plus an
+/// append handle for new ones.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    entries: BTreeMap<u32, String>,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal in `dir` for a campaign with the
+    /// given config fingerprint and chunk count.
+    ///
+    /// A fresh or torn-header file is initialized in place. An existing
+    /// journal is validated (magic, version, config hash, chunk count) and
+    /// its records are scanned; a torn or corrupt tail is truncated so the
+    /// journal ends at the last intact record.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::ConfigMismatch`] when the journal belongs to a
+    /// different campaign; [`JournalError::BadMagic`] /
+    /// [`JournalError::BadVersion`] for foreign files; [`JournalError::Io`]
+    /// for filesystem failures.
+    pub fn open(dir: &Path, config_hash: u64, total_chunks: u32) -> Result<Journal, JournalError> {
+        std::fs::create_dir_all(dir).map_err(io_err)?;
+        let path = dir.join(JOURNAL_FILE);
+        let existing = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err(e)),
+        };
+        // A file shorter than the header can only be a crash during initial
+        // creation (the header is written with one fsynced write); treat it
+        // as fresh. Anything longer must carry our magic.
+        let fresh = existing.len() < HEADER_LEN;
+        let mut entries = BTreeMap::new();
+        let mut good_len = HEADER_LEN;
+        if !fresh {
+            if &existing[0..8] != MAGIC {
+                return Err(JournalError::BadMagic);
+            }
+            let version = u32::from_le_bytes(existing[8..12].try_into().unwrap());
+            if version != VERSION {
+                return Err(JournalError::BadVersion { found: version });
+            }
+            let found_hash = u64::from_le_bytes(existing[12..20].try_into().unwrap());
+            let found_chunks = u32::from_le_bytes(existing[20..24].try_into().unwrap());
+            if found_hash != config_hash || found_chunks != total_chunks {
+                return Err(JournalError::ConfigMismatch {
+                    expected_hash: config_hash,
+                    found_hash,
+                    expected_chunks: total_chunks,
+                    found_chunks,
+                });
+            }
+            let mut off = HEADER_LEN;
+            while off + RECORD_HEADER_LEN <= existing.len() {
+                let idx = u32::from_le_bytes(existing[off..off + 4].try_into().unwrap());
+                let len =
+                    u32::from_le_bytes(existing[off + 4..off + 8].try_into().unwrap()) as usize;
+                let sum = u64::from_le_bytes(existing[off + 8..off + 16].try_into().unwrap());
+                let start = off + RECORD_HEADER_LEN;
+                let Some(end) = start.checked_add(len) else {
+                    break;
+                };
+                if end > existing.len() || idx >= total_chunks {
+                    break;
+                }
+                let payload = &existing[start..end];
+                if fnv1a64(payload) != sum {
+                    break;
+                }
+                let Ok(text) = std::str::from_utf8(payload) else {
+                    break;
+                };
+                entries.insert(idx, text.to_string());
+                off = end;
+                good_len = off;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(io_err)?;
+        if fresh {
+            file.set_len(0).map_err(io_err)?;
+            let mut header = Vec::with_capacity(HEADER_LEN);
+            header.extend_from_slice(MAGIC);
+            header.extend_from_slice(&VERSION.to_le_bytes());
+            header.extend_from_slice(&config_hash.to_le_bytes());
+            header.extend_from_slice(&total_chunks.to_le_bytes());
+            file.write_all(&header).map_err(io_err)?;
+            file.sync_all().map_err(io_err)?;
+        } else if good_len < existing.len() {
+            file.set_len(good_len as u64).map_err(io_err)?;
+            file.sync_all().map_err(io_err)?;
+        }
+        file.seek(SeekFrom::Start(good_len as u64)).map_err(io_err)?;
+        Ok(Journal { file, entries })
+    }
+
+    /// The chunk results recovered from disk, keyed by chunk index.
+    pub fn entries(&self) -> &BTreeMap<u32, String> {
+        &self.entries
+    }
+
+    /// Appends a completed chunk's payload and fsyncs, so the record
+    /// survives an immediate `kill -9`.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the write or sync fails.
+    pub fn append(&mut self, chunk_index: u32, payload: &str) -> Result<(), JournalError> {
+        let bytes = payload.as_bytes();
+        let mut record = Vec::with_capacity(RECORD_HEADER_LEN + bytes.len());
+        record.extend_from_slice(&chunk_index.to_le_bytes());
+        record.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        record.extend_from_slice(&fnv1a64(bytes).to_le_bytes());
+        record.extend_from_slice(bytes);
+        self.file.write_all(&record).map_err(io_err)?;
+        self.file.sync_data().map_err(io_err)?;
+        self.entries.insert(chunk_index, payload.to_string());
+        Ok(())
+    }
+}
+
+/// Durability knobs threaded through every campaign entry point. The
+/// default value is *inert*: no journal, no watchdog, default chunk
+/// geometry, one panic retry, SIGINT latch consulted via the process-wide
+/// flag — campaigns behave exactly as they did before this subsystem
+/// existed.
+#[derive(Clone, Default)]
+pub struct DurabilityOptions {
+    /// Journal directory (`--resume <dir>`). `None` disables journaling.
+    pub dir: Option<PathBuf>,
+    /// Per-chunk wall-clock watchdog (`--chunk-timeout`). Work items not
+    /// yet started when a chunk's deadline passes are demoted to a typed
+    /// `Degraded` outcome instead of stalling the campaign.
+    pub chunk_timeout: Option<Duration>,
+    /// Override the campaign's default chunk size (work items per journal
+    /// record). Tests use small chunks to exercise record boundaries.
+    pub chunk_size: Option<usize>,
+    /// How many times a panicking work item is retried serially before
+    /// being quarantined with its panic payload captured in the report.
+    /// `0` (the inert default) means one attempt, no retries.
+    pub panic_retries: usize,
+    /// Interrupt latch. `None` uses the process-wide SIGINT flag
+    /// ([`crate::interrupt::interrupted`]); tests install a local flag so
+    /// parallel tests never race on the global one.
+    pub interrupt: Option<Arc<AtomicBool>>,
+    /// Test-only chaos hook: work items whose identity string contains one
+    /// of these substrings panic before running, exercising the quarantine
+    /// path deterministically.
+    pub chaos_panic_targets: Vec<String>,
+}
+
+impl DurabilityOptions {
+    /// Inert options plus one non-default knob commonly set together.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> DurabilityOptions {
+        DurabilityOptions {
+            dir: Some(dir.into()),
+            ..DurabilityOptions::default()
+        }
+    }
+
+    /// True when every knob is at its inert default, i.e. the campaign can
+    /// take its legacy non-chunked path with identical behaviour.
+    pub fn is_inert(&self) -> bool {
+        self.dir.is_none()
+            && self.chunk_timeout.is_none()
+            && self.chunk_size.is_none()
+            && self.interrupt.is_none()
+            && self.chaos_panic_targets.is_empty()
+    }
+
+    /// Panics if `identity` matches a chaos target. Call at the top of each
+    /// work item; a no-op unless the test configured chaos.
+    pub fn chaos_check(&self, identity: &str) {
+        if self
+            .chaos_panic_targets
+            .iter()
+            .any(|t| identity.contains(t.as_str()))
+        {
+            panic!("chaos hook tripped for {identity}");
+        }
+    }
+
+    /// True once the run should stop starting new chunks: the local latch
+    /// if one is installed, else the process-wide SIGINT flag.
+    pub fn interrupted(&self) -> bool {
+        match &self.interrupt {
+            Some(flag) => flag.load(Ordering::SeqCst),
+            None => crate::interrupt::interrupted(),
+        }
+    }
+
+    /// The watchdog deadline for a chunk starting now, if one is set.
+    pub fn chunk_deadline(&self) -> Option<Instant> {
+        self.chunk_timeout.map(|t| Instant::now() + t)
+    }
+
+    /// Retry budget for panicking work items, clamped to at least the one
+    /// initial attempt.
+    pub fn panic_attempts(&self) -> usize {
+        1 + self.panic_retries
+    }
+}
+
+/// Replay/execution accounting for a chunked campaign run. Feeds the
+/// `journal` provenance block — never the report body, because replay
+/// counts legitimately differ between a clean run and a resumed run whose
+/// results are byte-identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Work units the campaign was chunked into.
+    pub chunks_total: usize,
+    /// Chunks recovered from the journal instead of recomputed.
+    pub chunks_replayed: usize,
+    /// Chunks executed (and journaled, when a journal is open) by this run.
+    pub chunks_executed: usize,
+    /// True when the run stopped early on an interrupt; the report built
+    /// from the returned slots is partial and resumable.
+    pub interrupted: bool,
+}
+
+/// Runs a campaign as `total_chunks` deterministic work units with
+/// journaled checkpoint/resume.
+///
+/// Chunks already present in the journal are replayed without calling
+/// `exec`. Missing chunks run in ascending index order; each result is
+/// appended (and fsynced) to the journal before the next chunk starts. The
+/// interrupt latch is checked *between* chunks — an in-flight chunk always
+/// drains to completion — so an interrupted run returns a prefix-complete
+/// set of slots plus `interrupted: true`, and a later resume picks up at
+/// the first missing chunk.
+///
+/// `exec` receives the chunk index and returns the chunk's canonical JSON
+/// payload; determinism of `exec` is what makes a resumed report
+/// byte-identical to an uninterrupted one.
+///
+/// # Errors
+///
+/// Journal open/append failures ([`JournalError`]); `dir: None` runs the
+/// same chunked loop without persistence and cannot fail.
+pub fn run_chunked<F>(
+    opts: &DurabilityOptions,
+    config_hash: u64,
+    total_chunks: usize,
+    mut exec: F,
+) -> Result<(Vec<Option<String>>, RunStats), JournalError>
+where
+    F: FnMut(usize) -> String,
+{
+    let mut journal = match &opts.dir {
+        Some(dir) => Some(Journal::open(dir, config_hash, total_chunks as u32)?),
+        None => None,
+    };
+    let mut slots: Vec<Option<String>> = vec![None; total_chunks];
+    let mut stats = RunStats {
+        chunks_total: total_chunks,
+        ..RunStats::default()
+    };
+    if let Some(j) = &journal {
+        for (&idx, payload) in j.entries() {
+            slots[idx as usize] = Some(payload.clone());
+            stats.chunks_replayed += 1;
+        }
+    }
+    for (i, slot) in slots.iter_mut().enumerate() {
+        if slot.is_some() {
+            continue;
+        }
+        if opts.interrupted() {
+            stats.interrupted = true;
+            break;
+        }
+        let payload = exec(i);
+        if let Some(j) = &mut journal {
+            j.append(i as u32, &payload)?;
+        }
+        *slot = Some(payload);
+        stats.chunks_executed += 1;
+    }
+    Ok((slots, stats))
+}
+
+// ---------------------------------------------------------------------------
+// Replay decode helpers.
+//
+// The vendored serde stack only *writes* JSON (its `Deserialize` is a marker
+// trait), so journal replay decodes chunk payloads with the observability
+// crate's recursive-descent parser and hand-reconstructs the typed results.
+// These helpers give the campaign modules uniform field access with
+// descriptive errors; every decoded chunk is re-serialized through the normal
+// serde path, which is what makes a resumed report byte-identical.
+// ---------------------------------------------------------------------------
+
+use tensorlib_obs::json::Value;
+
+/// Looks up `key` in a JSON object, with a descriptive error.
+pub fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+/// Decodes object field `key` as an unsigned integer.
+pub fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field `{key}` is not an unsigned integer"))
+}
+
+/// Decodes object field `key` as a float.
+pub fn field_f64(v: &Value, key: &str) -> Result<f64, String> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field `{key}` is not a number"))
+}
+
+/// Decodes object field `key` as a bool.
+pub fn field_bool(v: &Value, key: &str) -> Result<bool, String> {
+    match field(v, key)? {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(format!("field `{key}` is not a bool")),
+    }
+}
+
+/// Decodes object field `key` as a string slice.
+pub fn field_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    field(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field `{key}` is not a string"))
+}
+
+/// Decodes object field `key` as an optional string (`null` → `None`).
+pub fn field_opt_string(v: &Value, key: &str) -> Result<Option<String>, String> {
+    match field(v, key)? {
+        Value::Null => Ok(None),
+        Value::Str(s) => Ok(Some(s.clone())),
+        _ => Err(format!("field `{key}` is neither null nor a string")),
+    }
+}
+
+/// Decodes object field `key` as an array slice.
+pub fn field_array<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("field `{key}` is not an array"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tl_journal_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn journal_round_trips_and_resumes() {
+        let dir = tmpdir("roundtrip");
+        let hash = config_hash("faults", 4, 3, "cfg");
+        {
+            let mut j = Journal::open(&dir, hash, 3).unwrap();
+            assert!(j.entries().is_empty());
+            j.append(0, "{\"a\":1}").unwrap();
+            j.append(1, "{\"b\":2}").unwrap();
+        }
+        let j = Journal::open(&dir, hash, 3).unwrap();
+        assert_eq!(j.entries().len(), 2);
+        assert_eq!(j.entries()[&0], "{\"a\":1}");
+        assert_eq!(j.entries()[&1], "{\"b\":2}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_offset() {
+        let dir = tmpdir("torn");
+        let hash = config_hash("faults", 4, 2, "cfg");
+        {
+            let mut j = Journal::open(&dir, hash, 2).unwrap();
+            j.append(0, "{\"first\":true}").unwrap();
+            j.append(1, "{\"second\":true}").unwrap();
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let full = std::fs::read(&path).unwrap();
+        let first_end =
+            HEADER_LEN + RECORD_HEADER_LEN + "{\"first\":true}".len();
+        // Truncate at every byte offset inside the second record: the first
+        // record must always survive, the torn second must always be dropped.
+        for cut in first_end..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let j = Journal::open(&dir, hash, 2).unwrap();
+            assert_eq!(j.entries().len(), 1, "cut={cut}");
+            assert_eq!(j.entries()[&0], "{\"first\":true}");
+            assert_eq!(
+                std::fs::metadata(&path).unwrap().len(),
+                first_end as u64,
+                "cut={cut}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checksum_drops_the_tail() {
+        let dir = tmpdir("cksum");
+        let hash = config_hash("fuzz", 8, 2, "cfg");
+        {
+            let mut j = Journal::open(&dir, hash, 2).unwrap();
+            j.append(0, "payload-zero").unwrap();
+            j.append(1, "payload-one").unwrap();
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let j = Journal::open(&dir, hash, 2).unwrap();
+        assert_eq!(j.entries().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn config_mismatch_is_loud() {
+        let dir = tmpdir("mismatch");
+        let hash = config_hash("faults", 4, 3, "cfg-a");
+        Journal::open(&dir, hash, 3).unwrap();
+        let other = config_hash("faults", 4, 3, "cfg-b");
+        let err = Journal::open(&dir, other, 3).unwrap_err();
+        assert!(matches!(err, JournalError::ConfigMismatch { .. }));
+        assert!(err.to_string().contains("refusing to resume"));
+        // Different chunk count with the same hash input is also a mismatch.
+        let err = Journal::open(&dir, hash, 4).unwrap_err();
+        assert!(matches!(err, JournalError::ConfigMismatch { .. }));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_file_is_rejected() {
+        let dir = tmpdir("foreign");
+        std::fs::write(dir.join(JOURNAL_FILE), b"this is not a journal, sorry!").unwrap();
+        let err = Journal::open(&dir, 1, 1).unwrap_err();
+        assert_eq!(err, JournalError::BadMagic);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_chunked_replays_and_drains_on_interrupt() {
+        let dir = tmpdir("chunked");
+        let hash = config_hash("faults", 1, 4, "cfg");
+        let flag = Arc::new(AtomicBool::new(false));
+        let opts = DurabilityOptions {
+            dir: Some(dir.clone()),
+            interrupt: Some(flag.clone()),
+            ..DurabilityOptions::default()
+        };
+        // First run: interrupt after chunk 1 executes.
+        let flag2 = flag.clone();
+        let (slots, stats) = run_chunked(&opts, hash, 4, |i| {
+            if i == 1 {
+                flag2.store(true, Ordering::SeqCst);
+            }
+            format!("chunk-{i}")
+        })
+        .unwrap();
+        assert_eq!(slots[0].as_deref(), Some("chunk-0"));
+        assert_eq!(slots[1].as_deref(), Some("chunk-1"));
+        assert_eq!(slots[2], None);
+        assert!(stats.interrupted);
+        assert_eq!(stats.chunks_executed, 2);
+        // Resume: chunks 0/1 replay, 2/3 execute, nothing re-runs.
+        flag.store(false, Ordering::SeqCst);
+        let mut ran = Vec::new();
+        let (slots, stats) = run_chunked(&opts, hash, 4, |i| {
+            ran.push(i);
+            format!("chunk-{i}")
+        })
+        .unwrap();
+        assert_eq!(ran, vec![2, 3]);
+        assert_eq!(stats.chunks_replayed, 2);
+        assert_eq!(stats.chunks_executed, 2);
+        assert!(!stats.interrupted);
+        assert!(slots.iter().all(|s| s.is_some()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_chunked_without_dir_still_chunks() {
+        let opts = DurabilityOptions::default();
+        let (slots, stats) = run_chunked(&opts, 0, 3, |i| i.to_string()).unwrap();
+        assert_eq!(slots.len(), 3);
+        assert_eq!(stats.chunks_executed, 3);
+        assert_eq!(stats.chunks_replayed, 0);
+    }
+
+    #[test]
+    fn durability_options_inertness() {
+        assert!(DurabilityOptions::default().is_inert());
+        assert!(!DurabilityOptions::with_dir("/tmp/x").is_inert());
+        let timed = DurabilityOptions {
+            chunk_timeout: Some(Duration::from_secs(1)),
+            ..DurabilityOptions::default()
+        };
+        assert!(!timed.is_inert());
+        assert_eq!(DurabilityOptions::default().panic_attempts(), 1);
+    }
+
+    #[test]
+    fn file_handle_is_positioned_at_tail() {
+        let dir = tmpdir("tail");
+        let hash = config_hash("explore", 2, 2, "cfg");
+        let mut j = Journal::open(&dir, hash, 2).unwrap();
+        j.append(0, "x").unwrap();
+        let len = std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len();
+        assert_eq!(len as usize, HEADER_LEN + RECORD_HEADER_LEN + 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

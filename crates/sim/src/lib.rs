@@ -45,11 +45,16 @@
 //! # Ok::<(), tensorlib_dataflow::DataflowError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `interrupt` module carries the single
+// `allow(unsafe_code)` in the workspace (a two-line libc `signal` binding
+// for SIGINT draining); everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;
 pub mod functional;
+pub mod interrupt;
+pub mod journal;
 pub mod perf;
 pub mod resilience;
 pub mod trace;
@@ -57,6 +62,7 @@ pub mod verify;
 
 pub use config::{SimConfig, SimReport};
 pub use functional::{simulate_budgeted, FunctionalRun, SimError};
+pub use journal::{DurabilityOptions, Journal, JournalError, RunStats};
 pub use resilience::{CampaignConfig, CampaignError, FaultClass, ResilienceReport};
 pub use trace::{InterpreterStats, MeasuredRun, MeasureError, TraceConfig};
 pub use verify::{run_verify, VerifyConfig, VerifyReport};

@@ -24,17 +24,20 @@
 //! worker count, so reports are seed-deterministic artifacts.
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use serde::Serialize;
 use tensorlib_dataflow::{Dataflow, LoopSelection, Stt};
 use tensorlib_hw::batch::BatchSim;
 use tensorlib_hw::design::{generate, AcceleratorDesign, HwConfig};
-use tensorlib_hw::fault::{enumerate_sites, sample_faults, FaultSpec, Hardening};
+use tensorlib_hw::fault::{enumerate_sites, sample_faults, FaultKind, FaultSpec, Hardening};
 use tensorlib_hw::interp::{elaborate_design, ElaborateError, FlatDesign, Interpreter};
 use tensorlib_hw::{ArrayConfig, HwError};
 use tensorlib_ir::workloads;
-use tensorlib_linalg::par::par_map_catch;
+use tensorlib_linalg::par::{panic_message, par_map_catch_ctl, CatchOutcome, MapControl};
+use tensorlib_obs::json::Value;
 
+use crate::journal::{self, DurabilityOptions, JournalError, RunStats};
 use crate::trace::fill_input_banks;
 
 /// Outcome class of one injected fault (standard fault-injection taxonomy).
@@ -46,6 +49,11 @@ pub enum FaultClass {
     Detected,
     /// Outputs differ from golden with no detection: silent data corruption.
     Sdc,
+    /// The injected run was never started: the chunk's watchdog deadline
+    /// passed first and the campaign degraded gracefully instead of
+    /// stalling. Degraded faults are excluded from `detection_coverage`
+    /// (they carry no verdict either way).
+    Degraded,
 }
 
 impl fmt::Display for FaultClass {
@@ -54,6 +62,7 @@ impl fmt::Display for FaultClass {
             FaultClass::Masked => write!(f, "masked"),
             FaultClass::Detected => write!(f, "detected"),
             FaultClass::Sdc => write!(f, "sdc"),
+            FaultClass::Degraded => write!(f, "degraded"),
         }
     }
 }
@@ -141,6 +150,8 @@ pub struct ResilienceReport {
     pub sdc: usize,
     /// Injected runs that failed outright (attach error or panic).
     pub errors: usize,
+    /// Faults demoted by the per-chunk watchdog before they could run.
+    pub degraded: usize,
     /// `detected / (detected + sdc)` — 1.0 when nothing corrupted outputs.
     pub detection_coverage: f64,
     /// Per-fault outcomes, in sampling order.
@@ -157,6 +168,10 @@ pub enum CampaignError {
     Hw(HwError),
     /// The design would not generate.
     Generate(HwError),
+    /// The campaign journal could not be opened, appended, or replayed
+    /// (including a `--resume` directory whose journal belongs to a
+    /// different config).
+    Journal(JournalError),
     /// The fault-free golden run disagrees with the reference executor —
     /// the campaign would classify against a wrong baseline.
     GoldenMismatch {
@@ -177,6 +192,7 @@ impl fmt::Display for CampaignError {
             CampaignError::Elaborate(e) => write!(f, "campaign design failed to flatten: {e}"),
             CampaignError::Hw(e) => write!(f, "campaign setup failed: {e}"),
             CampaignError::Generate(e) => write!(f, "campaign design failed to generate: {e}"),
+            CampaignError::Journal(e) => write!(f, "{e}"),
             CampaignError::GoldenMismatch {
                 row,
                 col,
@@ -202,6 +218,12 @@ impl From<ElaborateError> for CampaignError {
 impl From<HwError> for CampaignError {
     fn from(e: HwError) -> CampaignError {
         CampaignError::Hw(e)
+    }
+}
+
+impl From<JournalError> for CampaignError {
+    fn from(e: JournalError) -> CampaignError {
+        CampaignError::Journal(e)
     }
 }
 
@@ -472,6 +494,7 @@ fn aggregate(
     let detected = outcomes.iter().filter(|o| o.class == FaultClass::Detected).count();
     let sdc = outcomes.iter().filter(|o| o.class == FaultClass::Sdc).count();
     let errors = outcomes.iter().filter(|o| o.error.is_some()).count();
+    let degraded = outcomes.iter().filter(|o| o.class == FaultClass::Degraded).count();
     let denom = detected + sdc;
     ResilienceReport {
         design: design.name().to_string(),
@@ -482,6 +505,7 @@ fn aggregate(
         detected,
         sdc,
         errors,
+        degraded,
         detection_coverage: if denom == 0 {
             1.0
         } else {
@@ -491,8 +515,42 @@ fn aggregate(
     }
 }
 
+/// The outcome assigned to a fault that never ran because the chunk's
+/// watchdog deadline passed first.
+fn degraded_outcome(fault: &FaultSpec) -> FaultOutcome {
+    FaultOutcome {
+        fault: fault.clone(),
+        class: FaultClass::Degraded,
+        detectors: Vec::new(),
+        error: None,
+    }
+}
+
+/// The quarantine outcome for a fault (or lane group member) whose injected
+/// run still panicked after every retry. The fault spec in the outcome *is*
+/// the repro: replaying it with the campaign seed reproduces the panic.
+fn quarantined_outcome(fault: &FaultSpec, attempts: usize, message: &str) -> FaultOutcome {
+    let error = if attempts <= 1 {
+        format!("injected run panicked: {message}")
+    } else {
+        format!("injected run panicked (quarantined after {attempts} attempts): {message}")
+    };
+    FaultOutcome {
+        fault: fault.clone(),
+        class: FaultClass::Sdc,
+        detectors: Vec::new(),
+        error: Some(error),
+    }
+}
+
 /// Runs a fault campaign over specific `faults` on a prepared base
 /// interpreter (shared by [`run_campaign`] and [`run_gemm_campaign`]).
+///
+/// `durability` supplies the graceful-degradation knobs: a per-call
+/// watchdog deadline (items not started in time come back
+/// [`FaultClass::Degraded`]), a bounded serial retry for panicking items
+/// before they are quarantined, and the test-only chaos hook. The inert
+/// default reproduces the historical behaviour exactly.
 #[allow(clippy::too_many_arguments)]
 fn drive_campaign(
     base: &Interpreter,
@@ -503,6 +561,7 @@ fn drive_campaign(
     golden: &RunResult,
     abft_row_sums: &[i64],
     abft_col_sums: &[i64],
+    durability: &DurabilityOptions,
 ) -> Vec<FaultOutcome> {
     let _span = tensorlib_obs::span("sim.fault_injection");
     tensorlib_obs::counter_add("sim.faults_injected", faults.len() as u64);
@@ -516,9 +575,11 @@ fn drive_campaign(
             golden,
             abft_row_sums,
             abft_col_sums,
+            durability,
         );
     }
-    let results = par_map_catch(faults, cfg.workers, 1, |_, fault| {
+    let run_one = |fault: &FaultSpec| -> FaultOutcome {
+        durability.chaos_check(&fault.target);
         let mut sim = base.clone();
         match sim.attach_faults(std::slice::from_ref(fault)) {
             Ok(()) => {
@@ -532,18 +593,32 @@ fn drive_campaign(
                 error: Some(format!("attach failed: {e}")),
             },
         }
-    });
+    };
+    let ctl = MapControl {
+        deadline: durability.chunk_deadline(),
+        cancel: None,
+    };
+    let attempts = durability.panic_attempts();
+    let results = par_map_catch_ctl(faults, cfg.workers, 1, ctl, |_, fault| run_one(fault));
     results
         .into_iter()
         .zip(faults)
         .map(|(r, fault)| match r {
-            Ok(outcome) => outcome,
-            Err(message) => FaultOutcome {
-                fault: fault.clone(),
-                class: FaultClass::Sdc,
-                detectors: Vec::new(),
-                error: Some(format!("injected run panicked: {message}")),
-            },
+            CatchOutcome::Done(outcome) => outcome,
+            CatchOutcome::Skipped => degraded_outcome(fault),
+            CatchOutcome::Panicked(mut message) => {
+                // Bounded serial retry before quarantine: a deterministic
+                // panic will recur, but an environmental one (resource
+                // exhaustion under a full worker pool) gets a second chance
+                // on a quiet thread.
+                for _ in 1..attempts {
+                    match catch_unwind(AssertUnwindSafe(|| run_one(fault))) {
+                        Ok(outcome) => return outcome,
+                        Err(payload) => message = panic_message(payload),
+                    }
+                }
+                quarantined_outcome(fault, attempts, &message)
+            }
         })
         .collect()
 }
@@ -567,12 +642,15 @@ fn drive_campaign_batched(
     golden: &RunResult,
     abft_row_sums: &[i64],
     abft_col_sums: &[i64],
+    durability: &DurabilityOptions,
 ) -> Vec<FaultOutcome> {
     let chunks: Vec<&[FaultSpec]> = faults.chunks(cfg.lanes).collect();
-    let results = par_map_catch(&chunks, cfg.workers, 1, |_, chunk| {
+    let run_group = |chunk: &[FaultSpec]| -> Vec<FaultOutcome> {
+        for fault in chunk {
+            durability.chaos_check(&fault.target);
+        }
         let mut sim = BatchSim::from_scalar(base, chunk.len());
-        let per_lane: Vec<Vec<FaultSpec>> =
-            chunk.iter().map(|f| vec![f.clone()]).collect();
+        let per_lane: Vec<Vec<FaultSpec>> = chunk.iter().map(|f| vec![f.clone()]).collect();
         let attach = sim.attach_lane_faults(&per_lane);
         let runs = run_round_batch(&mut sim, design, has_tmr);
         chunk
@@ -589,21 +667,33 @@ fn drive_campaign_batched(
                 },
             })
             .collect::<Vec<FaultOutcome>>()
-    });
+    };
+    let ctl = MapControl {
+        deadline: durability.chunk_deadline(),
+        cancel: None,
+    };
+    let attempts = durability.panic_attempts();
+    let results = par_map_catch_ctl(&chunks, cfg.workers, 1, ctl, |_, chunk| run_group(chunk));
     results
         .into_iter()
         .zip(&chunks)
         .flat_map(|(r, chunk)| match r {
-            Ok(outcomes) => outcomes,
-            Err(message) => chunk
-                .iter()
-                .map(|fault| FaultOutcome {
-                    fault: fault.clone(),
-                    class: FaultClass::Sdc,
-                    detectors: Vec::new(),
-                    error: Some(format!("injected run panicked: {message}")),
-                })
-                .collect(),
+            CatchOutcome::Done(outcomes) => outcomes,
+            CatchOutcome::Skipped => chunk.iter().map(degraded_outcome).collect(),
+            CatchOutcome::Panicked(mut message) => {
+                // A panic poisons the whole lane group; retry the group
+                // serially before quarantining every member.
+                for _ in 1..attempts {
+                    match catch_unwind(AssertUnwindSafe(|| run_group(chunk))) {
+                        Ok(outcomes) => return outcomes,
+                        Err(payload) => message = panic_message(payload),
+                    }
+                }
+                chunk
+                    .iter()
+                    .map(|fault| quarantined_outcome(fault, attempts, &message))
+                    .collect()
+            }
         })
         .collect()
 }
@@ -661,7 +751,17 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<ResilienceReport, CampaignEr
         let _golden_span = tensorlib_obs::span("sim.golden_run");
         run_round(&mut golden_sim, &design, has_tmr)
     };
-    let outcomes = drive_campaign(&base, &design, cfg, has_tmr, &faults, &golden, &[], &[]);
+    let outcomes = drive_campaign(
+        &base,
+        &design,
+        cfg,
+        has_tmr,
+        &faults,
+        &golden,
+        &[],
+        &[],
+        &DurabilityOptions::default(),
+    );
     Ok(aggregate(&design, cfg, cycles, outcomes))
 }
 
@@ -734,6 +834,7 @@ pub fn run_gemm_campaign(cfg: &CampaignConfig) -> Result<ResilienceReport, Campa
         &golden,
         &abft_row_sums,
         &abft_col_sums,
+        &DurabilityOptions::default(),
     );
     Ok(aggregate(&design, cfg, cycles, outcomes))
 }
@@ -830,8 +931,250 @@ pub fn run_gemm_campaign_with_faults(
         &golden,
         &abft_row_sums,
         &abft_col_sums,
+        &DurabilityOptions::default(),
     );
     Ok(aggregate(&design, cfg, cycles, outcomes))
+}
+
+// ---------------------------------------------------------------------------
+// Durable (journaled / budget-bounded) campaign path.
+// ---------------------------------------------------------------------------
+
+fn decode_fault_kind(v: &Value) -> Result<FaultKind, String> {
+    let entries = v
+        .as_object()
+        .ok_or_else(|| "fault kind is not an object".to_string())?;
+    let (tag, body) = entries
+        .first()
+        .ok_or_else(|| "fault kind object is empty".to_string())?;
+    match tag.as_str() {
+        "StuckAt" => Ok(FaultKind::StuckAt {
+            bit: journal::field_u64(body, "bit")? as u32,
+            value: journal::field_bool(body, "value")?,
+        }),
+        "TransientFlip" => Ok(FaultKind::TransientFlip {
+            bit: journal::field_u64(body, "bit")? as u32,
+            cycle: journal::field_u64(body, "cycle")?,
+        }),
+        "BankFlip" => Ok(FaultKind::BankFlip {
+            word: journal::field_u64(body, "word")? as usize,
+            bit: journal::field_u64(body, "bit")? as u32,
+            cycle: journal::field_u64(body, "cycle")?,
+        }),
+        "DropTransition" => Ok(FaultKind::DropTransition {
+            cycle: journal::field_u64(body, "cycle")?,
+        }),
+        other => Err(format!("unknown fault kind `{other}`")),
+    }
+}
+
+fn decode_fault_class(v: &Value) -> Result<FaultClass, String> {
+    match v.as_str() {
+        Some("Masked") => Ok(FaultClass::Masked),
+        Some("Detected") => Ok(FaultClass::Detected),
+        Some("Sdc") => Ok(FaultClass::Sdc),
+        Some("Degraded") => Ok(FaultClass::Degraded),
+        other => Err(format!("unknown fault class {other:?}")),
+    }
+}
+
+fn decode_outcome(v: &Value) -> Result<FaultOutcome, String> {
+    let fault = journal::field(v, "fault")?;
+    let detectors = journal::field_array(v, "detectors")?
+        .iter()
+        .map(|d| {
+            d.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "detector is not a string".to_string())
+        })
+        .collect::<Result<Vec<String>, String>>()?;
+    Ok(FaultOutcome {
+        fault: FaultSpec {
+            target: journal::field_str(fault, "target")?.to_string(),
+            kind: decode_fault_kind(journal::field(fault, "kind")?)?,
+        },
+        class: decode_fault_class(journal::field(v, "class")?)?,
+        detectors,
+        error: journal::field_opt_string(v, "error")?,
+    })
+}
+
+/// Decodes one journaled chunk payload back into typed outcomes. Inverse of
+/// `serde_json::to_string(&Vec<FaultOutcome>)`: re-serializing the decoded
+/// outcomes reproduces the payload byte-for-byte, which is what keeps a
+/// resumed report identical to an uninterrupted one.
+fn decode_outcomes(payload: &str) -> Result<Vec<FaultOutcome>, String> {
+    let doc = tensorlib_obs::json::parse(payload)?;
+    doc.as_array()
+        .ok_or_else(|| "chunk payload is not an array".to_string())?
+        .iter()
+        .map(decode_outcome)
+        .collect()
+}
+
+/// Canonical config string for journal keying: the serialized config with
+/// the worker count zeroed (resuming with a different `--workers` is legal —
+/// reports are worker-count-independent), plus the knobs serde skips but
+/// which shape the run (`lanes` sets lane-group and default chunk
+/// boundaries; `opt` selects which netlist is faulted).
+fn canonical_config(cfg: &CampaignConfig, variant: &str) -> String {
+    let canon = CampaignConfig {
+        workers: 0,
+        ..*cfg
+    };
+    format!(
+        "{}|{variant}|lanes={}|opt={}",
+        serde_json::to_string(&canon).expect("campaign config serializes"),
+        cfg.lanes.max(1),
+        cfg.opt,
+    )
+}
+
+fn run_gemm_campaign_chunked(
+    cfg: &CampaignConfig,
+    faults_override: Option<Vec<FaultSpec>>,
+    variant: &str,
+    durability: &DurabilityOptions,
+) -> Result<(ResilienceReport, RunStats), CampaignError> {
+    let _span = tensorlib_obs::span("sim.resilience_campaign");
+    let CampaignBase {
+        design,
+        flat,
+        cycles,
+        has_tmr,
+    } = prepare(cfg)?;
+    let gemm = workloads::gemm(cfg.rows as u64, cfg.cols as u64, cfg.k);
+    let inputs = gemm.random_inputs(cfg.seed);
+    let reference = gemm
+        .execute_reference(&inputs)
+        .expect("self-generated inputs fit the kernel");
+    let faults = match faults_override {
+        Some(f) => f,
+        None => {
+            let sites = enumerate_sites(&flat);
+            sample_faults(&sites, cfg.faults, cfg.seed, cycles)
+        }
+    };
+    let mut base = Interpreter::new(flat);
+    load_skewed_inputs(&mut base, &design, &inputs[0], &inputs[1], cfg.k as i64)?;
+    base.poke("start", 1);
+    let mut golden_sim = base.clone();
+    let golden = {
+        let _golden_span = tensorlib_obs::span("sim.golden_run");
+        run_round(&mut golden_sim, &design, has_tmr)
+    };
+    for i in 0..cfg.rows {
+        for j in 0..cfg.cols {
+            let expected = reference.get(&[i as i64, j as i64]);
+            let got = golden.c[i * cfg.cols + j];
+            if got != expected {
+                return Err(CampaignError::GoldenMismatch {
+                    row: i,
+                    col: j,
+                    expected,
+                    got,
+                });
+            }
+        }
+    }
+    let abft_row_sums: Vec<i64> = (0..cfg.rows)
+        .map(|i| (0..cfg.cols).map(|j| golden.c[i * cfg.cols + j]).sum())
+        .collect();
+    let abft_col_sums: Vec<i64> = (0..cfg.cols)
+        .map(|j| (0..cfg.rows).map(|i| golden.c[i * cfg.cols + j]).sum())
+        .collect();
+
+    // A chunk is a multiple of the lane width, so lane-group boundaries
+    // inside a chunk coincide with the non-chunked batched path's and the
+    // assembled outcome list is byte-identical to a single-shot run.
+    let lanes = cfg.lanes.max(1);
+    let chunk_size = durability.chunk_size.unwrap_or(16 * lanes).max(1);
+    let total_chunks = faults.len().div_ceil(chunk_size);
+    let hash = journal::config_hash(
+        "faults",
+        chunk_size,
+        total_chunks,
+        &canonical_config(cfg, variant),
+    );
+    let (slots, stats) = journal::run_chunked(durability, hash, total_chunks, |i| {
+        let lo = i * chunk_size;
+        let hi = (lo + chunk_size).min(faults.len());
+        let outcomes = drive_campaign(
+            &base,
+            &design,
+            cfg,
+            has_tmr,
+            &faults[lo..hi],
+            &golden,
+            &abft_row_sums,
+            &abft_col_sums,
+            durability,
+        );
+        serde_json::to_string(&outcomes).expect("outcomes serialize")
+    })?;
+    // Completed chunks are always a prefix (chunks execute in ascending
+    // order and an interrupt stops the loop), so assembly stops at the
+    // first missing slot.
+    let mut outcomes = Vec::with_capacity(faults.len());
+    for slot in slots {
+        let Some(payload) = slot else { break };
+        outcomes.extend(decode_outcomes(&payload).map_err(JournalError::Decode)?);
+    }
+    Ok((aggregate(&design, cfg, cycles, outcomes), stats))
+}
+
+/// [`run_gemm_campaign`] with campaign durability: the fault list is split
+/// into deterministic chunks, completed chunks are journaled to
+/// `durability.dir` (when set) and replayed on resume, the per-chunk
+/// watchdog demotes late faults to [`FaultClass::Degraded`], panicking
+/// faults are retried then quarantined, and an interrupt drains the
+/// in-flight chunk before returning a partial (but valid and resumable)
+/// report with `stats.interrupted` set.
+///
+/// With inert options this is exactly [`run_gemm_campaign`].
+///
+/// # Errors
+///
+/// Everything [`run_gemm_campaign`] returns, plus
+/// [`CampaignError::Journal`] for journal open/append/decode failures —
+/// including a `--resume` directory whose journal belongs to a different
+/// config.
+pub fn run_gemm_campaign_durable(
+    cfg: &CampaignConfig,
+    durability: &DurabilityOptions,
+) -> Result<(ResilienceReport, RunStats), CampaignError> {
+    if durability.is_inert() {
+        return Ok((run_gemm_campaign(cfg)?, RunStats::default()));
+    }
+    run_gemm_campaign_chunked(cfg, None, "sampled", durability)
+}
+
+/// [`run_accumulator_sweep`] with campaign durability; see
+/// [`run_gemm_campaign_durable`].
+///
+/// # Errors
+///
+/// Same as [`run_gemm_campaign_durable`].
+pub fn run_accumulator_sweep_durable(
+    cfg: &CampaignConfig,
+    bits: u32,
+    cycle: u64,
+    durability: &DurabilityOptions,
+) -> Result<(ResilienceReport, RunStats), CampaignError> {
+    if durability.is_inert() {
+        return Ok((run_accumulator_sweep(cfg, bits, cycle)?, RunStats::default()));
+    }
+    let accs = accumulator_sites(cfg)?;
+    let faults: Vec<FaultSpec> = accs
+        .iter()
+        .flat_map(|net| (0..bits).map(move |b| FaultSpec::flip(net.as_str(), b, cycle)))
+        .collect();
+    run_gemm_campaign_chunked(
+        cfg,
+        Some(faults),
+        &format!("sweep|bits={bits}|cycle={cycle}"),
+        durability,
+    )
 }
 
 #[cfg(test)]
@@ -932,6 +1275,185 @@ mod tests {
         assert_eq!(report.masked, 0, "an accumulator flip cannot be masked");
         assert_eq!(report.detected, 16 * 8);
         assert_eq!(report.detection_coverage, 1.0);
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("tl_resil_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn durable_inert_path_matches_legacy_exactly() {
+        let cfg = CampaignConfig {
+            faults: 8,
+            seed: 7,
+            ..CampaignConfig::default()
+        };
+        let legacy = run_gemm_campaign(&cfg).unwrap();
+        let (durable, stats) =
+            run_gemm_campaign_durable(&cfg, &DurabilityOptions::default()).unwrap();
+        assert_eq!(legacy, durable);
+        assert_eq!(stats, RunStats::default());
+    }
+
+    #[test]
+    fn durable_chunked_report_is_byte_identical_to_single_shot() {
+        let cfg = CampaignConfig {
+            faults: 19,
+            seed: 11,
+            hardening: Hardening::full(),
+            ..CampaignConfig::default()
+        };
+        let single = serde_json::to_string(&run_gemm_campaign(&cfg).unwrap()).unwrap();
+        for chunk_size in [1, 4, 19, 64] {
+            let opts = DurabilityOptions {
+                chunk_size: Some(chunk_size),
+                ..DurabilityOptions::default()
+            };
+            let (report, stats) = run_gemm_campaign_durable(&cfg, &opts).unwrap();
+            assert_eq!(
+                serde_json::to_string(&report).unwrap(),
+                single,
+                "chunk_size={chunk_size}"
+            );
+            assert_eq!(stats.chunks_total, 19usize.div_ceil(chunk_size));
+            assert!(!stats.interrupted);
+        }
+    }
+
+    #[test]
+    fn durable_journaled_resume_is_byte_identical() {
+        let dir = tmpdir("resume");
+        let cfg = CampaignConfig {
+            faults: 12,
+            seed: 5,
+            ..CampaignConfig::default()
+        };
+        let clean = serde_json::to_string(&run_gemm_campaign(&cfg).unwrap()).unwrap();
+        let opts = DurabilityOptions {
+            dir: Some(dir.clone()),
+            chunk_size: Some(3),
+            ..DurabilityOptions::default()
+        };
+        // Full journaled run: byte-identical to the non-durable run.
+        let (full, stats) = run_gemm_campaign_durable(&cfg, &opts).unwrap();
+        assert_eq!(serde_json::to_string(&full).unwrap(), clean);
+        assert_eq!(stats.chunks_executed, 4);
+        // Simulate a crash mid-append: tear 10 bytes off the journal tail
+        // (inside the last record). Resume must replay the intact prefix,
+        // recompute only the torn chunk, and reproduce the report exactly.
+        let path = dir.join(crate::journal::JOURNAL_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let (resumed, stats) = run_gemm_campaign_durable(&cfg, &opts).unwrap();
+        assert_eq!(serde_json::to_string(&resumed).unwrap(), clean);
+        assert_eq!(stats.chunks_replayed, 3);
+        assert_eq!(stats.chunks_executed, 1);
+        assert!(!stats.interrupted);
+        // An interrupt latched before the run starts yields a valid empty
+        // partial report (fresh dir so nothing replays).
+        let dir2 = tmpdir("resume2");
+        let opts = DurabilityOptions {
+            dir: Some(dir2.clone()),
+            chunk_size: Some(3),
+            interrupt: Some(std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true))),
+            ..DurabilityOptions::default()
+        };
+        let (partial, stats) = run_gemm_campaign_durable(&cfg, &opts).unwrap();
+        assert!(stats.interrupted);
+        assert_eq!(partial.faults, 0);
+        assert_eq!(partial.detection_coverage, 1.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    #[test]
+    fn durable_resume_rejects_config_drift() {
+        let dir = tmpdir("drift");
+        let cfg = CampaignConfig {
+            faults: 6,
+            seed: 5,
+            ..CampaignConfig::default()
+        };
+        let opts = DurabilityOptions {
+            dir: Some(dir.clone()),
+            chunk_size: Some(3),
+            ..DurabilityOptions::default()
+        };
+        run_gemm_campaign_durable(&cfg, &opts).unwrap();
+        let drifted = CampaignConfig { seed: 6, ..cfg };
+        let err = run_gemm_campaign_durable(&drifted, &opts).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CampaignError::Journal(JournalError::ConfigMismatch { .. })
+            ),
+            "got {err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn watchdog_degrades_instead_of_stalling() {
+        let cfg = CampaignConfig {
+            faults: 6,
+            seed: 3,
+            ..CampaignConfig::default()
+        };
+        let opts = DurabilityOptions {
+            chunk_timeout: Some(std::time::Duration::ZERO),
+            chunk_size: Some(3),
+            ..DurabilityOptions::default()
+        };
+        let (report, _) = run_gemm_campaign_durable(&cfg, &opts).unwrap();
+        assert_eq!(report.degraded, 6, "zero budget degrades every fault");
+        assert_eq!(report.faults, 6);
+        assert_eq!(report.masked + report.detected + report.sdc, 0);
+        assert_eq!(report.errors, 0, "degraded faults are not errors");
+        assert_eq!(report.detection_coverage, 1.0);
+    }
+
+    #[test]
+    fn panicking_chunk_is_quarantined_and_campaign_completes() {
+        let cfg = CampaignConfig {
+            faults: 8,
+            seed: 3,
+            ..CampaignConfig::default()
+        };
+        // Every sampled fault target lives under the top module; chaos on
+        // the full campaign would quarantine everything, so aim at one
+        // sampled target by running a clean campaign first.
+        let clean = run_gemm_campaign(&cfg).unwrap();
+        let victim = clean.outcomes[2].fault.target.clone();
+        let opts = DurabilityOptions {
+            chunk_size: Some(4),
+            panic_retries: 1,
+            chaos_panic_targets: vec![victim.clone()],
+            ..DurabilityOptions::default()
+        };
+        let (report, _) = run_gemm_campaign_durable(&cfg, &opts).unwrap();
+        assert_eq!(report.faults, 8, "campaign completed despite the panic");
+        let quarantined: Vec<&FaultOutcome> = report
+            .outcomes
+            .iter()
+            .filter(|o| {
+                o.error
+                    .as_deref()
+                    .is_some_and(|e| e.contains("quarantined after 2 attempts"))
+            })
+            .collect();
+        assert!(!quarantined.is_empty(), "panic captured as typed outcome");
+        for o in &quarantined {
+            assert!(o.error.as_deref().unwrap().contains("chaos hook tripped"));
+        }
+        // Non-chaos outcomes match the clean run exactly (substring match,
+        // mirroring the chaos hook's own matching).
+        for (clean_o, durable_o) in clean.outcomes.iter().zip(&report.outcomes) {
+            if !durable_o.fault.target.contains(&victim) {
+                assert_eq!(clean_o, durable_o);
+            }
+        }
     }
 
     #[test]

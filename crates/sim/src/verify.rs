@@ -22,6 +22,8 @@
 //! report deliberately omits the worker count, so the serialized report is
 //! byte-identical for any `workers` setting — a property CI asserts.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use serde::Serialize;
 use tensorlib_dataflow::{Dataflow, LoopSelection, Stt};
 use tensorlib_hw::design::{generate, AcceleratorDesign, HwConfig};
@@ -36,9 +38,11 @@ use tensorlib_hw::interp::{elaborate_design, Interpreter};
 use tensorlib_hw::trace::TraceConfig;
 use tensorlib_hw::{ArrayConfig, HwError};
 use tensorlib_ir::{workloads, Kernel};
-use tensorlib_linalg::par::par_map_catch;
+use tensorlib_linalg::par::{panic_message, par_map_catch, par_map_catch_ctl, CatchOutcome, MapControl};
+use tensorlib_obs::json::Value;
 
 use crate::functional::{simulate_budgeted, SimError};
+use crate::journal::{self, DurabilityOptions, JournalError, RunStats};
 use crate::trace::fill_input_banks;
 
 /// Campaign parameters shared by both fuzzing modes.
@@ -112,6 +116,9 @@ pub struct ModeReport {
     pub seeds_run: u64,
     /// Samples the pipeline legitimately rejected (pipeline mode only).
     pub rejected: u64,
+    /// Seeds demoted by the per-chunk watchdog before they could run
+    /// (durable campaigns only; always 0 on the legacy path).
+    pub degraded: u64,
     /// Surviving disagreements, in seed order.
     pub findings: Vec<Finding>,
 }
@@ -709,6 +716,7 @@ pub fn run_pipeline_campaign(cfg: &VerifyConfig) -> ModeReport {
     ModeReport {
         seeds_run: cfg.seeds,
         rejected,
+        degraded: 0,
         findings,
     }
 }
@@ -747,6 +755,7 @@ fn collect_findings(
     ModeReport {
         seeds_run,
         rejected,
+        degraded: 0,
         findings,
     }
 }
@@ -769,6 +778,304 @@ pub fn run_verify(
         pipeline,
         total_findings,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Durable (journaled) campaigns
+// ---------------------------------------------------------------------------
+
+/// One journal chunk's worth of fuzz results: a contiguous seed range from
+/// one mode, fully classified. Serialization must round-trip through
+/// [`decode_verify_chunk`] byte-for-byte — that is what keeps a resumed
+/// report identical to an uninterrupted one.
+#[derive(Serialize)]
+struct VerifyChunk {
+    seeds_run: u64,
+    rejected: u64,
+    degraded: u64,
+    findings: Vec<Finding>,
+}
+
+/// Canonical config string for journal keying: the serialized config with
+/// the worker count zeroed (resuming with a different `--workers` is legal —
+/// reports are worker-count-independent), plus the enabled-mode flags and
+/// the knobs serde skips but which select which oracles run on each seed.
+fn canonical_verify_config(cfg: &VerifyConfig, netlist: bool, pipeline: bool) -> String {
+    let canon = VerifyConfig {
+        workers: 0,
+        ..*cfg
+    };
+    format!(
+        "{}|netlist={netlist}|pipeline={pipeline}|lanes={}|opt={}",
+        serde_json::to_string(&canon).expect("verify config serializes"),
+        cfg.lanes.max(1),
+        cfg.opt,
+    )
+}
+
+/// Runs the seeds `lo..hi` of one mode under the durability policy:
+/// chunk-wide watchdog deadline (late seeds demote to `degraded`), bounded
+/// serial retries for panicking seeds before the panic is quarantined as a
+/// `kind: "panic"` finding, and the chaos hook for fault-injection tests.
+fn run_seed_chunk(
+    cfg: &VerifyConfig,
+    netlist_mode: bool,
+    lo: u64,
+    hi: u64,
+    durability: &DurabilityOptions,
+) -> VerifyChunk {
+    let mode = if netlist_mode { "netlist" } else { "pipeline" };
+    let seeds: Vec<u64> = (lo..hi).collect();
+    let ctl = MapControl {
+        deadline: durability.chunk_deadline(),
+        cancel: None,
+    };
+    // `(rejected, finding)` mirrors the legacy pipeline tuple; netlist mode
+    // never rejects.
+    let run_seed = |seed: u64| -> (bool, Option<Finding>) {
+        durability.chaos_check(&format!("{mode}:{seed}"));
+        if netlist_mode {
+            (false, netlist_finding(seed, cfg))
+        } else {
+            match pipeline_outcome(seed, cfg.lanes, cfg.opt) {
+                PipelineOutcome::Clean => (false, None),
+                PipelineOutcome::Rejected => (true, None),
+                PipelineOutcome::Failed { kind, detail } => (
+                    false,
+                    Some(Finding {
+                        mode: "pipeline".into(),
+                        seed,
+                        kind,
+                        detail,
+                        shrunk_nets: None,
+                        modules_json: None,
+                        rust_snippet: None,
+                        pipeline: Some(sample_pipeline(seed)),
+                    }),
+                ),
+            }
+        }
+    };
+    let par_chunk = if netlist_mode { 8 } else { 4 };
+    let results = par_map_catch_ctl(&seeds, cfg.workers.max(1), par_chunk, ctl, |_, &seed| {
+        run_seed(seed)
+    });
+    let mut out = VerifyChunk {
+        seeds_run: seeds.len() as u64,
+        rejected: 0,
+        degraded: 0,
+        findings: Vec::new(),
+    };
+    for (i, r) in results.into_iter().enumerate() {
+        let seed = seeds[i];
+        let resolved = match r {
+            CatchOutcome::Skipped => {
+                out.degraded += 1;
+                continue;
+            }
+            CatchOutcome::Done(x) => Some(x),
+            CatchOutcome::Panicked(first) => {
+                // Bounded serial retries: a flaky panic may clear, a
+                // deterministic one is quarantined and the campaign goes on.
+                let attempts = durability.panic_attempts();
+                let mut msg = first;
+                let mut retried = None;
+                for _ in 1..attempts {
+                    match catch_unwind(AssertUnwindSafe(|| run_seed(seed))) {
+                        Ok(x) => {
+                            retried = Some(x);
+                            break;
+                        }
+                        Err(payload) => msg = panic_message(payload),
+                    }
+                }
+                if retried.is_none() {
+                    let detail = if attempts > 1 {
+                        format!("quarantined after {attempts} attempts: {msg}")
+                    } else {
+                        msg
+                    };
+                    out.findings.push(panic_finding(mode, seed, detail));
+                }
+                retried
+            }
+        };
+        match resolved {
+            Some((true, _)) => out.rejected += 1,
+            Some((false, Some(f))) => out.findings.push(f),
+            Some((false, None)) | None => {}
+        }
+    }
+    out
+}
+
+fn decode_sample(v: &Value) -> Result<PipelineSample, String> {
+    let str_at = |vals: &[Value], i: usize, what: &str| -> Result<String, String> {
+        vals.get(i)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("{what}[{i}] is not a string"))
+    };
+    let sel = journal::field_array(v, "selection")?;
+    let stt_rows = journal::field_array(v, "stt")?;
+    let mut stt = [[0i64; 3]; 3];
+    for (ri, row) in stt.iter_mut().enumerate() {
+        let cells = stt_rows
+            .get(ri)
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("stt[{ri}] is not an array"))?;
+        for (ci, cell) in row.iter_mut().enumerate() {
+            let n = cells
+                .get(ci)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("stt[{ri}][{ci}] is not a number"))?;
+            *cell = n as i64;
+        }
+    }
+    Ok(PipelineSample {
+        kernel: journal::field_str(v, "kernel")?.to_string(),
+        dims: journal::field_array(v, "dims")?
+            .iter()
+            .map(|d| d.as_u64().ok_or_else(|| "dim is not an integer".to_string()))
+            .collect::<Result<Vec<u64>, String>>()?,
+        selection: [
+            str_at(sel, 0, "selection")?,
+            str_at(sel, 1, "selection")?,
+            str_at(sel, 2, "selection")?,
+        ],
+        stt,
+        rows: journal::field_u64(v, "rows")? as usize,
+        cols: journal::field_u64(v, "cols")? as usize,
+        hardening: journal::field_str(v, "hardening")?.to_string(),
+    })
+}
+
+fn decode_finding(v: &Value) -> Result<Finding, String> {
+    let shrunk_nets = match journal::field(v, "shrunk_nets")? {
+        Value::Null => None,
+        n => Some(
+            n.as_u64()
+                .ok_or_else(|| "field `shrunk_nets` is neither null nor an integer".to_string())?
+                as usize,
+        ),
+    };
+    let pipeline = match journal::field(v, "pipeline")? {
+        Value::Null => None,
+        s => Some(decode_sample(s)?),
+    };
+    Ok(Finding {
+        mode: journal::field_str(v, "mode")?.to_string(),
+        seed: journal::field_u64(v, "seed")?,
+        kind: journal::field_str(v, "kind")?.to_string(),
+        detail: journal::field_str(v, "detail")?.to_string(),
+        shrunk_nets,
+        modules_json: journal::field_opt_string(v, "modules_json")?,
+        rust_snippet: journal::field_opt_string(v, "rust_snippet")?,
+        pipeline,
+    })
+}
+
+/// Decodes one journaled chunk payload. Inverse of
+/// `serde_json::to_string(&VerifyChunk)`.
+fn decode_verify_chunk(payload: &str) -> Result<(u64, u64, u64, Vec<Finding>), String> {
+    let doc = tensorlib_obs::json::parse(payload)?;
+    Ok((
+        journal::field_u64(&doc, "seeds_run")?,
+        journal::field_u64(&doc, "rejected")?,
+        journal::field_u64(&doc, "degraded")?,
+        journal::field_array(&doc, "findings")?
+            .iter()
+            .map(decode_finding)
+            .collect::<Result<Vec<Finding>, String>>()?,
+    ))
+}
+
+/// [`run_verify`] with campaign durability: each enabled mode's seed range
+/// is split into deterministic chunks (netlist chunks first, then pipeline,
+/// sharing one journal), completed chunks are journaled to `durability.dir`
+/// (when set) and replayed on resume, the per-chunk watchdog demotes late
+/// seeds to the `degraded` tally, panicking seeds are retried then
+/// quarantined as `kind: "panic"` findings, and an interrupt drains the
+/// in-flight chunk before returning a partial (but valid and resumable)
+/// report with `stats.interrupted` set.
+///
+/// With inert options this is exactly [`run_verify`].
+///
+/// # Errors
+///
+/// [`JournalError`] for journal open/append/decode failures — including a
+/// `--resume` directory whose journal belongs to a different config.
+pub fn run_verify_durable(
+    cfg: &VerifyConfig,
+    netlist: bool,
+    pipeline: bool,
+    durability: &DurabilityOptions,
+) -> Result<(VerifyReport, RunStats), JournalError> {
+    if durability.is_inert() {
+        return Ok((run_verify(cfg, netlist, pipeline), RunStats::default()));
+    }
+    let _span = tensorlib_obs::span("verify.durable_campaign");
+    let chunk_size = durability.chunk_size.unwrap_or(16).max(1) as u64;
+    let mode_chunks = cfg.seeds.div_ceil(chunk_size);
+    let netlist_chunks = if netlist { mode_chunks } else { 0 };
+    let pipeline_chunks = if pipeline { mode_chunks } else { 0 };
+    let total = (netlist_chunks + pipeline_chunks) as usize;
+    let hash = journal::config_hash(
+        "fuzz",
+        chunk_size as usize,
+        total,
+        &canonical_verify_config(cfg, netlist, pipeline),
+    );
+    let (slots, stats) = journal::run_chunked(durability, hash, total, |i| {
+        let i = i as u64;
+        let (netlist_mode, ci) = if i < netlist_chunks {
+            (true, i)
+        } else {
+            (false, i - netlist_chunks)
+        };
+        let lo = cfg.seed_start + ci * chunk_size;
+        let hi = (lo + chunk_size).min(cfg.seed_start + cfg.seeds);
+        let chunk = run_seed_chunk(cfg, netlist_mode, lo, hi, durability);
+        serde_json::to_string(&chunk).expect("verify chunk serializes")
+    })?;
+    let empty_mode = || ModeReport {
+        seeds_run: 0,
+        rejected: 0,
+        degraded: 0,
+        findings: Vec::new(),
+    };
+    let mut netlist_report = netlist.then(empty_mode);
+    let mut pipeline_report = pipeline.then(empty_mode);
+    for (i, slot) in slots.iter().enumerate() {
+        // Completed chunks are always a prefix (the executor runs missing
+        // chunks in ascending order), so the first hole ends the report.
+        let Some(payload) = slot else { break };
+        let (seeds_run, rejected, degraded, findings) =
+            decode_verify_chunk(payload).map_err(JournalError::Decode)?;
+        let target = if (i as u64) < netlist_chunks {
+            netlist_report.as_mut()
+        } else {
+            pipeline_report.as_mut()
+        };
+        let m = target.expect("chunk index maps to an enabled mode");
+        m.seeds_run += seeds_run;
+        m.rejected += rejected;
+        m.degraded += degraded;
+        m.findings.extend(findings);
+    }
+    let total_findings = netlist_report.as_ref().map_or(0, |m| m.findings.len())
+        + pipeline_report.as_ref().map_or(0, |m| m.findings.len());
+    Ok((
+        VerifyReport {
+            seed_start: cfg.seed_start,
+            seeds: cfg.seeds,
+            cycles: cfg.cycles,
+            netlist: netlist_report,
+            pipeline: pipeline_report,
+            total_findings,
+        },
+        stats,
+    ))
 }
 
 #[cfg(test)]
@@ -826,5 +1133,135 @@ mod tests {
         one.workers = 4;
         let b = serde_json::to_string(&run_verify(&one, true, true)).unwrap();
         assert_eq!(a, b);
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("tl_verify_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn small_cfg() -> VerifyConfig {
+        VerifyConfig {
+            seeds: 9,
+            workers: 2,
+            ..VerifyConfig::default()
+        }
+    }
+
+    #[test]
+    fn durable_inert_path_matches_legacy_exactly() {
+        let cfg = small_cfg();
+        let legacy = run_verify(&cfg, true, false);
+        let (durable, stats) =
+            run_verify_durable(&cfg, true, false, &DurabilityOptions::default()).unwrap();
+        assert_eq!(durable, legacy);
+        assert_eq!(stats, RunStats::default());
+    }
+
+    #[test]
+    fn durable_chunked_report_is_byte_identical_to_single_shot() {
+        let cfg = small_cfg();
+        let single = serde_json::to_string(&run_verify(&cfg, true, true)).unwrap();
+        for chunk_size in [1, 4, 16] {
+            let durability = DurabilityOptions {
+                chunk_size: Some(chunk_size),
+                ..DurabilityOptions::default()
+            };
+            let (report, stats) = run_verify_durable(&cfg, true, true, &durability).unwrap();
+            assert_eq!(
+                serde_json::to_string(&report).unwrap(),
+                single,
+                "chunk size {chunk_size} changed the report bytes"
+            );
+            assert_eq!(stats.chunks_executed, stats.chunks_total);
+        }
+    }
+
+    #[test]
+    fn durable_journaled_resume_is_byte_identical() {
+        let cfg = small_cfg();
+        let single = serde_json::to_string(&run_verify(&cfg, true, true)).unwrap();
+        let dir = tmpdir("resume");
+        let durability = DurabilityOptions {
+            chunk_size: Some(2),
+            ..DurabilityOptions::with_dir(&dir)
+        };
+        let (full, stats) = run_verify_durable(&cfg, true, true, &durability).unwrap();
+        assert_eq!(serde_json::to_string(&full).unwrap(), single);
+        assert_eq!(stats.chunks_executed, stats.chunks_total);
+
+        // Simulate a crash mid-append: tear bytes off the journal tail, then
+        // resume. The torn record re-executes; everything else replays.
+        let journal_path = dir.join(journal::JOURNAL_FILE);
+        let bytes = std::fs::read(&journal_path).unwrap();
+        std::fs::write(&journal_path, &bytes[..bytes.len() - 10]).unwrap();
+        let (resumed, stats) = run_verify_durable(&cfg, true, true, &durability).unwrap();
+        assert_eq!(serde_json::to_string(&resumed).unwrap(), single);
+        assert_eq!(stats.chunks_executed, 1, "only the torn chunk re-runs");
+        assert_eq!(stats.chunks_replayed, stats.chunks_total - 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_resume_rejects_config_drift() {
+        let dir = tmpdir("drift");
+        let durability = DurabilityOptions {
+            chunk_size: Some(4),
+            ..DurabilityOptions::with_dir(&dir)
+        };
+        let mut cfg = small_cfg();
+        run_verify_durable(&cfg, true, false, &durability).unwrap();
+        cfg.seed_start += 1;
+        let err = run_verify_durable(&cfg, true, false, &durability).unwrap_err();
+        assert!(
+            matches!(err, JournalError::ConfigMismatch { .. }),
+            "expected ConfigMismatch, got {err:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watchdog_degrades_instead_of_stalling() {
+        let cfg = small_cfg();
+        let durability = DurabilityOptions {
+            chunk_timeout: Some(std::time::Duration::ZERO),
+            chunk_size: Some(4),
+            ..DurabilityOptions::default()
+        };
+        let (report, _) = run_verify_durable(&cfg, true, true, &durability).unwrap();
+        for mode in [report.netlist.unwrap(), report.pipeline.unwrap()] {
+            assert_eq!(mode.degraded, cfg.seeds, "expired deadline degrades every seed");
+            assert_eq!(mode.seeds_run, cfg.seeds);
+            assert!(mode.findings.is_empty());
+        }
+        assert_eq!(report.total_findings, 0);
+    }
+
+    #[test]
+    fn panicking_seed_is_quarantined_and_campaign_completes() {
+        let cfg = small_cfg();
+        let clean = run_verify(&cfg, true, false);
+        let durability = DurabilityOptions {
+            chunk_size: Some(4),
+            panic_retries: 1,
+            chaos_panic_targets: vec!["netlist:3".into()],
+            ..DurabilityOptions::default()
+        };
+        let (report, _) = run_verify_durable(&cfg, true, false, &durability).unwrap();
+        let mode = report.netlist.unwrap();
+        assert_eq!(mode.seeds_run, cfg.seeds);
+        let quarantined: Vec<&Finding> =
+            mode.findings.iter().filter(|f| f.kind == "panic").collect();
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(quarantined[0].seed, 3);
+        assert!(quarantined[0].detail.contains("quarantined after 2 attempts"));
+        assert!(quarantined[0].detail.contains("chaos hook tripped"));
+        // Every non-chaos seed classifies exactly as in the clean run.
+        let rest: Vec<&Finding> = mode.findings.iter().filter(|f| f.kind != "panic").collect();
+        let clean_findings: Vec<&Finding> =
+            clean.netlist.as_ref().unwrap().findings.iter().collect();
+        assert_eq!(rest, clean_findings);
     }
 }

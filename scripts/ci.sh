@@ -82,6 +82,50 @@ test -s "$profile_dir/p.folded"
     | grep -q '"provenance"'
 rm -rf "$profile_dir"
 
+# Crash-safety smoke (DESIGN.md §14): SIGKILL a journaled fault campaign
+# mid-run, resume it with the identical command, and require the resumed
+# report to be byte-identical to an uninterrupted journaled run. Wall times
+# and the journal replay counters are the two legitimately run-dependent
+# report blocks, so both are stripped before the comparison.
+crash_dir=$(mktemp -d)
+strip_run_provenance() {
+    sed -e '/"phase_wall_times_us"/,/}/d' -e '/"journal": {/,/}/d' "$1"
+}
+./target/release/tensorlib faults --faults 1024 --k 512 --seed 7 --harden full \
+    --resume "$crash_dir/clean_journal" -o "$crash_dir/clean.json" >/dev/null
+./target/release/tensorlib faults --faults 1024 --k 512 --seed 7 --harden full \
+    --resume "$crash_dir/journal" -o "$crash_dir/killed.json" >/dev/null &
+victim=$!
+sleep 0.6
+kill -9 "$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null || true
+# The journal survived the kill (header + every completed chunk's record)...
+test -s "$crash_dir/journal/campaign.journal"
+# ... and resuming replays it and finishes the campaign byte-identically.
+./target/release/tensorlib faults --faults 1024 --k 512 --seed 7 --harden full \
+    --resume "$crash_dir/journal" -o "$crash_dir/resumed.json" >/dev/null
+strip_run_provenance "$crash_dir/clean.json" > "$crash_dir/clean.stripped"
+strip_run_provenance "$crash_dir/resumed.json" > "$crash_dir/resumed.stripped"
+cmp "$crash_dir/clean.stripped" "$crash_dir/resumed.stripped"
+# Resuming under a *drifted* config must refuse loudly, not silently restart.
+if ./target/release/tensorlib faults --faults 1024 --k 512 --seed 8 --harden full \
+    --resume "$crash_dir/journal" -o - >/dev/null 2>"$crash_dir/drift.err"; then
+    echo "ci: drifted --resume was not rejected" >&2
+    exit 1
+fi
+grep -q "different campaign config" "$crash_dir/drift.err"
+rm -rf "$crash_dir"
+
+# Campaign-argument validation smoke: nonsense is rejected up front with a
+# descriptive error, never a hung or silently-empty campaign.
+for bad in "faults --faults 8 --lanes 70" "faults --faults 8 --workers 0" \
+    "fuzz --seeds 0"; do
+    if ./target/release/tensorlib $bad -o - >/dev/null 2>&1; then
+        echo "ci: invalid arguments were accepted: $bad" >&2
+        exit 1
+    fi
+done
+
 # Perf gate. perfgate itself enforces the trace-off overhead ceiling; with a
 # committed baseline it also gates compiled-interpreter throughput.
 if [ -f BENCH_perfgate.json ]; then
