@@ -7,6 +7,10 @@
 //! tensorlib workloads
 //! tensorlib analyze  <workload> <dataflow>          # e.g. gemm MNK-SST
 //! tensorlib generate <workload> <dataflow> [-o f.v] [--rows N] [--cols N]
+//! tensorlib emit     <workload> <dataflow> [--format text|yosys-json|verilog]
+//!                    [--rows N] [--cols N] [--sim-cycles C --trace-out f] [-o f]
+//! tensorlib parse    <netlist-file> [--format auto|text|yosys-json]
+//!                    [--sim-cycles C --trace-out f] [-o report]
 //! tensorlib simulate <workload> <dataflow> [--rows N] [--cols N]
 //! tensorlib explore  <workload> [--top N]
 //! tensorlib stats    <workload> <dataflow> [--rows N] [--cols N] [--tiles T] [-o f.json]
@@ -81,6 +85,47 @@ pub enum Command {
         /// Run the netlist optimizer before emission (`--opt=off` emits the
         /// raw generated netlist byte-identically to older releases).
         opt: bool,
+    },
+    /// Emit the generated design as a round-trippable interchange netlist
+    /// (textual IR or Yosys JSON) or as Verilog. Interchange emissions
+    /// self-check `parse(emit(design))` before any bytes leave the process.
+    Emit {
+        /// Workload spec.
+        workload: String,
+        /// Dataflow name.
+        dataflow: String,
+        /// PE array rows.
+        rows: usize,
+        /// PE array columns.
+        cols: usize,
+        /// `text`, `yosys-json`, or `verilog`.
+        format: String,
+        /// Run the netlist optimizer before emission.
+        opt: bool,
+        /// Cycles of the deterministic seeded smoke trace (`0` = none).
+        sim_cycles: u64,
+        /// Where the smoke trace is written (paired with `--sim-cycles`).
+        trace_out: String,
+        /// Output path (`-` for stdout).
+        out: String,
+    },
+    /// Parse an interchange netlist back into the in-memory IR,
+    /// re-validate and re-elaborate it, and report a summary; `--opt on`
+    /// additionally re-runs the optimizer over the parsed netlist as an
+    /// extra oracle.
+    Parse {
+        /// Input netlist path.
+        input: String,
+        /// `auto`, `text`, or `yosys-json`.
+        format: String,
+        /// Re-run the optimizer over the parsed modules and recompile.
+        opt: bool,
+        /// Cycles of the deterministic seeded smoke trace (`0` = none).
+        sim_cycles: u64,
+        /// Where the smoke trace is written (paired with `--sim-cycles`).
+        trace_out: String,
+        /// Report path (`-` for stdout).
+        out: String,
     },
     /// Verify bit-exactly and report performance.
     Simulate {
@@ -247,6 +292,12 @@ usage:
   tensorlib analyze  <workload> <dataflow>
   tensorlib generate <workload> <dataflow> [-o out.v] [--rows N] [--cols N]
                      [--opt on|off]
+  tensorlib emit     <workload> <dataflow> [--rows N] [--cols N]
+                     [--format text|yosys-json|verilog] [--opt on|off]
+                     [--sim-cycles C --trace-out f.trace] [-o out]
+  tensorlib parse    <netlist-file> [--format auto|text|yosys-json]
+                     [--opt on|off] [--sim-cycles C --trace-out f.trace]
+                     [-o report]
   tensorlib simulate <workload> <dataflow> [--rows N] [--cols N]
   tensorlib explore  <workload> [--top N] [--resume DIR] [--chunk-timeout S]
                      [-o f.json]
@@ -276,6 +327,18 @@ injection, or fuzzing; --opt=off is the escape hatch that reproduces the
 raw generated netlist byte-for-byte. Optimization never renames nets or
 drops ports/registers, so stats counters, traces, and fault classifications
 are identical either way.
+
+emit generates the design and writes it as a round-trippable interchange
+netlist: --format text is the line-oriented `tensorlib-netlist v1` form,
+--format yosys-json the Yosys-compatible JSON netlist, --format verilog the
+synthesizable RTL. Interchange emissions self-check parse(emit(design)) for
+structural identity before any bytes leave the process. parse reads either
+interchange form back (--format auto sniffs JSON by the leading brace),
+re-validates and re-elaborates it, and with --opt on re-runs the optimizer
+over the parsed netlist and recompiles. On both commands --sim-cycles C
+--trace-out f runs the compiled engine for C cycles under a fixed seeded
+stimulus and writes one line per top-level output per cycle: a faithful
+round trip reproduces the emitting side's trace byte-for-byte.
 
 workloads: gemm[:m,n,k]  batched-gemv[:m,n,k]  conv2d[:k,c,y,x,p,q]
            depthwise[:k,y,x,p,q]  mttkrp[:i,j,k,l]  ttmc[:i,j,k,l,m]
@@ -362,6 +425,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut seeds = 256u64;
     let mut cycles = 16u64;
     let mut opt = true;
+    let mut format = String::new();
+    let mut sim_cycles = 0u64;
+    let mut trace_out = String::new();
     let mut resume: Option<String> = None;
     let mut chunk_timeout: Option<u64> = None;
     let parse_opt = |v: &str| -> Result<bool, CliError> {
@@ -459,6 +525,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 }
             }
             "--sweep-acc" => sweep_acc = true,
+            "--format" => format = take_value(&mut i)?,
+            "--sim-cycles" => {
+                sim_cycles = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| CliError("--sim-cycles expects an integer".into()))?;
+                if sim_cycles == 0 {
+                    return Err(CliError(
+                        "--sim-cycles must be at least 1 (omit the flag to skip the \
+                         smoke trace)"
+                            .into(),
+                    ));
+                }
+            }
+            "--trace-out" => {
+                trace_out = take_value(&mut i)?;
+                if trace_out.is_empty() {
+                    return Err(CliError("--trace-out needs a file path".into()));
+                }
+            }
             "--opt" => opt = parse_opt(&take_value(&mut i)?)?,
             _ if a.starts_with("--opt=") => opt = parse_opt(&a["--opt=".len()..])?,
             "--mode" => mode = take_value(&mut i)?,
@@ -507,6 +592,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         }
         i += 1;
     }
+    // The smoke trace is one feature behind two flags: requiring the pair
+    // keeps "trace requested but silently skipped" unrepresentable.
+    let check_trace_pair = |sim_cycles: u64, trace_out: &str| -> Result<(), CliError> {
+        match (sim_cycles > 0, !trace_out.is_empty()) {
+            (true, false) => Err(CliError(
+                "--sim-cycles needs --trace-out <file> for the smoke trace".into(),
+            )),
+            (false, true) => Err(CliError(
+                "--trace-out needs --sim-cycles <C> to drive the smoke trace".into(),
+            )),
+            _ => Ok(()),
+        }
+    };
     match (cmd.as_str(), positional.len()) {
         ("workloads", 0) => Ok(Command::Workloads),
         ("analyze", 2) => Ok(Command::Analyze {
@@ -521,6 +619,51 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             cols,
             opt,
         }),
+        ("emit", 2) => {
+            let format = if format.is_empty() {
+                "text".to_string()
+            } else {
+                format
+            };
+            if !matches!(format.as_str(), "text" | "yosys-json" | "verilog") {
+                return Err(CliError(format!(
+                    "--format for emit expects text, yosys-json, or verilog (got {format:?})"
+                )));
+            }
+            check_trace_pair(sim_cycles, &trace_out)?;
+            Ok(Command::Emit {
+                workload: positional[0].clone(),
+                dataflow: positional[1].clone(),
+                rows,
+                cols,
+                format,
+                opt,
+                sim_cycles,
+                trace_out,
+                out,
+            })
+        }
+        ("parse", 1) => {
+            let format = if format.is_empty() {
+                "auto".to_string()
+            } else {
+                format
+            };
+            if !matches!(format.as_str(), "auto" | "text" | "yosys-json") {
+                return Err(CliError(format!(
+                    "--format for parse expects auto, text, or yosys-json (got {format:?})"
+                )));
+            }
+            check_trace_pair(sim_cycles, &trace_out)?;
+            Ok(Command::Parse {
+                input: positional[0].clone(),
+                format,
+                opt,
+                sim_cycles,
+                trace_out,
+                out,
+            })
+        }
         ("simulate", 2) => Ok(Command::Simulate {
             workload: positional[0].clone(),
             dataflow: positional[1].clone(),
@@ -914,6 +1057,43 @@ fn emit_report(
     Ok(format!("wrote {what} to {path}\n"))
 }
 
+/// Runs the compiled bytecode engine over an interchange document for
+/// `cycles` cycles under a fixed seeded stimulus and renders one line per
+/// top-level output per cycle. The seed and the line format are fixed, so
+/// the emitting side and the re-parsing side of a round trip produce
+/// byte-identical traces exactly when the interchange preserved the design.
+fn smoke_trace(doc: &tensorlib::hw::text::NetlistDoc, cycles: u64) -> Result<String, CliError> {
+    use tensorlib::hw::interp::{elaborate, Interpreter};
+    use tensorlib::hw::netlist::Dir;
+    let flat = elaborate(&doc.modules, &doc.banks, &doc.top)
+        .map_err(|err| CliError(err.to_string()))?;
+    let inputs: Vec<String> = flat
+        .ports()
+        .iter()
+        .filter(|(_, d)| *d == Dir::Input)
+        .map(|(id, _)| flat.nets()[*id].name.clone())
+        .collect();
+    let outputs: Vec<String> = flat
+        .ports()
+        .iter()
+        .filter(|(_, d)| *d == Dir::Output)
+        .map(|(id, _)| flat.nets()[*id].name.clone())
+        .collect();
+    let mut sim = Interpreter::new(flat);
+    let mut rng = tensorlib::linalg::rng::SplitMix64::new(0x7E57_0A7C_0000_0001);
+    let mut text = String::new();
+    for cycle in 0..cycles {
+        for name in &inputs {
+            sim.poke(name, rng.next_u64());
+        }
+        sim.step();
+        for name in &outputs {
+            text.push_str(&format!("{cycle} {name}={}\n", sim.peek(name)));
+        }
+    }
+    Ok(text)
+}
+
 /// Executes a parsed command, returning the text to print.
 ///
 /// # Errors
@@ -968,6 +1148,158 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                     verilog.lines().count(),
                     design.top()
                 ))
+            }
+        }
+        Command::Emit {
+            workload,
+            dataflow,
+            rows,
+            cols,
+            format,
+            opt,
+            sim_cycles,
+            trace_out,
+            out,
+        } => {
+            let kernel = resolve_workload(&workload)?;
+            let df = find_named(&kernel, &dataflow, &DseConfig::default())
+                .map_err(|err| e(&err))?;
+            let cfg = HwConfig {
+                array: ArrayConfig { rows, cols },
+                ..HwConfig::default()
+            };
+            let mut design = generate(&df, &cfg).map_err(|err| e(&err))?;
+            design.validate().map_err(|err| e(&err))?;
+            if opt {
+                design.optimize(&tensorlib::hw::opt::OptOptions::default());
+                design.validate().map_err(|err| e(&err))?;
+            }
+            let doc = tensorlib::hw::text::NetlistDoc::from_design(&design);
+            let emitted = match format.as_str() {
+                "text" => tensorlib::hw::text::emit_text(&doc),
+                "yosys-json" => tensorlib::hw::yosys::emit_yosys(&doc),
+                _ => tensorlib::hw::verilog::emit_design(&design),
+            };
+            // Interchange emissions self-check their own round trip before
+            // any bytes leave the process: what we wrote is what a reader
+            // gets back.
+            if format != "verilog" {
+                let reparse = |s: &str| -> Result<tensorlib::hw::text::NetlistDoc, CliError> {
+                    let bad = |err: &dyn fmt::Display| {
+                        CliError(format!("emitted {format} does not re-parse: {err}"))
+                    };
+                    match format.as_str() {
+                        "text" => tensorlib::hw::text::parse_text(s).map_err(|err| bad(&err)),
+                        _ => tensorlib::hw::yosys::parse_yosys(s).map_err(|err| bad(&err)),
+                    }
+                };
+                if reparse(&emitted)? != doc {
+                    return Err(CliError(format!(
+                        "emitted {format} round trip is not structurally identical"
+                    )));
+                }
+            }
+            let trace_note = if sim_cycles > 0 {
+                let trace = smoke_trace(&doc, sim_cycles)?;
+                atomic_write(&trace_out, trace.as_bytes())
+                    .map_err(|err| CliError(format!("writing {trace_out}: {err}")))?;
+                format!("wrote {sim_cycles}-cycle smoke trace to {trace_out}\n")
+            } else {
+                String::new()
+            };
+            if out == "-" {
+                // The netlist itself is the stdout payload; the trace (if
+                // any) already landed in its own file.
+                Ok(emitted)
+            } else {
+                atomic_write(&out, emitted.as_bytes())
+                    .map_err(|err| CliError(format!("writing {out}: {err}")))?;
+                Ok(format!(
+                    "wrote {format} netlist to {out}: {} lines, top module {}\n{trace_note}",
+                    emitted.lines().count(),
+                    design.top()
+                ))
+            }
+        }
+        Command::Parse {
+            input,
+            format,
+            opt,
+            sim_cycles,
+            trace_out,
+            out,
+        } => {
+            let src = std::fs::read_to_string(&input)
+                .map_err(|err| CliError(format!("reading {input}: {err}")))?;
+            let fmt = if format == "auto" {
+                if src.trim_start().starts_with('{') {
+                    "yosys-json"
+                } else {
+                    "text"
+                }
+            } else {
+                format.as_str()
+            };
+            let doc = match fmt {
+                "text" => tensorlib::hw::text::parse_text(&src)
+                    .map_err(|err| CliError(format!("{input}: {err}")))?,
+                _ => tensorlib::hw::yosys::parse_yosys(&src)
+                    .map_err(|err| CliError(format!("{input}: {err}")))?,
+            };
+            doc.validate()
+                .map_err(|msg| CliError(format!("{input}: {msg}")))?;
+            let flat = tensorlib::hw::interp::elaborate(&doc.modules, &doc.banks, &doc.top)
+                .map_err(|err| CliError(format!("{input}: {err}")))?;
+            let ops = tensorlib::hw::interp::flat_op_count(&flat);
+            let mut s = format!(
+                "parsed {fmt} netlist {input}: top module {:?}, {} modules, {} banks\n\
+                 elaborated: {} flat nets, {ops} bytecode ops\n",
+                doc.top,
+                doc.modules.len(),
+                doc.banks.len(),
+                flat.nets().len(),
+            );
+            if opt {
+                let (opt_modules, _) = tensorlib::hw::opt::optimize_netlist(
+                    &doc.modules,
+                    &doc.top,
+                    &tensorlib::hw::opt::OptOptions::default(),
+                );
+                let opt_doc = tensorlib::hw::text::NetlistDoc {
+                    modules: opt_modules,
+                    banks: doc.banks.clone(),
+                    top: doc.top.clone(),
+                };
+                opt_doc.validate().map_err(|msg| {
+                    CliError(format!("{input}: optimized netlist fails validation: {msg}"))
+                })?;
+                let opt_flat = tensorlib::hw::interp::elaborate(
+                    &opt_doc.modules,
+                    &opt_doc.banks,
+                    &opt_doc.top,
+                )
+                .map_err(|err| {
+                    CliError(format!("{input}: optimized netlist fails elaboration: {err}"))
+                })?;
+                s.push_str(&format!(
+                    "optimizer recompile: {ops} -> {} bytecode ops\n",
+                    tensorlib::hw::interp::flat_op_count(&opt_flat),
+                ));
+            }
+            if sim_cycles > 0 {
+                let trace = smoke_trace(&doc, sim_cycles)?;
+                atomic_write(&trace_out, trace.as_bytes())
+                    .map_err(|err| CliError(format!("writing {trace_out}: {err}")))?;
+                s.push_str(&format!(
+                    "wrote {sim_cycles}-cycle smoke trace to {trace_out}\n"
+                ));
+            }
+            if out == "-" {
+                Ok(s)
+            } else {
+                atomic_write(&out, s.as_bytes())
+                    .map_err(|err| CliError(format!("writing {out}: {err}")))?;
+                Ok(format!("wrote parse report to {out}\n"))
             }
         }
         Command::Simulate {
@@ -1703,6 +2035,173 @@ mod tests {
         })
         .unwrap();
         assert!(out.contains("endmodule"));
+    }
+
+    #[test]
+    fn parse_emit_and_parse_commands() {
+        assert_eq!(
+            parse_args(&sv(&["emit", "gemm", "MNK-SST"])).unwrap(),
+            Command::Emit {
+                workload: "gemm".into(),
+                dataflow: "MNK-SST".into(),
+                rows: 16,
+                cols: 16,
+                format: "text".into(),
+                opt: true,
+                sim_cycles: 0,
+                trace_out: String::new(),
+                out: "-".into(),
+            }
+        );
+        assert_eq!(
+            parse_args(&sv(&[
+                "emit",
+                "gemm:8,8,8",
+                "MNK-SST",
+                "--rows",
+                "2",
+                "--cols",
+                "2",
+                "--format",
+                "yosys-json",
+                "--opt=off",
+                "--sim-cycles",
+                "64",
+                "--trace-out",
+                "t.trace",
+                "-o",
+                "n.json",
+            ]))
+            .unwrap(),
+            Command::Emit {
+                workload: "gemm:8,8,8".into(),
+                dataflow: "MNK-SST".into(),
+                rows: 2,
+                cols: 2,
+                format: "yosys-json".into(),
+                opt: false,
+                sim_cycles: 64,
+                trace_out: "t.trace".into(),
+                out: "n.json".into(),
+            }
+        );
+        assert_eq!(
+            parse_args(&sv(&["parse", "n.tl", "--format", "text", "-o", "r.txt"])).unwrap(),
+            Command::Parse {
+                input: "n.tl".into(),
+                format: "text".into(),
+                opt: true,
+                sim_cycles: 0,
+                trace_out: String::new(),
+                out: "r.txt".into(),
+            }
+        );
+        // Defaults: emit → text, parse → auto-sniff.
+        assert_eq!(
+            parse_args(&sv(&["parse", "n.json"])).unwrap(),
+            Command::Parse {
+                input: "n.json".into(),
+                format: "auto".into(),
+                opt: true,
+                sim_cycles: 0,
+                trace_out: String::new(),
+                out: "-".into(),
+            }
+        );
+        // Format values are validated per command, and the smoke-trace
+        // flags only come as a pair.
+        assert!(parse_args(&sv(&["emit", "gemm", "MNK-SST", "--format", "auto"])).is_err());
+        assert!(parse_args(&sv(&["parse", "n.tl", "--format", "verilog"])).is_err());
+        assert!(parse_args(&sv(&["emit", "gemm", "MNK-SST", "--sim-cycles", "8"])).is_err());
+        assert!(parse_args(&sv(&["parse", "n.tl", "--trace-out", "t.trace"])).is_err());
+        assert!(parse_args(&sv(&["emit", "gemm", "MNK-SST", "--sim-cycles", "0"])).is_err());
+    }
+
+    #[test]
+    fn run_emit_parse_round_trip_with_trace() {
+        let dir = std::env::temp_dir().join("tensorlib_cli_interchange_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |n: &str| dir.join(n).to_string_lossy().into_owned();
+        for (format, file) in [("text", "n.tl"), ("yosys-json", "n.json")] {
+            let netlist = p(file);
+            let emit_trace = p(&format!("{format}.emit.trace"));
+            let parse_trace = p(&format!("{format}.parse.trace"));
+            let out = run(Command::Emit {
+                workload: "gemm:8,8,8".into(),
+                dataflow: "MNK-SST".into(),
+                rows: 2,
+                cols: 2,
+                format: format.into(),
+                opt: true,
+                sim_cycles: 16,
+                trace_out: emit_trace.clone(),
+                out: netlist.clone(),
+            })
+            .unwrap();
+            assert!(out.contains("wrote"), "{out}");
+            // Auto-detection picks the right parser for both formats.
+            let out = run(Command::Parse {
+                input: netlist,
+                format: "auto".into(),
+                opt: true,
+                sim_cycles: 16,
+                trace_out: parse_trace.clone(),
+                out: "-".into(),
+            })
+            .unwrap();
+            assert!(out.contains(&format!("parsed {format} netlist")), "{out}");
+            assert!(out.contains("optimizer recompile"), "{out}");
+            let a = std::fs::read(&emit_trace).unwrap();
+            let b = std::fs::read(&parse_trace).unwrap();
+            assert!(!a.is_empty());
+            assert_eq!(a, b, "{format} smoke traces must be byte-identical");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_emit_verilog_matches_generate() {
+        let emit = run(Command::Emit {
+            workload: "gemm:8,8,8".into(),
+            dataflow: "MNK-SST".into(),
+            rows: 2,
+            cols: 2,
+            format: "verilog".into(),
+            opt: true,
+            sim_cycles: 0,
+            trace_out: String::new(),
+            out: "-".into(),
+        })
+        .unwrap();
+        let generate = run(Command::Generate {
+            workload: "gemm:8,8,8".into(),
+            dataflow: "MNK-SST".into(),
+            out: "-".into(),
+            rows: 2,
+            cols: 2,
+            opt: true,
+        })
+        .unwrap();
+        assert_eq!(emit, generate);
+    }
+
+    #[test]
+    fn run_parse_rejects_garbage_with_located_error() {
+        let dir = std::env::temp_dir().join("tensorlib_cli_parse_err_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.tl").to_string_lossy().into_owned();
+        std::fs::write(&path, "tensorlib-netlist v1\nmodule \"m\"\n").unwrap();
+        let err = run(Command::Parse {
+            input: path,
+            format: "text".into(),
+            opt: false,
+            sim_cycles: 0,
+            trace_out: String::new(),
+            out: "-".into(),
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("line"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

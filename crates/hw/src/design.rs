@@ -236,19 +236,39 @@ impl AcceleratorDesign {
     ///
     /// Returns the first [`NetlistError`] found.
     pub fn validate(&self) -> Result<(), NetlistError> {
-        // Port tables for all referencable modules.
-        let mut port_tables: HashMap<&str, &Module> = HashMap::new();
-        for m in &self.modules {
-            port_tables.insert(m.name(), m);
-        }
-        let bank_interfaces: Vec<Module> =
-            self.mem_banks.iter().map(MemBank::interface_module).collect();
-        for b in &bank_interfaces {
-            port_tables.insert(b.name(), b);
-        }
-
         for m in &self.modules {
             m.validate()?;
+        }
+        validate_modules(&self.modules, &self.mem_banks)
+    }
+}
+
+/// Cross-module validation over a bare module list: instance module/port
+/// existence, connection width agreement, and the extended driver census in
+/// which instance outputs count as drivers. Memory-bank templates in `banks`
+/// are referencable by their [`MemBank::module_name`] interface.
+///
+/// This is the census behind [`AcceleratorDesign::validate`], exposed as a
+/// free function so externally parsed documents
+/// ([`crate::text::NetlistDoc::validate`]) get the identical checks.
+///
+/// # Errors
+///
+/// Returns the first [`NetlistError`] found. Per-module structural checks
+/// ([`Module::validate`]) are the caller's responsibility.
+pub fn validate_modules(modules: &[Module], banks: &[MemBank]) -> Result<(), NetlistError> {
+    // Port tables for all referencable modules.
+    let mut port_tables: HashMap<&str, &Module> = HashMap::new();
+    for m in modules {
+        port_tables.insert(m.name(), m);
+    }
+    let bank_interfaces: Vec<Module> = banks.iter().map(MemBank::interface_module).collect();
+    for b in &bank_interfaces {
+        port_tables.insert(b.name(), b);
+    }
+
+    {
+        for m in modules {
             // Cross-module checks + extended driver census.
             let mut drivers: Vec<u32> = vec![0; m.nets().len()];
             let mut read: Vec<bool> = vec![false; m.nets().len()];

@@ -19,6 +19,10 @@
 //! 4. A lock-step differential run of the tree-walking interpreter against
 //!    the compiled bytecode interpreter: identical seeded stimulus every
 //!    cycle, every flat net compared after every step.
+//! 5. Interchange round trips ([`check_text_roundtrip`] /
+//!    [`check_yosys_roundtrip`]): the textual and Yosys-JSON forms must
+//!    reproduce the design exactly — structural identity, byte-identical
+//!    re-emission, and byte-identical compiled bytecode.
 //!
 //! Any failure can be handed to [`shrink_netlist`], which greedily deletes
 //! assigns, registers, instances, and ports (garbage-collecting unreferenced
@@ -82,6 +86,16 @@ pub enum NetlistFailureKind {
     /// elaboration, or any engine running it diverged from the unoptimized
     /// reference on a top-level output.
     OptMismatch,
+    /// The textual-netlist round trip broke: the emitted text failed to
+    /// parse, the parsed document differed structurally from the original,
+    /// re-emission was not byte-identical, or the compiled bytecode of the
+    /// round-tripped design diverged.
+    TextRoundtrip,
+    /// The Yosys-JSON round trip broke (same contract as [`TextRoundtrip`]
+    /// over the JSON interchange path).
+    ///
+    /// [`TextRoundtrip`]: NetlistFailureKind::TextRoundtrip
+    YosysRoundtrip,
 }
 
 impl NetlistFailureKind {
@@ -94,6 +108,8 @@ impl NetlistFailureKind {
             NetlistFailureKind::Mismatch => "mismatch",
             NetlistFailureKind::BatchMismatch => "batch_mismatch",
             NetlistFailureKind::OptMismatch => "opt_mismatch",
+            NetlistFailureKind::TextRoundtrip => "text_roundtrip",
+            NetlistFailureKind::YosysRoundtrip => "yosys_roundtrip",
         }
     }
 }
@@ -567,16 +583,91 @@ pub fn check_opt_netlist_with(
     })
 }
 
+/// Shared body of the two interchange round-trip oracles: re-parse the
+/// emitted form, demand structural identity, byte-identical re-emission,
+/// and identical compiled bytecode ([`crate::interp::bytecode_dump`]).
+fn check_roundtrip_with<E>(
+    modules: &[Module],
+    top: &str,
+    kind: NetlistFailureKind,
+    what: &str,
+    emit: impl Fn(&crate::text::NetlistDoc) -> String,
+    parse: impl Fn(&str) -> Result<crate::text::NetlistDoc, E>,
+) -> Result<(), NetlistFailure>
+where
+    E: std::fmt::Display,
+{
+    let fail = |detail: String| NetlistFailure { kind, detail };
+    let doc = crate::text::NetlistDoc::from_modules(modules, top);
+    let emitted = emit(&doc);
+    let parsed =
+        parse(&emitted).map_err(|e| fail(format!("emitted {what} does not parse: {e}")))?;
+    if parsed != doc {
+        return Err(fail(format!(
+            "parsed {what} document is not structurally identical to the original"
+        )));
+    }
+    let re_emitted = emit(&parsed);
+    if re_emitted != emitted {
+        return Err(fail(format!("{what} re-emission is not byte-identical")));
+    }
+    let flat_ref = elaborate(modules, &[], top).map_err(|e| NetlistFailure {
+        kind: NetlistFailureKind::Elaborate,
+        detail: e.to_string(),
+    })?;
+    let flat_rt = elaborate(&parsed.modules, &[], &parsed.top)
+        .map_err(|e| fail(format!("round-tripped {what} netlist fails elaboration: {e}")))?;
+    if crate::interp::bytecode_dump(&flat_rt) != crate::interp::bytecode_dump(&flat_ref) {
+        return Err(fail(format!(
+            "round-tripped {what} netlist compiles to different bytecode"
+        )));
+    }
+    Ok(())
+}
+
+/// Round-trip oracle over the textual netlist format
+/// ([`crate::text::emit_text`] / [`crate::text::parse_text`]): the emitted
+/// text must parse back to a structurally identical document, re-emit
+/// byte-identically, and compile to byte-identical bytecode.
+pub fn check_text_roundtrip(modules: &[Module], top: &str) -> Result<(), NetlistFailure> {
+    check_roundtrip_with(
+        modules,
+        top,
+        NetlistFailureKind::TextRoundtrip,
+        "text",
+        crate::text::emit_text,
+        crate::text::parse_text,
+    )
+}
+
+/// Round-trip oracle over the Yosys-JSON interchange format
+/// ([`crate::yosys::emit_yosys`] / [`crate::yosys::parse_yosys`]): same
+/// contract as [`check_text_roundtrip`].
+pub fn check_yosys_roundtrip(modules: &[Module], top: &str) -> Result<(), NetlistFailure> {
+    check_roundtrip_with(
+        modules,
+        top,
+        NetlistFailureKind::YosysRoundtrip,
+        "yosys-json",
+        crate::yosys::emit_yosys,
+        crate::yosys::parse_yosys,
+    )
+}
+
 /// Panics if the two scalar interpreter engines (or any crash oracle)
 /// disagree on this netlist, if the lane-batched engine diverges from a
 /// scalar reference on any flat net on any of [`DEFAULT_ORACLE_LANES`]
-/// stimulus lanes in any cycle, or if the optimization pipeline changes any
-/// observable output ([`check_opt_netlist`]). Convenience wrapper used by
-/// committed regression tests.
+/// stimulus lanes in any cycle, if the optimization pipeline changes any
+/// observable output ([`check_opt_netlist`]), or if either interchange
+/// round trip ([`check_text_roundtrip`] / [`check_yosys_roundtrip`]) fails
+/// to reproduce the design exactly. Convenience wrapper used by committed
+/// regression tests.
 pub fn assert_engines_agree(modules: &[Module], top: &str, seed: u64, cycles: u64) {
     if let Err(f) = check_netlist(modules, top, seed, cycles, None)
         .and_then(|()| check_batch_netlist(modules, top, seed, cycles, DEFAULT_ORACLE_LANES))
         .and_then(|()| check_opt_netlist(modules, top, seed, cycles, DEFAULT_ORACLE_LANES))
+        .and_then(|()| check_text_roundtrip(modules, top))
+        .and_then(|()| check_yosys_roundtrip(modules, top))
     {
         panic!("{}: {}", f.kind.label(), f.detail);
     }

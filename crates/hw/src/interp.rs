@@ -743,6 +743,16 @@ pub fn flat_op_count(flat: &FlatDesign) -> usize {
     Compiled::build(flat).op_count()
 }
 
+/// Deterministic textual dump of the full compiled bytecode for a flat
+/// design: settle stream, register stream, alias-resolution map, register
+/// targets, and bank bindings. Two flat designs compile identically exactly
+/// when their dumps are byte-identical, which makes this the equality
+/// witness behind the interchange round-trip contract (`DESIGN.md` §15):
+/// `parse(emit(design))` must reproduce this string byte-for-byte.
+pub fn bytecode_dump(flat: &FlatDesign) -> String {
+    format!("{:#?}", Compiled::build(flat))
+}
+
 /// One [`FaultSpec`] resolved against a flat netlist: the canonical value
 /// slot, register index, or bank storage word the interpreter engines act
 /// on. Shared by the scalar [`Interpreter::attach_faults`] and the

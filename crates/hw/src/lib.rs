@@ -49,9 +49,11 @@ pub mod mem;
 pub mod netlist;
 pub mod opt;
 pub mod pe;
+pub mod text;
 pub mod tiling;
 pub mod trace;
 pub mod verilog;
+pub mod yosys;
 
 pub use array::{ArrayConfig, HwError};
 pub use fault::{FaultKind, FaultSpec, Hardening};

@@ -11,6 +11,301 @@ use crate::design::AcceleratorDesign;
 use crate::mem::MemBank;
 use crate::netlist::{BinOp, Dir, Expr, Module};
 
+/// The IEEE 1800-2017 reserved words (Annex B), sorted for binary search.
+/// Any net/module/instance/port name on this list — or with characters a
+/// simple identifier cannot carry — must be emitted as an escaped
+/// identifier, or the output is not legal Verilog.
+const VERILOG_KEYWORDS: &[&str] = &[
+    "accept_on",
+    "alias",
+    "always",
+    "always_comb",
+    "always_ff",
+    "always_latch",
+    "and",
+    "assert",
+    "assign",
+    "assume",
+    "automatic",
+    "before",
+    "begin",
+    "bind",
+    "bins",
+    "binsof",
+    "bit",
+    "break",
+    "buf",
+    "bufif0",
+    "bufif1",
+    "byte",
+    "case",
+    "casex",
+    "casez",
+    "cell",
+    "chandle",
+    "checker",
+    "class",
+    "clocking",
+    "cmos",
+    "config",
+    "const",
+    "constraint",
+    "context",
+    "continue",
+    "cover",
+    "covergroup",
+    "coverpoint",
+    "cross",
+    "deassign",
+    "default",
+    "defparam",
+    "design",
+    "disable",
+    "dist",
+    "do",
+    "edge",
+    "else",
+    "end",
+    "endcase",
+    "endchecker",
+    "endclass",
+    "endclocking",
+    "endconfig",
+    "endfunction",
+    "endgenerate",
+    "endgroup",
+    "endinterface",
+    "endmodule",
+    "endpackage",
+    "endprimitive",
+    "endprogram",
+    "endproperty",
+    "endsequence",
+    "endspecify",
+    "endtable",
+    "endtask",
+    "enum",
+    "event",
+    "eventually",
+    "expect",
+    "export",
+    "extends",
+    "extern",
+    "final",
+    "first_match",
+    "for",
+    "force",
+    "foreach",
+    "forever",
+    "fork",
+    "forkjoin",
+    "function",
+    "generate",
+    "genvar",
+    "global",
+    "highz0",
+    "highz1",
+    "if",
+    "iff",
+    "ifnone",
+    "ignore_bins",
+    "illegal_bins",
+    "implements",
+    "implies",
+    "import",
+    "incdir",
+    "include",
+    "initial",
+    "inout",
+    "input",
+    "inside",
+    "instance",
+    "int",
+    "integer",
+    "interconnect",
+    "interface",
+    "intersect",
+    "join",
+    "join_any",
+    "join_none",
+    "large",
+    "let",
+    "liblist",
+    "library",
+    "local",
+    "localparam",
+    "logic",
+    "longint",
+    "macromodule",
+    "matches",
+    "medium",
+    "modport",
+    "module",
+    "nand",
+    "negedge",
+    "nettype",
+    "new",
+    "nexttime",
+    "nmos",
+    "nor",
+    "noshowcancelled",
+    "not",
+    "notif0",
+    "notif1",
+    "null",
+    "or",
+    "output",
+    "package",
+    "packed",
+    "parameter",
+    "pmos",
+    "posedge",
+    "primitive",
+    "priority",
+    "program",
+    "property",
+    "protected",
+    "pull0",
+    "pull1",
+    "pulldown",
+    "pullup",
+    "pulsestyle_ondetect",
+    "pulsestyle_onevent",
+    "pure",
+    "rand",
+    "randc",
+    "randcase",
+    "randsequence",
+    "rcmos",
+    "real",
+    "realtime",
+    "ref",
+    "reg",
+    "reject_on",
+    "release",
+    "repeat",
+    "restrict",
+    "return",
+    "rnmos",
+    "rpmos",
+    "rtran",
+    "rtranif0",
+    "rtranif1",
+    "s_always",
+    "s_eventually",
+    "s_nexttime",
+    "s_until",
+    "s_until_with",
+    "scalared",
+    "sequence",
+    "shortint",
+    "shortreal",
+    "showcancelled",
+    "signed",
+    "small",
+    "soft",
+    "solve",
+    "specify",
+    "specparam",
+    "static",
+    "string",
+    "strong",
+    "strong0",
+    "strong1",
+    "struct",
+    "super",
+    "supply0",
+    "supply1",
+    "sync_accept_on",
+    "sync_reject_on",
+    "table",
+    "tagged",
+    "task",
+    "this",
+    "throughout",
+    "time",
+    "timeprecision",
+    "timeunit",
+    "tran",
+    "tranif0",
+    "tranif1",
+    "tri",
+    "tri0",
+    "tri1",
+    "triand",
+    "trior",
+    "trireg",
+    "type",
+    "typedef",
+    "union",
+    "unique",
+    "unique0",
+    "unsigned",
+    "until",
+    "until_with",
+    "untyped",
+    "use",
+    "uwire",
+    "var",
+    "vectored",
+    "virtual",
+    "void",
+    "wait",
+    "wait_order",
+    "wand",
+    "weak",
+    "weak0",
+    "weak1",
+    "while",
+    "wildcard",
+    "wire",
+    "with",
+    "within",
+    "wor",
+    "xnor",
+    "xor",
+];
+
+/// Renders a name as a legal Verilog identifier. Simple identifiers
+/// (`[A-Za-z_][A-Za-z0-9_$]*`, not reserved) pass through verbatim; every
+/// other name — keywords, empty names, names with hostile characters —
+/// becomes an escaped identifier (`\name`, terminated by the mandatory
+/// trailing space). Inside the escaped form, printable ASCII is kept
+/// verbatim except `$`, which doubles to `$$`; whitespace, control, and
+/// non-ASCII characters become `$uXXXX`. The encoding is injective, so
+/// distinct source names never merge into one emitted identifier, and it
+/// is deterministic, so emission stays byte-reproducible.
+fn vl_ident(name: &str) -> String {
+    let simple = !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
+        && VERILOG_KEYWORDS.binary_search(&name).is_err();
+    if simple {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 2);
+    out.push('\\');
+    if name.is_empty() {
+        out.push_str("$empty");
+    }
+    for c in name.chars() {
+        match c {
+            '$' => out.push_str("$$"),
+            c if (0x21..=0x7e).contains(&(c as u32)) => out.push(c),
+            c => {
+                let _ = write!(out, "$u{:04x}", c as u32);
+            }
+        }
+    }
+    out.push(' ');
+    out
+}
+
 /// Collects intermediate wires for expressions that Verilog cannot
 /// part-select directly. `(a + b)[7:0]` is illegal — a part-select operand
 /// must be a simple identifier — so narrowing `Resize`/`SignExtend` of a
@@ -81,9 +376,9 @@ pub fn emit_module(m: &Module) -> String {
         port_names.push("rst".into());
     }
     for (id, _) in m.ports() {
-        port_names.push(m.nets()[*id].name.clone());
+        port_names.push(vl_ident(&m.nets()[*id].name));
     }
-    let _ = writeln!(s, "module {} (", m.name());
+    let _ = writeln!(s, "module {} (", vl_ident(m.name()));
     let _ = writeln!(s, "  {}", port_names.join(",\n  "));
     let _ = writeln!(s, ");");
     if has_regs {
@@ -104,7 +399,7 @@ pub fn emit_module(m: &Module) -> String {
                 }
             }
         };
-        let _ = writeln!(s, "  {}{}{};", d, width_decl(n.width), n.name);
+        let _ = writeln!(s, "  {}{}{};", d, width_decl(n.width), vl_ident(&n.name));
     }
     // Internal nets.
     let port_ids: Vec<usize> = m.ports().iter().map(|(id, _)| *id).collect();
@@ -113,7 +408,7 @@ pub fn emit_module(m: &Module) -> String {
             continue;
         }
         let kw = if reg_targets.contains(&id) { "reg" } else { "wire" };
-        let _ = writeln!(s, "  {}{}{};", kw, width_decl(n.width), n.name);
+        let _ = writeln!(s, "  {}{}{};", kw, width_decl(n.width), vl_ident(&n.name));
     }
     // The body is emitted into a scratch buffer first so hoisted wires
     // (discovered while emitting expressions) can be declared up front.
@@ -124,13 +419,13 @@ pub fn emit_module(m: &Module) -> String {
         let _ = writeln!(
             body,
             "  assign {} = {};",
-            m.nets()[*target].name,
+            vl_ident(&m.nets()[*target].name),
             emit_expr(expr, m, &mut h)
         );
     }
     // Registers.
     for r in m.regs() {
-        let name = &m.nets()[r.target].name;
+        let name = &vl_ident(&m.nets()[r.target].name);
         let _ = writeln!(body, "  always @(posedge clk) begin");
         let _ = writeln!(
             body,
@@ -160,9 +455,18 @@ pub fn emit_module(m: &Module) -> String {
         let mut conns: Vec<String> =
             vec!["    .clk(clk)".into(), "    .rst(rst)".into()];
         for (port, net) in &inst.connections {
-            conns.push(format!("    .{}({})", port, m.nets()[*net].name));
+            conns.push(format!(
+                "    .{}({})",
+                vl_ident(port),
+                vl_ident(&m.nets()[*net].name)
+            ));
         }
-        let _ = writeln!(body, "  {} {} (", inst.module, inst.name);
+        let _ = writeln!(
+            body,
+            "  {} {} (",
+            vl_ident(&inst.module),
+            vl_ident(&inst.name)
+        );
         let _ = writeln!(body, "{}", conns.join(",\n"));
         let _ = writeln!(body, "  );");
     }
@@ -211,7 +515,7 @@ fn selectable(inner: &Expr, m: &Module, h: &mut Hoister) -> String {
 fn emit_expr(expr: &Expr, m: &Module, h: &mut Hoister) -> String {
     match expr {
         Expr::Const { value, width } => format!("{width}'d{value}"),
-        Expr::Net(id) => m.nets()[*id].name.clone(),
+        Expr::Net(id) => vl_ident(&m.nets()[*id].name),
         Expr::Not(e) => format!("(~{})", emit_expr(e, m, h)),
         Expr::Bin(op, a, b) => {
             let o = match op {
@@ -635,6 +939,73 @@ mod tests {
             .filter(|b| b.port.kind.is_input())
             .count();
         assert_eq!(tb.matches("= $random;").count(), fills);
+    }
+
+    #[test]
+    fn keyword_list_is_sorted_and_unique() {
+        // vl_ident binary-searches the list, so order is load-bearing.
+        for w in VERILOG_KEYWORDS.windows(2) {
+            assert!(w[0] < w[1], "out of order: {:?} !< {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn every_keyword_escapes() {
+        for kw in VERILOG_KEYWORDS {
+            assert_eq!(
+                vl_ident(kw),
+                format!("\\{kw} "),
+                "keyword {kw:?} must emit escaped"
+            );
+        }
+    }
+
+    #[test]
+    fn valid_identifiers_pass_through() {
+        for name in ["a", "_x", "pe_0_0", "acc$shadow", "Reg", "wires", "end_"] {
+            assert_eq!(vl_ident(name), name, "{name:?} is a legal identifier");
+        }
+    }
+
+    #[test]
+    fn hostile_identifiers_escape_injectively() {
+        assert_eq!(vl_ident(""), "\\$empty ");
+        assert_eq!(vl_ident("0net"), "\\0net ");
+        assert_eq!(vl_ident("a b"), "\\a$u0020b ");
+        assert_eq!(vl_ident("a\nb"), "\\a$u000ab ");
+        assert_eq!(vl_ident("naïve"), "\\na$u00efve ");
+        // `$` doubles, so a literal `a$u0020b` cannot collide with the
+        // escape of `a b` (and being a simple identifier it passes through).
+        assert_eq!(vl_ident("a$u0020b"), "a$u0020b");
+        assert_ne!(vl_ident("a b"), vl_ident("a$u0020b"));
+    }
+
+    #[test]
+    fn keyword_named_nets_emit_escaped() {
+        let mut m = Module::new("module");
+        let a = m.input("reg", 8);
+        let y = m.output("output", 8);
+        m.assign(y, Expr::net(a).add(Expr::lit(1, 8)));
+        let v = emit_module(&m);
+        assert!(v.contains("module \\module  ("), "module name escaped: {v}");
+        assert!(
+            v.contains("  input wire [7:0] \\reg ;"),
+            "port decl escaped: {v}"
+        );
+        assert!(
+            v.contains("assign \\output  = (\\reg  + 8'd1);"),
+            "assign with escaped operands: {v}"
+        );
+    }
+
+    #[test]
+    fn keyword_named_instance_ports_emit_escaped() {
+        let mut m = Module::new("wrap2");
+        let a = m.input("in", 8);
+        m.instance("wire", "always", vec![("case".into(), a)]);
+        let v = emit_module(&m);
+        assert!(v.contains("\\wire  \\always  ("), "instance line escaped: {v}");
+        assert!(v.contains(".\\case (in)"), "connection port escaped: {v}");
     }
 
     #[test]

@@ -4,7 +4,16 @@
 //! trace well-formedness tests need a reader. This is a small recursive
 //! descent parser: full JSON syntax, objects kept in document order,
 //! numbers as `f64` (plus a lossless `u64` view for integer fields). It is
-//! a validator for our own reports, not a general-purpose library.
+//! a validator for our own reports plus the document substrate for the
+//! Yosys-JSON netlist interchange in `tensorlib-hw`, which also needs the
+//! [`std::fmt::Display`] serializer: `parse(&v.to_string())` reconstructs
+//! `v` exactly.
+//!
+//! Numbers are stored as `f64`, so integers beyond 2^53 parse but round;
+//! [`Value::as_u64`] returns `None` outside the exactly-representable
+//! range, making the loss detectable instead of silent. Literals that
+//! overflow `f64` entirely (e.g. `1e309`) are a parse error, never a
+//! silent infinity.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -200,15 +209,37 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
-                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
-                        // Surrogate pairs are not needed for our reports;
-                        // map lone surrogates to the replacement character.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *pos += 4;
+                        // `*pos` is the `u`; the escape starts one byte back.
+                        let at = *pos - 1;
+                        let hi = read_hex4(bytes, *pos + 1, at)?;
+                        *pos += 5;
+                        let ch = if (0xD800..=0xDBFF).contains(&hi) {
+                            // High surrogate: a low surrogate escape must
+                            // follow immediately (UTF-16 pair for a
+                            // supplementary-plane character).
+                            if bytes.get(*pos) != Some(&b'\\')
+                                || bytes.get(*pos + 1) != Some(&b'u')
+                            {
+                                return Err(format!(
+                                    "unpaired high surrogate \\u{hi:04x} at byte {at}"
+                                ));
+                            }
+                            let lo = read_hex4(bytes, *pos + 2, at)?;
+                            if !(0xDC00..=0xDFFF).contains(&lo) {
+                                return Err(format!(
+                                    "invalid surrogate pair \\u{hi:04x}\\u{lo:04x} at byte {at}"
+                                ));
+                            }
+                            *pos += 6;
+                            let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(code).expect("surrogate pairs decode to valid scalars")
+                        } else if (0xDC00..=0xDFFF).contains(&hi) {
+                            return Err(format!("lone low surrogate \\u{hi:04x} at byte {at}"));
+                        } else {
+                            char::from_u32(hi).expect("non-surrogate BMP values are scalars")
+                        };
+                        out.push(ch);
+                        continue;
                     }
                     other => return Err(format!("bad escape {other:?}")),
                 }
@@ -230,6 +261,17 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
+/// Reads the four hex digits of a `\u` escape starting at byte `at`;
+/// `esc_at` is the position of the backslash, used only for the error.
+fn read_hex4(bytes: &[u8], at: usize, esc_at: usize) -> Result<u32, String> {
+    let hex = bytes
+        .get(at..at + 4)
+        .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
+        .ok_or_else(|| format!("bad \\u escape at byte {esc_at}"))?;
+    let hex = std::str::from_utf8(hex).expect("hex digits are ASCII");
+    Ok(u32::from_str_radix(hex, 16).expect("four hex digits fit u32"))
+}
+
 fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     let start = *pos;
     if bytes.get(*pos) == Some(&b'-') {
@@ -241,9 +283,87 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
         *pos += 1;
     }
     let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
-    text.parse::<f64>()
-        .map(Value::Num)
-        .map_err(|_| format!("bad number `{text}` at byte {start}"))
+    let n: f64 = text
+        .parse()
+        .map_err(|_| format!("bad number `{text}` at byte {start}"))?;
+    // `f64::from_str` saturates to ±inf past ~1.8e308; surfacing that as a
+    // Value would silently corrupt any arithmetic downstream. Integers
+    // beyond 2^53 stay finite but round — `as_u64` refuses those, so the
+    // loss is detectable, and the only hard failure is true overflow.
+    if !n.is_finite() {
+        return Err(format!("number `{text}` at byte {start} overflows f64"));
+    }
+    Ok(Value::Num(n))
+}
+
+/// Serializes a [`Value`] back to JSON text: pretty-printed with two-space
+/// indentation, deterministic (object entries in stored order), and
+/// round-trippable — `parse(&v.to_string()) == Ok(v)` for any parsed `v`.
+/// Integers up to 2^53 in magnitude print in integer form; other numbers
+/// use the shortest representation that reparses to the same `f64`.
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write_value(f, self, 0)
+    }
+}
+
+fn write_value(f: &mut std::fmt::Formatter<'_>, v: &Value, indent: usize) -> std::fmt::Result {
+    match v {
+        Value::Null => f.write_str("null"),
+        Value::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => {
+            const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+            if n.fract() == 0.0 && n.abs() <= EXACT {
+                write!(f, "{}", *n as i64)
+            } else {
+                // `{:?}` prints the shortest string that reparses exactly.
+                write!(f, "{n:?}")
+            }
+        }
+        Value::Str(s) => write_string(f, s),
+        Value::Arr(items) => {
+            if items.is_empty() {
+                return f.write_str("[]");
+            }
+            f.write_str("[\n")?;
+            for (i, item) in items.iter().enumerate() {
+                write!(f, "{:indent$}", "", indent = indent + 2)?;
+                write_value(f, item, indent + 2)?;
+                f.write_str(if i + 1 < items.len() { ",\n" } else { "\n" })?;
+            }
+            write!(f, "{:indent$}]", "")
+        }
+        Value::Obj(entries) => {
+            if entries.is_empty() {
+                return f.write_str("{}");
+            }
+            f.write_str("{\n")?;
+            for (i, (k, item)) in entries.iter().enumerate() {
+                write!(f, "{:indent$}", "", indent = indent + 2)?;
+                write_string(f, k)?;
+                f.write_str(": ")?;
+                write_value(f, item, indent + 2)?;
+                f.write_str(if i + 1 < entries.len() { ",\n" } else { "\n" })?;
+            }
+            write!(f, "{:indent$}}}", "")
+        }
+    }
+}
+
+fn write_string(f: &mut std::fmt::Formatter<'_>, s: &str) -> std::fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\t' => f.write_str("\\t")?,
+            '\r' => f.write_str("\\r")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
 }
 
 #[cfg(test)]
@@ -308,5 +428,90 @@ mod tests {
         assert_eq!(parse("0").unwrap().as_u64(), Some(0));
         assert_eq!(parse("-1").unwrap().as_u64(), None);
         assert_eq!(parse("1.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn decodes_surrogate_pairs() {
+        assert_eq!(parse(r#""😀""#).unwrap().as_str(), Some("😀"));
+        assert_eq!(parse(r#""a😀b""#).unwrap().as_str(), Some("a😀b"));
+        // BMP escapes still decode directly.
+        assert_eq!(parse(r#""é""#).unwrap().as_str(), Some("é"));
+    }
+
+    #[test]
+    fn rejects_malformed_unicode_escapes_with_position() {
+        // Lone high surrogate, lone low surrogate, bad pair, bad hex,
+        // truncated escape: all hard positioned errors, never U+FFFD.
+        for (doc, needle) in [
+            (r#""\ud83d""#, "unpaired high surrogate"),
+            (r#""\ud83dx""#, "unpaired high surrogate"),
+            (r#""\ud83d\ud800""#, "invalid surrogate pair"),
+            (r#""\ude00""#, "lone low surrogate"),
+            (r#""\uzzzz""#, "bad \\u escape"),
+            (r#""\u00"#, "bad \\u escape"),
+        ] {
+            let err = parse(doc).unwrap_err();
+            assert!(err.contains(needle), "{doc}: {err}");
+            assert!(err.contains("at byte 1"), "{doc}: {err}");
+        }
+    }
+
+    #[test]
+    fn number_overflow_is_an_error_not_infinity() {
+        for doc in ["1e309", "-1e309", "123e99999"] {
+            let err = parse(doc).unwrap_err();
+            assert!(err.contains("overflows f64"), "{doc}: {err}");
+        }
+        // Just inside the representable range stays fine.
+        assert!(parse("1e308").unwrap().as_f64().unwrap().is_finite());
+    }
+
+    #[test]
+    fn integer_precision_boundaries() {
+        // 2^53 is the last contiguously exact integer: as_u64 accepts it.
+        assert_eq!(
+            parse("9007199254740992").unwrap().as_u64(),
+            Some(9007199254740992)
+        );
+        // u64::MAX and its neighbors parse (lossily, documented) but the
+        // exact-integer view refuses them rather than returning a rounded
+        // value.
+        for doc in [
+            "18446744073709551615", // u64::MAX
+            "18446744073709551614",
+            "18446744073709551616", // u64::MAX + 1
+        ] {
+            let v = parse(doc).unwrap();
+            assert_eq!(v.as_u64(), None, "{doc}");
+            assert!(v.as_f64().unwrap().is_finite());
+        }
+    }
+
+    #[test]
+    fn serializer_round_trips() {
+        let doc = parse(
+            r#"{"a": [1, 2.5, -3, []], "b": {"c": "hi\n\t\"\\x", "d": true, "e": null, "f": {}}, "g": "😀é", "h": 1e300, "ctl": ""}"#,
+        )
+        .unwrap();
+        let text = doc.to_string();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, doc);
+        // Serialization is deterministic and idempotent.
+        assert_eq!(back.to_string(), text);
+        // Control characters serialize as \u escapes and survive the trip.
+        let ctl = Value::Str("\u{1}a\u{1f}".to_string());
+        assert_eq!(ctl.to_string(), "\"\\u0001a\\u001f\"");
+        assert_eq!(parse(&ctl.to_string()).unwrap(), ctl);
+    }
+
+    #[test]
+    fn serializer_integer_form_is_stable() {
+        assert_eq!(parse("42").unwrap().to_string(), "42");
+        assert_eq!(parse("-7").unwrap().to_string(), "-7");
+        assert_eq!(parse("2.5").unwrap().to_string(), "2.5");
+        assert_eq!(
+            parse("9007199254740992").unwrap().to_string(),
+            "9007199254740992"
+        );
     }
 }

@@ -31,8 +31,8 @@ use tensorlib_hw::fault::Hardening;
 use tensorlib_linalg::rng::SplitMix64;
 use tensorlib_hw::batch::BatchSim;
 use tensorlib_hw::fuzz::{
-    check_batch_netlist, check_netlist, check_opt_netlist, gen_netlist, rust_repro,
-    shrink_netlist, NetlistFuzzConfig,
+    check_batch_netlist, check_netlist, check_opt_netlist, check_text_roundtrip,
+    check_yosys_roundtrip, gen_netlist, rust_repro, shrink_netlist, NetlistFuzzConfig,
 };
 use tensorlib_hw::interp::{elaborate_design, Interpreter};
 use tensorlib_hw::trace::TraceConfig;
@@ -165,6 +165,8 @@ fn netlist_finding(seed: u64, cfg: &VerifyConfig) -> Option<Finding> {
                     Ok(())
                 }
             })
+            .and_then(|()| check_text_roundtrip(mods, t))
+            .and_then(|()| check_yosys_roundtrip(mods, t))
     };
     let failure = match check(&modules, &top) {
         Ok(()) => return None,

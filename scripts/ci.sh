@@ -7,7 +7,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
+# --workspace is load-bearing: the root umbrella package only *dev*-depends
+# on the CLI, so a bare `cargo build` leaves ./target/release/tensorlib (and
+# perfgate) stale and every smoke below would run against old bits.
+cargo build --release --workspace
 cargo test -q
 cargo clippy -q --all-targets -- -D warnings
 
@@ -17,6 +20,7 @@ cargo test -q --test trace_observability
 cargo test -q --test observability
 cargo test -q --test proptest_pipeline
 cargo test -q --test fuzz_regressions
+cargo test -q --test interchange_roundtrip
 cargo test -q -p tensorlib-hw --lib trace
 cargo test -q -p tensorlib-sim --lib trace
 
@@ -46,6 +50,28 @@ cmp /tmp/ci_faults_scalar.json /tmp/ci_faults_lanes.json
 rm -f /tmp/ci_faults_scalar.json /tmp/ci_faults_lanes.json
 ./target/release/tensorlib fuzz --mode netlist --seed 0 --seeds 50 --lanes 8 -o - \
     | grep -q '"total_findings": 0'
+
+# Interchange round-trip smoke (DESIGN.md §15): emit a small design to both
+# interchange formats with a seeded 64-cycle smoke trace, re-parse each file
+# (auto-detected), recompile, and require the re-parsed side to reproduce
+# the emitting side's output trace byte-for-byte. The netlist-mode fuzz
+# smokes above already chain the text/yosys round-trip oracles per seed.
+rt_dir=$(mktemp -d)
+./target/release/tensorlib emit gemm:8,8,8 MNK-SST --rows 2 --cols 2 \
+    --format text --sim-cycles 64 --trace-out "$rt_dir/emit_text.trace" \
+    -o "$rt_dir/n.tl" >/dev/null
+./target/release/tensorlib emit gemm:8,8,8 MNK-SST --rows 2 --cols 2 \
+    --format yosys-json --sim-cycles 64 --trace-out "$rt_dir/emit_json.trace" \
+    -o "$rt_dir/n.json" >/dev/null
+./target/release/tensorlib parse "$rt_dir/n.tl" --sim-cycles 64 \
+    --trace-out "$rt_dir/parse_text.trace" -o - | grep -q "optimizer recompile"
+./target/release/tensorlib parse "$rt_dir/n.json" --sim-cycles 64 \
+    --trace-out "$rt_dir/parse_json.trace" -o - | grep -q "parsed yosys-json"
+cmp "$rt_dir/emit_text.trace" "$rt_dir/parse_text.trace"
+cmp "$rt_dir/emit_json.trace" "$rt_dir/parse_json.trace"
+# Both formats describe the same design, so all four traces agree.
+cmp "$rt_dir/emit_text.trace" "$rt_dir/emit_json.trace"
+rm -rf "$rt_dir"
 
 # Optimizer smokes. First, 200 netlist-fuzz seeds with the opt-vs-unoptimized
 # lock-step oracle explicitly armed: every generated netlist is optimized and

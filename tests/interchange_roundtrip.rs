@@ -1,0 +1,201 @@
+//! Round-trip battery for the netlist interchange formats.
+//!
+//! Every design below must survive `parse(emit(design))` in both the
+//! textual format (`tensorlib::hw::text`) and the Yosys-JSON format
+//! (`tensorlib::hw::yosys`) with three witnesses:
+//!
+//! 1. structural identity — the parsed [`NetlistDoc`] is `==` the original;
+//! 2. byte identity — re-emitting the parsed document reproduces the first
+//!    emission byte-for-byte (the emitters are deterministic and the
+//!    parsers lossless);
+//! 3. semantic identity — both documents compile to byte-identical
+//!    bytecode ([`tensorlib::hw::interp::bytecode_dump`]).
+//!
+//! The corpus: the six Figure 3 PE templates, the banked 4×4
+//! output-stationary GEMM design, and 200 seeds of the netlist fuzzer
+//! (hierarchical modules, registers with enables and resets, hostile
+//! names). A 1000-seed acceptance sweep rides behind `#[ignore]` — run it
+//! with `cargo test --test interchange_roundtrip -- --ignored`.
+
+use tensorlib::hw::fuzz::{
+    check_text_roundtrip, check_yosys_roundtrip, gen_netlist, NetlistFuzzConfig,
+};
+use tensorlib::hw::interp::{bytecode_dump, elaborate};
+use tensorlib::hw::pe::{build_pe, PeIoKind, PeSpec, PeTensorSpec};
+use tensorlib::hw::text::{emit_text, parse_text, NetlistDoc};
+use tensorlib::hw::yosys::{emit_yosys, parse_yosys};
+use tensorlib::ir::DataType;
+use tensorlib_dataflow::{Dataflow, LoopSelection, Stt};
+use tensorlib_hw::design::{generate, HwConfig};
+use tensorlib_hw::ArrayConfig;
+use tensorlib_ir::workloads;
+
+fn pe_spec(kinds: &[(&str, PeIoKind)]) -> PeSpec {
+    PeSpec {
+        name: "pe".into(),
+        datatype: DataType::Int16,
+        tensors: kinds
+            .iter()
+            .map(|(n, k)| PeTensorSpec {
+                tensor: n.to_string(),
+                kind: *k,
+                delay: 1,
+            })
+            .collect(),
+    }
+}
+
+/// Full round-trip contract on a document that may carry memory banks
+/// (which the fuzz oracles, generating bankless netlists, never exercise).
+fn assert_doc_round_trips(doc: &NetlistDoc, what: &str) {
+    doc.validate().expect("document validates");
+    let flat = elaborate(&doc.modules, &doc.banks, &doc.top).expect("original elaborates");
+    let reference = bytecode_dump(&flat);
+
+    let text = emit_text(doc);
+    let parsed = parse_text(&text)
+        .unwrap_or_else(|e| panic!("{what}: emitted text does not parse: {e}"));
+    assert_eq!(&parsed, doc, "{what}: text round trip changed the document");
+    assert_eq!(emit_text(&parsed), text, "{what}: text re-emission differs");
+    let rt = elaborate(&parsed.modules, &parsed.banks, &parsed.top)
+        .expect("text round trip elaborates");
+    assert_eq!(bytecode_dump(&rt), reference, "{what}: text bytecode differs");
+
+    let json = emit_yosys(doc);
+    let parsed = parse_yosys(&json)
+        .unwrap_or_else(|e| panic!("{what}: emitted yosys-json does not parse: {e}"));
+    assert_eq!(&parsed, doc, "{what}: yosys round trip changed the document");
+    assert_eq!(emit_yosys(&parsed), json, "{what}: yosys re-emission differs");
+    let rt = elaborate(&parsed.modules, &parsed.banks, &parsed.top)
+        .expect("yosys round trip elaborates");
+    assert_eq!(bytecode_dump(&rt), reference, "{what}: yosys bytecode differs");
+}
+
+#[test]
+fn figure3_pe_templates_round_trip_in_both_formats() {
+    let templates: &[(&str, &[(&str, PeIoKind)])] = &[
+        ("systolic_in", &[("a", PeIoKind::SystolicIn), ("c", PeIoKind::ReduceOut)]),
+        ("systolic_out", &[("a", PeIoKind::DirectIn), ("c", PeIoKind::SystolicOut)]),
+        ("stationary_in", &[("a", PeIoKind::StationaryIn), ("c", PeIoKind::ReduceOut)]),
+        (
+            "stationary_out",
+            &[
+                ("a", PeIoKind::DirectIn),
+                ("b", PeIoKind::DirectIn),
+                ("c", PeIoKind::StationaryOut),
+            ],
+        ),
+        (
+            "direct_in",
+            &[
+                ("a", PeIoKind::DirectIn),
+                ("b", PeIoKind::DirectIn),
+                ("c", PeIoKind::ReduceOut),
+            ],
+        ),
+        ("reduce_out", &[("a", PeIoKind::DirectIn), ("c", PeIoKind::ReduceOut)]),
+    ];
+    for (name, kinds) in templates {
+        let m = build_pe(&pe_spec(kinds));
+        m.validate().expect("PE validates");
+        let doc = NetlistDoc::from_modules(&[m], "pe");
+        assert_doc_round_trips(&doc, name);
+    }
+}
+
+#[test]
+fn os_gemm_4x4_design_with_banks_round_trips() {
+    let gemm = workloads::gemm(4, 4, 4);
+    let sel = LoopSelection::by_names(&gemm, ["m", "n", "k"]).unwrap();
+    let df = Dataflow::analyze(&gemm, sel, Stt::output_stationary()).unwrap();
+    let design = generate(
+        &df,
+        &HwConfig {
+            array: ArrayConfig::square(4),
+            ..HwConfig::default()
+        },
+    )
+    .unwrap();
+    let doc = NetlistDoc::from_design(&design);
+    assert!(!doc.banks.is_empty(), "the GEMM design should carry banks");
+    assert_doc_round_trips(&doc, "os_gemm_4x4");
+}
+
+#[test]
+fn two_hundred_fuzz_seeds_round_trip_in_both_formats() {
+    let cfg = NetlistFuzzConfig::default();
+    for seed in 0..200 {
+        let (modules, top) = gen_netlist(seed, &cfg);
+        if let Err(f) = check_text_roundtrip(&modules, &top)
+            .and_then(|()| check_yosys_roundtrip(&modules, &top))
+        {
+            panic!("seed {seed}: {}: {}", f.kind.label(), f.detail);
+        }
+    }
+}
+
+/// The acceptance sweep: 1000 generator seeds through both interchange
+/// oracles. Slower than the committed 200-seed battery, so it rides behind
+/// `--ignored`.
+#[test]
+#[ignore = "acceptance sweep; run with -- --ignored"]
+fn thousand_fuzz_seeds_round_trip_in_both_formats() {
+    let cfg = NetlistFuzzConfig::default();
+    for seed in 0..1000 {
+        let (modules, top) = gen_netlist(seed, &cfg);
+        if let Err(f) = check_text_roundtrip(&modules, &top)
+            .and_then(|()| check_yosys_roundtrip(&modules, &top))
+        {
+            panic!("seed {seed}: {}: {}", f.kind.label(), f.detail);
+        }
+    }
+}
+
+#[test]
+fn text_parser_pins_its_error_messages() {
+    let m = build_pe(&pe_spec(&[("a", PeIoKind::DirectIn), ("c", PeIoKind::ReduceOut)]));
+    let doc = NetlistDoc::from_modules(&[m], "pe");
+    let text = emit_text(&doc);
+
+    // Truncation anywhere after the header is an "end of input" error, not
+    // a panic or a silently shorter design.
+    for cut in [text.len() / 3, text.len() / 2, text.len() - 2] {
+        let err = parse_text(&text[..cut]).expect_err("truncated input must not parse");
+        assert!(err.line > 0, "cut at {cut}: error must carry a location");
+        assert!(
+            err.msg.contains("end of input")
+                || err.msg.contains("unterminated string")
+                || err.msg.contains("missing `top`"),
+            "cut at {cut}: unexpected error {err}"
+        );
+    }
+
+    // Each corruption is pinned to a located, descriptive message.
+    let cases: &[(&str, &str, &str)] = &[
+        ("input %1 \"a_in\" 16", "input %1 \"a_in\" 0", "bad net width"),
+        (
+            "input %1 \"a_in\" 16",
+            "input %0 \"a_in\" 16",
+            "duplicate or out-of-order net index",
+        ),
+        ("sext(%1, 32)", "sext(%9, 32)", "unknown net %9"),
+        ("top \"pe\"", "", "missing `top` declaration"),
+    ];
+    for (needle, replacement, expected) in cases {
+        assert!(text.contains(needle), "fixture drift: {needle:?} not found");
+        let bad = text.replacen(needle, replacement, 1);
+        let err = parse_text(&bad).expect_err("corrupted input must not parse");
+        assert!(err.line > 0, "error must carry a location: {err}");
+        assert!(
+            err.msg.contains(expected),
+            "expected {expected:?} in {err}"
+        );
+    }
+
+    // An instance wired to a nonexistent port parses (the grammar is local)
+    // but fails cross-module validation.
+    let mut doc2 = doc.clone();
+    doc2.top = "missing".into();
+    let err = doc2.validate().expect_err("bad top must not validate");
+    assert!(err.contains("is not defined"), "{err}");
+}
