@@ -122,6 +122,12 @@ const JOURNAL_BENCH_CHUNKS: usize = 4;
 /// regression reads above the ceiling on every attempt.
 const JOURNAL_BENCH_ATTEMPTS: usize = 3;
 
+/// Ceiling on what campaign telemetry (the fsynced `events.jsonl` appends
+/// plus the atomically-replaced `status.json` snapshot, both per chunk) may
+/// add to a journaled-but-uninterrupted fault campaign's wall time.
+/// Telemetry rides every `--resume` run, so it must stay in the noise.
+const TELEMETRY_OVERHEAD_CEILING_PCT: f64 = 3.0;
+
 /// Median of one configuration's quantum samples (odd counts → the true
 /// middle element).
 fn median(samples: &mut [f64]) -> f64 {
@@ -151,6 +157,36 @@ struct PerfGateReport {
     explore: ExploreReport,
     opt: OptReport,
     journal: JournalOverheadReport,
+    telemetry: TelemetryOverheadReport,
+}
+
+/// A skipped gate, serialized uniformly as `"skipped": {"reason": ...}` so
+/// tooling can detect any skipped gate machine-readably by the presence of
+/// the object (and `null` means the gate ran), instead of each section
+/// inventing its own string convention.
+#[derive(Serialize)]
+struct GateSkip {
+    reason: String,
+}
+
+#[derive(Serialize)]
+struct TelemetryOverheadReport {
+    scenario: String,
+    iterations: usize,
+    /// Chunk boundaries per campaign — each costs one fsynced event append
+    /// plus one atomic status replace when telemetry is on.
+    chunks: usize,
+    /// Best-of-N wall time of the journaled campaign with telemetry
+    /// suppressed (`telemetry_off`).
+    telemetry_off_seconds: f64,
+    /// Best-of-N wall time of the same journaled campaign with telemetry on.
+    telemetry_on_seconds: f64,
+    /// Overhead of telemetry on top of journaling, gated at
+    /// [`TELEMETRY_OVERHEAD_CEILING_PCT`].
+    telemetry_overhead_pct: f64,
+    /// The two campaigns serialize byte-identically — telemetry must never
+    /// change results.
+    reports_identical: bool,
 }
 
 #[derive(Serialize)]
@@ -301,10 +337,10 @@ struct ExploreReport {
     parallel_seconds: f64,
     parallel_workers: usize,
     speedup: f64,
-    /// `Some(reason)` when the parallel-speedup gate was skipped
-    /// (single-core host: serial and parallel sweeps are expected to tie);
-    /// `None` when the gate ran.
-    speedup_gate_skipped: Option<String>,
+    /// `Some` when the parallel-speedup gate was skipped (single-core host:
+    /// serial and parallel sweeps are expected to tie); `null` when the
+    /// gate ran. Uniform [`GateSkip`] shape.
+    skipped: Option<GateSkip>,
 }
 
 /// Builds the flattened 4×4 output-stationary (MNK-SST) GEMM array.
@@ -683,8 +719,8 @@ fn bench_explore(host_cores: usize) -> ExploreReport {
         parallel_seconds,
         parallel_workers: host_cores,
         speedup: serial_seconds / parallel_seconds,
-        speedup_gate_skipped: (host_cores == 1).then(|| {
-            "host_cores == 1: serial and parallel sweeps are expected to tie".into()
+        skipped: (host_cores == 1).then(|| GateSkip {
+            reason: "host_cores == 1: serial and parallel sweeps are expected to tie".into(),
         }),
     }
 }
@@ -947,6 +983,97 @@ fn bench_journal_overhead() -> JournalOverheadReport {
     }
 }
 
+/// Times the campaign telemetry layer (fsynced event appends + atomic
+/// status snapshots, both per chunk) as an A/B on top of journaling: both
+/// sides journal to a fresh directory, one with `telemetry_off`. Same
+/// methodology as [`bench_journal_overhead`] — best-of-N per side,
+/// interleaved order, re-measure on a noisy pass — and the warm-up pair
+/// doubles as the byte-identity cross-check.
+fn bench_telemetry_overhead() -> TelemetryOverheadReport {
+    use tensorlib::sim::resilience::{run_gemm_campaign_durable, CampaignConfig};
+    use tensorlib::sim::DurabilityOptions;
+
+    let cfg = CampaignConfig {
+        k: 512,
+        faults: 768,
+        seed: 7,
+        workers: 1,
+        lanes: 4,
+        ..CampaignConfig::default()
+    };
+    let dir = std::env::temp_dir().join(format!("tl_perfgate_telemetry_{}", std::process::id()));
+    let opts = |telemetry_off: bool| DurabilityOptions {
+        dir: Some(dir.clone()),
+        chunk_size: Some(cfg.faults.div_ceil(JOURNAL_BENCH_CHUNKS)),
+        telemetry_off,
+        ..DurabilityOptions::default()
+    };
+    let run_one = |telemetry_off: bool| {
+        // Fresh directory every iteration: zero replays, every chunk pays
+        // the full journal + telemetry cost; pending writeback is flushed
+        // outside the timed region.
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::process::Command::new("sync").status();
+        let o = opts(telemetry_off);
+        let t = Instant::now();
+        let (report, stats) = run_gemm_campaign_durable(&cfg, &o).expect("journaled campaign");
+        assert_eq!(stats.chunks_executed, JOURNAL_BENCH_CHUNKS, "all chunks execute");
+        (t.elapsed().as_secs_f64(), report)
+    };
+    // Warm-up pair doubles as the determinism cross-check.
+    let (_, report_off) = run_one(true);
+    let (_, report_on) = run_one(false);
+    let reports_identical = serde_json::to_string(&report_off).expect("serialize")
+        == serde_json::to_string(&report_on).expect("serialize");
+    let measure = || {
+        let _ = std::process::Command::new("sync").status();
+        let mut t_off = Vec::with_capacity(JOURNAL_BENCH_ITERATIONS);
+        let mut t_on = Vec::with_capacity(JOURNAL_BENCH_ITERATIONS);
+        for round in 0..JOURNAL_BENCH_ITERATIONS {
+            if round % 2 == 0 {
+                t_off.push(run_one(true).0);
+                t_on.push(run_one(false).0);
+            } else {
+                t_on.push(run_one(false).0);
+                t_off.push(run_one(true).0);
+            }
+        }
+        let off_best = t_off.iter().copied().fold(f64::INFINITY, f64::min);
+        let on_best = t_on.iter().copied().fold(f64::INFINITY, f64::min);
+        (off_best, on_best)
+    };
+    let mut off_best = 0.0;
+    let mut on_best = 0.0;
+    for attempt in 0..JOURNAL_BENCH_ATTEMPTS {
+        (off_best, on_best) = measure();
+        let pct = (on_best / off_best - 1.0) * 100.0;
+        if pct < TELEMETRY_OVERHEAD_CEILING_PCT {
+            break;
+        }
+        if attempt + 1 < JOURNAL_BENCH_ATTEMPTS {
+            eprintln!(
+                "telemetry overhead read {pct:.2}% (ceiling \
+                 {TELEMETRY_OVERHEAD_CEILING_PCT}%); re-measuring to rule out \
+                 host noise"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    TelemetryOverheadReport {
+        scenario: format!(
+            "4x4 output-stationary GEMM fault campaign, {} faults, {} lanes, \
+             {JOURNAL_BENCH_CHUNKS} journal chunks, telemetry on vs off",
+            cfg.faults, cfg.lanes
+        ),
+        iterations: JOURNAL_BENCH_ITERATIONS,
+        chunks: JOURNAL_BENCH_CHUNKS,
+        telemetry_off_seconds: off_best,
+        telemetry_on_seconds: on_best,
+        telemetry_overhead_pct: (on_best / off_best - 1.0) * 100.0,
+        reports_identical,
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut baseline_path: Option<PathBuf> = None;
@@ -966,6 +1093,7 @@ fn main() {
         }
     }
 
+    let t_main = Instant::now();
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let interpreter = bench_interpreter();
     let trace_overhead = bench_trace_overhead();
@@ -975,6 +1103,7 @@ fn main() {
     let explore_report = bench_explore(host_cores);
     let opt_report = bench_opt();
     let journal_report = bench_journal_overhead();
+    let telemetry_report = bench_telemetry_overhead();
 
     let mut table = TextTable::new(vec!["metric", "value"]);
     table.row(vec!["host cores".into(), host_cores.to_string()]);
@@ -1076,6 +1205,18 @@ fn main() {
         "journal overhead".into(),
         format!("{:+.2}%", journal_report.journal_overhead_pct),
     ]);
+    table.row(vec![
+        "telemetry-off campaign (ms)".into(),
+        format!("{:.2}", telemetry_report.telemetry_off_seconds * 1e3),
+    ]);
+    table.row(vec![
+        "telemetry-on campaign (ms)".into(),
+        format!("{:.2}", telemetry_report.telemetry_on_seconds * 1e3),
+    ]);
+    table.row(vec![
+        "telemetry overhead".into(),
+        format!("{:+.2}%", telemetry_report.telemetry_overhead_pct),
+    ]);
     println!("{table}");
 
     let report = PerfGateReport {
@@ -1089,6 +1230,7 @@ fn main() {
         explore: explore_report,
         opt: opt_report,
         journal: journal_report,
+        telemetry: telemetry_report,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     let out = repo_root().join("BENCH_perfgate.json");
@@ -1132,8 +1274,8 @@ fn main() {
         "batch-sim gate passed: {batch_speedup:.2}x at {BATCH_SIM_LANES} lanes (floor {BATCH_SIM_SPEEDUP_FLOOR}x)"
     );
 
-    match &report.explore.speedup_gate_skipped {
-        Some(reason) => println!("explore-speedup gate skipped: {reason}"),
+    match &report.explore.skipped {
+        Some(skip) => println!("explore-speedup gate skipped: {}", skip.reason),
         None => {
             let explore_speedup = report.explore.speedup;
             if explore_speedup < EXPLORE_SPEEDUP_FLOOR {
@@ -1210,6 +1352,66 @@ fn main() {
         "journal gate passed: {journal_pct:+.2}% over {} chunks (ceiling {JOURNAL_OVERHEAD_CEILING_PCT}%), reports identical",
         report.journal.chunks
     );
+
+    if !report.telemetry.reports_identical {
+        eprintln!(
+            "FAIL: campaign report diverged between telemetry on and off \
+             (telemetry must never change results)"
+        );
+        std::process::exit(1);
+    }
+    let telemetry_pct = report.telemetry.telemetry_overhead_pct;
+    if telemetry_pct >= TELEMETRY_OVERHEAD_CEILING_PCT {
+        eprintln!(
+            "FAIL: campaign telemetry costs {telemetry_pct:.2}% on a journaled \
+             uninterrupted run (ceiling {TELEMETRY_OVERHEAD_CEILING_PCT}%)"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "telemetry gate passed: {telemetry_pct:+.2}% over {} chunks (ceiling {TELEMETRY_OVERHEAD_CEILING_PCT}%), reports identical",
+        report.telemetry.chunks
+    );
+
+    // Every passing perfgate run joins the cross-run history index, so
+    // `tensorlib history --check` can compare consecutive runs on the same
+    // machine shape. Best-effort: a failed append never fails the gate.
+    {
+        use std::collections::BTreeMap;
+        let mut metrics = BTreeMap::new();
+        metrics.insert(
+            "compiled_cycles_per_sec".to_string(),
+            report.interpreter.compiled_cycles_per_sec,
+        );
+        metrics.insert("interp_speedup".to_string(), report.interpreter.speedup);
+        metrics.insert("batch_speedup".to_string(), report.batch_sim.speedup);
+        metrics.insert(
+            "hardened_op_reduction_pct".to_string(),
+            report.opt.hardened_op_reduction_pct,
+        );
+        let entry = tensorlib_obs::history::HistoryEntry {
+            kind: "perfgate".to_string(),
+            config_hash: format!(
+                "{:016x}",
+                tensorlib::sim::journal::fnv1a64(
+                    format!("perfgate|schema={}", tensorlib_obs::SCHEMA_VERSION).as_bytes()
+                )
+            ),
+            command: "perfgate".to_string(),
+            pkg_version: env!("CARGO_PKG_VERSION").to_string(),
+            host_cores: host_cores as u64,
+            workers: 0,
+            lanes: 0,
+            metrics,
+            unix_ms: tensorlib_obs::events::unix_ms(),
+            wall_ms: t_main.elapsed().as_millis() as u64,
+        };
+        let history_path = repo_root().join("reports").join("history.jsonl");
+        match tensorlib_obs::history::append(&history_path, &entry) {
+            Ok(()) => println!("appended history entry to {}", history_path.display()),
+            Err(err) => eprintln!("warning: could not append history entry: {err}"),
+        }
+    }
 
     if let Some(path) = baseline_path {
         let Ok(baseline) = std::fs::read_to_string(&path) else {

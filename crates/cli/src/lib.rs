@@ -270,6 +270,39 @@ pub enum Command {
         /// Output path (`-` for stdout, empty for `reports/` default).
         out: String,
     },
+    /// Render a one-shot status snapshot of a journaled campaign directory
+    /// (`status.json` + `events.jsonl` telemetry written by `--resume`
+    /// runs). The exit code distinguishes finished (0) / running (2) /
+    /// interrupted (3); a `running` snapshot whose writer process is gone
+    /// is reported as interrupted with a resume hint.
+    Status {
+        /// Campaign directory (the `--resume` dir).
+        dir: String,
+        /// Emit the raw JSON snapshot instead of the human table.
+        json: bool,
+    },
+    /// Poll a journaled campaign directory, printing one progress + ETA
+    /// line per interval, until the campaign finishes (exit 0) or is
+    /// interrupted / its writer dies (exit 3).
+    Watch {
+        /// Campaign directory (the `--resume` dir).
+        dir: String,
+        /// Poll interval in milliseconds.
+        interval_ms: u64,
+    },
+    /// List the cross-run metrics history (`history.jsonl`), or with
+    /// `--check` compare the newest run against the most recent earlier
+    /// run with the same config hash and flag metric deltas beyond
+    /// `--threshold` percent (exit 4 when anything is flagged; comparing
+    /// runs from different machine shapes is a loud error).
+    History {
+        /// History file, or a reports directory containing `history.jsonl`.
+        path: String,
+        /// Compare newest vs the most recent same-config run.
+        check: bool,
+        /// Flagging threshold for `--check`, in percent relative delta.
+        threshold: f64,
+    },
 }
 
 /// Command-line failure: bad usage or a pipeline error, with a message
@@ -314,6 +347,9 @@ usage:
                      [--resume DIR] [--chunk-timeout S] [-o f.json]
   tensorlib profile  <workload> [--top N] [--rows N] [--cols N] [--workers W]
                      [-o f.trace.json]
+  tensorlib status   <campaign-dir> [--json]
+  tensorlib watch    <campaign-dir> [--interval SECONDS]
+  tensorlib history  [file-or-reports-dir] [--check] [--threshold PCT]
 
 global flags (any command):
   --profile <f.trace.json>   record framework spans during the run and write
@@ -358,7 +394,8 @@ priced area/power overhead, and --sweep-acc replaces the seeded sample with
 the exhaustive accumulator bit-flip sweep that ABFT must fully detect.
 --lanes L > 1 retires L fault sites per batched bytecode pass (the
 struct-of-arrays lane engine); reports are byte-identical for any --workers
-count and any --lanes width.
+count and any --lanes width (the provenance block echoes the requested
+workers and lanes).
 
 fuzz runs the differential verification campaign: netlist mode feeds random
 but valid-by-construction netlists through module validation, a Verilog
@@ -371,7 +408,7 @@ against L independent scalar references (per-lane stimulus in netlist mode,
 per-lane bank images in pipeline mode). The JSON report's total_findings
 field is zero on a clean run, and its campaign results are identical for any
 --workers count and --lanes width (the provenance block records the
-requested workers).
+requested workers and lanes).
 
 faults, fuzz, and explore are resumable campaigns. --resume DIR journals
 every completed work chunk to DIR/campaign.journal (append-only,
@@ -387,6 +424,24 @@ entries (tallied in the report) instead of hanging the campaign. Ctrl-C
 drains the in-flight chunk, flushes the journal, and still writes a valid
 partial report with \"interrupted\": true plus resume instructions; the
 process then exits with code 130 (a second Ctrl-C kills immediately).
+
+Journaled campaigns also emit best-effort telemetry into the --resume DIR:
+an append-only events.jsonl (campaign_started / chunk_completed /
+chunk_degraded / panic_retry / campaign_finished|interrupted, each fsynced)
+and an atomically-replaced status.json snapshot on every chunk boundary
+(per-outcome counters, EWMA throughput, ETA; wall-clock data lives only in
+its timing sub-object, never in report bodies, so reports stay
+byte-identical with telemetry on or off). `status DIR` renders one snapshot
+(exit 0 finished / 2 running / 3 interrupted — a running snapshot whose
+writer pid is gone counts as interrupted, with a resume hint); `watch DIR`
+polls until the campaign ends. Completed campaign / profile / perfgate
+reports append one line of key metrics + a config hash + the machine shape
+(host cores, --workers, --lanes) to history.jsonl next to the report;
+`history` lists those runs and `history --check` compares the newest run
+against the most recent earlier run with the same config hash, exiting 4
+when any metric moved more than --threshold percent (default 10). Runs
+recorded on a different machine shape are refused loudly rather than
+compared.
 
 profile sweeps the workload's design space with functional verification on,
 prints a per-phase wall-time breakdown (STT enumeration, classification,
@@ -430,6 +485,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut trace_out = String::new();
     let mut resume: Option<String> = None;
     let mut chunk_timeout: Option<u64> = None;
+    let mut json = false;
+    let mut interval_ms = 1000u64;
+    let mut check = false;
+    let mut threshold = tensorlib_obs::history::DEFAULT_CHECK_THRESHOLD_PCT;
     let parse_opt = |v: &str| -> Result<bool, CliError> {
         match v {
             "on" => Ok(true),
@@ -584,6 +643,29 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     ));
                 }
                 chunk_timeout = Some(secs);
+            }
+            "--json" => json = true,
+            "--interval" => {
+                let secs: f64 = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| CliError("--interval expects seconds (fractions ok)".into()))?;
+                if secs <= 0.0 || !secs.is_finite() {
+                    return Err(CliError(
+                        "--interval must be a positive number of seconds".into(),
+                    ));
+                }
+                interval_ms = ((secs * 1000.0).round() as u64).max(1);
+            }
+            "--check" => check = true,
+            "--threshold" => {
+                threshold = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| CliError("--threshold expects a percentage".into()))?;
+                if threshold < 0.0 || !threshold.is_finite() {
+                    return Err(CliError(
+                        "--threshold must be a non-negative percentage".into(),
+                    ));
+                }
             }
             _ if a.starts_with('-') => {
                 return Err(CliError(format!("unknown flag {a}\n\n{USAGE}")))
@@ -744,6 +826,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             resume,
             chunk_timeout,
             out: if out_given { out } else { String::new() },
+        }),
+        ("status", 1) => Ok(Command::Status {
+            dir: positional[0].clone(),
+            json,
+        }),
+        ("watch", 1) => Ok(Command::Watch {
+            dir: positional[0].clone(),
+            interval_ms,
+        }),
+        // With no path, history reads the default reports-dir index.
+        ("history", 0) => Ok(Command::History {
+            path: "reports/history.jsonl".to_string(),
+            check,
+            threshold,
+        }),
+        ("history", 1) => Ok(Command::History {
+            path: positional[0].clone(),
+            check,
+            threshold,
         }),
         _ => Err(usage()),
     }
@@ -1055,6 +1156,309 @@ fn emit_report(
     atomic_write(&path, text.as_bytes())
         .map_err(|err| CliError(format!("writing {path}: {err}")))?;
     Ok(format!("wrote {what} to {path}\n"))
+}
+
+/// Where a report actually lands: `None` when it goes to stdout (`-`).
+fn resolved_report_path(out: &str, default_path: &str) -> Option<String> {
+    match out {
+        "-" => None,
+        "" => Some(default_path.to_string()),
+        other => Some(other.to_string()),
+    }
+}
+
+/// Hex FNV-1a hash of a canonical config string. The canonical strings
+/// deliberately exclude `--workers`, `--lanes`, `--resume`, and output
+/// paths, so a clean run, its resumed re-run, and a different parallelism
+/// of the same campaign all land in one comparison series; machine shape is
+/// checked separately (and loudly) by `history --check`.
+fn history_config_hash(canonical: &str) -> String {
+    format!(
+        "{:016x}",
+        tensorlib::sim::journal::fnv1a64(canonical.as_bytes())
+    )
+}
+
+/// Appends one line of key metrics to the `history.jsonl` sitting next to a
+/// completed report. Best-effort like the rest of telemetry: any failure
+/// produces an empty note instead of failing the run, and reports written
+/// to stdout (`report_path` is `None`) record nothing.
+fn append_history(
+    report_path: Option<&str>,
+    kind: &str,
+    canonical_config: &str,
+    provenance: &Provenance,
+    metrics: std::collections::BTreeMap<String, f64>,
+    wall_ms: u64,
+) -> String {
+    let Some(report_path) = report_path else {
+        return String::new();
+    };
+    let dir = std::path::Path::new(report_path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map_or_else(|| PathBuf::from("."), std::path::Path::to_path_buf);
+    let path = dir.join(tensorlib_obs::history::HISTORY_FILE);
+    let entry = tensorlib_obs::history::HistoryEntry {
+        kind: kind.to_string(),
+        config_hash: history_config_hash(canonical_config),
+        command: provenance.command.clone(),
+        pkg_version: provenance.pkg_version.clone(),
+        host_cores: provenance.host_cores as u64,
+        workers: provenance.workers as u64,
+        lanes: provenance.lanes as u64,
+        metrics,
+        unix_ms: tensorlib_obs::events::unix_ms(),
+        wall_ms,
+    };
+    match tensorlib_obs::history::append(&path, &entry) {
+        Ok(()) => format!("appended history entry to {}\n", path.display()),
+        Err(_) => String::new(),
+    }
+}
+
+/// Whether the process that wrote a status snapshot is still alive, judged
+/// by `/proc/<pid>`. On systems without `/proc` the snapshot's own state is
+/// trusted (a live-looking stale snapshot is the conservative failure mode).
+fn pid_alive(pid: u32) -> bool {
+    let proc_root = std::path::Path::new("/proc");
+    if !proc_root.is_dir() {
+        return true;
+    }
+    proc_root.join(pid.to_string()).is_dir()
+}
+
+/// The state a reader should act on: a `"running"` snapshot whose writer is
+/// dead means the campaign was killed without the chance to write a final
+/// snapshot (SIGKILL, power loss) — that is an interruption.
+fn effective_status_state(snapshot: &tensorlib_obs::events::StatusSnapshot) -> String {
+    if snapshot.state == "running" && !pid_alive(snapshot.pid) {
+        "interrupted".to_string()
+    } else {
+        snapshot.state.clone()
+    }
+}
+
+/// Operator instructions shown by `status`/`watch` for interrupted runs.
+fn status_resume_hint(dir: &str) -> String {
+    format!("re-run the original campaign command with --resume {dir} to finish")
+}
+
+/// `tensorlib status <dir>`: one snapshot, rendered human or `--json`, with
+/// the exit code distinguishing finished (0) / running (2) / interrupted (3).
+fn run_status(dir: &str, json: bool) -> Result<(String, u8), CliError> {
+    use tensorlib_obs::events::StatusSnapshot;
+    use tensorlib_obs::json::Value;
+    let snapshot = StatusSnapshot::read(std::path::Path::new(dir))
+        .map_err(|err| CliError(format!("reading campaign status in {dir}: {err}")))?;
+    let state = effective_status_state(&snapshot);
+    let code = match state.as_str() {
+        "finished" => 0u8,
+        "running" => 2,
+        _ => 3,
+    };
+    if json {
+        let mut v = snapshot.to_value();
+        if let Value::Obj(entries) = &mut v {
+            for (key, val) in entries.iter_mut() {
+                if key == "state" {
+                    *val = Value::Str(state.clone());
+                }
+            }
+            if state == "interrupted" {
+                entries.push((
+                    "resume_hint".to_string(),
+                    Value::Str(status_resume_hint(dir)),
+                ));
+            }
+        }
+        return Ok((format!("{v}\n"), code));
+    }
+    let mut s = format!(
+        "campaign    {} (config {})\nstate       {state}",
+        snapshot.kind, snapshot.config_hash
+    );
+    if state == "running" {
+        s.push_str(&format!(" (pid {})", snapshot.pid));
+    }
+    s.push('\n');
+    s.push_str(&format!(
+        "chunks      {}/{} done ({} replayed, {} executed this run)\n",
+        snapshot.chunks_done,
+        snapshot.chunks_total,
+        snapshot.chunks_replayed,
+        snapshot.chunks_executed
+    ));
+    if !snapshot.outcomes.is_empty() {
+        let parts: Vec<String> = snapshot
+            .outcomes
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        s.push_str(&format!("outcomes    {}\n", parts.join(" ")));
+    }
+    if snapshot.timing.throughput_chunks_per_s > 0.0 {
+        s.push_str(&format!(
+            "throughput  {:.2} chunks/s (EWMA chunk {:.1} ms)\n",
+            snapshot.timing.throughput_chunks_per_s, snapshot.timing.ewma_chunk_ms
+        ));
+    }
+    if state == "running" {
+        s.push_str(&format!(
+            "eta         ~{:.1} s\n",
+            snapshot.timing.eta_ms as f64 / 1000.0
+        ));
+    }
+    s.push_str(&format!(
+        "updated     {} (unix ms)\n",
+        snapshot.timing.updated_unix_ms
+    ));
+    if state == "interrupted" {
+        s.push_str(&format!("resume      {}\n", status_resume_hint(dir)));
+    }
+    Ok((s, code))
+}
+
+/// `tensorlib watch <dir>`: polls the status snapshot, printing one
+/// progress + ETA line per interval, until the campaign finishes (exit 0)
+/// or is interrupted / its writer dies (exit 3).
+fn run_watch(dir: &str, interval_ms: u64) -> Result<(String, u8), CliError> {
+    use tensorlib_obs::events::StatusSnapshot;
+    loop {
+        let snapshot = StatusSnapshot::read(std::path::Path::new(dir))
+            .map_err(|err| CliError(format!("reading campaign status in {dir}: {err}")))?;
+        let state = effective_status_state(&snapshot);
+        match state.as_str() {
+            "finished" => {
+                return Ok((
+                    format!(
+                        "{}: campaign finished — {}/{} chunks\n",
+                        snapshot.kind, snapshot.chunks_done, snapshot.chunks_total
+                    ),
+                    0,
+                ));
+            }
+            "running" => {
+                let pct = if snapshot.chunks_total > 0 {
+                    snapshot.chunks_done as f64 / snapshot.chunks_total as f64 * 100.0
+                } else {
+                    0.0
+                };
+                println!(
+                    "{}: {}/{} chunks ({pct:.1}%), {:.2} chunks/s, eta ~{:.1} s",
+                    snapshot.kind,
+                    snapshot.chunks_done,
+                    snapshot.chunks_total,
+                    snapshot.timing.throughput_chunks_per_s,
+                    snapshot.timing.eta_ms as f64 / 1000.0
+                );
+                std::thread::sleep(Duration::from_millis(interval_ms));
+            }
+            _ => {
+                return Ok((
+                    format!(
+                        "{}: campaign interrupted at {}/{} chunks; {}\n",
+                        snapshot.kind,
+                        snapshot.chunks_done,
+                        snapshot.chunks_total,
+                        status_resume_hint(dir)
+                    ),
+                    3,
+                ));
+            }
+        }
+    }
+}
+
+/// `tensorlib history [path]`: lists the cross-run index, or with `--check`
+/// compares the newest run against the most recent earlier run with the
+/// same config hash (exit 4 when any metric moved beyond the threshold).
+fn run_history(path: &str, check: bool, threshold: f64) -> Result<(String, u8), CliError> {
+    use tensorlib_obs::history::{self, CheckOutcome};
+    let file = if path.ends_with(".jsonl") {
+        PathBuf::from(path)
+    } else {
+        std::path::Path::new(path).join(history::HISTORY_FILE)
+    };
+    let entries = history::read(&file).map_err(CliError)?;
+    if !check {
+        if entries.is_empty() {
+            return Ok((format!("no history at {}\n", file.display()), 0));
+        }
+        let mut s = String::new();
+        for e in &entries {
+            let metrics: Vec<String> = e
+                .metrics
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            s.push_str(&format!(
+                "{:8} {} v{} cores={} workers={} lanes={}  {}  ({})\n",
+                e.kind,
+                e.config_hash,
+                e.pkg_version,
+                e.host_cores,
+                e.workers,
+                e.lanes,
+                metrics.join(" "),
+                e.command
+            ));
+        }
+        return Ok((s, 0));
+    }
+    match history::check(&entries, threshold).map_err(CliError)? {
+        CheckOutcome::NoRuns => Ok((
+            format!("history at {} is empty; nothing to check\n", file.display()),
+            0,
+        )),
+        CheckOutcome::NoPrior { kind, config_hash } => Ok((
+            format!(
+                "no prior {kind} run with config {config_hash}; nothing to compare\n"
+            ),
+            0,
+        )),
+        CheckOutcome::Compared {
+            kind,
+            config_hash,
+            baseline_unix_ms,
+            deltas,
+            wall_delta_pct,
+            flagged,
+        } => {
+            let mut s = format!(
+                "{kind} (config {config_hash}) vs baseline from unix ms {baseline_unix_ms}:\n"
+            );
+            let fmt_side = |side: Option<f64>| -> String {
+                side.map_or_else(|| "(absent)".to_string(), |v| format!("{v}"))
+            };
+            for d in &deltas {
+                let delta = d
+                    .delta_pct
+                    .map_or_else(String::new, |pct| format!("  {pct:+.2}%"));
+                let mark = if d.flagged { "  FLAGGED" } else { "" };
+                s.push_str(&format!(
+                    "  {:24} {} -> {}{delta}{mark}\n",
+                    d.metric,
+                    fmt_side(d.baseline),
+                    fmt_side(d.current)
+                ));
+            }
+            if let Some(pct) = wall_delta_pct {
+                s.push_str(&format!(
+                    "  wall time {pct:+.1}% (informational; never flagged)\n"
+                ));
+            }
+            if flagged > 0 {
+                s.push_str(&format!(
+                    "{flagged} metric(s) moved more than {threshold}% — check the runs above\n"
+                ));
+                Ok((s, 4))
+            } else {
+                s.push_str(&format!("no metric moved more than {threshold}%\n"));
+                Ok((s, 0))
+            }
+        }
+    }
 }
 
 /// Runs the compiled bytecode engine over an interchange document for
@@ -1528,6 +1932,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 t0.elapsed().as_micros() as u64,
             );
             provenance.journal = journal_provenance(&resume, &stats);
+            provenance.lanes = lanes;
             let doc = FaultsReportDoc {
                 schema_version: SCHEMA_VERSION,
                 provenance,
@@ -1541,17 +1946,37 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             let text = serde_json::to_string_pretty(&doc)
                 .map_err(|err| CliError(format!("serializing report: {err}")))?
                 + "\n";
-            emit_report(
-                &out,
-                report_path(
+            let default_path = report_path(
+                "faults",
+                &format!("gemm-{rows}x{cols}x{k}"),
+                &hardening.to_string(),
+                "json",
+            );
+            let msg = emit_report(&out, default_path.clone(), &text, "resilience report")?;
+            let mut history_note = String::new();
+            if !doc.interrupted {
+                let r = &doc.report;
+                let mut metrics = std::collections::BTreeMap::new();
+                metrics.insert("faults".to_string(), r.faults as f64);
+                metrics.insert("masked".to_string(), r.masked as f64);
+                metrics.insert("detected".to_string(), r.detected as f64);
+                metrics.insert("sdc".to_string(), r.sdc as f64);
+                metrics.insert("errors".to_string(), r.errors as f64);
+                metrics.insert("degraded".to_string(), r.degraded as f64);
+                metrics.insert("detection_coverage".to_string(), r.detection_coverage);
+                history_note = append_history(
+                    resolved_report_path(&out, &default_path).as_deref(),
                     "faults",
-                    &format!("gemm-{rows}x{cols}x{k}"),
-                    &hardening.to_string(),
-                    "json",
-                ),
-                &text,
-                "resilience report",
-            )
+                    &format!(
+                        "faults|rows={rows}|cols={cols}|k={k}|faults={faults}|seed={seed}\
+                         |harden={hardening}|sweep={sweep_acc}|opt={opt}"
+                    ),
+                    &doc.provenance,
+                    metrics,
+                    t0.elapsed().as_millis() as u64,
+                );
+            }
+            Ok(format!("{msg}{history_note}"))
         }
         Command::Fuzz {
             mode,
@@ -1602,6 +2027,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 t0.elapsed().as_micros() as u64,
             );
             provenance.journal = journal_provenance(&resume, &stats);
+            provenance.lanes = lanes;
             let doc = FuzzReportDoc {
                 schema_version: SCHEMA_VERSION,
                 provenance,
@@ -1612,12 +2038,32 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             let text = serde_json::to_string_pretty(&doc)
                 .map_err(|err| CliError(format!("serializing report: {err}")))?
                 + "\n";
-            emit_report(
-                &out,
-                report_path("fuzz", &mode, &format!("{seed}-{seeds}"), "json"),
-                &text,
-                "fuzz report",
-            )
+            let default_path = report_path("fuzz", &mode, &format!("{seed}-{seeds}"), "json");
+            let msg = emit_report(&out, default_path.clone(), &text, "fuzz report")?;
+            let mut history_note = String::new();
+            if !doc.interrupted {
+                let modes = [doc.report.netlist.as_ref(), doc.report.pipeline.as_ref()];
+                let sum = |f: &dyn Fn(&tensorlib::sim::verify::ModeReport) -> u64| -> f64 {
+                    modes.iter().flatten().map(|m| f(m)).sum::<u64>() as f64
+                };
+                let mut metrics = std::collections::BTreeMap::new();
+                metrics.insert("seeds_run".to_string(), sum(&|m| m.seeds_run));
+                metrics.insert("rejected".to_string(), sum(&|m| m.rejected));
+                metrics.insert("degraded".to_string(), sum(&|m| m.degraded));
+                metrics.insert(
+                    "total_findings".to_string(),
+                    doc.report.total_findings as f64,
+                );
+                history_note = append_history(
+                    resolved_report_path(&out, &default_path).as_deref(),
+                    "fuzz",
+                    &format!("fuzz|mode={mode}|seed={seed}|seeds={seeds}|cycles={cycles}|opt={opt}"),
+                    &doc.provenance,
+                    metrics,
+                    t0.elapsed().as_millis() as u64,
+                );
+            }
+            Ok(format!("{msg}{history_note}"))
         }
         Command::Explore {
             workload,
@@ -1692,12 +2138,31 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             let text = serde_json::to_string_pretty(&doc)
                 .map_err(|err| CliError(format!("serializing report: {err}")))?
                 + "\n";
-            emit_report(
-                &out,
-                report_path("explore", &workload, "sweep", "json"),
-                &text,
-                "explore report",
-            )
+            let default_path = report_path("explore", &workload, "sweep", "json");
+            let msg = emit_report(&out, default_path.clone(), &text, "explore report")?;
+            let mut history_note = String::new();
+            if !doc.interrupted {
+                let mut metrics = std::collections::BTreeMap::new();
+                metrics.insert(
+                    "implementable_designs".to_string(),
+                    doc.implementable_designs as f64,
+                );
+                metrics.insert("errors".to_string(), doc.errors as f64);
+                metrics.insert("skipped".to_string(), doc.skipped as f64);
+                metrics.insert("degraded".to_string(), doc.degraded as f64);
+                if let Some(best) = doc.top.first() {
+                    metrics.insert("best_total_cycles".to_string(), best.total_cycles as f64);
+                }
+                history_note = append_history(
+                    resolved_report_path(&out, &default_path).as_deref(),
+                    "explore",
+                    &format!("explore|{workload}|top={top}"),
+                    &doc.provenance,
+                    metrics,
+                    t0.elapsed().as_millis() as u64,
+                );
+            }
+            Ok(format!("{msg}{history_note}"))
         }
         Command::Profile {
             workload,
@@ -1797,8 +2262,51 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                     .map_err(|err| CliError(format!("writing {folded_path}: {err}")))?;
                 folded_note = format!("wrote folded stacks to {folded_path}\n");
             }
-            Ok(format!("{table}\n{msg}{folded_note}"))
+            let mut metrics = std::collections::BTreeMap::new();
+            metrics.insert("points".to_string(), outcome.points.len() as f64);
+            metrics.insert("errors".to_string(), outcome.errors.len() as f64);
+            metrics.insert("skipped".to_string(), outcome.skipped as f64);
+            let history_note = append_history(
+                resolved_report_path(&out, &report_path("profile", &workload, "sweep", "trace.json"))
+                    .as_deref(),
+                "profile",
+                &format!("profile|{workload}|rows={rows}|cols={cols}|top={top}"),
+                &provenance,
+                metrics,
+                t0.elapsed().as_millis() as u64,
+            );
+            Ok(format!("{table}\n{msg}{folded_note}{history_note}"))
         }
+        // The exit-code-bearing commands: `run` discards the code for
+        // callers that only want text; `run_coded` keeps it.
+        Command::Status { dir, json } => run_status(&dir, json).map(|(text, _)| text),
+        Command::Watch { dir, interval_ms } => run_watch(&dir, interval_ms).map(|(text, _)| text),
+        Command::History {
+            path,
+            check,
+            threshold,
+        } => run_history(&path, check, threshold).map(|(text, _)| text),
+    }
+}
+
+/// Like [`run`], but also returning the process exit code. Most commands
+/// exit 0 on success; `status` exits 0 finished / 2 running / 3
+/// interrupted, `watch` exits 0 finished / 3 interrupted, and
+/// `history --check` exits 4 when a metric regression is flagged.
+///
+/// # Errors
+///
+/// Returns [`CliError`] when the command fails (exit code 1 in `main`).
+pub fn run_coded(cmd: Command) -> Result<(String, u8), CliError> {
+    match cmd {
+        Command::Status { dir, json } => run_status(&dir, json),
+        Command::Watch { dir, interval_ms } => run_watch(&dir, interval_ms),
+        Command::History {
+            path,
+            check,
+            threshold,
+        } => run_history(&path, check, threshold),
+        other => run(other).map(|text| (text, 0)),
     }
 }
 
@@ -1846,18 +2354,29 @@ pub fn wants_interrupt_latch(cmd: &Command) -> bool {
 /// Returns [`CliError`] when the command fails or the trace cannot be
 /// written.
 pub fn run_invocation(inv: Invocation) -> Result<String, CliError> {
+    run_invocation_coded(inv).map(|(text, _)| text)
+}
+
+/// [`run_invocation`], but also returning the process exit code (see
+/// [`run_coded`]). This is what `main` calls.
+///
+/// # Errors
+///
+/// Returns [`CliError`] when the command fails or the trace cannot be
+/// written.
+pub fn run_invocation_coded(inv: Invocation) -> Result<(String, u8), CliError> {
     let Some(trace_path) = inv.profile else {
-        return run(inv.command);
+        return run_coded(inv.command);
     };
     let t0 = std::time::Instant::now();
     let was_enabled = tensorlib_obs::is_enabled();
     tensorlib_obs::enable();
-    let result = run(inv.command);
+    let result = run_coded(inv.command);
     let session = tensorlib_obs::drain();
     if !was_enabled {
         tensorlib_obs::disable();
     }
-    let output = result?;
+    let (output, code) = result?;
     let provenance = provenance_from_session(
         &session,
         &inv.echo,
@@ -1867,7 +2386,7 @@ pub fn run_invocation(inv: Invocation) -> Result<String, CliError> {
     );
     let trace = session.to_chrome_trace(Some(&provenance));
     let note = emit_report(&trace_path, String::new(), &trace, "profile trace")?;
-    Ok(format!("{output}{note}"))
+    Ok((format!("{output}{note}"), code))
 }
 
 #[cfg(test)]
@@ -2798,6 +3317,257 @@ mod tests {
         assert!(trace.contains("hw.elaboration"), "trace missing spans:\n{trace}");
         // The provenance echoes the full argument vector.
         assert!(trace.contains("stats gemm:4,4,4 MNK-SST"), "{trace}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tl_cli_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn parse_status_watch_history_commands() {
+        assert_eq!(
+            parse_args(&sv(&["status", "j/dir", "--json"])).unwrap(),
+            Command::Status {
+                dir: "j/dir".into(),
+                json: true
+            }
+        );
+        assert_eq!(
+            parse_args(&sv(&["watch", "j/dir", "--interval", "0.25"])).unwrap(),
+            Command::Watch {
+                dir: "j/dir".into(),
+                interval_ms: 250
+            }
+        );
+        // history defaults to the reports-dir index; an explicit path and
+        // --check/--threshold parse.
+        assert_eq!(
+            parse_args(&sv(&["history"])).unwrap(),
+            Command::History {
+                path: "reports/history.jsonl".into(),
+                check: false,
+                threshold: tensorlib_obs::history::DEFAULT_CHECK_THRESHOLD_PCT,
+            }
+        );
+        assert_eq!(
+            parse_args(&sv(&["history", "r", "--check", "--threshold", "2.5"])).unwrap(),
+            Command::History {
+                path: "r".into(),
+                check: true,
+                threshold: 2.5
+            }
+        );
+        assert!(parse_args(&sv(&["watch", "d", "--interval", "0"])).is_err());
+        assert!(parse_args(&sv(&["history", "--threshold", "-3"])).is_err());
+        assert!(parse_args(&sv(&["status"])).is_err());
+    }
+
+    #[test]
+    fn journaled_faults_writes_telemetry_status_and_history() {
+        let dir = tmpdir("telemetry_e2e");
+        let journal = dir.join("journal");
+        let report = dir.join("reports").join("faults.json");
+        let cmd = |journal: &std::path::Path| Command::Faults {
+            rows: 2,
+            cols: 2,
+            k: 2,
+            faults: 8,
+            seed: 1,
+            harden: "none".into(),
+            workers: 1,
+            lanes: 1,
+            sweep_acc: false,
+            opt: true,
+            resume: Some(journal.to_str().unwrap().into()),
+            chunk_timeout: None,
+            out: report.to_str().unwrap().into(),
+        };
+        let note = run(cmd(&journal)).unwrap();
+        assert!(note.contains("appended history entry"), "{note}");
+        // The campaign dir has a well-formed event log ending in
+        // campaign_finished, and a finished status snapshot.
+        let events = tensorlib_obs::events::read_events(&journal).unwrap();
+        let names: Vec<_> = events
+            .iter()
+            .map(|e| e.get("event").and_then(|v| v.as_str()).unwrap().to_string())
+            .collect();
+        assert_eq!(names.first().map(String::as_str), Some("campaign_started"));
+        assert_eq!(names.last().map(String::as_str), Some("campaign_finished"));
+        let (text, code) = run_coded(Command::Status {
+            dir: journal.to_str().unwrap().into(),
+            json: false,
+        })
+        .unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("state       finished"), "{text}");
+        // --json emits a parsable snapshot.
+        let (json_text, code) = run_coded(Command::Status {
+            dir: journal.to_str().unwrap().into(),
+            json: true,
+        })
+        .unwrap();
+        assert_eq!(code, 0);
+        let v = tensorlib_obs::json::parse(&json_text).unwrap();
+        assert_eq!(v.get("state").and_then(|s| s.as_str()), Some("finished"));
+        // watch on a finished campaign returns immediately with code 0.
+        let (watch_text, code) = run_coded(Command::Watch {
+            dir: journal.to_str().unwrap().into(),
+            interval_ms: 10,
+        })
+        .unwrap();
+        assert_eq!(code, 0, "{watch_text}");
+        assert!(watch_text.contains("campaign finished"), "{watch_text}");
+        // A second identical run (fresh journal) appends a comparable entry:
+        // history --check compares them without machine-shape false
+        // positives and exits 0 (the runs are deterministic, so no deltas).
+        run(cmd(&dir.join("journal2"))).unwrap();
+        let (check_text, code) = run_coded(Command::History {
+            path: dir.join("reports").to_str().unwrap().into(),
+            check: true,
+            threshold: tensorlib_obs::history::DEFAULT_CHECK_THRESHOLD_PCT,
+        })
+        .unwrap();
+        assert_eq!(code, 0, "{check_text}");
+        assert!(check_text.contains("no metric moved"), "{check_text}");
+        // The listing shows both runs with their machine shape.
+        let (list_text, code) = run_coded(Command::History {
+            path: dir.join("reports").to_str().unwrap().into(),
+            check: false,
+            threshold: tensorlib_obs::history::DEFAULT_CHECK_THRESHOLD_PCT,
+        })
+        .unwrap();
+        assert_eq!(code, 0);
+        assert_eq!(list_text.lines().count(), 2, "{list_text}");
+        assert!(list_text.contains("lanes=1"), "{list_text}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn status_running_snapshot_with_dead_writer_is_interrupted() {
+        let dir = tmpdir("status_dead_pid");
+        let snapshot = tensorlib_obs::events::StatusSnapshot {
+            kind: "faults".to_string(),
+            state: "running".to_string(),
+            // No live process has this pid (PID_MAX_LIMIT is 2^22 on Linux).
+            pid: u32::MAX,
+            config_hash: "00ff00ff00ff00ff".to_string(),
+            chunks_total: 8,
+            chunks_done: 3,
+            chunks_replayed: 0,
+            chunks_executed: 3,
+            outcomes: std::collections::BTreeMap::new(),
+            timing: tensorlib_obs::events::StatusTiming::default(),
+        };
+        snapshot.write(&dir).unwrap();
+        let (text, code) = run_coded(Command::Status {
+            dir: dir.to_str().unwrap().into(),
+            json: false,
+        })
+        .unwrap();
+        assert_eq!(code, 3, "{text}");
+        assert!(text.contains("state       interrupted"), "{text}");
+        assert!(text.contains("--resume"), "no resume hint:\n{text}");
+        // The JSON form substitutes the effective state and carries the hint.
+        let (json_text, code) = run_coded(Command::Status {
+            dir: dir.to_str().unwrap().into(),
+            json: true,
+        })
+        .unwrap();
+        assert_eq!(code, 3);
+        let v = tensorlib_obs::json::parse(&json_text).unwrap();
+        assert_eq!(
+            v.get("state").and_then(|s| s.as_str()),
+            Some("interrupted")
+        );
+        assert!(v.get("resume_hint").is_some(), "{json_text}");
+        // watch exits 3 on the same evidence.
+        let (_, code) = run_coded(Command::Watch {
+            dir: dir.to_str().unwrap().into(),
+            interval_ms: 10,
+        })
+        .unwrap();
+        assert_eq!(code, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn history_check_flags_regressions_and_refuses_shape_mismatch() {
+        use tensorlib_obs::history::{append, HistoryEntry, HISTORY_FILE};
+        let dir = tmpdir("history_check");
+        let path = dir.join(HISTORY_FILE);
+        let entry = |coverage: f64, lanes: u64| HistoryEntry {
+            kind: "faults".to_string(),
+            config_hash: "aa".to_string(),
+            command: "faults --rows 4".to_string(),
+            pkg_version: "0.1.0".to_string(),
+            host_cores: 8,
+            workers: 1,
+            lanes,
+            metrics: [("detection_coverage".to_string(), coverage)]
+                .into_iter()
+                .collect(),
+            unix_ms: 1,
+            wall_ms: 10,
+        };
+        append(&path, &entry(0.9, 4)).unwrap();
+        append(&path, &entry(0.5, 4)).unwrap(); // -44%: flagged at 10%
+        let (text, code) = run_coded(Command::History {
+            path: path.to_str().unwrap().into(),
+            check: true,
+            threshold: 10.0,
+        })
+        .unwrap();
+        assert_eq!(code, 4, "{text}");
+        assert!(text.contains("FLAGGED"), "{text}");
+        // A lanes mismatch is a loud refusal (exit 1), not a comparison.
+        append(&path, &entry(0.5, 8)).unwrap();
+        let err = run_coded(Command::History {
+            path: path.to_str().unwrap().into(),
+            check: true,
+            threshold: 10.0,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("machine shapes"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journaled_report_is_byte_identical_with_telemetry_off() {
+        // The determinism quarantine, end to end: the report body never
+        // depends on whether telemetry was recorded alongside it.
+        let dir = tmpdir("telemetry_ab");
+        let cfg = CampaignConfig {
+            rows: 2,
+            cols: 2,
+            k: 2,
+            faults: 8,
+            seed: 1,
+            hardening: Hardening::parse("none").unwrap(),
+            workers: 1,
+            lanes: 1,
+            opt: true,
+        };
+        let on = DurabilityOptions {
+            dir: Some(dir.join("on")),
+            ..DurabilityOptions::default()
+        };
+        let off = DurabilityOptions {
+            dir: Some(dir.join("off")),
+            telemetry_off: true,
+            ..DurabilityOptions::default()
+        };
+        let (report_on, _) = run_gemm_campaign_durable(&cfg, &on).unwrap();
+        let (report_off, _) = run_gemm_campaign_durable(&cfg, &off).unwrap();
+        assert_eq!(
+            serde_json::to_string(&report_on).unwrap(),
+            serde_json::to_string(&report_off).unwrap()
+        );
+        assert!(dir.join("on").join("events.jsonl").exists());
+        assert!(!dir.join("off").join("events.jsonl").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

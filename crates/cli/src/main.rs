@@ -3,7 +3,7 @@
 
 use std::process::ExitCode;
 
-use tensorlib_cli::{parse_invocation, run_invocation, wants_interrupt_latch};
+use tensorlib_cli::{parse_invocation, run_invocation_coded, wants_interrupt_latch};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,15 +24,18 @@ fn main() -> ExitCode {
     if wants_interrupt_latch(&inv.command) {
         tensorlib_cli::interrupt::install();
     }
-    match run_invocation(inv) {
-        Ok(out) => {
+    match run_invocation_coded(inv) {
+        Ok((out, code)) => {
             print!("{out}");
-            if tensorlib_cli::interrupt::interrupted() {
+            if code == 0 && tensorlib_cli::interrupt::interrupted() {
                 // Conventional "terminated by SIGINT" code, so scripts can
                 // tell a drained partial run from a clean completion.
                 ExitCode::from(130)
             } else {
-                ExitCode::SUCCESS
+                // Command-specific codes: status 2 running / 3 interrupted,
+                // watch 3 interrupted, history --check 4 on a flagged
+                // regression; 0 otherwise.
+                ExitCode::from(code)
             }
         }
         Err(e) => {

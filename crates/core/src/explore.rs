@@ -555,6 +555,37 @@ fn canonical_explore_config(kernel: &Kernel, opts: &ExploreOptions, jobs: usize)
     format!("{kernel:?}|{canon:?}|jobs={jobs}")
 }
 
+/// Telemetry outcome counter for one explore chunk payload: scored designs,
+/// point errors (with the `panicked` subset), skipped candidates, and
+/// degraded (watchdog-demoted) candidates. Tolerant by design — telemetry
+/// is best-effort, so an undecodable payload counts as nothing (replay
+/// decoding is where strictness lives).
+fn count_explore_outcomes(payload: &str) -> std::collections::BTreeMap<String, u64> {
+    let mut counts = std::collections::BTreeMap::new();
+    let Ok(doc) = tensorlib_obs::json::parse(payload) else {
+        return counts;
+    };
+    if let Some(rows) = doc.get("rows").and_then(Value::as_array) {
+        *counts.entry("designs".to_string()).or_insert(0) += rows.len() as u64;
+    }
+    if let Some(errors) = doc.get("errors").and_then(Value::as_array) {
+        *counts.entry("errors".to_string()).or_insert(0) += errors.len() as u64;
+        let panicked = errors
+            .iter()
+            .filter(|e| e.get("Panicked").is_some())
+            .count() as u64;
+        if panicked > 0 {
+            *counts.entry("panicked".to_string()).or_insert(0) += panicked;
+        }
+    }
+    for key in ["skipped", "degraded"] {
+        if let Some(n) = doc.get(key).and_then(Value::as_u64) {
+            *counts.entry(key.to_string()).or_insert(0) += n;
+        }
+    }
+    counts
+}
+
 /// [`explore_outcome`] with campaign durability: the enumerated candidate
 /// list is split into deterministic chunks, completed chunks are journaled
 /// to `durability.dir` (when set) and replayed on resume, the per-chunk
@@ -600,12 +631,17 @@ pub fn explore_durable(
         total,
         &canonical_explore_config(kernel, opts, jobs.len()),
     );
-    let (slots, stats) = journal::run_chunked(durability, hash, total, |i| {
-        let lo = i * chunk_size;
-        let hi = (lo + chunk_size).min(jobs.len());
-        let chunk = run_explore_chunk(kernel, opts, &jobs[lo..hi], durability);
-        serde_json::to_string(&chunk).expect("explore chunk serializes")
-    })?;
+    let telemetry = journal::TelemetrySpec {
+        kind: "explore",
+        count_outcomes: &count_explore_outcomes,
+    };
+    let (slots, stats) =
+        journal::run_chunked_observed(durability, hash, total, Some(&telemetry), |i| {
+            let lo = i * chunk_size;
+            let hi = (lo + chunk_size).min(jobs.len());
+            let chunk = run_explore_chunk(kernel, opts, &jobs[lo..hi], durability);
+            serde_json::to_string(&chunk).expect("explore chunk serializes")
+        })?;
     let mut report = ExploreSweepReport {
         rows: Vec::new(),
         errors: Vec::new(),

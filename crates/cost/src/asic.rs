@@ -260,8 +260,10 @@ mod tests {
     fn measured_activity_feeds_the_power_model() {
         use tensorlib_hw::InterpreterStats;
         // Two PEs over 10 cycles, 15 MAC issues total → 75% utilization.
-        let mut stats = InterpreterStats::default();
-        stats.cycles = 10;
+        let mut stats = InterpreterStats {
+            cycles: 10,
+            ..InterpreterStats::default()
+        };
         for (i, macs) in [10u64, 5u64].into_iter().enumerate() {
             stats.pes.push(tensorlib_hw::trace::PeCounters {
                 name: format!("array_i.pe_r0c{i}"),

@@ -1,0 +1,472 @@
+//! Streaming campaign telemetry: the append-only event log and the
+//! atomically-replaced status snapshot that live inside a campaign
+//! directory, next to `campaign.journal`.
+//!
+//! Two files, two disciplines:
+//!
+//! - **`events.jsonl`** ([`EventLog`]): one schema-versioned JSON object per
+//!   line, appended and `fsync`ed as the campaign progresses
+//!   (`campaign_started`, `chunk_completed`, `chunk_degraded`,
+//!   `panic_retry`, `campaign_finished` / `campaign_interrupted`). The file
+//!   is append-only across resumes, so it records the full lifecycle of a
+//!   campaign including every interruption.
+//! - **`status.json`** ([`StatusSnapshot`]): a single JSON object replaced
+//!   via [`crate::atomic_write`] on every chunk boundary. Readers (the
+//!   `status` / `watch` CLI) always see either the previous or the next
+//!   complete snapshot, never a torn one.
+//!
+//! # Determinism quarantine
+//!
+//! Campaign *reports* must stay byte-identical for any worker/lane count and
+//! across resume; telemetry is where wall-clock truth is allowed to live.
+//! Within these files, every wall-clock-derived field sits under a `timing`
+//! sub-object ([`StatusTiming`], [`Event::timing`]) so that tooling which
+//! diffs telemetry deterministically can strip exactly one structural
+//! subtree instead of guessing at field names.
+
+use std::collections::BTreeMap;
+use std::fs::OpenOptions;
+use std::io::{self, Write};
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json::{self, Value};
+
+/// Schema version stamped on every event line and status snapshot.
+pub const TELEMETRY_SCHEMA_VERSION: u64 = 1;
+
+/// Event log file name inside a campaign directory.
+pub const EVENTS_FILE: &str = "events.jsonl";
+
+/// Status snapshot file name inside a campaign directory.
+pub const STATUS_FILE: &str = "status.json";
+
+/// Milliseconds since the Unix epoch. This is *wall-clock* data: it may only
+/// appear under `timing` sub-objects, never in campaign reports.
+pub fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Builder for one telemetry event line. Field order is insertion order, so
+/// every event renders `schema_version`, then `event`, then its payload,
+/// with `timing` conventionally last.
+#[derive(Debug, Clone)]
+pub struct Event {
+    entries: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Starts an event named `event` (e.g. `"chunk_completed"`).
+    pub fn new(event: &str) -> Self {
+        Event {
+            entries: vec![
+                (
+                    "schema_version".to_string(),
+                    Value::Num(TELEMETRY_SCHEMA_VERSION as f64),
+                ),
+                ("event".to_string(), Value::Str(event.to_string())),
+            ],
+        }
+    }
+
+    /// Appends a string field.
+    pub fn str(mut self, key: &str, val: &str) -> Self {
+        self.entries
+            .push((key.to_string(), Value::Str(val.to_string())));
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn u64(mut self, key: &str, val: u64) -> Self {
+        self.entries.push((key.to_string(), Value::Num(val as f64)));
+        self
+    }
+
+    /// Appends a per-outcome counter object (sorted keys, from the map).
+    pub fn counts(mut self, key: &str, counts: &BTreeMap<String, u64>) -> Self {
+        self.entries.push((key.to_string(), counts_value(counts)));
+        self
+    }
+
+    /// Appends the `timing` sub-object: the one place wall-clock data is
+    /// allowed. `updated_unix_ms` is always included; extra `(key, ms)`
+    /// pairs follow in the given order.
+    pub fn timing(mut self, extra_ms: &[(&str, f64)]) -> Self {
+        let mut t = vec![(
+            "updated_unix_ms".to_string(),
+            Value::Num(unix_ms() as f64),
+        )];
+        for (k, v) in extra_ms {
+            t.push((k.to_string(), Value::Num(*v)));
+        }
+        self.entries.push(("timing".to_string(), Value::Obj(t)));
+        self
+    }
+
+    /// Finishes the builder into a JSON value.
+    pub fn into_value(self) -> Value {
+        Value::Obj(self.entries)
+    }
+}
+
+fn counts_value(counts: &BTreeMap<String, u64>) -> Value {
+    Value::Obj(
+        counts
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::Num(*v as f64)))
+            .collect(),
+    )
+}
+
+/// An open handle on a campaign's `events.jsonl`. Each append writes one
+/// compact line and `fsync`s it, mirroring the journal's durability
+/// discipline: an event that was reported is an event that survives a crash.
+#[derive(Debug)]
+pub struct EventLog {
+    file: std::fs::File,
+}
+
+impl EventLog {
+    /// Opens (creating if needed) the event log inside `dir` for appending.
+    pub fn open(dir: &Path) -> io::Result<EventLog> {
+        std::fs::create_dir_all(dir)?;
+        let file = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(dir.join(EVENTS_FILE))?;
+        Ok(EventLog { file })
+    }
+
+    /// Appends one event as a single JSONL line and flushes it to disk.
+    pub fn append(&mut self, event: Event) -> io::Result<()> {
+        let mut line = json::to_compact(&event.into_value());
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()
+    }
+}
+
+/// Reads and validates every line of `dir/events.jsonl` (each line must be a
+/// complete JSON object). Returns the parsed events in file order.
+pub fn read_events(dir: &Path) -> Result<Vec<Value>, String> {
+    let path = dir.join(EVENTS_FILE);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line)
+            .map_err(|e| format!("{}:{}: malformed event line: {e}", path.display(), i + 1))?;
+        if v.get("event").and_then(Value::as_str).is_none() {
+            return Err(format!(
+                "{}:{}: event line has no `event` field",
+                path.display(),
+                i + 1
+            ));
+        }
+        out.push(v);
+    }
+    Ok(out)
+}
+
+/// Wall-clock-derived status fields, structurally quarantined so the rest of
+/// [`StatusSnapshot`] is deterministic for a given campaign state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatusTiming {
+    /// When this snapshot was written (ms since Unix epoch).
+    pub updated_unix_ms: u64,
+    /// Wall time since this process started the campaign run, in ms.
+    pub elapsed_ms: u64,
+    /// Exponentially-weighted moving average of executed-chunk wall time.
+    pub ewma_chunk_ms: f64,
+    /// Chunks per second implied by the EWMA (0 until a chunk completes).
+    pub throughput_chunks_per_s: f64,
+    /// Estimated ms to completion: remaining chunks × EWMA chunk time.
+    pub eta_ms: u64,
+}
+
+/// The atomically-replaced `status.json` snapshot of a running (or just
+/// finished / interrupted) campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusSnapshot {
+    /// Campaign kind: `"faults"`, `"fuzz"`, or `"explore"`.
+    pub kind: String,
+    /// `"running"`, `"finished"`, or `"interrupted"`.
+    pub state: String,
+    /// PID of the process writing the snapshot. A `"running"` snapshot
+    /// whose writer is dead means the campaign was killed (e.g. SIGKILL).
+    pub pid: u32,
+    /// Journal config hash, hex — ties the snapshot to the journal header.
+    pub config_hash: String,
+    /// Total chunks in the campaign.
+    pub chunks_total: u64,
+    /// Chunks accounted for so far (replayed + executed).
+    pub chunks_done: u64,
+    /// Chunks recovered by replaying the journal on open (resume).
+    pub chunks_replayed: u64,
+    /// Chunks executed by this process.
+    pub chunks_executed: u64,
+    /// Per-outcome counters accumulated over all done chunks.
+    pub outcomes: BTreeMap<String, u64>,
+    /// Wall-clock fields, quarantined.
+    pub timing: StatusTiming,
+}
+
+impl StatusSnapshot {
+    /// Renders the snapshot as a JSON value (stable field order).
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "schema_version".to_string(),
+                Value::Num(TELEMETRY_SCHEMA_VERSION as f64),
+            ),
+            ("kind".to_string(), Value::Str(self.kind.clone())),
+            ("state".to_string(), Value::Str(self.state.clone())),
+            ("pid".to_string(), Value::Num(self.pid as f64)),
+            (
+                "config_hash".to_string(),
+                Value::Str(self.config_hash.clone()),
+            ),
+            (
+                "chunks_total".to_string(),
+                Value::Num(self.chunks_total as f64),
+            ),
+            (
+                "chunks_done".to_string(),
+                Value::Num(self.chunks_done as f64),
+            ),
+            (
+                "chunks_replayed".to_string(),
+                Value::Num(self.chunks_replayed as f64),
+            ),
+            (
+                "chunks_executed".to_string(),
+                Value::Num(self.chunks_executed as f64),
+            ),
+            ("outcomes".to_string(), counts_value(&self.outcomes)),
+            (
+                "timing".to_string(),
+                Value::Obj(vec![
+                    (
+                        "updated_unix_ms".to_string(),
+                        Value::Num(self.timing.updated_unix_ms as f64),
+                    ),
+                    (
+                        "elapsed_ms".to_string(),
+                        Value::Num(self.timing.elapsed_ms as f64),
+                    ),
+                    (
+                        "ewma_chunk_ms".to_string(),
+                        Value::Num(self.timing.ewma_chunk_ms),
+                    ),
+                    (
+                        "throughput_chunks_per_s".to_string(),
+                        Value::Num(self.timing.throughput_chunks_per_s),
+                    ),
+                    ("eta_ms".to_string(), Value::Num(self.timing.eta_ms as f64)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Decodes a snapshot from a parsed `status.json` document.
+    pub fn from_value(v: &Value) -> Result<StatusSnapshot, String> {
+        let version = req_u64(v, "schema_version")?;
+        if version != TELEMETRY_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported status schema_version {version} (expected {TELEMETRY_SCHEMA_VERSION})"
+            ));
+        }
+        let timing = req(v, "timing")?;
+        let mut outcomes = BTreeMap::new();
+        for (k, n) in req(v, "outcomes")?
+            .as_object()
+            .ok_or_else(|| "`outcomes` is not an object".to_string())?
+        {
+            let n = n
+                .as_u64()
+                .ok_or_else(|| format!("outcome `{k}` is not an unsigned integer"))?;
+            outcomes.insert(k.clone(), n);
+        }
+        Ok(StatusSnapshot {
+            kind: req_str(v, "kind")?.to_string(),
+            state: req_str(v, "state")?.to_string(),
+            pid: req_u64(v, "pid")? as u32,
+            config_hash: req_str(v, "config_hash")?.to_string(),
+            chunks_total: req_u64(v, "chunks_total")?,
+            chunks_done: req_u64(v, "chunks_done")?,
+            chunks_replayed: req_u64(v, "chunks_replayed")?,
+            chunks_executed: req_u64(v, "chunks_executed")?,
+            outcomes,
+            timing: StatusTiming {
+                updated_unix_ms: req_u64(timing, "updated_unix_ms")?,
+                elapsed_ms: req_u64(timing, "elapsed_ms")?,
+                ewma_chunk_ms: req_f64(timing, "ewma_chunk_ms")?,
+                throughput_chunks_per_s: req_f64(timing, "throughput_chunks_per_s")?,
+                eta_ms: req_u64(timing, "eta_ms")?,
+            },
+        })
+    }
+
+    /// Atomically replaces `dir/status.json` with this snapshot.
+    pub fn write(&self, dir: &Path) -> io::Result<()> {
+        let mut text = self.to_value().to_string();
+        text.push('\n');
+        crate::atomic_write(dir.join(STATUS_FILE), text.as_bytes())
+    }
+
+    /// Reads and decodes `dir/status.json`.
+    pub fn read(dir: &Path) -> Result<StatusSnapshot, String> {
+        let path = dir.join(STATUS_FILE);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let v = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        StatusSnapshot::from_value(&v)
+    }
+}
+
+pub(crate) fn req<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+pub(crate) fn req_u64(v: &Value, key: &str) -> Result<u64, String> {
+    req(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field `{key}` is not an unsigned integer"))
+}
+
+pub(crate) fn req_f64(v: &Value, key: &str) -> Result<f64, String> {
+    req(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field `{key}` is not a number"))
+}
+
+pub(crate) fn req_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    req(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field `{key}` is not a string"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tl_obs_events_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn snapshot() -> StatusSnapshot {
+        let mut outcomes = BTreeMap::new();
+        outcomes.insert("masked".to_string(), 12);
+        outcomes.insert("sdc".to_string(), 1);
+        StatusSnapshot {
+            kind: "faults".to_string(),
+            state: "running".to_string(),
+            pid: 4242,
+            config_hash: "00ff00ff00ff00ff".to_string(),
+            chunks_total: 8,
+            chunks_done: 3,
+            chunks_replayed: 1,
+            chunks_executed: 2,
+            outcomes,
+            timing: StatusTiming {
+                updated_unix_ms: 1_700_000_000_000,
+                elapsed_ms: 1234,
+                ewma_chunk_ms: 41.5,
+                throughput_chunks_per_s: 24.096,
+                eta_ms: 208,
+            },
+        }
+    }
+
+    #[test]
+    fn status_snapshot_round_trips() {
+        let s = snapshot();
+        let back = StatusSnapshot::from_value(&s.to_value()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn status_write_read_round_trips() {
+        let dir = tmpdir("status_rw");
+        let s = snapshot();
+        s.write(&dir).unwrap();
+        assert_eq!(StatusSnapshot::read(&dir).unwrap(), s);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn status_rejects_unknown_schema_version() {
+        let mut v = snapshot().to_value();
+        if let Value::Obj(entries) = &mut v {
+            entries[0].1 = Value::Num(99.0);
+        }
+        let err = StatusSnapshot::from_value(&v).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn event_log_appends_parsable_lines() {
+        let dir = tmpdir("event_log");
+        let mut log = EventLog::open(&dir).unwrap();
+        log.append(
+            Event::new("campaign_started")
+                .str("kind", "faults")
+                .u64("total_chunks", 8)
+                .timing(&[]),
+        )
+        .unwrap();
+        let mut counts = BTreeMap::new();
+        counts.insert("masked".to_string(), 5);
+        log.append(
+            Event::new("chunk_completed")
+                .u64("chunk", 0)
+                .counts("outcomes", &counts)
+                .timing(&[("chunk_wall_ms", 12.5)]),
+        )
+        .unwrap();
+        let events = read_events(&dir).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0].get("event").and_then(Value::as_str),
+            Some("campaign_started")
+        );
+        assert_eq!(
+            events[0].get("schema_version").and_then(Value::as_u64),
+            Some(TELEMETRY_SCHEMA_VERSION)
+        );
+        assert_eq!(
+            events[1]
+                .get("outcomes")
+                .and_then(|o| o.get("masked"))
+                .and_then(Value::as_u64),
+            Some(5)
+        );
+        // Wall-clock data lives only under `timing`.
+        assert!(events[1].get("timing").is_some());
+        assert!(events[1]
+            .get("timing")
+            .and_then(|t| t.get("chunk_wall_ms"))
+            .is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_events_rejects_malformed_lines() {
+        let dir = tmpdir("event_bad");
+        std::fs::write(dir.join(EVENTS_FILE), "{\"event\":\"ok\"}\n{oops\n").unwrap();
+        let err = read_events(&dir).unwrap_err();
+        assert!(err.contains("malformed event line"), "{err}");
+        assert!(err.contains(":2"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

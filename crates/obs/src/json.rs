@@ -307,7 +307,46 @@ impl std::fmt::Display for Value {
     }
 }
 
-fn write_value(f: &mut std::fmt::Formatter<'_>, v: &Value, indent: usize) -> std::fmt::Result {
+/// Serializes a [`Value`] to single-line JSON (no newlines, no indentation,
+/// `"k":v` entries separated by `,`) — the form for JSONL files where one
+/// value must occupy exactly one line. Same determinism and round-trip
+/// guarantees as the pretty [`Display`] form: `parse(&to_compact(&v))`
+/// reconstructs `v` exactly.
+pub fn to_compact(v: &Value) -> String {
+    let mut out = String::new();
+    write_compact(&mut out, v).expect("writing to a String cannot fail");
+    out
+}
+
+fn write_compact<W: std::fmt::Write>(f: &mut W, v: &Value) -> std::fmt::Result {
+    match v {
+        Value::Null | Value::Bool(_) | Value::Num(_) | Value::Str(_) => write_value(f, v, 0),
+        Value::Arr(items) => {
+            f.write_str("[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write_compact(f, item)?;
+            }
+            f.write_str("]")
+        }
+        Value::Obj(entries) => {
+            f.write_str("{")?;
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write_string(f, k)?;
+                f.write_str(":")?;
+                write_compact(f, item)?;
+            }
+            f.write_str("}")
+        }
+    }
+}
+
+fn write_value<W: std::fmt::Write>(f: &mut W, v: &Value, indent: usize) -> std::fmt::Result {
     match v {
         Value::Null => f.write_str("null"),
         Value::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
@@ -350,7 +389,7 @@ fn write_value(f: &mut std::fmt::Formatter<'_>, v: &Value, indent: usize) -> std
     }
 }
 
-fn write_string(f: &mut std::fmt::Formatter<'_>, s: &str) -> std::fmt::Result {
+fn write_string<W: std::fmt::Write>(f: &mut W, s: &str) -> std::fmt::Result {
     f.write_str("\"")?;
     for c in s.chars() {
         match c {
@@ -502,6 +541,21 @@ mod tests {
         let ctl = Value::Str("\u{1}a\u{1f}".to_string());
         assert_eq!(ctl.to_string(), "\"\\u0001a\\u001f\"");
         assert_eq!(parse(&ctl.to_string()).unwrap(), ctl);
+    }
+
+    #[test]
+    fn compact_form_is_single_line_and_round_trips() {
+        let doc = parse(
+            r#"{"a": [1, 2.5, -3, []], "b": {"c": "hi\n", "d": true, "e": null, "f": {}}}"#,
+        )
+        .unwrap();
+        let line = to_compact(&doc);
+        assert!(!line.contains('\n'), "{line}");
+        assert_eq!(parse(&line).unwrap(), doc);
+        assert_eq!(
+            line,
+            r#"{"a":[1,2.5,-3,[]],"b":{"c":"hi\n","d":true,"e":null,"f":{}}}"#
+        );
     }
 
     #[test]

@@ -23,6 +23,16 @@
 //!   (seeds, config echo, per-phase wall times, worker count, package
 //!   version) embedded in every JSON report the CLI writes.
 //!
+//! Two further pieces serve long-running campaigns:
+//!
+//! - **Campaign telemetry** ([`events`]): the append-only `events.jsonl`
+//!   event log and atomically-replaced `status.json` snapshot written into
+//!   a campaign directory, with wall-clock fields quarantined under
+//!   `timing` sub-objects so report byte-determinism is untouched.
+//! - **Cross-run history** ([`history`]): the `history.jsonl` index of
+//!   completed runs (key metrics + config hash + machine shape) that backs
+//!   `tensorlib history --check` regression comparisons.
+//!
 //! # Zero cost when disabled
 //!
 //! Recording is off by default. Every entry point first checks one relaxed
@@ -71,7 +81,9 @@
 #![warn(missing_docs)]
 
 mod clock;
+pub mod events;
 pub mod fs;
+pub mod history;
 pub mod json;
 mod manifest;
 mod metrics;

@@ -71,6 +71,10 @@ pub struct Provenance {
     pub workers: usize,
     /// Host parallelism available at run time.
     pub host_cores: usize,
+    /// Batched-simulation lanes the run used (0 = not applicable). Together
+    /// with `workers` and `host_cores` this is the run's *machine shape*;
+    /// history comparisons refuse to compare runs across different shapes.
+    pub lanes: usize,
     /// Journal/resume accounting for durably-run campaigns (`null` for
     /// ordinary runs). Like `phase_wall_times_us`, this block is the
     /// legitimately run-dependent part of an otherwise byte-deterministic
@@ -91,6 +95,7 @@ impl Provenance {
             seeds: Vec::new(),
             workers: 0,
             host_cores: std::thread::available_parallelism().map_or(1, usize::from),
+            lanes: 0,
             journal: None,
             phase_wall_times_us: BTreeMap::new(),
         }

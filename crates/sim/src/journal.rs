@@ -310,6 +310,14 @@ pub struct DurabilityOptions {
     /// of these substrings panic before running, exercising the quarantine
     /// path deterministically.
     pub chaos_panic_targets: Vec<String>,
+    /// Disables the campaign telemetry layer (`events.jsonl` /
+    /// `status.json`) for journaled runs. Off by default — journaled
+    /// campaigns stream telemetry unless the caller opts out (the perfgate
+    /// uses this to A/B the telemetry overhead). Deliberately *not* part of
+    /// [`DurabilityOptions::is_inert`]: telemetry only ever activates when a
+    /// journal directory is set, so the knob cannot drag an otherwise inert
+    /// run off the legacy path.
+    pub telemetry_off: bool,
 }
 
 impl DurabilityOptions {
@@ -404,6 +412,44 @@ pub fn run_chunked<F>(
     opts: &DurabilityOptions,
     config_hash: u64,
     total_chunks: usize,
+    exec: F,
+) -> Result<(Vec<Option<String>>, RunStats), JournalError>
+where
+    F: FnMut(usize) -> String,
+{
+    run_chunked_observed(opts, config_hash, total_chunks, None, exec)
+}
+
+/// How a campaign's chunk payloads translate into telemetry: the campaign
+/// kind plus a payload → per-outcome-counter function. Each campaign module
+/// owns its payload schema, so it supplies the counter; the journal layer
+/// owns the chunk loop, so it owns *when* events fire.
+pub struct TelemetrySpec<'a> {
+    /// Campaign kind: `"faults"`, `"fuzz"`, or `"explore"`.
+    pub kind: &'a str,
+    /// Counts outcomes in one chunk's canonical JSON payload (e.g.
+    /// `{"masked": 12, "sdc": 1}`). Must be a pure function of the payload —
+    /// it also runs over *replayed* payloads on resume so status counters
+    /// cover the whole campaign, not just this process's share.
+    pub count_outcomes: &'a dyn Fn(&str) -> BTreeMap<String, u64>,
+}
+
+/// [`run_chunked`] plus streaming telemetry. When a journal directory is
+/// set, telemetry is on (a `spec` was supplied, `opts.telemetry_off` is
+/// false), the run additionally maintains `events.jsonl` and `status.json`
+/// in the campaign directory — see [`tensorlib_obs::events`].
+///
+/// Telemetry is observational only and strictly best-effort: every
+/// telemetry write failure is swallowed, the chunk loop and its journal
+/// durability guarantees are identical with telemetry on, off, or failing,
+/// and no wall-clock data ever reaches the returned slots (the report
+/// inputs) — it lives only in the telemetry files, quarantined under
+/// `timing` sub-objects.
+pub fn run_chunked_observed<F>(
+    opts: &DurabilityOptions,
+    config_hash: u64,
+    total_chunks: usize,
+    telemetry: Option<&TelemetrySpec<'_>>,
     mut exec: F,
 ) -> Result<(Vec<Option<String>>, RunStats), JournalError>
 where
@@ -424,6 +470,12 @@ where
             stats.chunks_replayed += 1;
         }
     }
+    let mut telemetry = match (&opts.dir, telemetry) {
+        (Some(dir), Some(spec)) if !opts.telemetry_off => {
+            Telemetry::begin(dir, spec, config_hash, total_chunks, &slots)
+        }
+        _ => None,
+    };
     for (i, slot) in slots.iter_mut().enumerate() {
         if slot.is_some() {
             continue;
@@ -432,14 +484,174 @@ where
             stats.interrupted = true;
             break;
         }
+        let chunk_started = Instant::now();
         let payload = exec(i);
         if let Some(j) = &mut journal {
             j.append(i as u32, &payload)?;
         }
+        if let Some(t) = &mut telemetry {
+            t.chunk_completed(i, &payload, chunk_started.elapsed());
+        }
         *slot = Some(payload);
         stats.chunks_executed += 1;
     }
+    if let Some(t) = &mut telemetry {
+        t.finish(stats.interrupted);
+    }
     Ok((slots, stats))
+}
+
+/// Live telemetry state for one journaled campaign run: the open event log
+/// plus the running counters behind `status.json`. All writes are
+/// best-effort; a telemetry I/O failure never fails the campaign.
+struct Telemetry<'a> {
+    spec: &'a TelemetrySpec<'a>,
+    dir: PathBuf,
+    log: tensorlib_obs::events::EventLog,
+    config_hash: String,
+    chunks_total: usize,
+    chunks_replayed: usize,
+    chunks_executed: usize,
+    outcomes: BTreeMap<String, u64>,
+    started: Instant,
+    /// EWMA of executed-chunk wall time in ms (α = 0.3); 0 until the first
+    /// chunk completes.
+    ewma_chunk_ms: f64,
+}
+
+impl<'a> Telemetry<'a> {
+    fn begin(
+        dir: &Path,
+        spec: &'a TelemetrySpec<'a>,
+        config_hash: u64,
+        chunks_total: usize,
+        replayed_slots: &[Option<String>],
+    ) -> Option<Telemetry<'a>> {
+        use tensorlib_obs::events::{Event, EventLog};
+        let mut log = EventLog::open(dir).ok()?;
+        let mut outcomes = BTreeMap::new();
+        let mut chunks_replayed = 0usize;
+        for payload in replayed_slots.iter().flatten() {
+            merge_counts(&mut outcomes, &(spec.count_outcomes)(payload));
+            chunks_replayed += 1;
+        }
+        let _ = log.append(
+            Event::new("campaign_started")
+                .str("kind", spec.kind)
+                .str("config_hash", &format!("{config_hash:016x}"))
+                .u64("total_chunks", chunks_total as u64)
+                .u64("chunks_replayed", chunks_replayed as u64)
+                .u64("pid", std::process::id() as u64)
+                .timing(&[]),
+        );
+        let t = Telemetry {
+            spec,
+            dir: dir.to_path_buf(),
+            log,
+            config_hash: format!("{config_hash:016x}"),
+            chunks_total,
+            chunks_replayed,
+            chunks_executed: 0,
+            outcomes,
+            started: Instant::now(),
+            ewma_chunk_ms: 0.0,
+        };
+        t.write_status("running");
+        Some(t)
+    }
+
+    fn chunk_completed(&mut self, index: usize, payload: &str, wall: Duration) {
+        use tensorlib_obs::events::Event;
+        let counts = (self.spec.count_outcomes)(payload);
+        merge_counts(&mut self.outcomes, &counts);
+        self.chunks_executed += 1;
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        self.ewma_chunk_ms = if self.chunks_executed == 1 {
+            wall_ms
+        } else {
+            0.3 * wall_ms + 0.7 * self.ewma_chunk_ms
+        };
+        let _ = self.log.append(
+            Event::new("chunk_completed")
+                .u64("chunk", index as u64)
+                .counts("outcomes", &counts)
+                .timing(&[("chunk_wall_ms", wall_ms)]),
+        );
+        if let Some(&n) = counts.get("degraded").filter(|&&n| n > 0) {
+            let _ = self.log.append(
+                Event::new("chunk_degraded")
+                    .u64("chunk", index as u64)
+                    .u64("degraded", n)
+                    .timing(&[]),
+            );
+        }
+        if let Some(&n) = counts.get("panicked").filter(|&&n| n > 0) {
+            let _ = self.log.append(
+                Event::new("panic_retry")
+                    .u64("chunk", index as u64)
+                    .u64("panicked", n)
+                    .timing(&[]),
+            );
+        }
+        self.write_status("running");
+    }
+
+    fn finish(&mut self, interrupted: bool) {
+        use tensorlib_obs::events::Event;
+        let (event, state) = if interrupted {
+            ("campaign_interrupted", "interrupted")
+        } else {
+            ("campaign_finished", "finished")
+        };
+        let _ = self.log.append(
+            Event::new(event)
+                .u64("chunks_done", (self.chunks_replayed + self.chunks_executed) as u64)
+                .u64("total_chunks", self.chunks_total as u64)
+                .counts("outcomes", &self.outcomes)
+                .timing(&[("elapsed_ms", self.started.elapsed().as_secs_f64() * 1e3)]),
+        );
+        self.write_status(state);
+    }
+
+    fn write_status(&self, state: &str) {
+        use tensorlib_obs::events::{unix_ms, StatusSnapshot, StatusTiming};
+        let done = self.chunks_replayed + self.chunks_executed;
+        let remaining = self.chunks_total.saturating_sub(done);
+        let eta_ms = if state == "running" && self.ewma_chunk_ms > 0.0 {
+            (remaining as f64 * self.ewma_chunk_ms) as u64
+        } else {
+            0
+        };
+        let snapshot = StatusSnapshot {
+            kind: self.spec.kind.to_string(),
+            state: state.to_string(),
+            pid: std::process::id(),
+            config_hash: self.config_hash.clone(),
+            chunks_total: self.chunks_total as u64,
+            chunks_done: done as u64,
+            chunks_replayed: self.chunks_replayed as u64,
+            chunks_executed: self.chunks_executed as u64,
+            outcomes: self.outcomes.clone(),
+            timing: StatusTiming {
+                updated_unix_ms: unix_ms(),
+                elapsed_ms: self.started.elapsed().as_millis() as u64,
+                ewma_chunk_ms: self.ewma_chunk_ms,
+                throughput_chunks_per_s: if self.ewma_chunk_ms > 0.0 {
+                    1e3 / self.ewma_chunk_ms
+                } else {
+                    0.0
+                },
+                eta_ms,
+            },
+        };
+        let _ = snapshot.write(&self.dir);
+    }
+}
+
+fn merge_counts(into: &mut BTreeMap<String, u64>, from: &BTreeMap<String, u64>) {
+    for (k, v) in from {
+        *into.entry(k.clone()).or_insert(0) += v;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -650,6 +862,152 @@ mod tests {
         assert_eq!(stats.chunks_executed, 2);
         assert!(!stats.interrupted);
         assert!(slots.iter().all(|s| s.is_some()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn count_marks(payload: &str) -> BTreeMap<String, u64> {
+        let mut counts = BTreeMap::new();
+        counts.insert("done".to_string(), 1);
+        if payload.contains("degraded") {
+            counts.insert("degraded".to_string(), 1);
+        }
+        counts
+    }
+
+    fn marks_spec() -> TelemetrySpec<'static> {
+        TelemetrySpec {
+            kind: "faults",
+            count_outcomes: &count_marks,
+        }
+    }
+
+    #[test]
+    fn telemetry_writes_events_and_status() {
+        use tensorlib_obs::events::{read_events, StatusSnapshot};
+        let dir = tmpdir("telemetry");
+        let hash = config_hash("faults", 1, 3, "cfg");
+        let opts = DurabilityOptions::with_dir(&dir);
+        let spec = marks_spec();
+        let (slots, stats) = run_chunked_observed(&opts, hash, 3, Some(&spec), |i| {
+            if i == 2 {
+                format!("chunk-{i}-degraded")
+            } else {
+                format!("chunk-{i}")
+            }
+        })
+        .unwrap();
+        assert!(slots.iter().all(|s| s.is_some()));
+        assert!(!stats.interrupted);
+        let events = read_events(&dir).unwrap();
+        let names: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("event").and_then(Value::as_str).unwrap())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "campaign_started",
+                "chunk_completed",
+                "chunk_completed",
+                "chunk_completed",
+                "chunk_degraded",
+                "campaign_finished"
+            ]
+        );
+        // Wall-clock data only under `timing`.
+        for e in &events {
+            assert!(e.get("timing").is_some());
+        }
+        let status = StatusSnapshot::read(&dir).unwrap();
+        assert_eq!(status.state, "finished");
+        assert_eq!(status.kind, "faults");
+        assert_eq!(status.config_hash, format!("{hash:016x}"));
+        assert_eq!(status.chunks_total, 3);
+        assert_eq!(status.chunks_done, 3);
+        assert_eq!(status.chunks_executed, 3);
+        assert_eq!(status.outcomes["done"], 3);
+        assert_eq!(status.outcomes["degraded"], 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn telemetry_counts_replayed_chunks_on_resume() {
+        use tensorlib_obs::events::{read_events, StatusSnapshot};
+        let dir = tmpdir("telemetry_resume");
+        let hash = config_hash("faults", 1, 4, "cfg");
+        let flag = Arc::new(AtomicBool::new(false));
+        let opts = DurabilityOptions {
+            dir: Some(dir.clone()),
+            interrupt: Some(flag.clone()),
+            ..DurabilityOptions::default()
+        };
+        let spec = marks_spec();
+        let flag2 = flag.clone();
+        let (_, stats) = run_chunked_observed(&opts, hash, 4, Some(&spec), |i| {
+            if i == 1 {
+                flag2.store(true, Ordering::SeqCst);
+            }
+            format!("chunk-{i}")
+        })
+        .unwrap();
+        assert!(stats.interrupted);
+        let status = StatusSnapshot::read(&dir).unwrap();
+        assert_eq!(status.state, "interrupted");
+        assert_eq!(status.chunks_done, 2);
+        // Resume: replayed chunks count into the snapshot via the same
+        // outcome counter, so the totals cover the whole campaign.
+        flag.store(false, Ordering::SeqCst);
+        let (_, stats) =
+            run_chunked_observed(&opts, hash, 4, Some(&spec), |i| format!("chunk-{i}")).unwrap();
+        assert_eq!(stats.chunks_replayed, 2);
+        let status = StatusSnapshot::read(&dir).unwrap();
+        assert_eq!(status.state, "finished");
+        assert_eq!(status.chunks_done, 4);
+        assert_eq!(status.chunks_replayed, 2);
+        assert_eq!(status.chunks_executed, 2);
+        assert_eq!(status.outcomes["done"], 4);
+        // events.jsonl is append-only across resumes: both lifecycles are
+        // recorded in order.
+        let names: Vec<String> = read_events(&dir)
+            .unwrap()
+            .iter()
+            .map(|e| e.get("event").and_then(Value::as_str).unwrap().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "campaign_started",
+                "chunk_completed",
+                "chunk_completed",
+                "campaign_interrupted",
+                "campaign_started",
+                "chunk_completed",
+                "chunk_completed",
+                "campaign_finished"
+            ]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn telemetry_off_writes_no_telemetry_files() {
+        use tensorlib_obs::events::{EVENTS_FILE, STATUS_FILE};
+        let dir = tmpdir("telemetry_off");
+        let hash = config_hash("faults", 1, 2, "cfg");
+        let opts = DurabilityOptions {
+            telemetry_off: true,
+            ..DurabilityOptions::with_dir(&dir)
+        };
+        let spec = marks_spec();
+        run_chunked_observed(&opts, hash, 2, Some(&spec), |i| format!("chunk-{i}")).unwrap();
+        assert!(!dir.join(EVENTS_FILE).exists());
+        assert!(!dir.join(STATUS_FILE).exists());
+        // The knob does not drag inert options off the legacy path.
+        let inert = DurabilityOptions {
+            telemetry_off: true,
+            ..DurabilityOptions::default()
+        };
+        assert!(inert.is_inert());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -999,6 +999,36 @@ fn decode_outcome(v: &Value) -> Result<FaultOutcome, String> {
     })
 }
 
+/// Telemetry outcome counter for one fault-campaign chunk payload: fault
+/// classes by lowercased name (`masked` / `detected` / `sdc` / `degraded`),
+/// plus `errors` for outcomes carrying an error string and `panicked` for
+/// the quarantined-panic subset. Tolerant by design — telemetry is
+/// best-effort, so an undecodable payload counts as nothing rather than
+/// failing the campaign (replay decoding is where strictness lives).
+fn count_fault_outcomes(payload: &str) -> std::collections::BTreeMap<String, u64> {
+    let mut counts = std::collections::BTreeMap::new();
+    let Ok(doc) = tensorlib_obs::json::parse(payload) else {
+        return counts;
+    };
+    let Some(items) = doc.as_array() else {
+        return counts;
+    };
+    for item in items {
+        let class = item
+            .get("class")
+            .and_then(Value::as_str)
+            .unwrap_or("unknown");
+        *counts.entry(class.to_ascii_lowercase()).or_insert(0) += 1;
+        if let Some(error) = item.get("error").and_then(Value::as_str) {
+            *counts.entry("errors".to_string()).or_insert(0) += 1;
+            if error.contains("panicked") {
+                *counts.entry("panicked".to_string()).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+}
+
 /// Decodes one journaled chunk payload back into typed outcomes. Inverse of
 /// `serde_json::to_string(&Vec<FaultOutcome>)`: re-serializing the decoded
 /// outcomes reproduces the payload byte-for-byte, which is what keeps a
@@ -1096,22 +1126,27 @@ fn run_gemm_campaign_chunked(
         total_chunks,
         &canonical_config(cfg, variant),
     );
-    let (slots, stats) = journal::run_chunked(durability, hash, total_chunks, |i| {
-        let lo = i * chunk_size;
-        let hi = (lo + chunk_size).min(faults.len());
-        let outcomes = drive_campaign(
-            &base,
-            &design,
-            cfg,
-            has_tmr,
-            &faults[lo..hi],
-            &golden,
-            &abft_row_sums,
-            &abft_col_sums,
-            durability,
-        );
-        serde_json::to_string(&outcomes).expect("outcomes serialize")
-    })?;
+    let telemetry = journal::TelemetrySpec {
+        kind: "faults",
+        count_outcomes: &count_fault_outcomes,
+    };
+    let (slots, stats) =
+        journal::run_chunked_observed(durability, hash, total_chunks, Some(&telemetry), |i| {
+            let lo = i * chunk_size;
+            let hi = (lo + chunk_size).min(faults.len());
+            let outcomes = drive_campaign(
+                &base,
+                &design,
+                cfg,
+                has_tmr,
+                &faults[lo..hi],
+                &golden,
+                &abft_row_sums,
+                &abft_col_sums,
+                durability,
+            );
+            serde_json::to_string(&outcomes).expect("outcomes serialize")
+        })?;
     // Completed chunks are always a prefix (chunks execute in ascending
     // order and an interrupt stops the loop), so assembly stops at the
     // first missing slot.

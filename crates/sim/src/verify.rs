@@ -992,6 +992,34 @@ fn decode_verify_chunk(payload: &str) -> Result<(u64, u64, u64, Vec<Finding>), S
     ))
 }
 
+/// Telemetry outcome counter for one fuzz chunk payload: seeds run,
+/// rejected and degraded seeds, findings, plus the `panicked` subset of
+/// findings (quarantined panics surface as `kind: "panic"`). Tolerant by
+/// design — telemetry is best-effort, so an undecodable payload counts as
+/// nothing (replay decoding is where strictness lives).
+fn count_verify_outcomes(payload: &str) -> std::collections::BTreeMap<String, u64> {
+    let mut counts = std::collections::BTreeMap::new();
+    let Ok(doc) = tensorlib_obs::json::parse(payload) else {
+        return counts;
+    };
+    for key in ["seeds_run", "rejected", "degraded"] {
+        if let Some(n) = doc.get(key).and_then(Value::as_u64) {
+            *counts.entry(key.to_string()).or_insert(0) += n;
+        }
+    }
+    if let Some(findings) = doc.get("findings").and_then(Value::as_array) {
+        *counts.entry("findings".to_string()).or_insert(0) += findings.len() as u64;
+        let panicked = findings
+            .iter()
+            .filter(|f| f.get("kind").and_then(Value::as_str) == Some("panic"))
+            .count() as u64;
+        if panicked > 0 {
+            *counts.entry("panicked".to_string()).or_insert(0) += panicked;
+        }
+    }
+    counts
+}
+
 /// [`run_verify`] with campaign durability: each enabled mode's seed range
 /// is split into deterministic chunks (netlist chunks first, then pipeline,
 /// sharing one journal), completed chunks are journaled to `durability.dir`
@@ -1028,7 +1056,11 @@ pub fn run_verify_durable(
         total,
         &canonical_verify_config(cfg, netlist, pipeline),
     );
-    let (slots, stats) = journal::run_chunked(durability, hash, total, |i| {
+    let telemetry = journal::TelemetrySpec {
+        kind: "fuzz",
+        count_outcomes: &count_verify_outcomes,
+    };
+    let (slots, stats) = journal::run_chunked_observed(durability, hash, total, Some(&telemetry), |i| {
         let i = i as u64;
         let (netlist_mode, ci) = if i < netlist_chunks {
             (true, i)

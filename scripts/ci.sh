@@ -40,12 +40,14 @@ cargo test -q -p tensorlib-sim --lib trace
 # Batched-engine smokes: the same campaigns through the lane engine. Reports
 # are byte-identical to scalar for any --lanes width, so the same greps (and
 # a direct byte comparison for the fault campaign) must hold. The provenance
-# wall-time block is the one legitimately nondeterministic part of a CLI
-# report, so it is stripped before the comparison.
+# wall-time block and its requested-lanes echo are the only parts of a CLI
+# report that legitimately vary here, so both are stripped before comparing.
 ./target/release/tensorlib faults --faults 8 --seed 7 --harden full -o - \
-    | sed '/"phase_wall_times_us"/,/}/d' > /tmp/ci_faults_scalar.json
+    | sed -e '/"phase_wall_times_us"/,/}/d' -e '/^    "lanes": /d' \
+    > /tmp/ci_faults_scalar.json
 ./target/release/tensorlib faults --faults 8 --seed 7 --harden full --lanes 8 -o - \
-    | sed '/"phase_wall_times_us"/,/}/d' > /tmp/ci_faults_lanes.json
+    | sed -e '/"phase_wall_times_us"/,/}/d' -e '/^    "lanes": /d' \
+    > /tmp/ci_faults_lanes.json
 cmp /tmp/ci_faults_scalar.json /tmp/ci_faults_lanes.json
 rm -f /tmp/ci_faults_scalar.json /tmp/ci_faults_lanes.json
 ./target/release/tensorlib fuzz --mode netlist --seed 0 --seeds 50 --lanes 8 -o - \
@@ -141,6 +143,66 @@ if ./target/release/tensorlib faults --faults 1024 --k 512 --seed 8 --harden ful
 fi
 grep -q "different campaign config" "$crash_dir/drift.err"
 rm -rf "$crash_dir"
+
+# Campaign-telemetry smoke (DESIGN.md §16): a journaled campaign streams an
+# append-only events.jsonl and an atomically-replaced status.json into its
+# --resume dir. `tensorlib status` renders a parsable running snapshot
+# mid-run (exit 2), reports finished (exit 0) afterwards, and the completed
+# run appends a history.jsonl entry next to its report.
+tele_dir=$(mktemp -d)
+./target/release/tensorlib faults --faults 1024 --k 512 --seed 7 --harden full \
+    --resume "$tele_dir/journal" -o "$tele_dir/reports/run.json" >/dev/null &
+runner=$!
+status_rc=-1
+for _ in $(seq 1 50); do
+    set +e
+    snap=$(./target/release/tensorlib status "$tele_dir/journal" --json 2>/dev/null)
+    status_rc=$?
+    set -e
+    if [ "$status_rc" -eq 2 ]; then
+        printf '%s' "$snap" | grep -q '"state": "running"'
+        printf '%s' "$snap" | grep -q '"chunks_total"'
+        break
+    fi
+    sleep 0.1
+done
+if [ "$status_rc" -ne 2 ]; then
+    echo "ci: never observed a running status snapshot (last rc $status_rc)" >&2
+    exit 1
+fi
+wait "$runner"
+./target/release/tensorlib status "$tele_dir/journal" | grep -q "finished"
+# The event log is well-formed JSONL covering the campaign lifecycle.
+head -n 1 "$tele_dir/journal/events.jsonl" | grep -q '"event":"campaign_started"'
+tail -n 1 "$tele_dir/journal/events.jsonl" | grep -q '"event":"campaign_finished"'
+grep -q '"event":"chunk_completed"' "$tele_dir/journal/events.jsonl"
+# The completed run joined the cross-run history index next to its report.
+grep -q '"kind":"faults"' "$tele_dir/reports/history.jsonl"
+
+# A SIGKILLed campaign's dir reports interrupted (exit 3) with a resume
+# hint; after --resume finishes it, `history --check` compares the resumed
+# run against the earlier same-config run without machine-shape false
+# positives (the runs are deterministic, so nothing may be flagged).
+./target/release/tensorlib faults --faults 1024 --k 512 --seed 7 --harden full \
+    --resume "$tele_dir/journal2" -o "$tele_dir/reports/run2.json" >/dev/null &
+victim=$!
+sleep 0.6
+kill -9 "$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null || true
+set +e
+./target/release/tensorlib status "$tele_dir/journal2" > "$tele_dir/status.out"
+status_rc=$?
+set -e
+if [ "$status_rc" -ne 3 ]; then
+    echo "ci: SIGKILLed campaign dir did not report interrupted (rc $status_rc)" >&2
+    exit 1
+fi
+grep -q -- "--resume" "$tele_dir/status.out"
+./target/release/tensorlib faults --faults 1024 --k 512 --seed 7 --harden full \
+    --resume "$tele_dir/journal2" -o "$tele_dir/reports/run2.json" >/dev/null
+./target/release/tensorlib history "$tele_dir/reports" --check \
+    | grep -q "no metric moved"
+rm -rf "$tele_dir"
 
 # Campaign-argument validation smoke: nonsense is rejected up front with a
 # descriptive error, never a hung or silently-empty campaign.
